@@ -1,0 +1,585 @@
+(* coordctl: command-line driver for the reproduction.
+
+     coordctl tables [-e E4] [--full]       regenerate experiment tables
+     coordctl simulate PROTO [-n N] ...     run a protocol under a schedule
+     coordctl check PROTO [-n N] [-m M]     exhaustively model-check
+     coordctl symmetry [-n N] [-m M]        run the Thm 3.4 lock-step attack
+     coordctl covering PROTO [-m M] ...     run the §6 covering adversary *)
+
+open Anonmem
+
+let str = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type proto = Mutex | Cmp_mutex | Consensus | Election | Renaming | Ccp
+
+let proto_conv =
+  let parse = function
+    | "mutex" -> Ok Mutex
+    | "cmp-mutex" -> Ok Cmp_mutex
+    | "consensus" -> Ok Consensus
+    | "election" -> Ok Election
+    | "renaming" -> Ok Renaming
+    | "ccp" -> Ok Ccp
+    | s -> Error (`Msg (str "unknown protocol %S" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Mutex -> "mutex"
+      | Cmp_mutex -> "cmp-mutex"
+      | Consensus -> "consensus"
+      | Election -> "election"
+      | Renaming -> "renaming"
+      | Ccp -> "ccp")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+module Sim (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  let run ~n ~m ~seed ~steps ~show_trace ~inputs =
+    let rng = Rng.create seed in
+    let cfg : R.config =
+      {
+        ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+        inputs;
+        namings = Array.init n (fun _ -> Naming.random rng m);
+        rng = Some (Rng.split rng);
+        record_trace = show_trace;
+      }
+    in
+    let rt = R.create cfg in
+    Format.printf "protocol %s: n=%d m=%d seed=%d@." P.name n m seed;
+    Array.iteri
+      (fun i nm ->
+        Format.printf "  p%d id=%d naming=%a@." i (R.id_of rt i) Naming.pp nm)
+      cfg.namings;
+    let reason = R.run rt (Schedule.random rng) ~max_steps:steps in
+    Format.printf "stopped: %s after %d steps@."
+      (match reason with
+      | R.Schedule_exhausted -> "schedule exhausted"
+      | All_decided -> "all decided"
+      | Step_limit -> "step limit"
+      | Condition_met -> "condition met")
+      (R.clock rt);
+    if show_trace then
+      Format.printf "%a@."
+        (Trace.pp ~pp_value:P.Value.pp ~pp_output:P.pp_output)
+        (R.trace rt);
+    Format.printf "final state:@.%a@." R.pp_state rt
+end
+
+let simulate proto n m seed steps show_trace =
+  let m =
+    match (m, proto) with
+    | Some m, _ -> m
+    | None, Mutex -> 3
+    | None, Cmp_mutex -> 2
+    | None, (Consensus | Election | Renaming) -> (2 * n) - 1
+    | None, Ccp -> 2
+  in
+  (match proto with
+  | Mutex ->
+    let module S = Sim (Coord.Amutex.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ())
+  | Cmp_mutex ->
+    let module S = Sim (Coord.Cmp_mutex.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ())
+  | Consensus ->
+    let module S = Sim (Coord.Consensus.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace
+      ~inputs:(Array.init n (fun i -> (i + 1) * 100))
+  | Election ->
+    let module S = Sim (Coord.Election.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ())
+  | Renaming ->
+    let module S = Sim (Coord.Renaming.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ())
+  | Ccp ->
+    let module S = Sim (Coord.Ccp.P) in
+    S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ()));
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Chk (P : Protocol.PROTOCOL) = struct
+  module E = Check.Explore.Make (P)
+
+  (* All relative namings for 2 processes; rotations for more. *)
+  let namings_under_test ~n ~m =
+    if n = 2 && m <= 5 then
+      List.map (fun nm -> Array.of_list [ Naming.identity m; nm ]) (Naming.all m)
+    else
+      [ Array.init n (fun k -> Naming.rotation m k) ]
+
+  let explore_all ~n ~m ~inputs ~report =
+    let count = ref 0 in
+    List.iter
+      (fun namings ->
+        incr count;
+        let cfg : E.config =
+          { ids = Array.init n (fun i -> ((i + 1) * 17) + 1); inputs; namings }
+        in
+        let g = E.explore cfg in
+        report namings g)
+      (namings_under_test ~n ~m);
+    Format.printf "%d naming assignment(s) checked.@." !count
+end
+
+module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
+  module C = Chk (P)
+
+  (* Starvation is reported for information; only ME/DF count as
+     violations, matching the paper's two requirements. *)
+  let run ~n ~m =
+    let bad = ref false in
+    C.explore_all ~n ~m ~inputs:(Array.make n ()) ~report:(fun namings g ->
+        let f = C.E.to_flat g in
+        let me = Check.Mutex_props.mutual_exclusion f in
+        let df = Check.Mutex_props.deadlock_freedom f in
+        let sf = Check.Mutex_props.starvation_freedom f in
+        if me <> None || df <> None then bad := true;
+        Format.printf "namings %s: %d states, mutual-exclusion %s, \
+                       deadlock-freedom %s, starvation-freedom %s@."
+          (String.concat " "
+             (List.map (Format.asprintf "%a" Naming.pp) (Array.to_list namings)))
+          (Array.length g.states)
+          (match me with None -> "ok" | Some _ -> "VIOLATED")
+          (match df with None -> "ok" | Some _ -> "VIOLATED")
+          (match sf with
+          | None -> "ok"
+          | Some (p, _) -> str "p%d can starve" p));
+    !bad
+end
+
+let check_mutex ~n ~m =
+  let module M = Mutex_check (Coord.Amutex.P) in
+  M.run ~n ~m
+
+let check_cmp_mutex ~n ~m =
+  let module M = Mutex_check (Coord.Cmp_mutex.P) in
+  M.run ~n ~m
+
+let check_decision (type g) ~n ~m ~inputs
+    ~(explore_all :
+       inputs:'i array ->
+       report:(Naming.t array -> g -> unit) ->
+       unit) ~(verdicts : g -> (string * bool) list) =
+  ignore n;
+  ignore m;
+  let bad = ref false in
+  explore_all ~inputs ~report:(fun namings g ->
+      let vs = verdicts g in
+      if List.exists (fun (_, ok) -> not ok) vs then bad := true;
+      Format.printf "namings %s: %s@."
+        (String.concat " "
+           (List.map (Format.asprintf "%a" Naming.pp) (Array.to_list namings)))
+        (String.concat ", "
+           (List.map
+              (fun (name, ok) -> str "%s %s" name (if ok then "ok" else "VIOLATED"))
+              vs)));
+  !bad
+
+let check proto n m =
+  let m =
+    match (m, proto) with
+    | Some m, _ -> m
+    | None, Mutex -> 3
+    | None, Cmp_mutex -> 2
+    | None, (Consensus | Election | Renaming) -> (2 * n) - 1
+    | None, Ccp -> 2
+  in
+  let bad =
+    match proto with
+    | Mutex -> check_mutex ~n ~m
+    | Cmp_mutex -> check_cmp_mutex ~n ~m
+    | Consensus ->
+      let module C = Chk (Coord.Consensus.P) in
+      let inputs = Array.init n (fun i -> (i + 1) * 100) in
+      check_decision ~n ~m ~inputs
+        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~verdicts:(fun g ->
+          [
+            ( "agreement",
+              Check.Props.agreement ~equal:Int.equal ~statuses:C.E.statuses
+                g.C.E.states
+              = None );
+            ( "validity",
+              Check.Props.validity
+                ~allowed:(fun v -> Array.exists (( = ) v) inputs)
+                ~statuses:C.E.statuses g.C.E.states
+              = None );
+            ("of-termination", C.E.check_obstruction_freedom g = None);
+          ])
+    | Election ->
+      let module C = Chk (Coord.Election.P) in
+      let ids = Array.init n (fun i -> ((i + 1) * 17) + 1) in
+      check_decision ~n ~m ~inputs:(Array.make n ())
+        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~verdicts:(fun g ->
+          [
+            ( "one-leader",
+              Check.Props.agreement ~equal:Int.equal ~statuses:C.E.statuses
+                g.C.E.states
+              = None );
+            ( "leader-participates",
+              Check.Props.validity
+                ~allowed:(fun v -> Array.exists (( = ) v) ids)
+                ~statuses:C.E.statuses g.C.E.states
+              = None );
+            ("of-termination", C.E.check_obstruction_freedom g = None);
+          ])
+    | Renaming ->
+      let module C = Chk (Coord.Renaming.P) in
+      check_decision ~n ~m ~inputs:(Array.make n ())
+        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~verdicts:(fun g ->
+          [
+            ( "uniqueness",
+              Check.Props.distinct_outputs ~equal:Int.equal
+                ~statuses:C.E.statuses g.C.E.states
+              = None );
+            ( "adaptivity",
+              Check.Props.adaptive_range ~name_of:Fun.id
+                ~statuses:C.E.statuses g.C.E.states
+              = None );
+            ("of-termination", C.E.check_obstruction_freedom g = None);
+          ])
+    | Ccp ->
+      let module C = Chk (Coord.Ccp.P) in
+      check_decision ~n ~m ~inputs:(Array.make n ())
+        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~verdicts:(fun g ->
+          (* agreement is on the physical register chosen *)
+          let safe = ref true in
+          Array.iter
+            (fun st ->
+              let phys =
+                Array.to_list
+                  (Array.mapi
+                     (fun p l ->
+                       match Coord.Ccp.P.status l with
+                       | Protocol.Decided loc ->
+                         Some (Naming.apply g.C.E.cfg.namings.(p) loc)
+                       | _ -> None)
+                     st.C.E.locals)
+                |> List.filter_map Fun.id
+              in
+              match phys with
+              | a :: rest -> if List.exists (( <> ) a) rest then safe := false
+              | [] -> ())
+            g.C.E.states;
+          [ ("same-register", !safe) ])
+  in
+  if bad then begin
+    Format.printf "RESULT: violations found.@.";
+    Ok ()
+  end
+  else begin
+    Format.printf "RESULT: all properties hold.@.";
+    Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* adversaries                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let symmetry n m show_trace =
+  let module S = Lowerbound.Symmetry.Make (Coord.Amutex.P) in
+  let ids = List.init n (fun i -> (i + 1) * 7) in
+  let inputs = List.map (fun _ -> ()) ids in
+  (match S.attack ~ids ~inputs ~m () with
+  | None ->
+    Format.printf
+      "m=%d is relatively prime to every l <= %d: Theorem 3.4 permits an \
+       algorithm; no lock-step attack exists.@."
+      m n
+  | Some (d, verdict, trace) ->
+    Format.printf "divisor witness d=%d; rotated namings spaced m/d=%d \
+                   apart; lock-step run says:@."
+      d (m / d);
+    Format.printf "  %a@." Lowerbound.Symmetry.pp_verdict verdict;
+    if show_trace then
+      Format.printf "%a@."
+        (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Empty.pp)
+        trace);
+  Ok ()
+
+let covering proto m show_trace =
+  (match proto with
+  | Mutex ->
+    let module Cov = Lowerbound.Covering.Make (Coord.Amutex.P) in
+    (match Cov.construct ~m ~q_input:() ~recruit_input:(fun _ -> ()) () with
+    | Error e -> Format.printf "construction failed: %s@." e
+    | Ok o ->
+      Format.printf "write set {%s}; q %a; recruit %d %a via %s@."
+        (String.concat "," (List.map string_of_int o.write_set))
+        Cov.pp_success o.q_success (o.p_proc - 1) Cov.pp_success o.p_success
+        o.z_schedule_note;
+      if show_trace then
+        Format.printf "%a@."
+          (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Empty.pp)
+          o.trace)
+  | Cmp_mutex ->
+    let module Cov = Lowerbound.Covering.Make (Coord.Cmp_mutex.P) in
+    (match Cov.construct ~m ~q_input:() ~recruit_input:(fun _ -> ()) () with
+    | Error e -> Format.printf "construction failed: %s@." e
+    | Ok o ->
+      Format.printf "write set {%s}; q %a; recruit %d %a via %s@."
+        (String.concat "," (List.map string_of_int o.write_set))
+        Cov.pp_success o.q_success (o.p_proc - 1) Cov.pp_success o.p_success
+        o.z_schedule_note;
+      if show_trace then
+        Format.printf "%a@."
+          (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Empty.pp)
+          o.trace)
+  | Consensus | Election ->
+    let module C2 = Wrap.Fix_n (Coord.Consensus.P) (struct let n = 2 end) in
+    let module Cov = Lowerbound.Covering.Make (C2) in
+    (match Cov.construct ~m ~q_input:100 ~recruit_input:(fun _ -> 200) () with
+    | Error e -> Format.printf "construction failed: %s@." e
+    | Ok o ->
+      Format.printf "write set {%s}; q %a; recruit %d %a via %s@."
+        (String.concat "," (List.map string_of_int o.write_set))
+        Cov.pp_success o.q_success (o.p_proc - 1) Cov.pp_success o.p_success
+        o.z_schedule_note;
+      if show_trace then
+        Format.printf "%a@."
+          (Trace.pp ~pp_value:Coord.Consensus.Value.pp
+             ~pp_output:Format.pp_print_int)
+          o.trace)
+  | Renaming ->
+    let module R2 = Wrap.Fix_n (Coord.Renaming.P) (struct let n = 2 end) in
+    let module Cov = Lowerbound.Covering.Make (R2) in
+    (match Cov.construct ~m ~q_input:() ~recruit_input:(fun _ -> ()) () with
+    | Error e -> Format.printf "construction failed: %s@." e
+    | Ok o ->
+      Format.printf "write set {%s}; q %a; recruit %d %a via %s@."
+        (String.concat "," (List.map string_of_int o.write_set))
+        Cov.pp_success o.q_success (o.p_proc - 1) Cov.pp_success o.p_success
+        o.z_schedule_note;
+      if show_trace then
+        Format.printf "%a@."
+          (Trace.pp ~pp_value:Coord.Renaming.Value.pp
+             ~pp_output:Format.pp_print_int)
+          o.trace)
+  | Ccp -> Format.printf "covering targets read/write protocols only@.");
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* graph export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let graph proto n m output =
+  let m =
+    match (m, proto) with
+    | Some m, _ -> m
+    | None, Mutex -> 3
+    | None, Cmp_mutex -> 2
+    | None, (Consensus | Election | Renaming) -> (2 * n) - 1
+    | None, Ccp -> 2
+  in
+  let write_dot flat =
+    let oc = open_out output in
+    let ppf = Format.formatter_of_out_channel oc in
+    Check.Dot.of_flat flat ppf ();
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Format.printf "wrote %s@." output
+  in
+  let flat_of (type g) ~(explore : unit -> g) ~(to_flat : g -> Check.Flatgraph.t) =
+    to_flat (explore ())
+  in
+  (match proto with
+  | Mutex ->
+    let module C = Chk (Coord.Amutex.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.make n ();
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat)
+  | Cmp_mutex ->
+    let module C = Chk (Coord.Cmp_mutex.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.make n ();
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat)
+  | Consensus ->
+    let module C = Chk (Coord.Consensus.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.init n (fun i -> (i + 1) * 100);
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat)
+  | Election ->
+    let module C = Chk (Coord.Election.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.make n ();
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat)
+  | Renaming ->
+    let module C = Chk (Coord.Renaming.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.make n ();
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat)
+  | Ccp ->
+    let module C = Chk (Coord.Ccp.P) in
+    write_dot
+      (flat_of
+         ~explore:(fun () ->
+           C.E.explore
+             {
+               ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+               inputs = Array.make n ();
+               namings = Array.init n (fun k -> Naming.rotation m k);
+             })
+         ~to_flat:C.E.to_flat));
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tables ids full =
+  let speed = if full then Report.Experiments.Full else Quick in
+  let selected =
+    match ids with
+    | [] -> Report.Experiments.all speed
+    | ids ->
+      List.concat_map
+        (fun id ->
+          match Report.Experiments.by_id id with
+          | Some f -> f speed
+          | None -> failwith (str "unknown experiment %S" id))
+        ids
+  in
+  Report.Table.render_all Format.std_formatter selected;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let proto_arg =
+  Arg.(
+    required
+    & pos 0 (some proto_conv) None
+    & info [] ~docv:"PROTOCOL"
+        ~doc:"One of mutex, cmp-mutex, consensus, election, renaming, ccp.")
+
+let n_arg =
+  Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let m_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "m" ] ~docv:"M" ~doc:"Number of registers (protocol default).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let steps_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "steps" ] ~docv:"K" ~doc:"Maximum scheduler steps.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full run trace.")
+
+let simulate_cmd =
+  let doc = "run a protocol under a random adversarial schedule" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      term_result
+        (const simulate $ proto_arg $ n_arg $ m_arg $ seed_arg $ steps_arg
+       $ trace_arg))
+
+let check_cmd =
+  let doc = "exhaustively model-check a protocol instance" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(term_result (const check $ proto_arg $ n_arg $ m_arg))
+
+let symmetry_cmd =
+  let doc = "run the Theorem 3.4 lock-step symmetry adversary on Figure 1" in
+  let m_pos =
+    Arg.(value & opt int 4 & info [ "m" ] ~docv:"M" ~doc:"Register count.")
+  in
+  Cmd.v
+    (Cmd.info "symmetry" ~doc)
+    Term.(term_result (const symmetry $ n_arg $ m_pos $ trace_arg))
+
+let covering_cmd =
+  let doc = "run the §6 covering adversary against a protocol" in
+  let m_pos =
+    Arg.(value & opt int 3 & info [ "m" ] ~docv:"M" ~doc:"Register count.")
+  in
+  Cmd.v
+    (Cmd.info "covering" ~doc)
+    Term.(term_result (const covering $ proto_arg $ m_pos $ trace_arg))
+
+let graph_cmd =
+  let doc = "export the reachable state graph as Graphviz DOT" in
+  let output =
+    Cmdliner.Arg.(
+      value & opt string "states.dot"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "graph" ~doc)
+    Term.(term_result (const graph $ proto_arg $ n_arg $ m_arg $ output))
+
+let tables_cmd =
+  let doc = "regenerate the experiment tables (EXPERIMENTS.md)" in
+  let ids =
+    Arg.(
+      value & opt_all string []
+      & info [ "e" ] ~docv:"ID" ~doc:"Experiment id (repeatable), e.g. E4.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Wider sweeps (slower).")
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(term_result (const tables $ ids $ full))
+
+let () =
+  let doc = "memory-anonymous coordination (Taubenfeld, PODC'17) reproduction" in
+  let info = Cmd.info "coordctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; symmetry_cmd; covering_cmd; graph_cmd; tables_cmd ]))

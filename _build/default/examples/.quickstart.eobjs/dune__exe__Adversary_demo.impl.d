@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Anonmem Coord Empty Format List Lowerbound String Trace

@@ -1,0 +1,1 @@
+examples/comparisons_demo.ml: Anonmem Coord Format List Lowerbound Naming Runtime Schedule

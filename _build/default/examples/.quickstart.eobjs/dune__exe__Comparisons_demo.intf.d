@@ -1,0 +1,1 @@
+examples/comparisons_demo.mli:

@@ -1,0 +1,1 @@
+examples/multicore_demo.ml: Anonmem Array Coord Format Naming Parallel Printf Rng

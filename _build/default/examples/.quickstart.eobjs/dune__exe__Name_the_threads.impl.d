@@ -1,0 +1,1 @@
+examples/name_the_threads.ml: Anonmem Array Coord Format Fun List Naming Protocol Rng Runtime Schedule

@@ -1,0 +1,1 @@
+examples/name_the_threads.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Anonmem Array Coord Empty Format List Naming Rng Runtime Schedule Trace

@@ -1,0 +1,1 @@
+examples/sensor_election.ml: Anonmem Array Coord Format Fun List Naming Rng Runtime Schedule String

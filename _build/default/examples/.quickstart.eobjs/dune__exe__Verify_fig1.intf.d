@@ -1,0 +1,1 @@
+examples/verify_fig1.mli:

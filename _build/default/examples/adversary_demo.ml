@@ -1,0 +1,49 @@
+(* Watch Theorem 6.2's covering adversary at work: Figure 1's mutex (which
+   is perfectly correct for the two processes it was designed for) meets an
+   adversary that controls how many processes exist and how each of them
+   numbers the anonymous registers. The adversary builds, step by step, a
+   single legal run at whose end TWO processes sit in the critical section.
+
+   Run with: dune exec examples/adversary_demo.exe *)
+
+open Anonmem
+module Cov = Lowerbound.Covering.Make (Coord.Amutex.P)
+
+let () =
+  let m = 3 in
+  Format.printf
+    "Subject: Figure 1's memory-anonymous mutex with m = %d registers.@." m;
+  Format.printf
+    "Adversary: knows the code, picks the number of processes and every \
+     process's register numbering (Theorem 6.2 construction).@.@.";
+  match Cov.construct ~m ~q_input:() ~recruit_input:(fun _ -> ()) () with
+  | Error e -> Format.printf "construction failed: %s@." e
+  | Ok o ->
+    Format.printf "1. Probe: victim q ran alone and entered its CS after \
+                   writing registers {%s}.@."
+      (String.concat ", " (List.map string_of_int o.write_set));
+    Format.printf
+      "2. Covering: %d recruits were steered (by choosing their namings) so \
+       that each one's first write lands on a different register of that \
+       set; each was frozen one step before writing (%s steps each).@."
+      (List.length o.covering_prefix_steps)
+      (String.concat ", " (List.map string_of_int o.covering_prefix_steps));
+    Format.printf "3. Splice: memory is untouched, so q's solo run replays \
+                   and q %a.@." Cov.pp_success o.q_success;
+    Format.printf "4. Block write: the recruits fire their pending writes, \
+                   erasing every trace of q.@.";
+    Format.printf "5. Extension: %s lets recruit %d make progress — and it \
+                   %a while q is still inside.@.@."
+      o.z_schedule_note (o.p_proc - 1) Cov.pp_success o.p_success;
+    Format.printf "The full run (%d steps):@." (List.length o.trace);
+    Format.printf "%a@."
+      (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Empty.pp)
+      o.trace;
+    let both =
+      List.filter Trace.enters_critical o.trace
+      |> List.map (fun e -> e.Trace.proc)
+    in
+    Format.printf
+      "@.Mutual exclusion is violated: processes %s are in the critical \
+       section simultaneously.@."
+      (String.concat " and " (List.map string_of_int both))

@@ -1,0 +1,58 @@
+(* The two symmetry variants of the paper's §2, side by side on the SAME
+   even register count. Under equality-only symmetry, two anonymous
+   registers admit no deadlock-free mutex (Theorem 3.1): the lock-step
+   adversary keeps Figure 1 spinning forever. Allow one comparison and the
+   deadlock evaporates.
+
+   Run with: dune exec examples/comparisons_demo.exe *)
+
+open Anonmem
+module SymFig1 = Lowerbound.Symmetry.Make (Coord.Amutex.P)
+module SymCmp = Lowerbound.Symmetry.Make (Coord.Cmp_mutex.P)
+module R = Runtime.Make (Coord.Cmp_mutex.P)
+
+let () =
+  let m = 2 in
+  Format.printf "Arena: %d anonymous registers, two processes with ids 7 and \
+                 13, antipodal namings, strict lock-step schedule.@.@."
+    m;
+  (* equality-only: Figure 1 *)
+  let verdict, trace =
+    SymFig1.run ~ids:[ 7; 13 ] ~inputs:[ (); () ] ~m ~d:2 ()
+  in
+  Format.printf "Figure 1 (equality-only comparisons):@.  %a@."
+    Lowerbound.Symmetry.pp_verdict verdict;
+  Format.printf "  (the %d-step trace never enters a critical section — the \
+                 processes mirror each other exactly)@.@."
+    (List.length trace);
+  (* with comparisons *)
+  let verdict, _ =
+    SymCmp.run ~max_steps:5_000 ~ids:[ 7; 13 ] ~inputs:[ (); () ] ~m ~d:2 ()
+  in
+  Format.printf "Comparison variant (smaller id defers):@.  %a@."
+    Lowerbound.Symmetry.pp_verdict verdict;
+  (* show who actually got in *)
+  let cfg : R.config =
+    {
+      ids = [| 7; 13 |];
+      inputs = [| (); () |];
+      namings = [| Naming.rotation m 0; Naming.rotation m 1 |];
+      rng = None;
+      record_trace = true;
+    }
+  in
+  let rt = R.create cfg in
+  let _ =
+    R.run rt
+      ~until:(fun t -> R.kind t 0 = Schedule.Crit || R.kind t 1 = Schedule.Crit)
+      (Schedule.lock_step [ 0; 1 ])
+      ~max_steps:1_000
+  in
+  let winner = if R.kind rt 0 = Schedule.Crit then 0 else 1 in
+  Format.printf
+    "  under the same lock-step schedule, process %d (id %d — the larger) \
+     reaches its critical section after %d steps.@.@."
+    winner (R.id_of rt winner) (R.clock rt);
+  Format.printf
+    "Conclusion: Theorem 3.1's odd-m law is a theorem about equality-only \
+     symmetry; a single id comparison per conflict breaks the spell.@."

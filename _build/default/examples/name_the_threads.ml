@@ -1,0 +1,71 @@
+(* Adaptive perfect renaming as slot assignment: a pool is provisioned for
+   up to n workers, but only the k that actually show up should occupy
+   slots — and exactly slots 1..k (Theorem 5.3's adaptivity), so a dense
+   array can be indexed by the new names with no holes.
+
+   The workers' original identifiers come from a huge sparse space (think
+   64-bit thread ids); Figure 3 shrinks them to 1..k without any agreement
+   on register names.
+
+   Run with: dune exec examples/name_the_threads.exe *)
+
+open Anonmem
+module R = Runtime.Make (Coord.Renaming.P)
+
+let run_with ~k ~n ~seed =
+  let rng = Rng.create seed in
+  let m = (2 * n) - 1 in
+  let ids = Array.init n (fun _ -> 1 + Rng.int rng 1_000_000_000) in
+  let cfg : R.config =
+    {
+      ids;
+      inputs = Array.make n ();
+      namings = Array.init n (fun _ -> Naming.random rng m);
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  (* only the first k workers arrive *)
+  let arrivals = List.init k Fun.id in
+  let sched (v : Schedule.view) =
+    match
+      List.filter (fun i -> v.kind i <> Schedule.Finished) arrivals
+    with
+    | [] -> None
+    | cands -> Some (List.nth cands (Rng.int rng (List.length cands)))
+  in
+  let _ = R.run rt sched ~max_steps:(500 * n) in
+  (* renaming is obstruction-free: solo windows finish the stragglers *)
+  let budget = ref (20 * n) in
+  while
+    List.exists
+      (fun i -> not (Protocol.is_decided (R.status rt i)))
+      arrivals
+    && !budget > 0
+  do
+    decr budget;
+    List.iter
+      (fun i -> ignore (R.run rt (Schedule.solo i) ~max_steps:(50 * m * m)))
+      arrivals
+  done;
+  List.map
+    (fun i ->
+      match R.status rt i with
+      | Protocol.Decided name -> (ids.(i), name)
+      | _ -> failwith "worker failed to acquire a name")
+    arrivals
+
+let () =
+  let n = 6 in
+  List.iter
+    (fun k ->
+      let assignment = run_with ~k ~n ~seed:(100 + k) in
+      Format.printf "pool of %d, %d workers arrive:@." n k;
+      List.iter
+        (fun (id, name) -> Format.printf "  worker #%-10d -> slot %d@." id name)
+        assignment;
+      let names = List.map snd assignment |> List.sort compare in
+      assert (names = List.init k (fun i -> i + 1));
+      Format.printf "  slots used: exactly 1..%d (adaptive, perfect)@.@." k)
+    [ 1; 3; 6 ]

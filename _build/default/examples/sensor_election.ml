@@ -1,0 +1,61 @@
+(* Scenario from the paper's motivation: processes that share memory but
+   have no lower-level agreement — here, a batch of sensors flashed with
+   random serial numbers and handed an unlabeled bank of registers — must
+   elect a coordinator. The memory-anonymous election of §4 (consensus on
+   one's own identifier) does it: every sensor that terminates announces
+   the same leader, and the leader is one of the participants.
+
+   Run with: dune exec examples/sensor_election.exe *)
+
+open Anonmem
+module R = Runtime.Make (Coord.Election.P)
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 5 in
+  let m = (2 * n) - 1 in
+  (* random distinct serial numbers *)
+  let serials =
+    let rec draw acc =
+      if List.length acc = n then acc
+      else
+        let s = 1 + Rng.int rng 100_000 in
+        if List.mem s acc then draw acc else draw (s :: acc)
+    in
+    Array.of_list (draw [])
+  in
+  let cfg : R.config =
+    {
+      ids = serials;
+      inputs = Array.make n ();
+      namings = Array.init n (fun _ -> Naming.random rng m);
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  Format.printf "%d sensors with serials %s race over %d anonymous registers.@."
+    n
+    (String.concat ", " (Array.to_list (Array.map string_of_int serials)))
+    m;
+  (* contention phase: fully random interleaving *)
+  let _ = R.run rt (Schedule.random rng) ~max_steps:(400 * n) in
+  (* the consensus is obstruction-free: give each laggard a solo window *)
+  for i = 0 to n - 1 do
+    ignore (R.run rt (Schedule.solo i) ~max_steps:(40 * m * m))
+  done;
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Some leader ->
+        Format.printf "  sensor %6d says: leader is %d%s@." serials.(i) leader
+          (if leader = serials.(i) then "  <- that's me" else "")
+      | None -> Format.printf "  sensor %6d: undecided@." serials.(i))
+    (R.decisions rt);
+  let leaders =
+    Array.to_list (R.decisions rt) |> List.filter_map Fun.id
+    |> List.sort_uniq compare
+  in
+  match leaders with
+  | [ l ] -> Format.printf "Unanimous: sensor %d coordinates.@." l
+  | _ -> failwith "election disagreed (impossible)"

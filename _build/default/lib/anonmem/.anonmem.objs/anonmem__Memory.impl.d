@@ -1,0 +1,1 @@
+lib/anonmem/memory.ml: Array Format Naming Protocol

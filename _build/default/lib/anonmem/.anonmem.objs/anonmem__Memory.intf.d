@@ -1,0 +1,1 @@
+lib/anonmem/memory.mli: Format Naming Protocol

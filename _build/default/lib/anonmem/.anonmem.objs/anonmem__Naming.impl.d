@@ -1,0 +1,1 @@
+lib/anonmem/naming.ml: Array Format List Rng

@@ -1,0 +1,1 @@
+lib/anonmem/naming.mli: Format Rng

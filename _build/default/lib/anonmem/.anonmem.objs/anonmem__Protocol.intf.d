@@ -1,0 +1,1 @@
+lib/anonmem/protocol.mli: Format

@@ -1,0 +1,1 @@
+lib/anonmem/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/anonmem/runtime.ml: Array Format List Memory Naming Option Protocol Rng Schedule Trace

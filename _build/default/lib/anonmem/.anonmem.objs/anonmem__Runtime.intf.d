@@ -1,0 +1,1 @@
+lib/anonmem/runtime.mli: Format Memory Naming Protocol Rng Schedule Trace

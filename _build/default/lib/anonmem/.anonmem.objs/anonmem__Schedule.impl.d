@@ -1,0 +1,1 @@
+lib/anonmem/schedule.ml: Array Fun List Rng

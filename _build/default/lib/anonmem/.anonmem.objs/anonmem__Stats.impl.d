@@ -1,0 +1,1 @@
+lib/anonmem/stats.ml: Format Hashtbl List Option String

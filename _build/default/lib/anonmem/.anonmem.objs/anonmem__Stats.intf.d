@@ -1,0 +1,1 @@
+lib/anonmem/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/anonmem/trace.ml: Format Hashtbl List Protocol

@@ -1,0 +1,1 @@
+lib/anonmem/trace.mli: Format Protocol

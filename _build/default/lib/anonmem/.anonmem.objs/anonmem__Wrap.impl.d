@@ -1,0 +1,1 @@
+lib/anonmem/wrap.ml: Printf Protocol

@@ -1,0 +1,1 @@
+lib/anonmem/wrap.mli: Protocol

@@ -1,0 +1,7 @@
+type t = |
+
+let absurd : t -> 'a = function _ -> .
+
+let pp _ppf (x : t) = absurd x
+
+let compare (x : t) _ = absurd x

@@ -1,0 +1,8 @@
+(** The uninhabited type, used as the [output] of protocols that never
+    terminate (mutual exclusion loops forever). *)
+
+type t = |
+
+val absurd : t -> 'a
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int

@@ -1,0 +1,50 @@
+module Make (V : Protocol.VALUE) = struct
+  type t = { regs : V.t array; mutable writes : int }
+
+  let create ~m =
+    assert (m >= 1);
+    { regs = Array.make m V.init; writes = 0 }
+
+  let size t = Array.length t.regs
+
+  let physical t naming j =
+    let phys = Naming.apply naming j in
+    assert (phys >= 0 && phys < size t);
+    phys
+
+  let read t naming j = t.regs.(physical t naming j)
+
+  let write t naming j v =
+    t.regs.(physical t naming j) <- v;
+    t.writes <- t.writes + 1
+
+  let rmw t naming j f =
+    let phys = physical t naming j in
+    let old_value = t.regs.(phys) in
+    let new_value = f old_value in
+    t.regs.(phys) <- new_value;
+    t.writes <- t.writes + 1;
+    (old_value, new_value)
+
+  let get_physical t j = t.regs.(j)
+
+  let set_physical t j v = t.regs.(j) <- v
+
+  let snapshot t = Array.copy t.regs
+
+  let restore t snap =
+    assert (Array.length snap = size t);
+    Array.blit snap 0 t.regs 0 (Array.length snap)
+
+  let reset t =
+    Array.fill t.regs 0 (size t) V.init
+
+  let write_count t = t.writes
+
+  let pp ppf t =
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         V.pp)
+      (Array.to_list t.regs)
+end

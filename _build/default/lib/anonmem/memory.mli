@@ -1,0 +1,44 @@
+(** Physical shared memory: an array of [m] atomic registers.
+
+    All accesses go through a {!Naming.t}, so a process can only address
+    memory through its private numbering — the code path enforces the
+    anonymity of the model. The simulator executes one access at a time,
+    which gives atomicity by construction. *)
+
+module Make (V : Protocol.VALUE) : sig
+  type t
+
+  val create : m:int -> t
+  (** [m] registers, all holding [V.init]. *)
+
+  val size : t -> int
+
+  val read : t -> Naming.t -> int -> V.t
+  (** [read mem naming j] reads the process's local register [j]. *)
+
+  val write : t -> Naming.t -> int -> V.t -> unit
+
+  val rmw : t -> Naming.t -> int -> (V.t -> V.t) -> V.t * V.t
+  (** [rmw mem naming j f] atomically replaces [v] with [f v]; returns
+      [(old, new)]. Only used by read-modify-write protocols (paper §7). *)
+
+  val get_physical : t -> int -> V.t
+  (** Direct physical access, for checkers and reports only. *)
+
+  val set_physical : t -> int -> V.t -> unit
+
+  val snapshot : t -> V.t array
+  (** A copy of the physical register contents. *)
+
+  val restore : t -> V.t array -> unit
+  (** Overwrite contents from a snapshot. *)
+
+  val reset : t -> unit
+  (** All registers back to [V.init]. *)
+
+  val write_count : t -> int
+  (** Total number of writes (and rmws) performed since creation, for
+      instrumentation. *)
+
+  val pp : Format.formatter -> t -> unit
+end

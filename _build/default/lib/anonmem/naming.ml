@@ -1,0 +1,65 @@
+type t = int array
+(* t.(local_index) = physical_index; always a permutation of 0..m-1. *)
+
+let size = Array.length
+
+let apply t j =
+  assert (0 <= j && j < Array.length t);
+  t.(j)
+
+let is_permutation a =
+  let m = Array.length a in
+  let seen = Array.make m false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= m || seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    a
+
+let of_array a =
+  if not (is_permutation a) then
+    invalid_arg "Naming.of_array: not a permutation";
+  Array.copy a
+
+let to_array t = Array.copy t
+
+let invert t =
+  let inv = Array.make (Array.length t) 0 in
+  Array.iteri (fun j phys -> inv.(phys) <- j) t;
+  inv
+
+let identity m = Array.init m (fun j -> j)
+
+let rotation m d =
+  let d = ((d mod m) + m) mod m in
+  Array.init m (fun j -> (j + d) mod m)
+
+let random rng m = Rng.permutation rng m
+
+let compose f g = Array.init (Array.length g) (fun j -> f.(g.(j)))
+
+let all m =
+  if m > 8 then invalid_arg "Naming.all: m too large";
+  (* Heap-style recursive enumeration of permutations. *)
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert x) (perms rest)
+  in
+  perms (List.init m (fun j -> j)) |> List.map Array.of_list
+
+let equal = ( = )
+
+let pp ppf t =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
+    (Array.to_list t)

@@ -1,0 +1,54 @@
+(** Register namings: the per-process view of anonymous memory.
+
+    In the memory-anonymous model of Taubenfeld (PODC'17) the [m] shared
+    registers have no global names. Process [i] refers to registers through
+    its own numbering [p.i[1..m]]; semantically this is a private bijection
+    from local indices to physical register locations. A {e naming} is that
+    bijection, and choosing the namings is the adversary's first move.
+
+    Local and physical indices both range over [0..m-1] (we use 0-based
+    indices throughout the library; the paper's [p.i[j]] is our
+    [apply t (j-1)]). *)
+
+type t
+(** A bijection from local register indices to physical register indices. *)
+
+val size : t -> int
+(** Number of registers [m]. *)
+
+val apply : t -> int -> int
+(** [apply t j] is the physical location of local register [j].
+    Requires [0 <= j < size t]. *)
+
+val invert : t -> t
+(** The inverse bijection (physical to local). *)
+
+val identity : int -> t
+(** [identity m]: local index [j] is physical register [j]. *)
+
+val rotation : int -> int -> t
+(** [rotation m d]: local index [j] maps to physical [(j + d) mod m].
+    This is the "same ring ordering, shifted initial register" naming used
+    in the Theorem 3.4 lower-bound construction. *)
+
+val of_array : int array -> t
+(** [of_array a] uses [a.(j)] as the physical index of local [j].
+    Raises [Invalid_argument] if [a] is not a permutation of [0..m-1]. *)
+
+val to_array : t -> int array
+(** The underlying permutation (a fresh copy). *)
+
+val random : Rng.t -> int -> t
+(** A uniformly random naming of [m] registers. *)
+
+val compose : t -> t -> t
+(** [compose f g] maps [j] to [apply f (apply g j)]. *)
+
+val all : int -> t list
+(** All [m!] namings of [m] registers, for exhaustive checking. Requires
+    [m <= 8] to keep the enumeration sane. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [⟨2 0 1⟩]: local 0 is physical 2, etc. *)

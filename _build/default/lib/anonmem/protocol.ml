@@ -1,0 +1,53 @@
+type 'output status =
+  | Remainder
+  | Trying
+  | Critical
+  | Exiting
+  | Decided of 'output
+
+type ('local, 'value) step =
+  | Read of int * ('value -> 'local)
+  | Write of int * 'value * 'local
+  | Rmw of int * ('value -> 'value * 'local)
+  | Internal of 'local
+  | Coin of (bool -> 'local)
+
+module type VALUE = sig
+  type t
+
+  val init : t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type PROTOCOL = sig
+  module Value : VALUE
+
+  type input
+  type output
+  type local
+
+  val name : string
+  val default_registers : n:int -> int
+  val start : n:int -> m:int -> id:int -> input -> local
+  val step : n:int -> m:int -> id:int -> local -> (local, Value.t) step
+  val status : local -> output status
+  val compare_local : local -> local -> int
+  val pp_local : Format.formatter -> local -> unit
+  val pp_input : Format.formatter -> input -> unit
+  val pp_output : Format.formatter -> output -> unit
+end
+
+let status_kind = function
+  | Remainder -> "remainder"
+  | Trying -> "trying"
+  | Critical -> "critical"
+  | Exiting -> "exiting"
+  | Decided _ -> "decided"
+
+let is_decided = function Decided _ -> true | _ -> false
+
+let is_active = function
+  | Trying | Critical | Exiting -> true
+  | Remainder | Decided _ -> false

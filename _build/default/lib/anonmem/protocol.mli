@@ -1,0 +1,101 @@
+(** Protocol interface: algorithms as explicit state machines.
+
+    A protocol describes the code of one process. Every shared-memory access
+    is one atomic step, matching the granularity at which the adversary of
+    Taubenfeld's model interleaves processes. The runtime (or the model
+    checker, or a lower-bound adversary) drives a protocol by repeatedly
+    calling {!PROTOCOL.step} on the process's local state and performing the
+    returned action against the shared memory.
+
+    Local states must be {e plain immutable data} (no closures, no mutable
+    fields, canonical representation for sets) — the model checker hashes and
+    compares them structurally. *)
+
+(** Externally visible situation of a process, derived from its local state.
+
+    One-shot tasks (consensus, election, renaming) move
+    [Remainder -> Trying -> Decided]. Cyclic tasks (mutual exclusion) move
+    [Remainder -> Trying -> Critical -> Exiting -> Remainder] forever; their
+    ['output] is never produced. A process whose status is [Remainder] only
+    takes a step when the scheduler decides it should participate —
+    participation is not required in this model. *)
+type 'output status =
+  | Remainder  (** not currently competing; stepping it starts the protocol *)
+  | Trying  (** executing the entry code / the task body *)
+  | Critical  (** inside the critical section (mutex protocols only) *)
+  | Exiting  (** executing the exit code (mutex protocols only) *)
+  | Decided of 'output  (** terminated with a result; takes no more steps *)
+
+(** One atomic action. Continuations are applied immediately by whoever
+    executes the step, so they never escape into stored state. *)
+type ('local, 'value) step =
+  | Read of int * ('value -> 'local)
+      (** [Read (j, k)]: atomically read local register [j]; the new local
+          state is [k v] where [v] is the value read. *)
+  | Write of int * 'value * 'local
+      (** [Write (j, v, l)]: atomically write [v] to local register [j];
+          the new local state is [l]. *)
+  | Rmw of int * ('value -> 'value * 'local)
+      (** [Rmw (j, f)]: atomic read-modify-write of local register [j].
+          Not available to read/write protocols; provided only for the
+          Rabin choice-coordination contrast (paper §7). *)
+  | Internal of 'local
+      (** A step that touches no shared register (e.g. leaving the remainder
+          section, or entering the critical section). *)
+  | Coin of (bool -> 'local)
+      (** A fair coin flip (randomized protocols only). The model checker
+          branches on both outcomes; the runtime draws from its RNG. *)
+
+(** Values stored in the shared registers. *)
+module type VALUE = sig
+  type t
+
+  val init : t
+  (** The registers' known initial state (the paper's "initially 0"). *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A symmetric memory-anonymous protocol, parameterized by the number of
+    processes [n] and registers [m] where relevant. Identifiers are arbitrary
+    positive integers; symmetric protocols may compare them only for
+    equality (this is a contract, exercised by the test suite's
+    id-relabeling property, not something the types can enforce). *)
+module type PROTOCOL = sig
+  module Value : VALUE
+
+  type input
+  type output
+  type local
+
+  val name : string
+  (** Short human-readable protocol name for traces and reports. *)
+
+  val default_registers : n:int -> int
+  (** The register count the protocol is designed for (e.g. [2n - 1] for the
+      paper's consensus and renaming; any odd [m >= 3] for the 2-process
+      mutex, for which this returns 3). Harnesses may deliberately deviate
+      when demonstrating lower bounds. *)
+
+  val start : n:int -> m:int -> id:int -> input -> local
+  (** Initial local state of process [id]. *)
+
+  val step : n:int -> m:int -> id:int -> local -> (local, Value.t) step
+  (** The next atomic action. Never called on a [Decided] state. *)
+
+  val status : local -> output status
+
+  val compare_local : local -> local -> int
+  val pp_local : Format.formatter -> local -> unit
+  val pp_input : Format.formatter -> input -> unit
+  val pp_output : Format.formatter -> output -> unit
+end
+
+val status_kind : 'o status -> string
+(** One-word label, for traces. *)
+
+val is_decided : 'o status -> bool
+val is_active : 'o status -> bool
+(** [is_active s] is true for [Trying], [Critical] and [Exiting]. *)

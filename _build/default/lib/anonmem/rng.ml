@@ -1,0 +1,53 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, and splittable, which is
+   what we need for reproducible independent streams per component. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let assign dst src = dst.state <- src.state
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  { state = mix seed }
+
+let int g bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next_int64 g) land max_int in
+  r mod bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g =
+  let r = Int64.to_int (next_int64 g) land max_int in
+  float_of_int r /. float_of_int max_int
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place g a;
+  a

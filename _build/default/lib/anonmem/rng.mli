@@ -1,0 +1,44 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every randomized component of the library (schedulers, workload
+    generators, randomized protocols) draws from an explicit [Rng.t] so that
+    runs are reproducible from a single integer seed and independent
+    components can be given independent streams via {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future. *)
+
+val assign : t -> t -> unit
+(** [assign dst src] makes [dst] continue from [src]'s current state
+    (checkpoint restore). *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] is a uniformly random element of [a]. Requires [a] non-empty. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniformly random permutation of [0..n-1]. *)

@@ -1,0 +1,240 @@
+module Make (P : Protocol.PROTOCOL) = struct
+  module Mem = Memory.Make (P.Value)
+
+  type proc = {
+    id : int;
+    input : P.input;
+    naming : Naming.t;
+    mutable local : P.local;
+    mutable steps : int;
+  }
+
+  type t = {
+    mem : Mem.t;
+    procs : proc array;
+    rng : Rng.t option;
+    record_trace : bool;
+    mutable clock : int;
+    mutable trace_rev : (P.Value.t, P.output) Trace.entry list;
+  }
+
+  type config = {
+    ids : int array;
+    inputs : P.input array;
+    namings : Naming.t array;
+    rng : Rng.t option;
+    record_trace : bool;
+  }
+
+  let validate (c : config) =
+    let n = Array.length c.ids in
+    if n = 0 then invalid_arg "Runtime.create: no processes";
+    if Array.length c.inputs <> n || Array.length c.namings <> n then
+      invalid_arg "Runtime.create: ids/inputs/namings length mismatch";
+    Array.iter
+      (fun id ->
+        if id <= 0 then invalid_arg "Runtime.create: ids must be positive")
+      c.ids;
+    let sorted = Array.copy c.ids in
+    Array.sort compare sorted;
+    for i = 0 to n - 2 do
+      if sorted.(i) = sorted.(i + 1) then
+        invalid_arg "Runtime.create: duplicate ids"
+    done;
+    let m = Naming.size c.namings.(0) in
+    Array.iter
+      (fun nm ->
+        if Naming.size nm <> m then
+          invalid_arg "Runtime.create: inconsistent naming sizes")
+      c.namings;
+    m
+
+  let create (c : config) =
+    let m = validate c in
+    let n = Array.length c.ids in
+    let mem = Mem.create ~m in
+    let procs =
+      Array.init n (fun i ->
+          {
+            id = c.ids.(i);
+            input = c.inputs.(i);
+            naming = c.namings.(i);
+            local = P.start ~n ~m ~id:c.ids.(i) c.inputs.(i);
+            steps = 0;
+          })
+    in
+    { mem; procs; rng = c.rng; record_trace = c.record_trace; clock = 0;
+      trace_rev = [] }
+
+  let simple_config ?rng ?(record_trace = false) ?m ~ids ~inputs () =
+    let ids = Array.of_list ids in
+    let n = Array.length ids in
+    let m = match m with Some m -> m | None -> P.default_registers ~n in
+    {
+      ids;
+      inputs = Array.of_list inputs;
+      namings = Array.init n (fun _ -> Naming.identity m);
+      rng;
+      record_trace;
+    }
+
+  let n t = Array.length t.procs
+  let m t = Mem.size t.mem
+  let clock t = t.clock
+  let memory t = t.mem
+  let id_of t i = t.procs.(i).id
+  let naming_of t i = t.procs.(i).naming
+  let local t i = t.procs.(i).local
+  let status t i = P.status t.procs.(i).local
+
+  let kind t i : Schedule.proc_kind =
+    match status t i with
+    | Protocol.Remainder -> Idle
+    | Trying -> Working
+    | Critical -> Crit
+    | Exiting -> Exitg
+    | Decided _ -> Finished
+
+  let steps_of t i = t.procs.(i).steps
+
+  let decisions t =
+    Array.map
+      (fun p ->
+        match P.status p.local with
+        | Protocol.Decided v -> Some v
+        | _ -> None)
+      t.procs
+
+  let all_decided t =
+    Array.for_all (fun p -> Protocol.is_decided (P.status p.local)) t.procs
+
+  let critical_pair t =
+    let crit = ref [] in
+    Array.iteri
+      (fun i p ->
+        match P.status p.local with
+        | Protocol.Critical -> crit := i :: !crit
+        | _ -> ())
+      t.procs;
+    match !crit with a :: b :: _ -> Some (b, a) | _ -> None
+
+  let peek t i =
+    let p = t.procs.(i) in
+    P.step ~n:(n t) ~m:(m t) ~id:p.id p.local
+
+  let step t i =
+    let p = t.procs.(i) in
+    let status_before = P.status p.local in
+    if Protocol.is_decided status_before then
+      invalid_arg "Runtime.step: process already decided";
+    let action : P.Value.t Trace.action =
+      match P.step ~n:(n t) ~m:(m t) ~id:p.id p.local with
+      | Protocol.Read (j, k) ->
+        let v = Mem.read t.mem p.naming j in
+        p.local <- k v;
+        Read { loc = j; phys = Naming.apply p.naming j; value = v }
+      | Protocol.Write (j, v, l) ->
+        Mem.write t.mem p.naming j v;
+        p.local <- l;
+        Write { loc = j; phys = Naming.apply p.naming j; value = v }
+      | Protocol.Rmw (j, f) ->
+        let old_value, new_value =
+          Mem.rmw t.mem p.naming j (fun v -> fst (f v))
+        in
+        let _, l = f old_value in
+        p.local <- l;
+        Rmw { loc = j; phys = Naming.apply p.naming j; old_value; new_value }
+      | Protocol.Internal l ->
+        p.local <- l;
+        Internal
+      | Protocol.Coin k ->
+        let rng =
+          match t.rng with
+          | Some rng -> rng
+          | None -> invalid_arg "Runtime.step: Coin step but no rng in config"
+        in
+        let b = Rng.bool rng in
+        p.local <- k b;
+        Coin b
+    in
+    p.steps <- p.steps + 1;
+    let entry : (P.Value.t, P.output) Trace.entry =
+      {
+        time = t.clock;
+        proc = i;
+        id = p.id;
+        action;
+        status_before;
+        status_after = P.status p.local;
+      }
+    in
+    t.clock <- t.clock + 1;
+    if t.record_trace then t.trace_rev <- entry :: t.trace_rev;
+    entry
+
+  type stop_reason =
+    | Schedule_exhausted
+    | All_decided
+    | Step_limit
+    | Condition_met
+
+  let run ?(until = fun _ -> false) t sched ~max_steps =
+    let view : Schedule.view =
+      { n = n t; clock = 0; kind = (fun i -> kind t i) }
+    in
+    let rec go remaining =
+      if remaining <= 0 then Step_limit
+      else if all_decided t then All_decided
+      else
+        match sched { view with clock = t.clock } with
+        | None -> Schedule_exhausted
+        | Some i ->
+          let _ = step t i in
+          if until t then Condition_met else go (remaining - 1)
+    in
+    if until t then Condition_met else go max_steps
+
+  let trace t = List.rev t.trace_rev
+
+  type checkpoint = {
+    cp_mem : P.Value.t array;
+    cp_locals : P.local array;
+    cp_steps : int array;
+    cp_clock : int;
+    cp_trace_rev : (P.Value.t, P.output) Trace.entry list;
+    cp_rng : Rng.t option;
+  }
+
+  let checkpoint t =
+    {
+      cp_mem = Mem.snapshot t.mem;
+      cp_locals = Array.map (fun p -> p.local) t.procs;
+      cp_steps = Array.map (fun p -> p.steps) t.procs;
+      cp_clock = t.clock;
+      cp_trace_rev = t.trace_rev;
+      cp_rng = Option.map Rng.copy t.rng;
+    }
+
+  let restore t cp =
+    Mem.restore t.mem cp.cp_mem;
+    Array.iteri
+      (fun i p ->
+        p.local <- cp.cp_locals.(i);
+        p.steps <- cp.cp_steps.(i))
+      t.procs;
+    t.clock <- cp.cp_clock;
+    t.trace_rev <- cp.cp_trace_rev;
+    match (t.rng, cp.cp_rng) with
+    | Some rng, Some saved -> Rng.assign rng saved
+    | _ -> ()
+
+  let pp_state ppf t =
+    Format.fprintf ppf "@[<v>mem: %a" Mem.pp t.mem;
+    Array.iteri
+      (fun i p ->
+        Format.fprintf ppf "@,p%d id=%d steps=%d %s %a" i p.id p.steps
+          (Protocol.status_kind (P.status p.local))
+          P.pp_local p.local)
+      t.procs;
+    Format.fprintf ppf "@]"
+end

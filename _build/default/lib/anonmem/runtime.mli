@@ -1,0 +1,87 @@
+(** The simulator: executes a protocol instance under a scheduler.
+
+    A runtime instance holds [n] processes (each with its identifier, input
+    and private register naming) over one physical memory. The runtime is
+    mutable and single-threaded: atomicity and the adversary's power over
+    interleaving come from executing exactly one protocol step per
+    {!Make.step} call. Checkpoint/restore supports the lower-bound
+    adversaries, which extend runs, back up, and splice suffixes. *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module Mem : module type of Memory.Make (P.Value)
+
+  type t
+
+  type config = {
+    ids : int array;  (** distinct positive process identifiers *)
+    inputs : P.input array;
+    namings : Naming.t array;  (** one per process, all of the same size *)
+    rng : Rng.t option;  (** required iff the protocol flips coins *)
+    record_trace : bool;
+  }
+
+  val create : config -> t
+  (** Raises [Invalid_argument] on malformed configs (duplicate ids,
+      non-positive ids, mismatched lengths, inconsistent naming sizes). *)
+
+  val simple_config :
+    ?rng:Rng.t ->
+    ?record_trace:bool ->
+    ?m:int ->
+    ids:int list ->
+    inputs:P.input list ->
+    unit ->
+    config
+  (** Convenience: identity namings of [m] registers (default
+      [P.default_registers ~n]). *)
+
+  val n : t -> int
+  val m : t -> int
+  val clock : t -> int
+  val memory : t -> Mem.t
+  val id_of : t -> int -> int
+  val naming_of : t -> int -> Naming.t
+  val local : t -> int -> P.local
+  val status : t -> int -> P.output Protocol.status
+  val kind : t -> int -> Schedule.proc_kind
+  val steps_of : t -> int -> int
+  (** Steps taken by one process. *)
+
+  val decisions : t -> P.output option array
+  val all_decided : t -> bool
+  val critical_pair : t -> (int * int) option
+  (** Two distinct processes currently both in their critical sections, if
+      any — a mutual-exclusion violation. *)
+
+  val peek : t -> int -> (P.local, P.Value.t) Protocol.step
+  (** The next atomic action process [proc] would take, without taking it.
+      Used by adversaries to detect covering (pending writes). *)
+
+  val step : t -> int -> (P.Value.t, P.output) Trace.entry
+  (** Execute one atomic step of process [proc]. Raises [Invalid_argument]
+      if the process has already decided. The entry is also appended to the
+      trace when trace recording is on. *)
+
+  (** Why a {!run} ended. *)
+  type stop_reason =
+    | Schedule_exhausted  (** the scheduler returned [None] *)
+    | All_decided
+    | Step_limit
+    | Condition_met  (** the [until] predicate fired *)
+
+  val run :
+    ?until:(t -> bool) -> t -> Schedule.t -> max_steps:int -> stop_reason
+  (** Drive the runtime with the scheduler. [until] is evaluated after every
+      step. *)
+
+  val trace : t -> (P.Value.t, P.output) Trace.t
+  (** Oldest first; empty if recording is off. *)
+
+  type checkpoint
+
+  val checkpoint : t -> checkpoint
+  val restore : t -> checkpoint -> unit
+
+  val pp_state : Format.formatter -> t -> unit
+  (** Registers plus one line per process: id, status, steps. *)
+end

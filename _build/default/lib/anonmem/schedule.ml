@@ -1,0 +1,89 @@
+type proc_kind = Idle | Working | Crit | Exitg | Finished
+
+type view = { n : int; clock : int; kind : int -> proc_kind }
+
+type t = view -> int option
+
+let find_from view start pred =
+  (* First process index >= start (cyclically) satisfying [pred], if any. *)
+  let rec go count i =
+    if count = view.n then None
+    else if pred (view.kind i) then Some i
+    else go (count + 1) ((i + 1) mod view.n)
+  in
+  go 0 (start mod view.n)
+
+let round_robin () =
+  let cursor = ref 0 in
+  fun view ->
+    match find_from view !cursor (fun k -> k <> Finished) with
+    | Some i ->
+      cursor := (i + 1) mod view.n;
+      Some i
+    | None -> None
+
+let solo p view = if view.kind p = Finished then None else Some p
+
+let lock_step procs =
+  let arr = Array.of_list procs in
+  assert (Array.length arr > 0);
+  let cursor = ref 0 in
+  fun view ->
+    let p = arr.(!cursor mod Array.length arr) in
+    if view.kind p = Finished then None
+    else begin
+      incr cursor;
+      Some p
+    end
+
+let script steps =
+  let remaining = ref steps in
+  fun view ->
+    let rec go () =
+      match !remaining with
+      | [] -> None
+      | p :: rest ->
+        remaining := rest;
+        if view.kind p = Finished then go () else Some p
+    in
+    go ()
+
+let choose_uniform rng view pred =
+  let candidates =
+    List.filter (fun i -> pred (view.kind i)) (List.init view.n Fun.id)
+  in
+  match candidates with
+  | [] -> None
+  | _ -> Some (Rng.pick rng (Array.of_list candidates))
+
+let random rng view = choose_uniform rng view (fun k -> k <> Finished)
+
+let random_active rng view =
+  choose_uniform rng view (fun k -> k <> Finished && k <> Idle)
+
+let then_ a b =
+  let first_done = ref false in
+  fun view ->
+    if !first_done then b view
+    else
+      match a view with
+      | Some _ as r -> r
+      | None ->
+        first_done := true;
+        b view
+
+let take k sched =
+  let left = ref k in
+  fun view ->
+    if !left <= 0 then None
+    else
+      match sched view with
+      | Some _ as r ->
+        decr left;
+        r
+      | None -> None
+
+let pick_active view =
+  find_from view 0 (function
+    | Working | Crit | Exitg -> true
+    | Idle | Finished -> false)

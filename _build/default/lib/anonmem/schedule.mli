@@ -1,0 +1,59 @@
+(** Schedulers: the adversary that decides who steps next.
+
+    Asynchrony in the model means the adversary fully controls interleaving;
+    here schedulers are first-class values so that the proofs' adversaries
+    (solo runs, lock-step rings, covering constructions) and ordinary
+    workloads (round-robin, random) share one representation. *)
+
+(** What a scheduler may observe about each process. *)
+type proc_kind =
+  | Idle  (** in its remainder section; stepping it makes it participate *)
+  | Working  (** in the entry code / task body *)
+  | Crit  (** in its critical section *)
+  | Exitg  (** in its exit code *)
+  | Finished  (** decided; can take no more steps *)
+
+type view = {
+  n : int;  (** number of processes *)
+  clock : int;  (** global steps taken so far *)
+  kind : int -> proc_kind;
+}
+
+type t = view -> int option
+(** [schedule view] names the next process to step, or [None] to stop the
+    run. Returning a [Finished] process is an error the runtime rejects. *)
+
+val round_robin : unit -> t
+(** Cycle 0,1,…,n-1 repeatedly, skipping finished processes; stops when all
+    are finished. Schedulers carry internal position state, so each run
+    needs a fresh one. *)
+
+val solo : int -> t
+(** Only process [p] ever steps; stops when [p] finishes. *)
+
+val lock_step : int list -> t
+(** Cycle through the given processes in order, one step each — the paper's
+    Theorem 3.4 adversary that keeps symmetric processes in identical
+    states. Stops when any of them finishes. *)
+
+val script : int list -> t
+(** Exactly these steps, in order, then stop. Steps naming a finished
+    process are skipped. *)
+
+val random : Rng.t -> t
+(** Uniform over non-finished processes (idle processes may be started at
+    any time). *)
+
+val random_active : Rng.t -> t
+(** Uniform over non-finished, non-idle processes: no new arrivals. Stops if
+    no process is active. *)
+
+val then_ : t -> t -> t
+(** [then_ a b] runs [a] until it returns [None], then [b]. *)
+
+val take : int -> t -> t
+(** At most [k] steps of the underlying scheduler. *)
+
+val pick_active : view -> int option
+(** Lowest-index active (non-idle, non-finished) process, if any — a handy
+    building block for custom adversaries. *)

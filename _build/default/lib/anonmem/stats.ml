@@ -1,0 +1,58 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let count = List.length xs in
+    let fcount = float_of_int count in
+    let sum = List.fold_left ( +. ) 0. xs in
+    let mean = sum /. fcount in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. fcount
+    in
+    {
+      count;
+      mean;
+      stddev = sqrt var;
+      min = List.fold_left min infinity xs;
+      max = List.fold_left max neg_infinity xs;
+    }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%g max=%g" s.count s.mean
+    s.stddev s.min s.max
+
+module Tally = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let add t key k =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t key) in
+    Hashtbl.replace t key (cur + k)
+
+  let incr t key = add t key 1
+
+  let get t key = Option.value ~default:0 (Hashtbl.find_opt t key)
+
+  let total t = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf t =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v)
+      ppf (to_list t)
+end

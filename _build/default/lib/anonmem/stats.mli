@@ -1,0 +1,32 @@
+(** Small numeric aggregators for experiment reports and benches. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val summarize_ints : int list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** e.g. [n=100 mean=12.4 sd=2.1 min=8 max=19]. *)
+
+(** Incremental counter keyed by string, for tallying outcomes. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val total : t -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by key. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,82 @@
+type 'value action =
+  | Read of { loc : int; phys : int; value : 'value }
+  | Write of { loc : int; phys : int; value : 'value }
+  | Rmw of { loc : int; phys : int; old_value : 'value; new_value : 'value }
+  | Internal
+  | Coin of bool
+
+type ('value, 'output) entry = {
+  time : int;
+  proc : int;
+  id : int;
+  action : 'value action;
+  status_before : 'output Protocol.status;
+  status_after : 'output Protocol.status;
+}
+
+type ('value, 'output) t = ('value, 'output) entry list
+
+let enters_critical e =
+  match (e.status_before, e.status_after) with
+  | (Protocol.Remainder | Trying | Exiting), Protocol.Critical -> true
+  | _ -> false
+
+let exits_critical e =
+  match (e.status_before, e.status_after) with
+  | Protocol.Critical, (Protocol.Remainder | Trying | Exiting | Decided _) ->
+    true
+  | _ -> false
+
+let decision e =
+  match (e.status_before, e.status_after) with
+  | Protocol.Decided _, _ -> None
+  | _, Protocol.Decided v -> Some v
+  | _ -> None
+
+let writes_by trace proc =
+  let seen = Hashtbl.create 8 in
+  let add acc phys =
+    if Hashtbl.mem seen phys then acc
+    else begin
+      Hashtbl.add seen phys ();
+      phys :: acc
+    end
+  in
+  List.fold_left
+    (fun acc e ->
+      if e.proc <> proc then acc
+      else
+        match e.action with
+        | Write { phys; _ } | Rmw { phys; _ } -> add acc phys
+        | Read _ | Internal | Coin _ -> acc)
+    [] trace
+  |> List.rev
+
+let pp_action pp_value ppf = function
+  | Read { loc; phys; value } ->
+    Format.fprintf ppf "read  r%d(=phys %d) -> %a" loc phys pp_value value
+  | Write { loc; phys; value } ->
+    Format.fprintf ppf "write r%d(=phys %d) <- %a" loc phys pp_value value
+  | Rmw { loc; phys; old_value; new_value } ->
+    Format.fprintf ppf "rmw   r%d(=phys %d): %a => %a" loc phys pp_value
+      old_value pp_value new_value
+  | Internal -> Format.fprintf ppf "internal"
+  | Coin b -> Format.fprintf ppf "coin %b" b
+
+let pp_status pp_output ppf = function
+  | Protocol.Decided v -> Format.fprintf ppf "decided(%a)" pp_output v
+  | s -> Format.pp_print_string ppf (Protocol.status_kind s)
+
+let pp_entry ~pp_value ~pp_output ppf e =
+  let action = Format.asprintf "%a" (pp_action pp_value) e.action in
+  Format.fprintf ppf "%4d  p%d(id=%d)  %-40s %a -> %a" e.time e.proc e.id
+    action
+    (pp_status pp_output)
+    e.status_before
+    (pp_status pp_output)
+    e.status_after
+
+let pp ~pp_value ~pp_output ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline
+    (pp_entry ~pp_value ~pp_output)
+    ppf t

@@ -1,0 +1,54 @@
+(** Run traces: what happened, step by step.
+
+    A trace entry records one atomic step of one process: the shared-memory
+    action (if any), and the externally visible status transition it caused.
+    Traces are what the lower-bound adversaries output as their constructed
+    counterexample runs, so they must be readable. *)
+
+(** The shared-memory effect of one step. [loc] is the process's local
+    register index, [phys] the physical register it resolved to. *)
+type 'value action =
+  | Read of { loc : int; phys : int; value : 'value }
+  | Write of { loc : int; phys : int; value : 'value }
+  | Rmw of { loc : int; phys : int; old_value : 'value; new_value : 'value }
+  | Internal
+  | Coin of bool
+
+type ('value, 'output) entry = {
+  time : int;  (** global step counter at which this step executed *)
+  proc : int;  (** process index (position in the runtime, not the id) *)
+  id : int;  (** process identifier *)
+  action : 'value action;
+  status_before : 'output Protocol.status;
+  status_after : 'output Protocol.status;
+}
+
+type ('value, 'output) t = ('value, 'output) entry list
+(** Oldest entry first. *)
+
+val enters_critical : ('v, 'o) entry -> bool
+(** Did this step move the process into its critical section? *)
+
+val exits_critical : ('v, 'o) entry -> bool
+
+val decision : ('v, 'o) entry -> 'o option
+(** The output, if this step made the process decide. *)
+
+val writes_by : ('v, 'o) t -> int -> int list
+(** [writes_by trace proc] is the list of distinct {e physical} registers
+    written by process [proc], in first-write order. This is the proofs'
+    [write(y, q)] set. *)
+
+val pp_entry :
+  pp_value:(Format.formatter -> 'v -> unit) ->
+  pp_output:(Format.formatter -> 'o -> unit) ->
+  Format.formatter ->
+  ('v, 'o) entry ->
+  unit
+
+val pp :
+  pp_value:(Format.formatter -> 'v -> unit) ->
+  pp_output:(Format.formatter -> 'o -> unit) ->
+  Format.formatter ->
+  ('v, 'o) t ->
+  unit

@@ -1,0 +1,32 @@
+module Fix_n (P : Protocol.PROTOCOL) (D : sig
+  val n : int
+end) =
+struct
+  include P
+
+  let name = Printf.sprintf "%s[n:=%d]" P.name D.n
+  let default_registers ~n:_ = P.default_registers ~n:D.n
+  let start ~n:_ ~m ~id input = P.start ~n:D.n ~m ~id input
+  let step ~n:_ ~m ~id local = P.step ~n:D.n ~m ~id local
+end
+
+module Fix_m (P : Protocol.PROTOCOL) (D : sig
+  val m : int
+end) =
+struct
+  include P
+
+  let name = Printf.sprintf "%s[m:=%d]" P.name D.m
+
+  let check_m m =
+    if m < D.m then
+      invalid_arg "Wrap.Fix_m: fewer physical registers than the pinned m"
+
+  let start ~n ~m ~id input =
+    check_m m;
+    P.start ~n ~m:D.m ~id input
+
+  let step ~n ~m ~id local =
+    check_m m;
+    P.step ~n ~m:D.m ~id local
+end

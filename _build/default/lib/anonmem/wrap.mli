@@ -1,0 +1,33 @@
+(** Protocol wrappers. *)
+
+(** [Fix_n (P) (D)] behaves exactly like [P] designed for [D.n] processes,
+    regardless of how many processes actually run it. This models the
+    paper's §6 setting: an algorithm is written against an assumed bound on
+    the number of processes, and the adversary then confronts it with more
+    participants than it was designed for ("the number of processes is not
+    a priori known"). *)
+module Fix_n (P : Protocol.PROTOCOL) (D : sig
+  val n : int
+end) :
+  Protocol.PROTOCOL
+    with type input = P.input
+     and type output = P.output
+     and type local = P.local
+     and module Value = P.Value
+
+(** [Fix_m (P) (D)] runs [P] believing there are [D.m] registers while the
+    actual memory may be larger: the protocol only ever touches its local
+    indices [0 .. D.m - 1], and its naming decides which physical registers
+    those are. This is §3.2's "property 1" (solve with [l] registers inside
+    [m >= l] by ignoring the rest) made executable: with named registers
+    every process ignores the {e same} excess registers and correctness is
+    preserved; anonymously each process ignores a set chosen by its naming,
+    and the E15 experiment shows correctness collapse. *)
+module Fix_m (P : Protocol.PROTOCOL) (D : sig
+  val m : int
+end) :
+  Protocol.PROTOCOL
+    with type input = P.input
+     and type output = P.output
+     and type local = P.local
+     and module Value = P.Value

@@ -1,0 +1,1 @@
+lib/baseline/burns.ml: Anonmem Empty Format Int Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/burns.mli: Anonmem Empty Protocol

@@ -1,0 +1,1 @@
+lib/baseline/ca_consensus.ml: Anonmem Format Int Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/ca_consensus.mli: Anonmem Protocol

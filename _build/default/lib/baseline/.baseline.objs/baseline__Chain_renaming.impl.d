@@ -1,0 +1,1 @@
+lib/baseline/chain_renaming.ml: Anonmem Coord Format Int Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/chain_renaming.mli: Anonmem Coord Protocol

@@ -1,0 +1,1 @@
+lib/baseline/fast_mutex.ml: Anonmem Empty Format Int Printf Protocol Stdlib

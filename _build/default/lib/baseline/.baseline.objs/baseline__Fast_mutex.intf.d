@@ -1,0 +1,1 @@
+lib/baseline/fast_mutex.mli: Anonmem Empty Protocol

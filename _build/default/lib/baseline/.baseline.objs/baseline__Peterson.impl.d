@@ -1,0 +1,1 @@
+lib/baseline/peterson.ml: Anonmem Empty Format Int Protocol Stdlib

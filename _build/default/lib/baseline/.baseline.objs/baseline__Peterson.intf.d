@@ -1,0 +1,1 @@
+lib/baseline/peterson.mli: Anonmem Empty Protocol

@@ -1,0 +1,1 @@
+lib/baseline/tournament.ml: Anonmem Empty Format Int List Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/tournament.mli: Anonmem Empty Protocol

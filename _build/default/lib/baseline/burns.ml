@@ -1,0 +1,94 @@
+open Anonmem
+
+(* Burns' algorithm, one flag bit per process:
+
+     1: flag[i] := 0
+     2: for j < i: if flag[j] = 1 then goto 1
+     3: flag[i] := 1
+     4: for j < i: if flag[j] = 1 then goto 1
+     5: for j > i: await flag[j] = 0
+     6: critical section
+     7: flag[i] := 0
+
+   Deadlock freedom hinges on the asymmetric index order — exactly the kind
+   of prior agreement memory-anonymous algorithms must do without. *)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  type local =
+    | Rem
+    | Lower_flag  (** line 1 *)
+    | First_scan of int  (** line 2, next index to read *)
+    | Raise_flag  (** line 3 *)
+    | Second_scan of int  (** line 4 *)
+    | Await_higher of int  (** line 5 *)
+    | Crit
+    | Exit_clear
+
+  let name = "burns-one-bit-named"
+
+  let default_registers ~n = n
+
+  let start ~n ~m ~id () =
+    if id < 1 || id > n then
+      invalid_arg "Burns: identifiers must be 1..n";
+    if m <> n then invalid_arg "Burns: needs exactly n registers";
+    Rem
+
+  let flag i = i - 1
+
+  let step ~n ~m:_ ~id local : (local, Value.t) Protocol.step =
+    let first_scan_from j =
+      if j < id then First_scan j else Raise_flag
+    in
+    let await_from j = if j <= n then Await_higher j else Crit in
+    let second_scan_from j =
+      if j < id then Second_scan j else await_from (id + 1)
+    in
+    match local with
+    | Rem -> Internal Lower_flag
+    | Lower_flag -> Write (flag id, 0, first_scan_from 1)
+    | First_scan j ->
+      Read (flag j, fun v -> if v = 1 then Lower_flag else first_scan_from (j + 1))
+    | Raise_flag -> Write (flag id, 1, second_scan_from 1)
+    | Second_scan j ->
+      Read (flag j, fun v -> if v = 1 then Lower_flag else second_scan_from (j + 1))
+    | Await_higher j ->
+      Read (flag j, fun v -> if v = 1 then Await_higher j else await_from (j + 1))
+    | Crit -> Internal Exit_clear
+    | Exit_clear -> Write (flag id, 0, Rem)
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Crit -> Protocol.Critical
+    | Exit_clear -> Protocol.Exiting
+    | Lower_flag | First_scan _ | Raise_flag | Second_scan _ | Await_higher _
+      ->
+      Protocol.Trying
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Lower_flag -> Format.pp_print_string ppf "lower-flag"
+    | First_scan j -> Format.fprintf ppf "scan1[%d]" j
+    | Raise_flag -> Format.pp_print_string ppf "raise-flag"
+    | Second_scan j -> Format.fprintf ppf "scan2[%d]" j
+    | Await_higher j -> Format.fprintf ppf "await[%d]" j
+    | Crit -> Format.pp_print_string ppf "crit"
+    | Exit_clear -> Format.pp_print_string ppf "exit"
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

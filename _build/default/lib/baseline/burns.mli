@@ -1,0 +1,19 @@
+(** Burns' one-bit deadlock-free mutual exclusion for [n] processes over [n]
+    named single-bit registers — the named-register comparator for the
+    paper's §3.2 discussion.
+
+    With a priori agreement on register names (register [i - 1] is process
+    [i]'s flag) and on the order of process indices, [n] registers suffice
+    for deadlock-free mutex for any [n] — whereas anonymously even two
+    processes need an odd number of registers (Theorem 3.1) and unknown [n]
+    is impossible (Theorem 6.2).
+
+    Instantiate with identifiers [1..n], identity namings, [m = n]. *)
+
+open Anonmem
+
+module P :
+  Protocol.PROTOCOL
+    with type input = unit
+     and type output = Empty.t
+     and type Value.t = int

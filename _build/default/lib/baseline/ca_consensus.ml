@@ -1,0 +1,144 @@
+open Anonmem
+
+(* Register layout (named!): round r occupies the 2n registers
+   [r*2n .. r*2n + 2n - 1]; the first n are the A array, the next n the B
+   array, slot i-1 belonging to process i. B entries encode the pair
+   (commit-bit b, value v) as 2*v + b; 0 is the empty slot. *)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = int
+  type output = int
+
+  type local =
+    | Rem of { input : int }
+    | Write_a of { round : int; pref : int }
+    | Scan_a of { round : int; pref : int; j : int; all_mine : bool }
+    | Write_b of { round : int; pref : int; mine : bool }
+    | Scan_b of {
+        round : int;
+        pref : int;
+        j : int;
+        all_commit : bool;
+        seen_commit : int option;  (** a committed value observed in B *)
+        seen_any : bool;
+      }
+    | Decided_st of int
+    | Spin of { round : int; pref : int }
+        (** rounds exhausted; stay trying (never happens solo) *)
+
+  let name = "ca-consensus-named"
+
+  let registers_for ~n ~rounds = 2 * n * rounds
+
+  let default_registers ~n = registers_for ~n ~rounds:8
+
+  let start ~n ~m:_ ~id input =
+    if input = 0 then invalid_arg "Ca_consensus: inputs must be non-zero";
+    if id < 1 || id > n then
+      invalid_arg "Ca_consensus: identifiers must be 1..n";
+    Rem { input }
+
+  let a_slot ~n ~round i = (round * 2 * n) + (i - 1)
+  let b_slot ~n ~round i = (round * 2 * n) + n + (i - 1)
+
+  let encode_b ~commit v = (2 * v) + if commit then 1 else 0
+  let decode_b e = if e = 0 then None else Some (e land 1 = 1, e asr 1)
+
+  let step ~n ~m ~id local : (local, Value.t) Protocol.step =
+    let rounds = m / (2 * n) in
+    match local with
+    | Rem { input } -> Internal (Write_a { round = 0; pref = input })
+    | Write_a { round; pref } ->
+      Write
+        ( a_slot ~n ~round id,
+          pref,
+          Scan_a { round; pref; j = 1; all_mine = true } )
+    | Scan_a { round; pref; j; all_mine } ->
+      Read
+        ( a_slot ~n ~round j,
+          fun v ->
+            let all_mine = all_mine && (v = 0 || v = pref) in
+            if j < n then Scan_a { round; pref; j = j + 1; all_mine }
+            else Write_b { round; pref; mine = all_mine } )
+    | Write_b { round; pref; mine } ->
+      Write
+        ( b_slot ~n ~round id,
+          encode_b ~commit:mine pref,
+          Scan_b
+            {
+              round;
+              pref;
+              j = 1;
+              all_commit = true;
+              seen_commit = None;
+              seen_any = false;
+            } )
+    | Scan_b { round; pref; j; all_commit; seen_commit; seen_any } ->
+      Read
+        ( b_slot ~n ~round j,
+          fun v ->
+            let all_commit, seen_commit, seen_any =
+              match decode_b v with
+              | None -> (all_commit, seen_commit, seen_any)
+              | Some (true, w) -> (all_commit, Some w, true)
+              | Some (false, _) -> (false, seen_commit, true)
+            in
+            if j < n then
+              Scan_b { round; pref; j = j + 1; all_commit; seen_commit; seen_any }
+            else begin
+              assert seen_any;
+              (* my own entry is there *)
+              match (all_commit, seen_commit) with
+              | true, Some w -> Decided_st w (* commit *)
+              | _, Some w ->
+                (* adopt the committed value and try the next round *)
+                if round + 1 < rounds then
+                  Write_a { round = round + 1; pref = w }
+                else Spin { round; pref = w }
+              | _, None ->
+                if round + 1 < rounds then
+                  Write_a { round = round + 1; pref }
+                else Spin { round; pref }
+            end )
+    | Decided_st _ -> invalid_arg "Ca_consensus.step: already decided"
+    | Spin { round; pref } -> Internal (Spin { round; pref })
+
+  let status = function
+    | Rem _ -> Protocol.Remainder
+    | Decided_st v -> Protocol.Decided v
+    | Write_a _ | Scan_a _ | Write_b _ | Scan_b _ | Spin _ -> Protocol.Trying
+
+  let round_of = function
+    | Rem _ -> 0
+    | Write_a { round; _ }
+    | Scan_a { round; _ }
+    | Write_b { round; _ }
+    | Scan_b { round; _ }
+    | Spin { round; _ } ->
+      round
+    | Decided_st _ -> 0
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem _ -> Format.pp_print_string ppf "rem"
+    | Write_a { round; pref } -> Format.fprintf ppf "writeA[r%d,%d]" round pref
+    | Scan_a { round; j; _ } -> Format.fprintf ppf "scanA[r%d,j%d]" round j
+    | Write_b { round; mine; _ } ->
+      Format.fprintf ppf "writeB[r%d,commit=%b]" round mine
+    | Scan_b { round; j; _ } -> Format.fprintf ppf "scanB[r%d,j%d]" round j
+    | Decided_st v -> Format.fprintf ppf "decided(%d)" v
+    | Spin { round; _ } -> Format.fprintf ppf "spin[r%d]" round
+
+  let pp_input = Format.pp_print_int
+  let pp_output = Format.pp_print_int
+end

@@ -1,0 +1,33 @@
+(** Obstruction-free consensus from {e named} registers via repeated
+    commit-adopt rounds (the standard register-based construction; cf. the
+    paper's §4 pointer to obstruction-free consensus with named registers).
+
+    Round [r] owns two arrays [A_r[1..n]] and [B_r[1..n]] of single-writer
+    slots — a layout that requires global agreement both on register names
+    and on the process indexing, neither of which exists in the anonymous
+    model. A process proposes its preference to round [r]'s commit-adopt:
+    if it commits, it decides; if it merely adopts, it carries the adopted
+    value to round [r + 1]. A process that runs alone commits in its
+    current round, so the protocol is obstruction-free.
+
+    The number of rounds is bounded by the register budget:
+    [m = 2 * n * rounds]. A process that exhausts all rounds (possible only
+    under unbounded contention) spins in place, which is consistent with
+    obstruction freedom. Instantiate with identifiers [1..n] and identity
+    namings; inputs are non-zero. *)
+
+open Anonmem
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = int
+       and type output = int
+       and type Value.t = int
+
+  val registers_for : n:int -> rounds:int -> int
+  (** [2 * n * rounds]. [default_registers ~n] allows 8 rounds. *)
+
+  val round_of : local -> int
+  (** Current commit-adopt round (0-based). *)
+end

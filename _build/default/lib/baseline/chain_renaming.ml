@@ -1,0 +1,78 @@
+open Anonmem
+module Consensus = Coord.Consensus
+
+module P = struct
+  module Value = Consensus.Value
+
+  type input = unit
+  type output = int
+
+  type local =
+    | Rem
+    | Play of { obj : int; inner : Consensus.P.local }
+    | Named of int
+
+  let name = "chain-renaming-named"
+
+  let block ~n = (2 * n) - 1
+
+  let default_registers ~n =
+    if n < 2 then invalid_arg "Chain_renaming: needs n >= 2";
+    (n - 1) * block ~n
+
+  let start ~n ~m ~id:_ () =
+    if n < 2 then invalid_arg "Chain_renaming: needs n >= 2";
+    if m <> default_registers ~n then
+      invalid_arg "Chain_renaming: wrong register count";
+    Rem
+
+  let enter_object ~n ~id obj =
+    Play { obj; inner = Consensus.P.start ~n ~m:(block ~n) ~id id }
+
+  let step ~n ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (enter_object ~n ~id 0)
+    | Play { obj; inner } -> (
+      let base = obj * block ~n in
+      match Consensus.P.status inner with
+      | Protocol.Decided winner ->
+        if winner = id then Internal (Named (obj + 1))
+        else if obj + 1 >= n - 1 then Internal (Named n)
+        else Internal (enter_object ~n ~id (obj + 1))
+      | _ -> (
+        match Consensus.P.step ~n ~m:(block ~n) ~id inner with
+        | Protocol.Read (j, k) ->
+          Read (base + j, fun v -> Play { obj; inner = k v })
+        | Protocol.Write (j, v, l) ->
+          Write (base + j, v, Play { obj; inner = l })
+        | Protocol.Internal l -> Internal (Play { obj; inner = l })
+        | Protocol.Rmw _ | Protocol.Coin _ ->
+          invalid_arg "Chain_renaming: unexpected inner step"))
+    | Named _ -> invalid_arg "Chain_renaming.step: already decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Play _ -> Protocol.Trying
+    | Named r -> Protocol.Decided r
+
+  let object_of = function
+    | Rem -> 0
+    | Play { obj; _ } -> obj
+    | Named _ -> 0
+
+  let compare_local a b =
+    match (a, b) with
+    | Play { obj = oa; inner = ia }, Play { obj = ob; inner = ib } ->
+      let c = Int.compare oa ob in
+      if c <> 0 then c else Consensus.P.compare_local ia ib
+    | _ -> Stdlib.compare a b
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Play { obj; inner } ->
+      Format.fprintf ppf "object[%d]:%a" obj Consensus.P.pp_local inner
+    | Named r -> Format.fprintf ppf "named(%d)" r
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end

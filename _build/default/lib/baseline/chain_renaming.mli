@@ -1,0 +1,29 @@
+(** The paper's "trivial" perfect renaming from ordered election objects
+    (§5) — a {e named-register} baseline.
+
+    With agreement on register names, lay out [n - 1] election objects in
+    consecutive register blocks and walk them in order: a process applies
+    the election at object 1, 2, … until it wins (taking the object's index
+    as its new name) or has lost all [n - 1] objects (taking the name [n]).
+    Each election object is an instance of the obstruction-free consensus
+    of Figure 2 run on identifiers — correct a fortiori when names are
+    agreed — occupying its own block of [2n - 1] registers, so
+    [m = (n - 1) * (2n - 1)].
+
+    This is exactly the construction that fails without prior agreement:
+    anonymity destroys the block layout, which is why Figure 3 must play
+    every round in the same shared space. Instantiate with identity
+    namings; any distinct positive identifiers work. *)
+
+open Anonmem
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = int
+       and module Value = Coord.Consensus.Value
+
+  val object_of : local -> int
+  (** Which election object (0-based) the process is currently playing. *)
+end

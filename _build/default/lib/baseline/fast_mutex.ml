@@ -1,0 +1,118 @@
+open Anonmem
+
+(* Lamport's algorithm, one shared access per step:
+
+     start: b[i] := 1; x := i
+            if y <> 0 then { b[i] := 0; await y = 0; goto start }
+            y := i
+            if x <> i then
+              b[i] := 0
+              for all j: await b[j] = 0
+              if y <> i then { await y = 0; goto start }
+     CS
+     exit:  y := 0; b[i] := 0
+*)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  type local =
+    | Rem
+    | Set_b
+    | Set_x
+    | Read_y  (** the fast-path gate *)
+    | Drop_b_then_wait  (** y was taken: back off *)
+    | Await_y_zero
+    | Set_y
+    | Read_x  (** fast-path confirmation *)
+    | Drop_b  (** slow path: lower the flag *)
+    | Scan_b of int  (** slow path: wait for every flag to drop *)
+    | Read_y_final  (** slow path: did I win after all? *)
+    | Await_y_zero_then_restart
+    | Crit
+    | Exit_y
+    | Exit_b
+
+  let name = "lamport-fast-mutex-named"
+
+  let default_registers ~n = n + 2
+
+  let x_reg = 0
+  let y_reg = 1
+  let b_reg i = 1 + i
+
+  let start ~n ~m ~id () =
+    if id < 1 || id > n then
+      invalid_arg "Fast_mutex: identifiers must be 1..n";
+    if m <> n + 2 then invalid_arg "Fast_mutex: needs n + 2 registers";
+    Rem
+
+  let step ~n ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal Set_b
+    | Set_b -> Write (b_reg id, 1, Set_x)
+    | Set_x -> Write (x_reg, id, Read_y)
+    | Read_y -> Read (y_reg, fun y -> if y <> 0 then Drop_b_then_wait else Set_y)
+    | Drop_b_then_wait -> Write (b_reg id, 0, Await_y_zero)
+    | Await_y_zero ->
+      Read (y_reg, fun y -> if y = 0 then Set_b else Await_y_zero)
+    | Set_y -> Write (y_reg, id, Read_x)
+    | Read_x -> Read (x_reg, fun x -> if x = id then Crit else Drop_b)
+    | Drop_b -> Write (b_reg id, 0, Scan_b 1)
+    | Scan_b j ->
+      Read
+        ( b_reg j,
+          fun b ->
+            if b <> 0 then Scan_b j
+            else if j < n then Scan_b (j + 1)
+            else Read_y_final )
+    | Read_y_final ->
+      Read (y_reg, fun y -> if y = id then Crit else Await_y_zero_then_restart)
+    | Await_y_zero_then_restart ->
+      Read (y_reg, fun y -> if y = 0 then Set_b else Await_y_zero_then_restart)
+    | Crit -> Internal Exit_y
+    | Exit_y -> Write (y_reg, 0, Exit_b)
+    | Exit_b -> Write (b_reg id, 0, Rem)
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Crit -> Protocol.Critical
+    | Exit_y | Exit_b -> Protocol.Exiting
+    | Set_b | Set_x | Read_y | Drop_b_then_wait | Await_y_zero | Set_y
+    | Read_x | Drop_b | Scan_b _ | Read_y_final | Await_y_zero_then_restart ->
+      Protocol.Trying
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf l =
+    Format.pp_print_string ppf
+      (match l with
+      | Rem -> "rem"
+      | Set_b -> "set-b"
+      | Set_x -> "set-x"
+      | Read_y -> "read-y"
+      | Drop_b_then_wait -> "drop-b-wait"
+      | Await_y_zero -> "await-y"
+      | Set_y -> "set-y"
+      | Read_x -> "read-x"
+      | Drop_b -> "drop-b"
+      | Scan_b j -> Printf.sprintf "scan-b[%d]" j
+      | Read_y_final -> "read-y-final"
+      | Await_y_zero_then_restart -> "await-y-restart"
+      | Crit -> "crit"
+      | Exit_y -> "exit-y"
+      | Exit_b -> "exit-b")
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

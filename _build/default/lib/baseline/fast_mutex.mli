@@ -1,0 +1,23 @@
+(** Lamport's fast mutual exclusion (1987) — the named-register algorithm
+    whose {e uncontended} entry touches a constant number of registers.
+
+    Layout ([m = n + 2]): register 0 is [x], register 1 is [y], register
+    [1 + i] is process [i]'s flag. A solo entry costs exactly five shared
+    accesses (write [b_i], write [x], read [y], write [y], read [x]) and
+    the exit two — independent of [n]. Under the anonymous model such an
+    algorithm cannot exist even for two processes without scanning: a
+    memory-anonymous process has no way to find [x] and [y] without prior
+    agreement, and Figure 1 pays 3m + 1 accesses for its solo entry. The
+    contrast is measured in bench B2.
+
+    Guarantees mutual exclusion and deadlock freedom (not starvation
+    freedom). Instantiate with identifiers [1..n], identity namings,
+    [m = n + 2]. *)
+
+open Anonmem
+
+module P :
+  Protocol.PROTOCOL
+    with type input = unit
+     and type output = Empty.t
+     and type Value.t = int

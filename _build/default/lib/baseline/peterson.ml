@@ -1,0 +1,72 @@
+open Anonmem
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  (* Register layout: 0 = flag of process 1, 1 = flag of process 2,
+     2 = victim (holds the id of the process that must yield). *)
+  type local =
+    | Rem
+    | Set_flag
+    | Set_victim
+    | Check_flag
+    | Check_victim
+    | Crit
+    | Clear_flag
+
+  let name = "peterson-named"
+
+  let default_registers ~n:_ = 3
+
+  let start ~n:_ ~m:_ ~id () =
+    if id <> 1 && id <> 2 then
+      invalid_arg "Peterson: identifiers must be 1 and 2";
+    Rem
+
+  let my_flag id = id - 1
+  let other_flag id = 2 - id
+  let victim = 2
+
+  let step ~n:_ ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal Set_flag
+    | Set_flag -> Write (my_flag id, 1, Set_victim)
+    | Set_victim -> Write (victim, id, Check_flag)
+    | Check_flag ->
+      Read (other_flag id, fun v -> if v = 0 then Crit else Check_victim)
+    | Check_victim -> Read (victim, fun v -> if v <> id then Crit else Check_flag)
+    | Crit -> Internal Clear_flag
+    | Clear_flag -> Write (my_flag id, 0, Rem)
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Crit -> Protocol.Critical
+    | Clear_flag -> Protocol.Exiting
+    | Set_flag | Set_victim | Check_flag | Check_victim -> Protocol.Trying
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf l =
+    Format.pp_print_string ppf
+      (match l with
+      | Rem -> "rem"
+      | Set_flag -> "set-flag"
+      | Set_victim -> "set-victim"
+      | Check_flag -> "check-flag"
+      | Check_victim -> "check-victim"
+      | Crit -> "crit"
+      | Clear_flag -> "clear-flag")
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

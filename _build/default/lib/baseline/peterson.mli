@@ -1,0 +1,19 @@
+(** Peterson's classic two-process mutual exclusion algorithm — a
+    {e named-register} baseline.
+
+    Uses three registers with globally agreed roles: physical register 0 is
+    process 1's flag, register 1 is process 2's flag, register 2 is the
+    victim. The contrast with Figure 1 is the point: the algorithm is
+    neither memory-anonymous (each register's role is fixed a priori) nor
+    symmetric (a process must know whether it is process 1 or 2), and in
+    exchange it achieves starvation freedom, which Figure 1 does not claim.
+
+    Instantiate with identifiers 1 and 2 and identity namings only. *)
+
+open Anonmem
+
+module P :
+  Protocol.PROTOCOL
+    with type input = unit
+     and type output = Empty.t
+     and type Value.t = int

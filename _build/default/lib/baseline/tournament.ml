@@ -1,0 +1,124 @@
+open Anonmem
+
+(* Heap-numbered internal nodes 1..n-1 (1 is the root). Process p starts at
+   the leaf slot n + p - 1 and climbs: at each internal node its role is
+   the parity of the child it arrived from. Node v owns three registers:
+
+     flag[v][0]  at (v-1)*3       flag[v][1]  at (v-1)*3 + 1
+     turn[v]     at (v-1)*3 + 2   (stores the victim role + 1; 0 = unset)
+
+   Peterson entry at (v, r): flag[v][r] := 1; turn[v] := r+1; spin while
+   flag[v][1-r] = 1 and turn[v] = r+1. Exit releases flag[v][r] := 0 from
+   the root back down. *)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  (* One Peterson match per path entry: (node, role). *)
+  type phase = Set_flag | Set_turn | Check_flag | Check_turn
+
+  type local =
+    | Rem
+    | Entry of {
+        pending : (int * int) list;  (** matches still to win, leaf first *)
+        won : (int * int) list;  (** matches won, most recent first *)
+        phase : phase;
+      }
+    | Crit of { won : (int * int) list }
+    | Exit of { to_release : (int * int) list }
+
+  let name = "tournament-peterson-named"
+
+  let levels ~n =
+    let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+    go 0 n
+
+  let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+  let default_registers ~n = 3 * (n - 1)
+
+  let path ~n ~id =
+    let rec climb acc slot =
+      if slot <= 1 then acc
+      else climb ((slot / 2, slot land 1) :: acc) (slot / 2)
+    in
+    (* leaf-first order *)
+    List.rev (climb [] (n + id - 1))
+
+  let start ~n ~m ~id () =
+    if not (is_power_of_two n) then
+      invalid_arg "Tournament: n must be a power of two";
+    if id < 1 || id > n then invalid_arg "Tournament: identifiers must be 1..n";
+    if m <> default_registers ~n then
+      invalid_arg "Tournament: needs 3(n-1) registers";
+    Rem
+
+  let flag_reg v r = ((v - 1) * 3) + r
+  let turn_reg v = ((v - 1) * 3) + 2
+
+  let step ~n ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (Entry { pending = path ~n ~id; won = []; phase = Set_flag })
+    | Entry { pending = []; won; _ } -> Internal (Crit { won })
+    | Entry ({ pending = (v, r) :: rest; won; phase } as e) -> (
+      match phase with
+      | Set_flag -> Write (flag_reg v r, 1, Entry { e with phase = Set_turn })
+      | Set_turn ->
+        Write (turn_reg v, r + 1, Entry { e with phase = Check_flag })
+      | Check_flag ->
+        Read
+          ( flag_reg v (1 - r),
+            fun f ->
+              if f = 0 then
+                Entry
+                  { pending = rest; won = (v, r) :: won; phase = Set_flag }
+              else Entry { e with phase = Check_turn } )
+      | Check_turn ->
+        Read
+          ( turn_reg v,
+            fun t ->
+              if t <> r + 1 then
+                Entry
+                  { pending = rest; won = (v, r) :: won; phase = Set_flag }
+              else Entry { e with phase = Check_flag } ))
+    | Crit { won } -> Internal (Exit { to_release = won })
+    | Exit { to_release = [] } -> Internal Rem
+    | Exit { to_release = (v, r) :: rest } ->
+      Write (flag_reg v r, 0, Exit { to_release = rest })
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Entry _ -> Protocol.Trying
+    | Crit _ -> Protocol.Critical
+    | Exit _ -> Protocol.Exiting
+
+  let compare_local = Stdlib.compare
+
+  let pp_phase = function
+    | Set_flag -> "set-flag"
+    | Set_turn -> "set-turn"
+    | Check_flag -> "check-flag"
+    | Check_turn -> "check-turn"
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Entry { pending = []; _ } -> Format.pp_print_string ppf "entry[done]"
+    | Entry { pending = (v, r) :: _; phase; _ } ->
+      Format.fprintf ppf "entry[node=%d,role=%d,%s]" v r (pp_phase phase)
+    | Crit _ -> Format.pp_print_string ppf "crit"
+    | Exit { to_release } ->
+      Format.fprintf ppf "exit[%d left]" (List.length to_release)
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

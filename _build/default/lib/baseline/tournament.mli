@@ -1,0 +1,28 @@
+(** Tournament mutual exclusion: a binary tree of Peterson instances —
+    the classic {e named-register} construction for [n] processes
+    ([n] a power of two, [m = 3(n-1)] registers).
+
+    Each internal tree node runs a two-party Peterson match between
+    whatever arrives from its left and right subtrees; a process entering
+    the critical section has won every match from its leaf to the root, and
+    releases them in reverse order on exit. The construction inherits
+    Peterson's starvation freedom, giving a named-model property that the
+    paper's anonymous Figure 1 provably lacks (see the E12 experiment).
+
+    Everything about it depends on prior agreement: the tree layout in
+    register space, the process-to-leaf assignment, and the role (left or
+    right) at every node are all derived from globally known indices.
+    Instantiate with identifiers [1..n] and identity namings. *)
+
+open Anonmem
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = Empty.t
+       and type Value.t = int
+
+  val levels : n:int -> int
+  (** Tree height, [log2 n]. *)
+end

@@ -1,0 +1,1 @@
+lib/check/dot.ml: Array Flatgraph Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/check/dot.mli: Flatgraph Format

@@ -1,0 +1,1 @@
+lib/check/explore.ml: Anonmem Array Flatgraph Hashtbl List Naming Option Protocol Queue

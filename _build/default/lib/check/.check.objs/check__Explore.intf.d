@@ -1,0 +1,1 @@
+lib/check/explore.mli: Anonmem Flatgraph Naming Protocol

@@ -1,0 +1,1 @@
+lib/check/flatgraph.ml: Anonmem Array Format Protocol

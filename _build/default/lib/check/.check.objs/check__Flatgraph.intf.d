@@ -1,0 +1,1 @@
+lib/check/flatgraph.mli: Anonmem Format Protocol

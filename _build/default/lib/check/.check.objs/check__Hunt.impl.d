@@ -1,0 +1,1 @@
+lib/check/hunt.ml: Anonmem Array Fun List Naming Protocol Rng Runtime Schedule Stdlib

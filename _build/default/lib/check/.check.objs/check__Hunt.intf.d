@@ -1,0 +1,1 @@
+lib/check/hunt.mli: Anonmem Protocol Runtime Trace

@@ -1,0 +1,1 @@
+lib/check/mutex_props.ml: Array Flatgraph Fun List Option Scc

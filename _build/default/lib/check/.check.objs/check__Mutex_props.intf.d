@@ -1,0 +1,1 @@
+lib/check/mutex_props.mli: Flatgraph

@@ -1,0 +1,1 @@
+lib/check/props.ml: Anonmem Array List Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/check/props.mli: Anonmem Protocol

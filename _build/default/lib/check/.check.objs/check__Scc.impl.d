@@ -1,0 +1,1 @@
+lib/check/scc.ml: Array Stack

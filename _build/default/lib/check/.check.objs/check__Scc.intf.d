@@ -1,0 +1,1 @@
+lib/check/scc.mli:

@@ -1,0 +1,16 @@
+(** Graphviz export of explored state graphs, for eyeballing small
+    instances (the m = 3 mutex fits on a page at [~max_nodes:300]). *)
+
+val of_flat :
+  ?max_nodes:int ->
+  ?highlight:int list ->
+  Flatgraph.t ->
+  Format.formatter ->
+  unit ->
+  unit
+(** [of_flat g ppf ()] writes a digraph: one node per state labelled with
+    its processes' statuses (R/T/C/E/D), red when two processes are
+    critical, orange for [highlight] (e.g. a violation cycle), and one edge
+    per transition labelled with the stepping process (bold when it enters
+    the critical section). States beyond [max_nodes] (default 500) are
+    elided with a note. *)

@@ -1,0 +1,197 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  type config = {
+    ids : int array;
+    inputs : P.input array;
+    namings : Naming.t array;
+  }
+
+  let config ?m ~ids ~inputs () =
+    let ids = Array.of_list ids in
+    let n = Array.length ids in
+    let m = match m with Some m -> m | None -> P.default_registers ~n in
+    {
+      ids;
+      inputs = Array.of_list inputs;
+      namings = Array.init n (fun _ -> Naming.identity m);
+    }
+
+  type state = { mem : P.Value.t array; locals : P.local array }
+
+  type label = { proc : int; enters_cs : bool }
+
+  type transition = { dst : int; label : label }
+
+  type graph = {
+    cfg : config;
+    states : state array;
+    succs : transition list array;
+    complete : bool;
+  }
+
+  let initial cfg =
+    let n = Array.length cfg.ids in
+    let m = Naming.size cfg.namings.(0) in
+    {
+      mem = Array.make m P.Value.init;
+      locals =
+        Array.init n (fun i -> P.start ~n ~m ~id:cfg.ids.(i) cfg.inputs.(i));
+    }
+
+  let statuses st = Array.map P.status st.locals
+
+  let with_local st proc local =
+    let locals = Array.copy st.locals in
+    locals.(proc) <- local;
+    { st with locals }
+
+  let with_write st proc local phys v =
+    let mem = Array.copy st.mem in
+    mem.(phys) <- v;
+    let locals = Array.copy st.locals in
+    locals.(proc) <- local;
+    { mem; locals }
+
+  (* All states one step of [proc] can lead to (two for a coin flip). *)
+  let step_states cfg st proc =
+    let n = Array.length st.locals in
+    let m = Array.length st.mem in
+    let naming = cfg.namings.(proc) in
+    match P.step ~n ~m ~id:cfg.ids.(proc) st.locals.(proc) with
+    | Protocol.Read (j, k) ->
+      let v = st.mem.(Naming.apply naming j) in
+      [ with_local st proc (k v) ]
+    | Protocol.Write (j, v, l) ->
+      [ with_write st proc l (Naming.apply naming j) v ]
+    | Protocol.Rmw (j, f) ->
+      let phys = Naming.apply naming j in
+      let v, l = f st.mem.(phys) in
+      [ with_write st proc l phys v ]
+    | Protocol.Internal l -> [ with_local st proc l ]
+    | Protocol.Coin k -> [ with_local st proc (k true); with_local st proc (k false) ]
+
+  let successors cfg st =
+    let acc = ref [] in
+    Array.iteri
+      (fun proc local ->
+        if not (Protocol.is_decided (P.status local)) then begin
+          let before_crit = P.status local = Protocol.Critical in
+          List.iter
+            (fun st' ->
+              let enters_cs =
+                (not before_crit)
+                && P.status st'.locals.(proc) = Protocol.Critical
+              in
+              acc := ({ proc; enters_cs }, st') :: !acc)
+            (step_states cfg st proc)
+        end)
+      st.locals;
+    List.rev !acc
+
+  let explore ?(max_states = 2_000_000) cfg =
+    let table : (state, int) Hashtbl.t = Hashtbl.create 4096 in
+    let states_rev = ref [] in
+    let n_states = ref 0 in
+    (* queue of state ids whose successors are not yet computed *)
+    let pending = Queue.create () in
+    let complete = ref true in
+    let intern st =
+      match Hashtbl.find_opt table st with
+      | Some id -> Some id
+      | None ->
+        if !n_states >= max_states then begin
+          complete := false;
+          None
+        end
+        else begin
+          let id = !n_states in
+          Hashtbl.add table st id;
+          states_rev := st :: !states_rev;
+          incr n_states;
+          Queue.add (id, st) pending;
+          Some id
+        end
+    in
+    ignore (intern (initial cfg));
+    let out = Hashtbl.create 4096 in
+    while not (Queue.is_empty pending) do
+      let id, st = Queue.pop pending in
+      let trans =
+        List.filter_map
+          (fun (label, st') ->
+            match intern st' with
+            | Some dst -> Some { dst; label }
+            | None -> None)
+          (successors cfg st)
+      in
+      Hashtbl.replace out id trans
+    done;
+    let states = Array.of_list (List.rev !states_rev) in
+    let succs =
+      Array.init (Array.length states) (fun id ->
+          Option.value ~default:[] (Hashtbl.find_opt out id))
+    in
+    { cfg; states; succs; complete = !complete }
+
+  let solo_run cfg st ~proc ~max_steps =
+    let rec go st steps =
+      match P.status st.locals.(proc) with
+      | Protocol.Decided v -> `Decided v
+      | _ ->
+        if steps >= max_steps then `Out_of_steps
+        else
+          let n = Array.length st.locals in
+          let m = Array.length st.mem in
+          match P.step ~n ~m ~id:cfg.ids.(proc) st.locals.(proc) with
+          | Protocol.Coin _ -> `Coin
+          | _ ->
+            (match step_states cfg st proc with
+            | [ st' ] -> go st' (steps + 1)
+            | _ -> assert false)
+    in
+    go st 0
+
+  let check_obstruction_freedom ?bound g =
+    let n = Array.length g.cfg.ids in
+    let m = Naming.size g.cfg.namings.(0) in
+    let bound =
+      match bound with Some b -> b | None -> 4 * m * (n + 2) * (n + 2)
+    in
+    let exception Found of int * int in
+    try
+      Array.iteri
+        (fun sid st ->
+          Array.iteri
+            (fun proc local ->
+              if not (Protocol.is_decided (P.status local)) then
+                match solo_run g.cfg st ~proc ~max_steps:bound with
+                | `Decided _ -> ()
+                | `Out_of_steps | `Coin -> raise (Found (sid, proc)))
+            st.locals)
+        g.states;
+      None
+    with Found (sid, proc) -> Some (sid, proc)
+
+  let to_flat g =
+    {
+      Flatgraph.n_procs = Array.length g.cfg.ids;
+      statuses =
+        Array.map
+          (fun st -> Array.map (fun l -> Flatgraph.of_status (P.status l)) st.locals)
+          g.states;
+      succs =
+        Array.map
+          (fun ts ->
+            List.map
+              (fun { dst; label } ->
+                {
+                  Flatgraph.dst;
+                  proc = label.proc;
+                  enters_cs = label.enters_cs;
+                })
+              ts)
+          g.succs;
+      complete = g.complete;
+    }
+end

@@ -1,0 +1,67 @@
+(** Explicit-state exploration: the reachable global-state graph of a
+    protocol instance.
+
+    A global state is the physical register contents plus every process's
+    local state. Nondeterminism is exactly the adversary's choice of which
+    process steps next (plus both outcomes of any coin flip), so the
+    reachable graph contains every run of the instance; checking a property
+    on the graph checks it for {e all} schedules, including never starting
+    some processes (participation is not required). *)
+
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type config = {
+    ids : int array;
+    inputs : P.input array;
+    namings : Naming.t array;
+  }
+
+  val config :
+    ?m:int -> ids:int list -> inputs:P.input list -> unit -> config
+  (** Identity namings of [m] registers (default [P.default_registers]). *)
+
+  type state = { mem : P.Value.t array; locals : P.local array }
+
+  type label = { proc : int; enters_cs : bool }
+
+  type transition = { dst : int; label : label }
+
+  type graph = {
+    cfg : config;
+    states : state array;  (** index 0 is the initial state *)
+    succs : transition list array;
+    complete : bool;  (** false when [max_states] truncated the search *)
+  }
+
+  val initial : config -> state
+
+  val statuses : state -> P.output Protocol.status array
+
+  val successors : config -> state -> (label * state) list
+  (** All one-step extensions (every non-decided process; both coin
+      outcomes). *)
+
+  val explore : ?max_states:int -> config -> graph
+  (** Breadth-first reachability from {!initial}. Default budget is
+      2,000,000 states. *)
+
+  val solo_run :
+    config ->
+    state ->
+    proc:int ->
+    max_steps:int ->
+    [ `Decided of P.output | `Out_of_steps | `Coin ]
+  (** Run [proc] alone (deterministically) from [state]: the
+      obstruction-freedom experiment. [`Coin] reports that the protocol
+      flipped a coin, for which solo determinism does not hold. *)
+
+  val check_obstruction_freedom :
+    ?bound:int -> graph -> (int * int) option
+  (** For every reachable state and every non-decided process, the process
+      running alone must decide within [bound] steps (default
+      [4 * m * (n + 2)]). Returns a counterexample (state index, proc). *)
+
+  val to_flat : graph -> Flatgraph.t
+  (** The shape the generic property checkers consume. *)
+end

@@ -1,0 +1,30 @@
+open Anonmem
+
+type proc_status = Rem | Try | Crit | Exit | Done
+
+type trans = { dst : int; proc : int; enters_cs : bool }
+
+type t = {
+  n_procs : int;
+  statuses : proc_status array array;
+  succs : trans list array;
+  complete : bool;
+}
+
+let n_states t = Array.length t.statuses
+
+let of_status : 'o Protocol.status -> proc_status = function
+  | Protocol.Remainder -> Rem
+  | Trying -> Try
+  | Critical -> Crit
+  | Exiting -> Exit
+  | Decided _ -> Done
+
+let pp_status ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Rem -> "remainder"
+    | Try -> "trying"
+    | Crit -> "critical"
+    | Exit -> "exiting"
+    | Done -> "decided")

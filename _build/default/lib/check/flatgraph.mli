@@ -1,0 +1,24 @@
+(** Protocol-agnostic view of a reachable-state graph: just statuses and
+    labeled edges. The generic property checkers (mutual exclusion,
+    deadlock freedom, agreement shapes) work on this, so they are shared by
+    every protocol without functor plumbing. *)
+
+open Anonmem
+
+(** Status of one process in one state, without the output payload. *)
+type proc_status = Rem | Try | Crit | Exit | Done
+
+type trans = { dst : int; proc : int; enters_cs : bool }
+
+type t = {
+  n_procs : int;
+  statuses : proc_status array array;  (** [statuses.(state).(proc)] *)
+  succs : trans list array;
+  complete : bool;
+}
+
+val n_states : t -> int
+
+val of_status : 'o Protocol.status -> proc_status
+
+val pp_status : Format.formatter -> proc_status -> unit

@@ -1,0 +1,111 @@
+open Anonmem
+
+type strategy = Uniform | Bursts
+
+type outcome = {
+  attempts_made : int;
+  steps_taken : int;
+  witness_seed : int option;
+}
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  let burst_schedule rng n : Schedule.t =
+    let current = ref 0 in
+    let left = ref 0 in
+    fun view ->
+      if !left <= 0 then begin
+        current := Rng.int rng n;
+        (* mostly short bursts, occasionally long sleeps of the others *)
+        left := 1 + Rng.int rng (if Rng.bool rng then 4 else 60)
+      end;
+      decr left;
+      if view.Schedule.kind !current = Schedule.Finished then begin
+        left := 0;
+        Schedule.random rng view
+      end
+      else Some !current
+
+  let schedule_of strategy rng n =
+    match strategy with
+    | Uniform -> Schedule.random rng
+    | Bursts -> burst_schedule rng n
+
+  let mutex_violation rt = R.critical_pair rt <> None
+
+  let disagreement ~equal rt =
+    let decided =
+      Array.to_list (R.decisions rt) |> List.filter_map Fun.id
+    in
+    match decided with
+    | [] -> false
+    | v :: rest -> List.exists (fun w -> not (equal v w)) rest
+
+  (* One seeded attempt; deterministic given (seed, record_trace). *)
+  let attempt ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m
+      ~record_trace seed =
+    let n = List.length ids in
+    let rng = Rng.create (seed * 2654435761) in
+    let cfg : R.config =
+      {
+        ids = Array.of_list ids;
+        inputs = Array.of_list inputs;
+        namings = Array.init n (fun _ -> Naming.random rng m);
+        rng = Some (Rng.split rng);
+        record_trace;
+      }
+    in
+    let rt = R.create cfg in
+    let sched = schedule_of strategy rng n in
+    let hit = ref false in
+    let steps = ref 0 in
+    (try
+       for _ = 1 to steps_per_attempt do
+         (match
+            sched { n; clock = R.clock rt; kind = (fun i -> R.kind rt i) }
+          with
+         | Some i ->
+           ignore (R.step rt i);
+           incr steps
+         | None -> raise Stdlib.Exit);
+         if violation rt then begin
+           hit := true;
+           raise Stdlib.Exit
+         end
+       done
+     with Stdlib.Exit -> ());
+    (!hit, !steps, rt)
+
+  let hunt ?(strategy = Bursts) ?(attempts = 1_000)
+      ?(steps_per_attempt = 2_000) ?(seed = 1) ~violation ~ids ~inputs ~m () =
+    let total_steps = ref 0 in
+    let result = ref None in
+    let a = ref 0 in
+    while !result = None && !a < attempts do
+      incr a;
+      let attempt_seed = seed + !a in
+      let hit, steps, _ =
+        attempt ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m
+          ~record_trace:false attempt_seed
+      in
+      total_steps := !total_steps + steps;
+      if hit then result := Some attempt_seed
+    done;
+    match !result with
+    | None ->
+      ( { attempts_made = !a; steps_taken = !total_steps; witness_seed = None },
+        None )
+    | Some s ->
+      (* replay with tracing for the witness *)
+      let _, _, rt =
+        attempt ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m
+          ~record_trace:true s
+      in
+      ( {
+          attempts_made = !a;
+          steps_taken = !total_steps;
+          witness_seed = Some s;
+        },
+        Some (R.trace rt) )
+end

@@ -1,0 +1,51 @@
+(** Randomized violation hunting, for instances beyond exhaustive reach.
+
+    The hunter replays many seeded runs — fresh random namings and a random
+    or bursty schedule per attempt — and stops at the first run satisfying
+    a violation predicate. A found witness is a real counterexample
+    (seed + trace); not finding one means nothing, and experiment E16
+    quantifies just how little: the mutual-exclusion violation of Figure
+    1's 3-process generalization, which the exhaustive checker pinpoints in
+    under a second, survives millions of randomly scheduled steps. Use the
+    hunter to search, the checker to conclude. *)
+
+open Anonmem
+
+(** How each attempt schedules the processes. *)
+type strategy =
+  | Uniform  (** uniformly random process each step *)
+  | Bursts
+      (** geometric bursts: one process runs 1-60 consecutive steps — the
+          sleep/wake pattern covering arguments need *)
+
+type outcome = {
+  attempts_made : int;
+  steps_taken : int;  (** total across all attempts *)
+  witness_seed : int option;  (** seed of the violating attempt, if any *)
+}
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module R : module type of Runtime.Make (P)
+
+  val hunt :
+    ?strategy:strategy ->
+    ?attempts:int ->
+    ?steps_per_attempt:int ->
+    ?seed:int ->
+    violation:(R.t -> bool) ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    unit ->
+    outcome * (P.Value.t, P.output) Trace.t option
+  (** Each attempt draws fresh namings and a fresh schedule from the seeded
+      stream; [violation] is evaluated after every step. On a hit, the
+      attempt is replayed with tracing on and the trace returned. Defaults:
+      [Bursts], 1000 attempts, 2000 steps each. *)
+
+  val mutex_violation : R.t -> bool
+  (** Two processes in their critical sections. *)
+
+  val disagreement : equal:(P.output -> P.output -> bool) -> R.t -> bool
+  (** Two processes decided on non-equal outputs. *)
+end

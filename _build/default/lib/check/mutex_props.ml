@@ -1,0 +1,135 @@
+type me_violation = { state : int; procs : int * int }
+
+type df_violation = { states : int list; trying : int list }
+
+let mutual_exclusion (g : Flatgraph.t) =
+  let exception Found of me_violation in
+  try
+    Array.iteri
+      (fun sid statuses ->
+        let crit = ref [] in
+        Array.iteri
+          (fun p s -> if s = Flatgraph.Crit then crit := p :: !crit)
+          statuses;
+        match !crit with
+        | p :: q :: _ -> raise (Found { state = sid; procs = (q, p) })
+        | _ -> ())
+      g.statuses;
+    None
+  with Found v -> Some v
+
+let is_active = function
+  | Flatgraph.Try | Crit | Exit -> true
+  | Rem | Done -> false
+
+(* Core fair-cycle search by strong-fairness refinement.
+
+   We look for an SCC, in the subgraph induced by [state_ok] states and
+   [edge_ok] edges, around which a run can cycle forever legally: every
+   process that is active in some member state takes a step inside the SCC
+   (processes never fail, and critical/exiting processes are obliged to
+   move). An SCC containing a state where some obliged process can never
+   step is shrunk by removing those states, and the search repeats until
+   stable. [interesting] decides which stable fair SCCs constitute a
+   violation; the first one found is returned (its member states). *)
+let find_fair_cycle (g : Flatgraph.t) ~state_ok ~edge_ok ~interesting =
+  let n_states = Flatgraph.n_states g in
+  let n_procs = g.n_procs in
+  let alive = Array.init n_states state_ok in
+  let internal_succs v =
+    if not alive.(v) then []
+    else
+      List.filter_map
+        (fun (t : Flatgraph.trans) ->
+          if edge_ok t && alive.(t.dst) then Some t.dst else None)
+        g.succs.(v)
+  in
+  let rec iterate () =
+    let scc = Scc.compute ~n:n_states ~succs:internal_succs in
+    let comps = Scc.components scc in
+    let changed = ref false in
+    let found = ref None in
+    let examine members =
+      match List.filter (fun v -> alive.(v)) members with
+      | [] -> ()
+      | first :: _ as members ->
+        let comp_id = scc.component.(first) in
+        let stepping = Array.make n_procs false in
+        let has_edge = ref false in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (t : Flatgraph.trans) ->
+                if
+                  edge_ok t && alive.(t.dst)
+                  && scc.component.(t.dst) = comp_id
+                then begin
+                  has_edge := true;
+                  stepping.(t.proc) <- true
+                end)
+              g.succs.(v))
+          members;
+        if !has_edge then begin
+          let missing p =
+            (not stepping.(p))
+            && List.exists (fun v -> is_active g.statuses.(v).(p)) members
+          in
+          let missing_procs = List.filter missing (List.init n_procs Fun.id) in
+          match missing_procs with
+          | [] ->
+            if !found = None && interesting members then found := Some members
+          | _ ->
+            List.iter
+              (fun v ->
+                if
+                  List.exists
+                    (fun p -> is_active g.statuses.(v).(p))
+                    missing_procs
+                then begin
+                  alive.(v) <- false;
+                  changed := true
+                end)
+              members
+        end
+    in
+    Array.iter examine comps;
+    match !found with
+    | Some members -> Some members
+    | None -> if !changed then iterate () else None
+  in
+  iterate ()
+
+let trying_in (g : Flatgraph.t) members =
+  List.filter
+    (fun p ->
+      List.exists (fun v -> g.statuses.(v).(p) = Flatgraph.Try) members)
+    (List.init g.n_procs Fun.id)
+
+(* Deadlock-freedom: no fair cycle avoiding every CS entry while someone is
+   trying. *)
+let deadlock_freedom (g : Flatgraph.t) =
+  find_fair_cycle g
+    ~state_ok:(fun _ -> true)
+    ~edge_ok:(fun t -> not t.enters_cs)
+    ~interesting:(fun members -> trying_in g members <> [])
+  |> Option.map (fun members -> { states = members; trying = trying_in g members })
+
+(* Starvation-freedom for process [p]: no fair cycle in which p is trying
+   throughout and only p's own CS entries are forbidden — other processes
+   may enter and leave their critical sections along the cycle. *)
+let starves (g : Flatgraph.t) p =
+  find_fair_cycle g
+    ~state_ok:(fun v -> g.statuses.(v).(p) = Flatgraph.Try)
+    ~edge_ok:(fun t -> not (t.proc = p && t.enters_cs))
+    ~interesting:(fun _ -> true)
+  |> Option.map (fun members -> { states = members; trying = [ p ] })
+
+let starvation_freedom (g : Flatgraph.t) =
+  let rec go p =
+    if p >= g.n_procs then None
+    else
+      match starves g p with
+      | Some v -> Some (p, v)
+      | None -> go (p + 1)
+  in
+  go 0

@@ -1,0 +1,85 @@
+open Anonmem
+
+type 'o decided = { state : int; proc : int; output : 'o }
+
+type 'o disagreement = { state : int; a : 'o decided; b : 'o decided }
+
+let decided_in_state sid statuses =
+  let acc = ref [] in
+  Array.iteri
+    (fun proc s ->
+      match s with
+      | Protocol.Decided output -> acc := { state = sid; proc; output } :: !acc
+      | _ -> ())
+    statuses;
+  List.rev !acc
+
+let decided_outputs statuses_of states =
+  let acc = ref [] in
+  Array.iteri
+    (fun sid st ->
+      acc := List.rev_append (decided_in_state sid (statuses_of st)) !acc)
+    states;
+  List.rev !acc
+
+(* First state containing a decided pair satisfying [test]. *)
+let find_pair ~test statuses_of states =
+  let result = ref None in
+  (try
+     Array.iteri
+       (fun sid st ->
+         let decided = decided_in_state sid (statuses_of st) in
+         let rec pairs = function
+           | [] -> ()
+           | a :: rest ->
+             List.iter
+               (fun b ->
+                 if test a b then begin
+                   result := Some { state = sid; a; b };
+                   raise Stdlib.Exit
+                 end)
+               rest;
+             pairs rest
+         in
+         pairs decided)
+       states
+   with Stdlib.Exit -> ());
+  !result
+
+let agreement ~equal ~statuses states =
+  find_pair ~test:(fun a b -> not (equal a.output b.output)) statuses states
+
+let distinct_outputs ~equal ~statuses states =
+  find_pair ~test:(fun a b -> equal a.output b.output) statuses states
+
+(* First decided output failing [check], scanning all states. *)
+let find_decided ~check statuses_of states =
+  let result = ref None in
+  (try
+     Array.iteri
+       (fun sid st ->
+         let sts = statuses_of st in
+         List.iter
+           (fun d ->
+             if not (check sts d) then begin
+               result := Some d;
+               raise Stdlib.Exit
+             end)
+           (decided_in_state sid sts))
+       states
+   with Stdlib.Exit -> ());
+  !result
+
+let validity ~allowed ~statuses states =
+  find_decided ~check:(fun _ d -> allowed d.output) statuses states
+
+let adaptive_range ~name_of ~statuses states =
+  let participants sts =
+    Array.fold_left
+      (fun acc s -> match s with Protocol.Remainder -> acc | _ -> acc + 1)
+      0 sts
+  in
+  find_decided
+    ~check:(fun sts d ->
+      name_of d.output >= 1 && name_of d.output <= participants sts)
+    statuses states

@@ -1,0 +1,50 @@
+(** Generic safety properties of decision tasks over explored graphs.
+
+    These work on the per-state status arrays produced by an
+    [Explore.Make(P).graph] (via [statuses]); they are polymorphic in the
+    protocol so consensus, election and renaming share them. *)
+
+open Anonmem
+
+type 'o decided = { state : int; proc : int; output : 'o }
+
+type 'o disagreement = { state : int; a : 'o decided; b : 'o decided }
+
+val decided_outputs :
+  ('s -> 'o Protocol.status array) -> 's array -> 'o decided list
+(** Every (state, proc, output) where the process has decided. *)
+
+val agreement :
+  equal:('o -> 'o -> bool) ->
+  statuses:('s -> 'o Protocol.status array) ->
+  's array ->
+  'o disagreement option
+(** Two processes decided on non-equal values in the same reachable state —
+    a consensus agreement violation. [None] = agreement holds in all runs
+    (decisions are stable, so any disagreement across a run also shows up
+    inside a single later state). *)
+
+val validity :
+  allowed:('o -> bool) ->
+  statuses:('s -> 'o Protocol.status array) ->
+  's array ->
+  'o decided option
+(** A decision outside the allowed set (e.g. not any process's input). *)
+
+val distinct_outputs :
+  equal:('o -> 'o -> bool) ->
+  statuses:('s -> 'o Protocol.status array) ->
+  's array ->
+  'o disagreement option
+(** Renaming uniqueness: two processes decided on {e equal} values. Returns
+    the duplicated pair if found. *)
+
+val adaptive_range :
+  name_of:('o -> int) ->
+  statuses:('s -> 'o Protocol.status array) ->
+  's array ->
+  'o decided option
+(** Adaptivity of perfect renaming: in every state, every decided name must
+    be at most the number of processes that have left their remainder
+    section (= the participants so far, since participation is
+    irrevocable). Returns an offending decision. *)

@@ -1,0 +1,65 @@
+type t = { count : int; component : int array }
+
+(* Iterative Tarjan. The explicit stack holds (vertex, remaining successor
+   list) frames; [index] doubles as the visited marker (-1 = unvisited). *)
+let compute ~n ~succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let component = Array.make n (-1) in
+  let comp_count = ref 0 in
+  let rec_stack = Stack.create () in
+  let open_vertex v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Stack.push (v, succs v) rec_stack
+  in
+  let close_vertex v =
+    if lowlink.(v) = index.(v) then begin
+      let c = !comp_count in
+      incr comp_count;
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          component.(w) <- c;
+          if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      open_vertex root;
+      while not (Stack.is_empty rec_stack) do
+        let v, pending = Stack.pop rec_stack in
+        match pending with
+        | [] ->
+          close_vertex v;
+          (* propagate lowlink to the parent frame *)
+          (match Stack.top_opt rec_stack with
+          | Some (p, _) -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+          | None -> ())
+        | w :: rest ->
+          Stack.push (v, rest) rec_stack;
+          if index.(w) = -1 then open_vertex w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      done
+    end
+  done;
+  (* Tarjan numbers components in reverse topological order already. *)
+  { count = !comp_count; component }
+
+let components t =
+  let buckets = Array.make t.count [] in
+  Array.iteri
+    (fun v c -> buckets.(c) <- v :: buckets.(c))
+    t.component;
+  buckets

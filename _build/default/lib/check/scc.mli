@@ -1,0 +1,16 @@
+(** Strongly connected components (iterative Tarjan), for the fair-cycle
+    analysis behind the deadlock-freedom verdicts. *)
+
+type t = {
+  count : int;  (** number of components *)
+  component : int array;  (** [component.(v)] is the component id of [v] *)
+}
+
+val compute : n:int -> succs:(int -> int list) -> t
+(** [compute ~n ~succs] runs over vertices [0..n-1]. Iterative, so graphs
+    with millions of states do not blow the OCaml stack. Components are numbered as Tarjan
+    completes them, i.e. sinks first: an edge [u -> v] across components has
+    [component.(u) > component.(v)]. *)
+
+val components : t -> int list array
+(** Member vertices of each component. *)

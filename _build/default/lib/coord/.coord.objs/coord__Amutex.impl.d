@@ -1,0 +1,1 @@
+lib/coord/amutex.ml: Anonmem Empty Format Int Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/coord/amutex.mli: Anonmem Empty Protocol

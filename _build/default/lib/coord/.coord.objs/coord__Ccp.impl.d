@@ -1,0 +1,1 @@
+lib/coord/ccp.ml: Anonmem Format Int Printf Protocol Stdlib

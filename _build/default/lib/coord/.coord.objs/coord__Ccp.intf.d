@@ -1,0 +1,1 @@
+lib/coord/ccp.mli: Anonmem Protocol

@@ -1,0 +1,1 @@
+lib/coord/ccp_k.ml: Anonmem Format Int Printf Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/coord/ccp_k.mli: Anonmem Protocol

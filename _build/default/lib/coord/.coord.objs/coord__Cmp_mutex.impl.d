@@ -1,0 +1,1 @@
+lib/coord/cmp_mutex.ml: Anonmem Empty Format Int Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/coord/cmp_mutex.mli: Anonmem Empty Protocol

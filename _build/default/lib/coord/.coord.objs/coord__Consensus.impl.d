@@ -1,0 +1,1 @@
+lib/coord/consensus.ml: Anonmem Format List Protocol Stdlib

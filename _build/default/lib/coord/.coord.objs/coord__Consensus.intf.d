@@ -1,0 +1,1 @@
+lib/coord/consensus.mli: Anonmem Protocol

@@ -1,0 +1,1 @@
+lib/coord/election.ml: Consensus Format

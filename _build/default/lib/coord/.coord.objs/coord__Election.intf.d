@@ -1,0 +1,1 @@
+lib/coord/election.mli: Anonmem Consensus Protocol

@@ -1,0 +1,1 @@
+lib/coord/renaming.ml: Anonmem Format List Protocol Stdlib

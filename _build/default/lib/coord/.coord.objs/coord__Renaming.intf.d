@@ -1,0 +1,1 @@
+lib/coord/renaming.mli: Anonmem Protocol

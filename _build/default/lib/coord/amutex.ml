@@ -1,0 +1,99 @@
+open Anonmem
+
+(* Figure 1, one phase constructor per program point. Line numbers in the
+   comments refer to the paper's figure. The view is summarized by counters
+   ([mine], [zeros]) because the algorithm only uses it through "id appears
+   in all / in fewer than ceil(m/2) entries" and "all entries are 0". *)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  type local =
+    | Rem  (** remainder section *)
+    | Scan_check of int  (** line 2: about to read register j *)
+    | Scan_write of int  (** line 2: read 0 in register j, about to claim it *)
+    | Collect of { j : int; mine : int }
+        (** line 3: reading the view; [mine] entries so far held my id *)
+    | Clean_check of int  (** line 5: about to read register j *)
+    | Clean_write of int  (** line 5: register j held my id, resetting it *)
+    | Wait of { j : int; zeros : int }  (** lines 6–8: waiting for release *)
+    | Crit  (** line 11: critical section *)
+    | Exit of int  (** line 12: resetting register j on the way out *)
+
+  let name = "anonymous-mutex-fig1"
+
+  let default_registers ~n:_ = 3
+
+  let threshold ~m = (m + 1) / 2
+
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  (* After the scan of line 2 the process proceeds to read its view. *)
+  let next_scan ~m j = if j < m then Scan_check j else Collect { j = 0; mine = 0 }
+
+  let next_clean ~m j =
+    if j < m then Clean_check j else Wait { j = 0; zeros = 0 }
+
+  let step ~n:_ ~m ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (Scan_check 0) (* begin entry code *)
+    | Scan_check j ->
+      Read (j, fun v -> if v = 0 then Scan_write j else next_scan ~m (j + 1))
+    | Scan_write j -> Write (j, id, next_scan ~m (j + 1))
+    | Collect { j; mine } ->
+      Read
+        ( j,
+          fun v ->
+            let mine = if v = id then mine + 1 else mine in
+            if j + 1 < m then Collect { j = j + 1; mine }
+            else if mine = m then Crit (* line 10 holds: enter CS *)
+            else if mine < threshold ~m then Clean_check 0 (* line 4: lose *)
+            else Scan_check 0 (* line 1: try again *) )
+    | Clean_check j ->
+      Read (j, fun v -> if v = id then Clean_write j else next_clean ~m (j + 1))
+    | Clean_write j -> Write (j, 0, next_clean ~m (j + 1))
+    | Wait { j; zeros } ->
+      Read
+        ( j,
+          fun v ->
+            let zeros = if v = 0 then zeros + 1 else zeros in
+            if j + 1 < m then Wait { j = j + 1; zeros }
+            else if zeros = m then Scan_check 0 (* line 8: released *)
+            else Wait { j = 0; zeros = 0 } )
+    | Crit -> Internal (Exit 0) (* leave the CS, begin exit code *)
+    | Exit j -> Write (j, 0, if j + 1 < m then Exit (j + 1) else Rem)
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Crit -> Protocol.Critical
+    | Exit _ -> Protocol.Exiting
+    | Scan_check _ | Scan_write _ | Collect _ | Clean_check _ | Clean_write _
+    | Wait _ ->
+      Protocol.Trying
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Scan_check j -> Format.fprintf ppf "scan-check[%d]" j
+    | Scan_write j -> Format.fprintf ppf "scan-write[%d]" j
+    | Collect { j; mine } -> Format.fprintf ppf "collect[%d,mine=%d]" j mine
+    | Clean_check j -> Format.fprintf ppf "clean-check[%d]" j
+    | Clean_write j -> Format.fprintf ppf "clean-write[%d]" j
+    | Wait { j; zeros } -> Format.fprintf ppf "wait[%d,zeros=%d]" j zeros
+    | Crit -> Format.pp_print_string ppf "crit"
+    | Exit j -> Format.fprintf ppf "exit[%d]" j
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

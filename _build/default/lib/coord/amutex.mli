@@ -1,0 +1,33 @@
+(** Figure 1: the memory-anonymous symmetric deadlock-free mutual exclusion
+    algorithm (Taubenfeld, PODC'17 §3.3).
+
+    The paper proves it correct for {e two} processes and any odd number of
+    registers [m >= 3] (Theorems 3.1–3.3). The code itself never refers to
+    [n], so the protocol can be instantiated with any number of processes —
+    which is exactly what the Theorem 3.4 and Theorem 6.2 demonstrations
+    need (running it with [n > 2] or with [m] sharing a divisor with some
+    [l <= n] lets the executable adversaries exhibit the violations the
+    proofs construct).
+
+    Register values are [0] (free) or a process identifier. One atomic step
+    per register access; the paper's conditional writes
+    ([if p.i[j] = 0 then p.i[j] := i]) are a read step followed by a write
+    step, as the read/write model requires.
+
+    The local state keeps counters derived from [myview] (how many entries
+    held my id / zero) rather than the full array: the algorithm only ever
+    uses the view through those two aggregates, and the smaller state helps
+    the model checker. *)
+
+open Anonmem
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = Empty.t
+       and type Value.t = int
+
+  val threshold : m:int -> int
+  (** The give-up threshold [ceil (m/2)] from line 4. *)
+end

@@ -1,0 +1,97 @@
+open Anonmem
+
+(* Register values: [chosen] is the elected marker, any other value is a
+   level. Levels only grow, and only by a process whose own level equals
+   the register's, so a register at level l witnesses that some process
+   carried level l here. The safety core mirrors Rabin's invariant: a
+   process marks a register chosen only when its level strictly exceeds
+   the register's, which (with the crossing discipline) cannot happen at
+   both registers for levels obtained from one another. *)
+
+let chosen = -1
+
+module Make (C : sig
+  val cap : int
+  val deterministic : bool
+end) =
+struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp ppf v =
+      if v = chosen then Format.pp_print_string ppf "chosen"
+      else Format.fprintf ppf "level:%d" v
+  end
+
+  type input = unit
+  type output = int
+
+  type local =
+    | Rem
+    | Flip of { pos : int; level : int }
+    | Visit of { pos : int; level : int; luck : bool }
+    | Chose of int
+
+  let name =
+    Printf.sprintf "ccp-%s-cap%d"
+      (if C.deterministic then "det" else "rand")
+      C.cap
+
+  let default_registers ~n:_ = 2
+
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let step ~n:_ ~m:_ ~id:_ local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (Flip { pos = 0; level = 0 })
+    | Flip { pos; level } ->
+      if C.deterministic then Internal (Visit { pos; level; luck = true })
+      else Coin (fun luck -> Visit { pos; level; luck })
+    | Visit { pos; level; luck } ->
+      Rmw
+        ( pos,
+          fun v ->
+            if v = chosen then (v, Chose pos)
+            else if level > v then (chosen, Chose pos)
+            else if level < v then (v, Flip { pos = 1 - pos; level = v })
+            else if luck && level < C.cap then
+              (level + 1, Flip { pos = 1 - pos; level = level + 1 })
+            else (v, Flip { pos = 1 - pos; level }) )
+    | Chose _ -> invalid_arg "Ccp.step: already decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Flip _ | Visit _ -> Protocol.Trying
+    | Chose pos -> Protocol.Decided pos
+
+  let level_of = function
+    | Rem -> 0
+    | Flip { level; _ } | Visit { level; _ } -> level
+    | Chose _ -> 0
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Flip { pos; level } -> Format.fprintf ppf "flip[pos=%d,l=%d]" pos level
+    | Visit { pos; level; luck } ->
+      Format.fprintf ppf "visit[pos=%d,l=%d,%c]" pos level
+        (if luck then 'H' else 'T')
+    | Chose pos -> Format.fprintf ppf "chose(%d)" pos
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module P = Make (struct
+  let cap = 8
+  let deterministic = false
+end)
+
+module Det = Make (struct
+  let cap = 8
+  let deterministic = true
+end)

@@ -1,0 +1,61 @@
+(** Choice coordination over anonymous {e read-modify-write} registers —
+    the §7 contrast (Rabin 1982).
+
+    In the choice-coordination problem, processes must all choose the same
+    one of [k = 2] alternatives, where each alternative is a shared
+    register but processes disagree on which is "first" (our namings model
+    exactly that). Rabin solved it with atomic read-modify-write registers;
+    the paper's point in citing it is that RMW anonymity and read/write
+    anonymity are very different beasts — none of Rabin's ideas transfer.
+
+    This module implements a Rabin-style level-racing scheme:
+
+    A process carries a level [r] (initially 0) and visits the two
+    registers alternately, each visit one atomic RMW. If the register is
+    marked chosen, choose it. If the register's level is below [r], the
+    process is ahead of everybody who passed through here — mark it chosen.
+    If above, catch up and cross over. If equal, flip a coin; heads raises
+    the register's level (and its own) before crossing, tails just crosses.
+    Coins break the symmetry that dooms deterministic processes in lock
+    step; levels are capped at [cap] (Rabin's bounded symbol alphabet), so
+    runs that exhaust the cap keep crossing at the cap level forever —
+    termination holds with probability about [1 - 2^{-cap}] per contention
+    burst rather than deterministically.
+
+    Safety (all deciders choose the same physical register) is exhaustively
+    model-checked in the test suite for [n <= 3] over all namings and both
+    coin outcomes; termination statistics are measured in the benches.
+
+    The [output] is the {e local} index of the chosen register; translate
+    through the process's naming to compare across processes. *)
+
+open Anonmem
+
+(** [Make (C)] fixes the level cap and determinism. [deterministic = true]
+    replaces every coin by "heads" — used to demonstrate why Rabin needed
+    randomization (lock-step symmetry then livelocks at the cap). *)
+module Make (C : sig
+  val cap : int
+  val deterministic : bool
+end) : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = int
+       and type Value.t = int
+
+  val level_of : local -> int
+  (** The process's current level. *)
+end
+
+module P : module type of Make (struct
+  let cap = 8
+  let deterministic = false
+end)
+(** The default randomized instance with cap 8. *)
+
+module Det : module type of Make (struct
+  let cap = 8
+  let deterministic = true
+end)
+(** The deterministic strawman. *)

@@ -1,0 +1,75 @@
+open Anonmem
+
+let chosen = -1
+
+module Make (C : sig
+  val k : int
+  val cap : int
+end) =
+struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp ppf v =
+      if v = chosen then Format.pp_print_string ppf "chosen"
+      else Format.fprintf ppf "level:%d" v
+  end
+
+  type input = unit
+  type output = int
+
+  type local =
+    | Rem
+    | Flip of { pos : int; level : int }
+    | Visit of { pos : int; level : int; luck : bool }
+    | Chose of int
+
+  let name = Printf.sprintf "ccp-k%d-cap%d-strawman" C.k C.cap
+
+  let default_registers ~n:_ = C.k
+
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let step ~n:_ ~m:_ ~id:_ local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (Flip { pos = 0; level = 0 })
+    | Flip { pos; level } -> Coin (fun luck -> Visit { pos; level; luck })
+    | Visit { pos; level; luck } ->
+      let next = (pos + 1) mod C.k in
+      Rmw
+        ( pos,
+          fun v ->
+            if v = chosen then (v, Chose pos)
+            else if level > v then (chosen, Chose pos)
+            else if level < v then (v, Flip { pos = next; level = v })
+            else if luck && level < C.cap then
+              (level + 1, Flip { pos = next; level = level + 1 })
+            else (v, Flip { pos = next; level }) )
+    | Chose _ -> invalid_arg "Ccp_k.step: already decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Flip _ | Visit _ -> Protocol.Trying
+    | Chose pos -> Protocol.Decided pos
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Flip { pos; level } -> Format.fprintf ppf "flip[pos=%d,l=%d]" pos level
+    | Visit { pos; level; luck } ->
+      Format.fprintf ppf "visit[pos=%d,l=%d,%c]" pos level
+        (if luck then 'H' else 'T')
+    | Chose pos -> Format.fprintf ppf "chose(%d)" pos
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module P3 = Make (struct
+  let k = 3
+  let cap = 4
+end)

@@ -1,0 +1,37 @@
+(** Choice coordination with [k] alternatives — a {e strawman}
+    generalization, kept as a demonstration subject.
+
+    The obvious way to extend the two-register scheme of {!Ccp} to [k]
+    anonymous RMW registers is to walk them cyclically, carrying a level,
+    claiming any register whose level falls strictly below one's own. This
+    module implements exactly that — and the test suite {e refutes} it:
+    with [k = 3] and two processes whose private numberings traverse the
+    ring with opposite orientations, the model checker finds reachable
+    states where the processes have chosen different registers. With equal
+    orientations (all rotations of each other) the same checker proves the
+    scheme safe.
+
+    That dichotomy is the point: for [k = 2] every pair of numberings is
+    orientation-compatible, which is why {!Ccp} is safe for all namings,
+    and multi-alternative choice coordination genuinely needs the heavier
+    machinery of Greenberg–Taubenfeld–Wang (the paper's [13]) — one more
+    way the lack of prior agreement bites. *)
+
+open Anonmem
+
+module Make (C : sig
+  val k : int
+  val cap : int
+end) : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = int
+       and type Value.t = int
+end
+
+module P3 : module type of Make (struct
+  let k = 3
+  let cap = 4
+end)
+(** The three-alternative instance used by the tests and tables. *)

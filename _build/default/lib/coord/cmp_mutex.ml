@@ -1,0 +1,104 @@
+open Anonmem
+
+(* Figure 1 with a comparison-based give-up rule. Phases are as in
+   [Amutex]; [Collect] additionally remembers whether a larger identifier
+   was seen, and the decision after the view read is:
+
+     all m mine            -> critical section
+     some larger id seen   -> defer (clean up, wait for all-zero, retry)
+     otherwise             -> insist (rescan; only zero registers are
+                              claimed, so a smaller competitor's marks are
+                              never clobbered - mutual exclusion exactly as
+                              in Figure 1) *)
+
+module P = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = Empty.t
+
+  type local =
+    | Rem
+    | Scan_check of int
+    | Scan_write of int
+    | Collect of { j : int; mine : int; bigger : bool }
+    | Clean_check of int
+    | Clean_write of int
+    | Wait of { j : int; zeros : int }
+    | Crit
+    | Exit of int
+
+  let name = "anonymous-mutex-comparisons"
+
+  let default_registers ~n:_ = 2
+
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let next_scan ~m j =
+    if j < m then Scan_check j else Collect { j = 0; mine = 0; bigger = false }
+
+  let next_clean ~m j =
+    if j < m then Clean_check j else Wait { j = 0; zeros = 0 }
+
+  let step ~n:_ ~m ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal (Scan_check 0)
+    | Scan_check j ->
+      Read (j, fun v -> if v = 0 then Scan_write j else next_scan ~m (j + 1))
+    | Scan_write j -> Write (j, id, next_scan ~m (j + 1))
+    | Collect { j; mine; bigger } ->
+      Read
+        ( j,
+          fun v ->
+            let mine = if v = id then mine + 1 else mine in
+            let bigger = bigger || v > id in
+            if j + 1 < m then Collect { j = j + 1; mine; bigger }
+            else if mine = m then Crit
+            else if bigger then Clean_check 0 (* defer to the larger id *)
+            else Scan_check 0 (* insist *) )
+    | Clean_check j ->
+      Read (j, fun v -> if v = id then Clean_write j else next_clean ~m (j + 1))
+    | Clean_write j -> Write (j, 0, next_clean ~m (j + 1))
+    | Wait { j; zeros } ->
+      Read
+        ( j,
+          fun v ->
+            let zeros = if v = 0 then zeros + 1 else zeros in
+            if j + 1 < m then Wait { j = j + 1; zeros }
+            else if zeros = m then Scan_check 0
+            else Wait { j = 0; zeros = 0 } )
+    | Crit -> Internal (Exit 0)
+    | Exit j -> Write (j, 0, if j + 1 < m then Exit (j + 1) else Rem)
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Crit -> Protocol.Critical
+    | Exit _ -> Protocol.Exiting
+    | Scan_check _ | Scan_write _ | Collect _ | Clean_check _ | Clean_write _
+    | Wait _ ->
+      Protocol.Trying
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Scan_check j -> Format.fprintf ppf "scan-check[%d]" j
+    | Scan_write j -> Format.fprintf ppf "scan-write[%d]" j
+    | Collect { j; mine; bigger } ->
+      Format.fprintf ppf "collect[%d,mine=%d,bigger=%b]" j mine bigger
+    | Clean_check j -> Format.fprintf ppf "clean-check[%d]" j
+    | Clean_write j -> Format.fprintf ppf "clean-write[%d]" j
+    | Wait { j; zeros } -> Format.fprintf ppf "wait[%d,zeros=%d]" j zeros
+    | Crit -> Format.pp_print_string ppf "crit"
+    | Exit j -> Format.fprintf ppf "exit[%d]" j
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Empty.pp
+end

@@ -1,0 +1,28 @@
+(** Two-process memory-anonymous mutex under {e symmetry with arbitrary
+    comparisons} — the second symmetry variant of the paper's §2.
+
+    Theorem 3.1's "odd m only" characterization is proved for comparisons
+    restricted to equality. This module shows the restriction is essential:
+    once a process may order identifiers, a small change to Figure 1 gives
+    a deadlock-free two-process mutex for {e every} m >= 2, even m
+    included. The change: a process that sees a competitor keeps insisting
+    when its own identifier is larger, and defers (cleans up and waits)
+    when it is smaller — the comparison supplies the symmetry breaking that
+    an odd register count supplied in Figure 1.
+
+    Like Figure 1 it claims only zero registers, so the mutual-exclusion
+    argument is unchanged; deadlock-freedom holds because the larger
+    process never defers and the smaller one frees its registers. The
+    claims are verified exhaustively in the test suite for m = 2, 3, 4
+    over all relative namings.
+
+    This is a reproduction-side extension (the paper defines the model
+    variant but presents no algorithm for it). *)
+
+open Anonmem
+
+module P :
+  Protocol.PROTOCOL
+    with type input = unit
+     and type output = Empty.t
+     and type Value.t = int

@@ -1,0 +1,108 @@
+open Anonmem
+
+module Value = struct
+  type t = { id : int; pref : int }
+
+  let init = { id = 0; pref = 0 }
+  let equal a b = a.id = b.id && a.pref = b.pref
+  let compare = Stdlib.compare
+  let pp ppf v = Format.fprintf ppf "(%d,%d)" v.id v.pref
+end
+
+module P = struct
+  module Value = Value
+
+  type input = int
+  type output = int
+
+  type local =
+    | Rem of { input : int }
+    | Reading of { mypref : int; j : int; view_rev : Value.t list }
+        (** line 3: copying the shared array; [view_rev] holds entries
+            [0..j-1] in reverse *)
+    | Writing of { mypref : int; slot : int }
+        (** line 7: about to install (id, mypref) into [slot] *)
+    | Decided_st of int
+
+  let name = "anonymous-consensus-fig2"
+
+  let default_registers ~n = (2 * n) - 1
+
+  let start ~n:_ ~m:_ ~id:_ input =
+    if input = 0 then invalid_arg "Consensus: inputs must be non-zero";
+    Rem { input }
+
+  let fresh_read mypref = Reading { mypref; j = 0; view_rev = [] }
+
+  (* Count how many value fields of the view carry [pref]. *)
+  let support view pref =
+    List.length (List.filter (fun (v : Value.t) -> v.pref = pref) view)
+
+  (* The preference (if any) occupying at least n value fields (line 4).
+     At most one can exist since the view has 2n-1 entries. *)
+  let dominant ~n view =
+    let rec go = function
+      | [] -> None
+      | (v : Value.t) :: rest ->
+        if v.pref <> 0 && support view v.pref >= n then Some v.pref
+        else go rest
+    in
+    go view
+
+  (* First index whose entry differs from (id, mypref) — the paper's
+     "arbitrary index" of line 6, made deterministic. *)
+  let first_disagreeing ~id ~mypref view =
+    let rec go k = function
+      | [] -> None
+      | (v : Value.t) :: rest ->
+        if v.id = id && v.pref = mypref then go (k + 1) rest else Some k
+    in
+    go 0 view
+
+  let step ~n ~m ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem { input } -> Internal (fresh_read input) (* line 1: mypref := in *)
+    | Reading { mypref; j; view_rev } ->
+      Read
+        ( j,
+          fun v ->
+            let view_rev = v :: view_rev in
+            if j + 1 < m then Reading { mypref; j = j + 1; view_rev }
+            else
+              let view = List.rev view_rev in
+              (* line 4–5: adopt a preference with support >= n *)
+              let mypref =
+                match dominant ~n view with Some p -> p | None -> mypref
+              in
+              (* line 8, checked before writing (see module comment in the
+                 interface): decide when the whole array is (id, mypref). *)
+              match first_disagreeing ~id ~mypref view with
+              | None -> Decided_st mypref
+              | Some slot -> Writing { mypref; slot } )
+    | Writing { mypref; slot } ->
+      Write (slot, { Value.id; pref = mypref }, fresh_read mypref)
+    | Decided_st _ -> invalid_arg "Consensus.step: already decided"
+
+  let status = function
+    | Rem _ -> Protocol.Remainder
+    | Reading _ | Writing _ -> Protocol.Trying
+    | Decided_st v -> Protocol.Decided v
+
+  let preference = function
+    | Rem { input } -> input
+    | Reading { mypref; _ } | Writing { mypref; _ } -> mypref
+    | Decided_st v -> v
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem _ -> Format.pp_print_string ppf "rem"
+    | Reading { mypref; j; _ } ->
+      Format.fprintf ppf "read[j=%d,pref=%d]" j mypref
+    | Writing { mypref; slot } ->
+      Format.fprintf ppf "write[slot=%d,pref=%d]" slot mypref
+    | Decided_st v -> Format.fprintf ppf "decided(%d)" v
+
+  let pp_input = Format.pp_print_int
+  let pp_output = Format.pp_print_int
+end

@@ -1,0 +1,33 @@
+(** Figure 2: memory-anonymous symmetric obstruction-free multi-valued
+    consensus for [n] processes over [2n - 1] anonymous registers
+    (Taubenfeld, PODC'17 §4).
+
+    Inputs are non-zero integers (0 encodes the registers' initial empty
+    value). Each register holds an (id, preference) pair. A process decides
+    once it has seen its own (id, preference) in every register; it adopts a
+    preference that occupies at least [n] of the value fields.
+
+    Safety (agreement and validity) holds in {e every} run; termination is
+    guaranteed under obstruction freedom — a process that runs alone long
+    enough decides (Theorems 4.1–4.2). *)
+
+open Anonmem
+
+(** Register contents: an identifier/preference pair, initially [(0, 0)]. *)
+module Value : sig
+  type t = { id : int; pref : int }
+
+  include Protocol.VALUE with type t := t
+end
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = int
+       and type output = int
+       and module Value = Value
+
+  val preference : local -> int
+  (** The process's current preference ([mypref]); its input until it first
+      adopts, then possibly another participant's input. *)
+end

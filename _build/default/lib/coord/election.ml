@@ -1,0 +1,22 @@
+
+module P = struct
+  module Value = Consensus.Value
+
+  type input = unit
+  type output = int
+  type local = Consensus.P.local
+
+  let name = "anonymous-election"
+
+  let default_registers = Consensus.P.default_registers
+
+  (* "Each process simply uses its own identifier as its initial input." *)
+  let start ~n ~m ~id () = Consensus.P.start ~n ~m ~id id
+
+  let step = Consensus.P.step
+  let status = Consensus.P.status
+  let compare_local = Consensus.P.compare_local
+  let pp_local = Consensus.P.pp_local
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end

@@ -1,0 +1,15 @@
+(** Obstruction-free memory-anonymous election (paper §4, closing note).
+
+    Each participant runs the Figure 2 consensus with its own identifier as
+    input; the decision identifies the elected leader. All terminating
+    participants output the same identifier, and it is the identifier of a
+    participant. *)
+
+open Anonmem
+
+module P :
+  Protocol.PROTOCOL
+    with type input = unit
+     and type output = int
+     and module Value = Consensus.Value
+(** [output] is the elected leader's identifier. *)

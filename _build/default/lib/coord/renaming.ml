@@ -1,0 +1,171 @@
+open Anonmem
+
+module Value = struct
+  type t = {
+    id : int;
+    pref : int;
+    round : int;
+    history : (int * int) list;
+  }
+
+  let init = { id = 0; pref = 0; round = 0; history = [] }
+
+  let equal a b =
+    a.id = b.id && a.pref = b.pref && a.round = b.round
+    && a.history = b.history
+
+  let compare = Stdlib.compare
+
+  let pp ppf v =
+    Format.fprintf ppf "(%d,%d,r%d,{%a})" v.id v.pref v.round
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+         (fun ppf (i, r) -> Format.fprintf ppf "%d@%d" i r))
+      v.history
+
+  (* Set-union of histories, keeping the sorted canonical form. *)
+  let union_history h pair = List.sort_uniq Stdlib.compare (pair :: h)
+end
+
+module P = struct
+  module Value = Value
+
+  type input = unit
+  type output = int
+
+  type local =
+    | Rem
+    | Reading of {
+        mypref : int;
+        myround : int;
+        myhistory : (int * int) list;
+        j : int;
+        view_rev : Value.t list;
+      }
+    | Writing of {
+        mypref : int;
+        myround : int;
+        myhistory : (int * int) list;
+        slot : int;
+      }
+    | Named of int
+
+  let name = "anonymous-renaming-fig3"
+
+  let default_registers ~n = (2 * n) - 1
+
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let fresh_read ~mypref ~myround ~myhistory =
+    Reading { mypref; myround; myhistory; j = 0; view_rev = [] }
+
+  (* Line 5: has some register's history already named me? *)
+  let my_new_name ~id view =
+    List.find_map
+      (fun (v : Value.t) ->
+        List.find_map
+          (fun (i, r) -> if i = id then Some r else None)
+          v.history)
+      view
+
+  (* Line 13: a preference supported by >= n entries of the current round. *)
+  let dominant ~n ~myround view =
+    let in_round = List.filter (fun (v : Value.t) -> v.round = myround) view in
+    let support pref =
+      List.length (List.filter (fun (v : Value.t) -> v.pref = pref) in_round)
+    in
+    List.find_map
+      (fun (v : Value.t) ->
+        if v.pref <> 0 && support v.pref >= n then Some v.pref else None)
+      in_round
+
+  let first_disagreeing ~id ~mypref ~myround ~myhistory view =
+    let mine : Value.t = { id; pref = mypref; round = myround; history = myhistory } in
+    let rec go k = function
+      | [] -> None
+      | v :: rest -> if Value.equal v mine then go (k + 1) rest else Some k
+    in
+    go 0 view
+
+  (* Lines 17-21: the process owns the whole array; settle this round. *)
+  let finish_round ~n ~id ~mypref ~myround ~myhistory =
+    if mypref = id then Named myround (* line 18 *)
+    else
+      let myhistory = Value.union_history myhistory (mypref, myround) in
+      let myround = myround + 1 in
+      if myround = n then Named n (* line 21-22 *)
+      else fresh_read ~mypref:id ~myround ~myhistory (* line 2 *)
+
+  let step ~n ~m ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem ->
+      (* lines 1-2: myround=1, empty history, prefer myself *)
+      Internal (fresh_read ~mypref:id ~myround:1 ~myhistory:[])
+    | Reading { mypref; myround; myhistory; j; view_rev } ->
+      Read
+        ( j,
+          fun v ->
+            let view_rev = v :: view_rev in
+            if j + 1 < m then
+              Reading { mypref; myround; myhistory; j = j + 1; view_rev }
+            else
+              let view = List.rev view_rev in
+              match my_new_name ~id view with
+              | Some r -> Named r (* lines 5-6 *)
+              | None ->
+                (* lines 7-12: catch up if lagging behind *)
+                let mypref, myround, myhistory =
+                  let mytemp =
+                    List.fold_left
+                      (fun acc (v : Value.t) -> max acc v.round)
+                      0 view
+                  in
+                  if mytemp > myround then
+                    let leader =
+                      List.find (fun (v : Value.t) -> v.round = mytemp) view
+                    in
+                    (leader.pref, leader.round, leader.history)
+                  else (mypref, myround, myhistory)
+                in
+                (* lines 13-14: adopt the dominant preference *)
+                let mypref =
+                  match dominant ~n ~myround view with
+                  | Some p -> p
+                  | None -> mypref
+                in
+                (* line 17 checked before the write, as in Figure 2 *)
+                (match
+                   first_disagreeing ~id ~mypref ~myround ~myhistory view
+                 with
+                | None -> finish_round ~n ~id ~mypref ~myround ~myhistory
+                | Some slot -> Writing { mypref; myround; myhistory; slot }) )
+    | Writing { mypref; myround; myhistory; slot } ->
+      Write
+        ( slot,
+          { Value.id; pref = mypref; round = myround; history = myhistory },
+          fresh_read ~mypref ~myround ~myhistory )
+    | Named _ -> invalid_arg "Renaming.step: already decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Reading _ | Writing _ -> Protocol.Trying
+    | Named r -> Protocol.Decided r
+
+  let round_of = function
+    | Rem -> 1
+    | Reading { myround; _ } | Writing { myround; _ } -> myround
+    | Named r -> r
+
+  let compare_local = Stdlib.compare
+
+  let pp_local ppf = function
+    | Rem -> Format.pp_print_string ppf "rem"
+    | Reading { mypref; myround; j; _ } ->
+      Format.fprintf ppf "read[j=%d,pref=%d,round=%d]" j mypref myround
+    | Writing { mypref; myround; slot; _ } ->
+      Format.fprintf ppf "write[slot=%d,pref=%d,round=%d]" slot mypref myround
+    | Named r -> Format.fprintf ppf "named(%d)" r
+
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end

@@ -1,0 +1,45 @@
+(** Figure 3: memory-anonymous symmetric obstruction-free {e adaptive
+    perfect renaming} for [n] processes over [2n - 1] anonymous registers
+    (Taubenfeld, PODC'17 §5).
+
+    The algorithm proceeds in logical rounds. Round [r] is an election
+    played in the same shared space as every other round (no a priori
+    ordering of election objects exists without named registers); the
+    process elected in round [r] takes [r] as its new name. Each register
+    carries the full tuple (id, val, round, history), where the history
+    records earlier rounds' winners so that latecomers and winners
+    themselves can learn the outcome.
+
+    Guarantees (Theorems 5.1–5.3): termination under obstruction freedom,
+    unique names from [{1..n}], and adaptivity — when only [k] processes
+    participate they take names from [{1..k}]. *)
+
+open Anonmem
+
+(** Register contents. [history] is kept as a list sorted by
+    [Stdlib.compare] so that structural equality coincides with set
+    equality. *)
+module Value : sig
+  type t = {
+    id : int;
+    pref : int;  (** the paper's [val] field *)
+    round : int;
+    history : (int * int) list;  (** (winner identifier, round) pairs *)
+  }
+
+  include Protocol.VALUE with type t := t
+
+  val union_history : (int * int) list -> int * int -> (int * int) list
+  (** Set-union preserving the sorted canonical form. *)
+end
+
+module P : sig
+  include
+    Protocol.PROTOCOL
+      with type input = unit
+       and type output = int
+       and module Value = Value
+
+  val round_of : local -> int
+  (** The process's current round number ([myround]), 1-based. *)
+end

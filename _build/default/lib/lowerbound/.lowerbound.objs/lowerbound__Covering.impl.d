@@ -1,0 +1,1 @@
+lib/lowerbound/covering.ml: Anonmem Array Format Fun List Naming Printf Protocol Result Rng Runtime Schedule String Trace

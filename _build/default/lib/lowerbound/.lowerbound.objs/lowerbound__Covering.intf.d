@@ -1,0 +1,1 @@
+lib/lowerbound/covering.mli: Anonmem Format Protocol Runtime Trace

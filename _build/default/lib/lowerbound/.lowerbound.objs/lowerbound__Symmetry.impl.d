@@ -1,0 +1,1 @@
+lib/lowerbound/symmetry.ml: Anonmem Array Format Hashtbl List Naming Protocol Runtime Trace

@@ -1,0 +1,1 @@
+lib/lowerbound/symmetry.mli: Anonmem Format Protocol Runtime Trace

@@ -1,0 +1,259 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  type success = Entered_cs | Decided of P.output
+
+  type outcome = {
+    write_set : int list;
+    covering_prefix_steps : int list;
+    q_success : success;
+    p_proc : int;
+    p_success : success;
+    z_schedule_note : string;
+    trace : (P.Value.t, P.output) Trace.t;
+  }
+
+  let pp_success ppf = function
+    | Entered_cs -> Format.pp_print_string ppf "entered critical section"
+    | Decided v -> Format.fprintf ppf "decided %a" P.pp_output v
+
+  let success_of_status = function
+    | Protocol.Critical -> Some Entered_cs
+    | Protocol.Decided v -> Some (Decided v)
+    | Protocol.Remainder | Trying | Exiting -> None
+
+  let ( let* ) = Result.bind
+
+  (* Run [proc] solo until it succeeds. *)
+  let run_to_success rt proc ~budget ~what =
+    let ok t = success_of_status (R.status t proc) <> None in
+    match R.run ~until:ok rt (Schedule.solo proc) ~max_steps:budget with
+    | R.Condition_met ->
+      (match success_of_status (R.status rt proc) with
+      | Some s -> Ok s
+      | None -> assert false)
+    | Schedule_exhausted | All_decided | Step_limit ->
+      Error (Printf.sprintf "%s did not succeed solo within budget" what)
+
+  (* Step [proc] until its next action would be its first write; returns the
+     number of steps taken and the local register index of that write. *)
+  let advance_to_first_write rt proc ~budget ~what =
+    let rec go steps =
+      if steps > budget then
+        Error (Printf.sprintf "%s took no write within budget" what)
+      else
+        match R.peek rt proc with
+        | Protocol.Write (j, _, _) | Protocol.Rmw (j, _) -> Ok (steps, j)
+        | Protocol.Coin _ ->
+          Error (Printf.sprintf "%s flips coins; covering needs determinism" what)
+        | Protocol.Read _ | Protocol.Internal _ ->
+          (match R.status rt proc with
+          | Protocol.Decided _ ->
+            Error (Printf.sprintf "%s decided without writing" what)
+          | _ ->
+            let _ = R.step rt proc in
+            go (steps + 1))
+    in
+    go 0
+
+  (* A naming that sends local index [j] to physical register [w]. *)
+  let naming_covering ~m ~j ~w =
+    let a = Array.init m (fun k -> k) in
+    let tmp = a.(j) in
+    a.(j) <- a.(w);
+    a.(w) <- tmp;
+    Naming.of_array a
+
+  (* Round-robin restricted to the recruits (runtime indices 1..w): the
+     z-extension must involve only processes in P, never q. *)
+  let recruits_only w : Schedule.t =
+    let cursor = ref 0 in
+    fun view ->
+      let rec go tries =
+        if tries = w then None
+        else
+          let i = 1 + ((!cursor + tries) mod w) in
+          if view.kind i <> Schedule.Finished then begin
+            cursor := (!cursor + tries + 1) mod w;
+            Some i
+          end
+          else go (tries + 1)
+      in
+      go 0
+
+  let random_recruits w rng : Schedule.t =
+   fun view ->
+    let candidates =
+      List.filter
+        (fun i -> view.kind i <> Schedule.Finished)
+        (List.init w (fun k -> k + 1))
+    in
+    match candidates with
+    | [] -> None
+    | _ -> Some (Rng.pick rng (Array.of_list candidates))
+
+  let construct ?(q_id = 1) ?(recruit_budget = 100_000)
+      ?(z_solo_budget = 100_000) ?(z_random_budget = 200_000) ?(z_seeds = 32)
+      ?(respect_names = false) ~m ~q_input ~recruit_input () =
+    (* ---- probe phase: discover write(y, q) and each recruit's pending
+       first write, from the initial memory ---- *)
+    let probe_cfg max_recruits : R.config =
+      {
+        ids = Array.init (max_recruits + 1) (fun i -> q_id + i);
+        inputs =
+          Array.init (max_recruits + 1) (fun i ->
+              if i = 0 then q_input else recruit_input (i - 1));
+        namings = Array.init (max_recruits + 1) (fun _ -> Naming.identity m);
+        rng = None;
+        record_trace = true;
+      }
+    in
+    let probe = R.create (probe_cfg m) in
+    let cp0 = R.checkpoint probe in
+    let* _q_success = run_to_success probe 0 ~budget:recruit_budget ~what:"q" in
+    let write_set = Trace.writes_by (R.trace probe) 0 in
+    let* w =
+      match List.length write_set with
+      | 0 -> Error "q succeeded without writing: trivial counterexample"
+      | w -> Ok w
+    in
+    R.restore probe cp0;
+    let* prefixes =
+      (* recruits perform no writes here, so memory stays initial and the
+         probes do not disturb one another *)
+      List.fold_left
+        (fun acc k ->
+          let* acc = acc in
+          let* pre =
+            advance_to_first_write probe (k + 1) ~budget:recruit_budget
+              ~what:(Printf.sprintf "recruit %d" k)
+          in
+          Ok (pre :: acc))
+        (Ok []) (List.init w Fun.id)
+      |> Result.map List.rev
+    in
+    (* In the named model the adversary may not steer namings; check that
+       the recruits' pinned first writes happen to cover q's write set,
+       which is the step that fails for named-register algorithms. *)
+    let* () =
+      if not respect_names then Ok ()
+      else
+        let pinned = List.map snd prefixes in
+        let missing =
+          List.filteri
+            (fun k target -> List.nth pinned k <> target)
+            write_set
+        in
+        if missing = [] then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "cannot cover with fixed names: recruits' first writes go to \
+                registers {%s}, not to q's write set {%s}"
+               (String.concat ","
+                  (List.map string_of_int (List.sort_uniq compare pinned)))
+               (String.concat "," (List.map string_of_int write_set)))
+    in
+    (* ---- the real run: x ; y ; block-write ; z ---- *)
+    let cfg : R.config =
+      {
+        ids = Array.init (w + 1) (fun i -> q_id + i);
+        inputs =
+          Array.init (w + 1) (fun i ->
+              if i = 0 then q_input else recruit_input (i - 1));
+        namings =
+          Array.init (w + 1) (fun i ->
+              if i = 0 then Naming.identity m
+              else if respect_names then Naming.identity m
+              else
+                let _, j = List.nth prefixes (i - 1) in
+                naming_covering ~m ~j ~w:(List.nth write_set (i - 1)));
+        rng = None;
+        record_trace = true;
+      }
+    in
+    let rt = R.create cfg in
+    (* x: bring every recruit to its covering position *)
+    List.iteri
+      (fun k (steps, _) ->
+        for _ = 1 to steps do
+          ignore (R.step rt (k + 1))
+        done)
+      prefixes;
+    let mem_initial =
+      Array.for_all
+        (fun v -> P.Value.equal v P.Value.init)
+        (R.Mem.snapshot (R.memory rt))
+    in
+    if not mem_initial then
+      invalid_arg "Covering: covering prefix wrote memory (broken invariant)";
+    (* y: q runs alone and succeeds, exactly as in the probe *)
+    let* q_success = run_to_success rt 0 ~budget:recruit_budget ~what:"q" in
+    (* block write by the covering set *)
+    List.iteri
+      (fun k _ ->
+        let entry = R.step rt (k + 1) in
+        match entry.action with
+        | Trace.Write _ | Trace.Rmw _ -> ()
+        | Trace.Read _ | Trace.Internal | Trace.Coin _ ->
+          invalid_arg "Covering: recruit's pending step was not a write")
+      prefixes;
+    (* z: find an extension by recruits only in which a recruit succeeds *)
+    let after_block = R.checkpoint rt in
+    let z_found = ref None in
+    let succeeded () =
+      let rec go i =
+        if i > w then None
+        else
+          match success_of_status (R.status rt i) with
+          | Some s -> Some (i, s)
+          | None -> go (i + 1)
+      in
+      go 1
+    in
+    let attempt note sched ~budget =
+      if !z_found = None then begin
+        R.restore rt after_block;
+        let stop t =
+          ignore t;
+          succeeded () <> None
+        in
+        match R.run ~until:stop rt sched ~max_steps:budget with
+        | R.Condition_met ->
+          (match succeeded () with
+          | Some (i, s) -> z_found := Some (i, s, note)
+          | None -> assert false)
+        | Schedule_exhausted | All_decided | Step_limit -> ()
+      end
+    in
+    for i = 1 to w do
+      attempt
+        (Printf.sprintf "solo run of recruit %d" (i - 1))
+        (Schedule.solo i) ~budget:z_solo_budget
+    done;
+    attempt "round-robin over recruits" (recruits_only w) ~budget:z_random_budget;
+    for seed = 1 to z_seeds do
+      attempt
+        (Printf.sprintf "random schedule over recruits (seed %d)" seed)
+        (random_recruits w (Rng.create seed))
+        ~budget:z_random_budget
+    done;
+    match !z_found with
+    | None ->
+      Error
+        "no z-extension found: the subject lacks the progress property the \
+         theorem assumes"
+    | Some (p_proc, p_success, z_schedule_note) ->
+      Ok
+        {
+          write_set;
+          covering_prefix_steps = List.map fst prefixes;
+          q_success;
+          p_proc;
+          p_success;
+          z_schedule_note;
+          trace = R.trace rt;
+        }
+end

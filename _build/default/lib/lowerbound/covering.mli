@@ -1,0 +1,80 @@
+(** The §6 covering-argument adversary, executable (Theorems 6.2, 6.3, 6.5).
+
+    Given a protocol and a register count [m], the adversary mechanically
+    builds the run [rho = w; (z - x')] from the impossibility proofs:
+
+    + {b probe}: run a designated process [q] alone until it "succeeds"
+      (enters its critical section / decides); record the set [W] of
+      physical registers it wrote ([write(y, q)] in the paper).
+    + {b covering}: recruit [|W|] fresh processes. Because registers are
+      anonymous and a process's steps before its first write read only
+      initial values, the adversary may choose each recruit's naming
+      {e after} watching it, so that recruit [k]'s first write lands on the
+      [k]-th register of [W]. Run each recruit up to (not including) that
+      first write; together they now cover [W]. This prefix is [x].
+    + {b splice}: from [x] (in which nothing was written), let [q] run its
+      solo run [y] again — legal, since [x] left memory in its initial
+      state. [q] succeeds. Then release the {b block write}: every recruit
+      performs its pending write, obliterating every trace of [q].
+    + {b z-search}: the memory is now indistinguishable from [x'] (covering
+      prefix + block write, no [q] at all), so the recruits, running alone,
+      must again succeed — which the adversary realizes by searching
+      schedules (solo runs per recruit, then seeded random schedules).
+
+    The result is a single legal run in which both [q] and a recruit
+    succeed: two processes in the critical section at once, two different
+    consensus decisions, or the name 1 handed out twice.
+
+    The subject protocol must not flip coins, and its view of [n] must not
+    depend on the actual number of runtime processes (use
+    {!Anonmem.Wrap.Fix_n} for protocols parameterized by [n]). *)
+
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module R : module type of Runtime.Make (P)
+
+  type success = Entered_cs | Decided of P.output
+
+  type outcome = {
+    write_set : int list;
+        (** physical registers [q] wrote during its solo run, in first-write
+            order *)
+    covering_prefix_steps : int list;
+        (** steps each recruit took to reach its pending first write *)
+    q_success : success;
+    p_proc : int;  (** runtime index of the recruit that succeeded in [z] *)
+    p_success : success;
+    z_schedule_note : string;  (** how the z-extension was found *)
+    trace : (P.Value.t, P.output) Trace.t;  (** the entire run [rho] *)
+  }
+
+  val pp_success : Format.formatter -> success -> unit
+
+  val construct :
+    ?q_id:int ->
+    ?recruit_budget:int ->
+    ?z_solo_budget:int ->
+    ?z_random_budget:int ->
+    ?z_seeds:int ->
+    ?respect_names:bool ->
+    m:int ->
+    q_input:P.input ->
+    recruit_input:(int -> P.input) ->
+    unit ->
+    (outcome, string) result
+  (** [construct ~m ~q_input ~recruit_input ()] runs the whole
+      construction. [recruit_input k] is the input of the [k]-th recruit
+      (0-based). Fails with a diagnostic when an assumption of the proof
+      does not hold for the subject (e.g. [q] never writes, or no
+      z-extension is found within the search budgets — the latter indicates
+      the subject lacks the progress property the theorem assumes).
+
+      [respect_names] (default [false]) handicaps the adversary to the
+      {e named} model: every recruit keeps the identity naming instead of
+      one chosen after watching it. Against algorithms whose first write
+      goes to a fixed own register (every named baseline), the covering
+      step then fails with a diagnostic — demonstrating concretely why the
+      §6 impossibility proofs need anonymous registers and do not
+      contradict the named-model algorithms they are contrasted with. *)
+end

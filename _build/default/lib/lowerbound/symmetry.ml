@@ -1,0 +1,91 @@
+open Anonmem
+
+type verdict =
+  | Mutex_violation of { step : int; procs : int * int }
+  | Livelock of { detected_at : int; period : int }
+  | Symmetry_broken of { step : int; proc : int }
+  | No_violation of { steps : int }
+
+let pp_verdict ppf = function
+  | Mutex_violation { step; procs = p, q } ->
+    Format.fprintf ppf "mutual exclusion violated at step %d (p%d and p%d)"
+      step p q
+  | Livelock { detected_at; period } ->
+    Format.fprintf ppf
+      "livelock: state at step %d recurs every %d steps with no progress"
+      (detected_at - period) period
+  | Symmetry_broken { step; proc } ->
+    Format.fprintf ppf "symmetry broken: p%d decided at step %d" proc step
+  | No_violation { steps } ->
+    Format.fprintf ppf "no violation within %d steps" steps
+
+let divisor_witness ~n ~m =
+  let rec go d =
+    if d > n || d > m then None
+    else if m mod d = 0 then Some d
+    else go (d + 1)
+  in
+  go 2
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  (* The global state fingerprint must include the lock-step cursor so that
+     recurrence really implies an infinite loop of the deterministic run. *)
+  let fingerprint rt cursor =
+    let mem = R.Mem.snapshot (R.memory rt) in
+    let locals = Array.init (R.n rt) (fun i -> R.local rt i) in
+    (Array.to_list mem, Array.to_list locals, cursor)
+
+  let run ?(max_steps = 1_000_000) ~ids ~inputs ~m ~d () =
+    if d < 2 || m mod d <> 0 then
+      invalid_arg "Symmetry.run: d must be a divisor >= 2 of m";
+    let ids = Array.of_list ids in
+    let inputs = Array.of_list inputs in
+    if Array.length ids < d then invalid_arg "Symmetry.run: need >= d ids";
+    let spacing = m / d in
+    let cfg : R.config =
+      {
+        ids = Array.sub ids 0 d;
+        inputs = Array.sub inputs 0 d;
+        namings = Array.init d (fun k -> Naming.rotation m (k * spacing));
+        rng = None;
+        record_trace = true;
+      }
+    in
+    let rt = R.create cfg in
+    let seen : (P.Value.t list * P.local list * int, int) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let last_cs_entry = ref (-1) in
+    let rec go step =
+      if step >= max_steps then (No_violation { steps = step }, R.trace rt)
+      else begin
+        let cursor = step mod d in
+        let fp = fingerprint rt cursor in
+        match Hashtbl.find_opt seen fp with
+        | Some first when !last_cs_entry < first ->
+          (Livelock { detected_at = step; period = step - first }, R.trace rt)
+        | _ ->
+          if Protocol.is_decided (R.status rt cursor) then
+            (Symmetry_broken { step; proc = cursor }, R.trace rt)
+          else begin
+            if not (Hashtbl.mem seen fp) then Hashtbl.add seen fp step;
+            let entry = R.step rt cursor in
+            if Trace.enters_critical entry then last_cs_entry := step;
+            match R.critical_pair rt with
+            | Some procs -> (Mutex_violation { step; procs }, R.trace rt)
+            | None -> go (step + 1)
+          end
+      end
+    in
+    go 0
+
+  let attack ?max_steps ~ids ~inputs ~m () =
+    let n = List.length ids in
+    match divisor_witness ~n ~m with
+    | None -> None
+    | Some d ->
+      let verdict, trace = run ?max_steps ~ids ~inputs ~m ~d () in
+      Some (d, verdict, trace)
+end

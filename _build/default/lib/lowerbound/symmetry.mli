@@ -1,0 +1,64 @@
+(** The Theorem 3.4 adversary, executable.
+
+    If [m] and some [1 < l <= n] are not relatively prime, pick a divisor
+    [d > 1] of [m] with [d <= n], give [d] processes the same ring ordering
+    of the registers with initial registers spaced [m / d] apart (namings
+    [rotation m (k * m / d)]), and run them in lock step. A symmetric
+    algorithm that only compares identifiers for equality can never break
+    the symmetry: either everyone enters the critical section together
+    (mutual exclusion violated) or the global state eventually repeats with
+    nobody having entered (deadlock-freedom violated).
+
+    The driver observes which of the two actually happens for the protocol
+    under test and returns the constructed run. *)
+
+open Anonmem
+
+type verdict =
+  | Mutex_violation of { step : int; procs : int * int }
+      (** two processes simultaneously critical after [step] steps *)
+  | Livelock of { detected_at : int; period : int }
+      (** the global state at step [detected_at - period] recurred at
+          [detected_at] with no critical-section entry in between — the
+          lock-step run loops forever without progress *)
+  | Symmetry_broken of { step : int; proc : int }
+      (** a process decided: the protocol escaped the lock-step symmetry
+          (impossible for symmetric equality-only protocols; indicates the
+          subject uses more than id equality) *)
+  | No_violation of { steps : int }
+      (** survived the step budget: the (m, d) pair does not exhibit the
+          symmetry argument (expect this only when gcd-freedom holds) *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val divisor_witness : n:int -> m:int -> int option
+(** The smallest [d > 1] dividing [m] with [d <= n], i.e. the witness that
+    [m] is not relatively prime to every [2 <= l <= n]. [None] means the
+    Theorem 3.4 condition is satisfied (no symmetry attack exists). *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module R : module type of Runtime.Make (P)
+
+  val run :
+    ?max_steps:int ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    d:int ->
+    unit ->
+    verdict * (P.Value.t, P.output) Trace.t
+  (** Runs [d] of the given processes (the first [d] ids/inputs) in lock
+      step with rotated namings over [m] registers. Requires [d] divides
+      [m]. Default budget 1,000,000 steps. *)
+
+  val attack :
+    ?max_steps:int ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    unit ->
+    (int * verdict * (P.Value.t, P.output) Trace.t) option
+  (** Picks the divisor witness for [n = List.length ids] and runs it;
+      [None] when [m] is relatively prime to all [l <= n]. Returns
+      [(d, verdict, trace)]. *)
+end

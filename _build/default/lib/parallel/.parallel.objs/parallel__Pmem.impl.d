@@ -1,0 +1,1 @@
+lib/parallel/pmem.ml: Anonmem Array Atomic Naming Protocol

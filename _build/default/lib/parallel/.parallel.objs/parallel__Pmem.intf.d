@@ -1,0 +1,1 @@
+lib/parallel/pmem.mli: Anonmem Naming Protocol

@@ -1,0 +1,1 @@
+lib/parallel/prun.ml: Anonmem Array Atomic Domain Naming Pmem Protocol Rng

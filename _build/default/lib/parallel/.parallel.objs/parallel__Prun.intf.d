@@ -1,0 +1,1 @@
+lib/parallel/prun.mli: Anonmem Naming Protocol

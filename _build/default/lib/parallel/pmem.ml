@@ -1,0 +1,32 @@
+open Anonmem
+
+module Make (V : Protocol.VALUE) = struct
+  type t = V.t Atomic.t array
+
+  let create ~m =
+    assert (m >= 1);
+    Array.init m (fun _ -> Atomic.make V.init)
+
+  let size = Array.length
+
+  let cell t naming j =
+    let phys = Naming.apply naming j in
+    t.(phys)
+
+  let read t naming j = Atomic.get (cell t naming j)
+
+  let write t naming j v = Atomic.set (cell t naming j) v
+
+  let rmw t naming j f =
+    let c = cell t naming j in
+    let rec loop () =
+      let old_value = Atomic.get c in
+      let new_value = f old_value in
+      if Atomic.compare_and_set c old_value new_value then
+        (old_value, new_value)
+      else loop ()
+    in
+    loop ()
+
+  let snapshot t = Array.map Atomic.get t
+end

@@ -1,0 +1,28 @@
+(** Shared memory backed by real atomics, for the multicore backend.
+
+    OCaml 5 atomics are sequentially consistent, which makes an
+    ['v Atomic.t] a faithful atomic MWMR register; read-modify-write is a
+    lock-free compare-and-set retry loop, linearizable at the successful
+    CAS. Accesses go through a {!Anonmem.Naming.t} exactly as in the
+    simulator, so the anonymity discipline is preserved verbatim. *)
+
+open Anonmem
+
+module Make (V : Protocol.VALUE) : sig
+  type t
+
+  val create : m:int -> t
+  (** [m] registers, all holding [V.init]. *)
+
+  val size : t -> int
+
+  val read : t -> Naming.t -> int -> V.t
+  val write : t -> Naming.t -> int -> V.t -> unit
+
+  val rmw : t -> Naming.t -> int -> (V.t -> V.t) -> V.t * V.t
+  (** CAS retry loop; returns [(old, new)] of the successful exchange. *)
+
+  val snapshot : t -> V.t array
+  (** Non-atomic register-by-register copy — only meaningful when the
+      writers are quiescent (after a run). *)
+end

@@ -1,0 +1,105 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module Mem = Pmem.Make (P.Value)
+
+  type config = {
+    ids : int array;
+    inputs : P.input array;
+    namings : Naming.t array;
+    seed : int;
+  }
+
+  type proc_result = {
+    output : P.output option;
+    steps : int;
+    cs_entries : int;
+  }
+
+  type outcome = {
+    results : proc_result array;
+    mutex_violation : bool;
+    memory : P.Value.t array;
+  }
+
+  let run ~step_budget ~stop_when cfg =
+    let n = Array.length cfg.ids in
+    if n = 0 then invalid_arg "Prun: no processes";
+    if Array.length cfg.inputs <> n || Array.length cfg.namings <> n then
+      invalid_arg "Prun: config length mismatch";
+    let m = Naming.size cfg.namings.(0) in
+    let mem = Mem.create ~m in
+    let occupancy = Atomic.make 0 in
+    let violated = Atomic.make false in
+    let body proc () =
+      let id = cfg.ids.(proc) in
+      let naming = cfg.namings.(proc) in
+      let rng = Rng.create (cfg.seed + (7919 * (proc + 1))) in
+      let local = ref (P.start ~n ~m ~id cfg.inputs.(proc)) in
+      let steps = ref 0 in
+      let cs_entries = ref 0 in
+      let cs_exits = ref 0 in
+      let finished = ref false in
+      while (not !finished) && !steps < step_budget do
+        let before = P.status !local in
+        (match before with
+        | Protocol.Decided _ -> finished := true
+        | _ ->
+          (match P.step ~n ~m ~id !local with
+          | Protocol.Read (j, k) -> local := k (Mem.read mem naming j)
+          | Protocol.Write (j, v, l) ->
+            Mem.write mem naming j v;
+            local := l
+          | Protocol.Rmw (j, f) ->
+            let old_value, _ = Mem.rmw mem naming j (fun v -> fst (f v)) in
+            local := snd (f old_value)
+          | Protocol.Internal l -> local := l
+          | Protocol.Coin k -> local := k (Rng.bool rng));
+          incr steps;
+          let after = P.status !local in
+          (match (before, after) with
+          | (Protocol.Remainder | Trying | Exiting), Protocol.Critical ->
+            incr cs_entries;
+            let prev = Atomic.fetch_and_add occupancy 1 in
+            if prev <> 0 then Atomic.set violated true
+          | Protocol.Critical, (Protocol.Remainder | Trying | Exiting) ->
+            incr cs_exits;
+            ignore (Atomic.fetch_and_add occupancy (-1))
+          | _ -> ());
+          if stop_when ~status:after ~cs_completed:!cs_exits then
+            finished := true)
+      done;
+      (* never leave the occupancy counter skewed if we stop inside the CS *)
+      (match P.status !local with
+      | Protocol.Critical -> ignore (Atomic.fetch_and_add occupancy (-1))
+      | _ -> ());
+      {
+        output =
+          (match P.status !local with
+          | Protocol.Decided v -> Some v
+          | _ -> None);
+        steps = !steps;
+        cs_entries = !cs_entries;
+      }
+    in
+    let domains =
+      Array.init n (fun proc -> Domain.spawn (body proc))
+    in
+    let results = Array.map Domain.join domains in
+    {
+      results;
+      mutex_violation = Atomic.get violated;
+      memory = Mem.snapshot mem;
+    }
+
+  let run_decide ?(step_budget = 2_000_000) cfg =
+    run ~step_budget
+      ~stop_when:(fun ~status ~cs_completed:_ -> Protocol.is_decided status)
+      cfg
+
+  let run_sessions ?(step_budget = 2_000_000) ~sessions cfg =
+    run ~step_budget
+      ~stop_when:(fun ~status ~cs_completed ->
+        cs_completed >= sessions && status = Protocol.Remainder)
+      cfg
+end

@@ -1,0 +1,46 @@
+(** Multicore execution: one OCaml domain per process over atomic shared
+    memory.
+
+    Where {!Anonmem.Runtime} interleaves steps under a scheduler the test
+    chooses (the model's all-powerful adversary), this backend lets the
+    operating system preempt real threads — the interleavings are genuine
+    but not chosen, so it is the {e weaker} adversary and is used to check
+    that the algorithms survive reality, not to replace the checker.
+
+    Mutual exclusion is monitored with an atomic occupancy counter
+    (incremented on every transition into the critical section): any
+    overlap is latched in {!outcome.mutex_violation}. Runs are bounded by
+    per-process step budgets, so obstruction-free protocols that livelock
+    under contention simply report [None] decisions rather than hanging. *)
+
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) : sig
+  type config = {
+    ids : int array;
+    inputs : P.input array;
+    namings : Naming.t array;
+    seed : int;  (** coin streams are split per process from this seed *)
+  }
+
+  type proc_result = {
+    output : P.output option;
+    steps : int;
+    cs_entries : int;
+  }
+
+  type outcome = {
+    results : proc_result array;
+    mutex_violation : bool;
+    memory : P.Value.t array;  (** snapshot after every domain joined *)
+  }
+
+  val run_decide : ?step_budget:int -> config -> outcome
+  (** Each domain steps its process until it decides or exhausts the budget
+      (default 2,000,000 steps). *)
+
+  val run_sessions : ?step_budget:int -> sessions:int -> config -> outcome
+  (** Mutex workload: each domain keeps entering and leaving its critical
+      section until it has completed [sessions] of them (counted at exit
+      back to the remainder) or runs out of budget. *)
+end

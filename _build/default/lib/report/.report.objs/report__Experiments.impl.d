@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Anonmem Array Baseline Check Coord Format Fun Int List Lowerbound Naming Option Parallel Printf Protocol Result Rng Runtime Schedule Stats String Table Trace Wrap

@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Char Format List String

@@ -1,0 +1,57 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Table.make: row width mismatch")
+    rows;
+  { id; title; header; rows; notes }
+
+(* Display width in characters; the few non-ASCII glyphs we emit (naming
+   brackets, arrows) are single-width, so count Unicode scalars, not
+   bytes. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter
+    (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n)
+    s;
+  !n
+
+let render ppf t =
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (display_width cell))
+      row
+  in
+  measure t.header;
+  List.iter measure t.rows;
+  let pad cell w =
+    cell ^ String.make (max 0 (w - display_width cell)) ' '
+  in
+  let line sep =
+    String.concat sep
+      (List.mapi (fun i _ -> String.make widths.(i) '-') t.header)
+  in
+  let print_row row =
+    Format.fprintf ppf "| %s |@."
+      (String.concat " | " (List.mapi (fun i c -> pad c widths.(i)) row))
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "+-%s-+@." (line "-+-");
+  print_row t.header;
+  Format.fprintf ppf "+-%s-+@." (line "-+-");
+  List.iter print_row t.rows;
+  Format.fprintf ppf "+-%s-+@." (line "-+-");
+  List.iter (fun n -> Format.fprintf ppf "  %s@." n) t.notes;
+  Format.fprintf ppf "@."
+
+let render_all ppf ts = List.iter (render ppf) ts

@@ -1,0 +1,22 @@
+(** Plain-text tables for the experiment reports. *)
+
+type t = {
+  id : string;  (** experiment identifier, e.g. "E1" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** free-form lines printed under the table *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val render : Format.formatter -> t -> unit
+(** Monospace rendering with column widths fitted to the data. *)
+
+val render_all : Format.formatter -> t list -> unit

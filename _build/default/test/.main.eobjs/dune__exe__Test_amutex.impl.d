@@ -1,0 +1,1 @@
+test/test_amutex.ml: Alcotest Anonmem Array Check Coord Hashtbl List Naming Protocol QCheck QCheck_alcotest Rng Runtime Schedule Trace

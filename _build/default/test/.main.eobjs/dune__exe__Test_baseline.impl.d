@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Anonmem Array Baseline Check Fun Int List Protocol Rng Runtime Schedule Trace

@@ -1,0 +1,1 @@
+test/test_ccp.ml: Alcotest Anonmem Array Check Coord Fun List Lowerbound Naming Printf Protocol Rng Runtime Schedule

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Anonmem Array Check Coord Dot Flatgraph Format Int List Protocol String Test_runtime Test_wrap Trace

@@ -1,0 +1,1 @@
+test/test_cmp_mutex.ml: Alcotest Anonmem Array Check Coord List Lowerbound Naming Protocol QCheck QCheck_alcotest Rng Runtime Schedule Trace

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Anonmem Array Check Coord Fun Int List Naming Option Protocol QCheck QCheck_alcotest Rng Runtime Schedule

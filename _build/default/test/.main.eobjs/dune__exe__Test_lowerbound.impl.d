@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Anonmem Coord List Lowerbound Naming String Trace Wrap

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Anonmem Array Format Int Memory Naming

@@ -1,0 +1,1 @@
+test/test_naming.ml: Alcotest Anonmem Array Format Fun List Naming QCheck QCheck_alcotest Rng

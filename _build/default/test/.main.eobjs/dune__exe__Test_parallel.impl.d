@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Anonmem Array Coord Fun List Naming Option Parallel Rng

@@ -1,0 +1,1 @@
+test/test_renaming.ml: Alcotest Anonmem Array Check Coord Fun Int List Naming Protocol QCheck QCheck_alcotest Rng Runtime Schedule

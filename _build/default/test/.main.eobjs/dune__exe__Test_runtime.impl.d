@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Anonmem Array Coord Format Int List Naming Option Protocol Rng Runtime Schedule Stdlib Trace

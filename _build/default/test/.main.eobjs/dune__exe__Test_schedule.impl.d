@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Anonmem Array List Option Rng Schedule

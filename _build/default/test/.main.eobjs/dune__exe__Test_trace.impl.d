@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Anonmem Format List Printf Protocol String Trace

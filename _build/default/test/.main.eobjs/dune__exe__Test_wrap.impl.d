@@ -1,0 +1,1 @@
+test/test_wrap.ml: Alcotest Anonmem Check Coord List Naming Protocol Runtime Schedule Wrap

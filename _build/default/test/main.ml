@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "anonring"
+    [
+      ("rng", Test_rng.suite);
+      ("naming", Test_naming.suite);
+      ("memory", Test_memory.suite);
+      ("schedule", Test_schedule.suite);
+      ("runtime", Test_runtime.suite);
+      ("stats", Test_stats.suite);
+      ("check", Test_check.suite);
+      ("props", Test_props.suite);
+      ("trace", Test_trace.suite);
+      ("wrap", Test_wrap.suite);
+      ("amutex", Test_amutex.suite);
+      ("cmp_mutex", Test_cmp_mutex.suite);
+      ("consensus", Test_consensus.suite);
+      ("election", Test_election.suite);
+      ("renaming", Test_renaming.suite);
+      ("ccp", Test_ccp.suite);
+      ("baseline", Test_baseline.suite);
+      ("lowerbound", Test_lowerbound.suite);
+      ("report", Test_report.suite);
+      ("parallel", Test_parallel.suite);
+    ]

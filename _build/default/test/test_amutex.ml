@@ -1,0 +1,259 @@
+open Anonmem
+module P = Coord.Amutex.P
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+let explore ?(ids = [ 7; 13 ]) ~m:_ ~namings () =
+  let cfg : E.config =
+    {
+      ids = Array.of_list ids;
+      inputs = Array.of_list (List.map (fun _ -> ()) ids);
+      namings = Array.of_list namings;
+    }
+  in
+  E.explore cfg
+
+let me_df ?ids ~m ~namings () =
+  let g = explore ?ids ~m ~namings () in
+  Alcotest.(check bool) "graph complete" true g.complete;
+  let f = E.to_flat g in
+  ( Check.Mutex_props.mutual_exclusion f,
+    Check.Mutex_props.deadlock_freedom f )
+
+let test_threshold () =
+  Alcotest.(check int) "ceil 3/2" 2 (P.threshold ~m:3);
+  Alcotest.(check int) "ceil 5/2" 3 (P.threshold ~m:5);
+  Alcotest.(check int) "ceil 7/2" 4 (P.threshold ~m:7)
+
+(* Theorem 3.2 + 3.3, m = 3: exhaustive over every relative naming. By
+   relabeling physical registers, fixing process 0's naming to the identity
+   loses no generality. *)
+let test_m3_all_namings () =
+  List.iter
+    (fun nam ->
+      let me, df = me_df ~m:3 ~namings:[ Naming.identity 3; nam ] () in
+      Alcotest.(check bool) "mutual exclusion" true (me = None);
+      Alcotest.(check bool) "deadlock freedom" true (df = None))
+    (Naming.all 3)
+
+(* m = 5 is bigger; spot-check the identity and a few nontrivial namings. *)
+let test_m5_sampled_namings () =
+  let namings =
+    [
+      Naming.identity 5;
+      Naming.rotation 5 2;
+      Naming.of_array [| 4; 2; 0; 3; 1 |];
+    ]
+  in
+  List.iter
+    (fun nam ->
+      let me, df = me_df ~m:5 ~namings:[ Naming.identity 5; nam ] () in
+      Alcotest.(check bool) "mutual exclusion (m=5)" true (me = None);
+      Alcotest.(check bool) "deadlock freedom (m=5)" true (df = None))
+    namings
+
+(* Theorem 3.1, only-if direction: with an even number of registers the
+   algorithm cannot be deadlock-free (mutual exclusion itself survives). *)
+let test_even_m_loses_deadlock_freedom () =
+  List.iter
+    (fun m ->
+      let me, df =
+        me_df ~m ~namings:[ Naming.identity m; Naming.rotation m (m / 2) ] ()
+      in
+      Alcotest.(check bool) "mutual exclusion still holds" true (me = None);
+      Alcotest.(check bool) "deadlock freedom fails" true (df <> None))
+    [ 2; 4 ]
+
+(* Three processes on three registers: the gcd(3,3)=3 case of Theorem 3.4
+   says no symmetric algorithm can be a correct mutex here. For Figure 1's
+   naive generalization the checker finds that {e both} requirements break:
+   the proof's rotational lock-step run livelocks (deadlock freedom), and
+   there is also an interleaving where two processes' stale pending writes
+   let them both see an all-mine view (mutual exclusion) — with only two
+   processes Theorem 3.2 excludes that second failure mode. *)
+let test_three_procs_rotations_fail () =
+  let me, df =
+    me_df ~ids:[ 7; 13; 21 ] ~m:3
+      ~namings:[ Naming.rotation 3 0; Naming.rotation 3 1; Naming.rotation 3 2 ]
+      ()
+  in
+  Alcotest.(check bool) "mutual exclusion fails for 3 procs on 3 regs" true
+    (me <> None);
+  Alcotest.(check bool) "deadlock-freedom fails for 3 procs on 3 regs" true
+    (df <> None)
+
+(* §8 lists starvation-free mutex as open; Figure 1 itself is deadlock-free
+   but NOT starvation-free: the adversary can let one process keep losing
+   the scan forever while the other cycles through its critical section. *)
+let test_not_starvation_free () =
+  let g = explore ~m:3 ~namings:[ Naming.identity 3; Naming.rotation 3 1 ] () in
+  let f = E.to_flat g in
+  Alcotest.(check bool) "deadlock-free" true
+    (Check.Mutex_props.deadlock_freedom f = None);
+  match Check.Mutex_props.starvation_freedom f with
+  | Some (_, v) ->
+    Alcotest.(check bool) "starvation cycle is non-trivial" true
+      (List.length v.states > 1)
+  | None -> Alcotest.fail "Figure 1 should not be starvation-free"
+
+(* Simulation-level: random schedules never see two processes critical and
+   someone keeps winning. *)
+let run_random ~seed ~m =
+  let cfg : R.config =
+    {
+      ids = [| 3; 11 |];
+      inputs = [| (); () |];
+      namings =
+        (let rng = Rng.create (seed * 7919) in
+         [| Naming.random rng m; Naming.random rng m |]);
+      rng = None;
+      record_trace = true;
+    }
+  in
+  let rt = R.create cfg in
+  let rng = Rng.create seed in
+  let violations = ref 0 in
+  let entries = ref 0 in
+  let sched = Schedule.random rng in
+  for _ = 1 to 3000 do
+    match sched { n = 2; clock = R.clock rt; kind = (fun i -> R.kind rt i) } with
+    | Some i ->
+      let e = R.step rt i in
+      if Trace.enters_critical e then incr entries;
+      if R.critical_pair rt <> None then incr violations
+    | None -> ()
+  done;
+  (!violations, !entries)
+
+let qcheck_random_schedules_safe =
+  QCheck.Test.make ~name:"random schedules: safe and live (odd m)" ~count:60
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, mi) ->
+      let m = 3 + (2 * mi) in
+      let violations, entries = run_random ~seed:(seed + 1) ~m in
+      violations = 0 && entries > 0)
+
+let test_solo_entry () =
+  (* a process running alone enters its critical section in Theta(m) steps *)
+  List.iter
+    (fun m ->
+      let rt =
+        R.create
+          (R.simple_config ~m ~ids:[ 5 ] ~inputs:[ () ] ())
+      in
+      let reason =
+        R.run rt
+          ~until:(fun t -> R.status t 0 = Protocol.Critical)
+          (Schedule.solo 0) ~max_steps:(4 * m)
+      in
+      Alcotest.(check bool) "entered critical section" true
+        (reason = R.Condition_met);
+      Alcotest.(check int) "scan writes + view reads + internal"
+        ((3 * m) + 1)
+        (R.steps_of rt 0))
+    [ 3; 5; 7; 9 ]
+
+let test_exit_resets_registers () =
+  let m = 5 in
+  let rt = R.create (R.simple_config ~m ~ids:[ 5 ] ~inputs:[ () ] ()) in
+  let _ =
+    R.run rt
+      ~until:(fun t -> R.status t 0 = Protocol.Critical)
+      (Schedule.solo 0) ~max_steps:100
+  in
+  (* run the exit code: m writes + the internal leave step *)
+  let _ =
+    R.run rt
+      ~until:(fun t -> R.status t 0 = Protocol.Remainder)
+      (Schedule.solo 0) ~max_steps:(2 * m)
+  in
+  Alcotest.(check bool) "back in remainder" true
+    (R.status rt 0 = Protocol.Remainder);
+  for j = 0 to m - 1 do
+    Alcotest.(check int) "register reset" 0
+      (R.Mem.get_physical (R.memory rt) j)
+  done
+
+(* Cross-validation of the two execution engines: every state the mutable
+   simulator passes through must be a member of the immutable checker's
+   reachable set for the same configuration. *)
+let test_simulator_states_are_reachable () =
+  let m = 3 in
+  let namings = [| Naming.identity m; Naming.rotation m 1 |] in
+  let cfg : E.config =
+    { ids = [| 7; 13 |]; inputs = [| (); () |]; namings }
+  in
+  let g = E.explore cfg in
+  let reachable = Hashtbl.create (Array.length g.states) in
+  Array.iter (fun st -> Hashtbl.replace reachable st ()) g.states;
+  let rcfg : R.config =
+    {
+      ids = cfg.ids;
+      inputs = cfg.inputs;
+      namings;
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create rcfg in
+  let rng = Rng.create 77 in
+  let sched = Schedule.random rng in
+  for _ = 1 to 2000 do
+    (match
+       sched { n = 2; clock = R.clock rt; kind = (fun i -> R.kind rt i) }
+     with
+    | Some i -> ignore (R.step rt i)
+    | None -> ());
+    let st : E.state =
+      {
+        mem = R.Mem.snapshot (R.memory rt);
+        locals = Array.init 2 (fun i -> R.local rt i);
+      }
+    in
+    Alcotest.(check bool) "simulator state is in the explored set" true
+      (Hashtbl.mem reachable st)
+  done
+
+(* Symmetry contract: relabeling ids consistently yields the same physical
+   behavior (the algorithm uses ids only for equality comparisons). *)
+let test_id_relabeling_equivariance () =
+  let run ids =
+    let rt =
+      R.create
+        (R.simple_config ~m:3 ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+    in
+    let sched = Schedule.script [ 0; 1; 0; 0; 1; 1; 0; 1; 0; 1; 1; 0; 0; 1 ] in
+    let _ = R.run rt sched ~max_steps:100 in
+    (* statuses and write positions must be identical modulo the id map *)
+    (List.init 2 (fun i -> Protocol.status_kind (R.status rt i)),
+     List.map
+       (fun e ->
+         match e.Trace.action with
+         | Trace.Write { phys; _ } -> Some (e.Trace.proc, phys)
+         | _ -> None)
+       (R.trace rt))
+  in
+  Alcotest.(check bool) "relabeled run isomorphic" true
+    (run [ 7; 13 ] = run [ 2000; 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "threshold" `Quick test_threshold;
+    Alcotest.test_case "model check m=3, all namings (Thm 3.2/3.3)" `Slow
+      test_m3_all_namings;
+    Alcotest.test_case "model check m=5, sampled namings" `Slow
+      test_m5_sampled_namings;
+    Alcotest.test_case "even m loses deadlock freedom (Thm 3.1)" `Slow
+      test_even_m_loses_deadlock_freedom;
+    Alcotest.test_case "3 procs / 3 regs fails (Thm 3.4 instance)" `Slow
+      test_three_procs_rotations_fail;
+    Alcotest.test_case "deadlock-free but not starvation-free" `Slow
+      test_not_starvation_free;
+    QCheck_alcotest.to_alcotest qcheck_random_schedules_safe;
+    Alcotest.test_case "solo entry cost" `Quick test_solo_entry;
+    Alcotest.test_case "exit resets registers" `Quick test_exit_resets_registers;
+    Alcotest.test_case "simulator states are checker-reachable" `Quick
+      test_simulator_states_are_reachable;
+    Alcotest.test_case "id relabeling equivariance" `Quick
+      test_id_relabeling_equivariance;
+  ]

@@ -1,0 +1,386 @@
+open Anonmem
+
+(* --- Peterson --- *)
+module EP = Check.Explore.Make (Baseline.Peterson.P)
+module RP = Runtime.Make (Baseline.Peterson.P)
+
+let test_peterson_me_df () =
+  let cfg = EP.config ~ids:[ 1; 2 ] ~inputs:[ (); () ] () in
+  let g = EP.explore cfg in
+  let f = EP.to_flat g in
+  Alcotest.(check bool) "mutual exclusion" true
+    (Check.Mutex_props.mutual_exclusion f = None);
+  Alcotest.(check bool) "deadlock freedom" true
+    (Check.Mutex_props.deadlock_freedom f = None)
+
+let test_peterson_starvation_free () =
+  let cfg = EP.config ~ids:[ 1; 2 ] ~inputs:[ (); () ] () in
+  let f = EP.to_flat (EP.explore cfg) in
+  Alcotest.(check bool) "peterson is starvation-free" true
+    (Check.Mutex_props.starvation_freedom f = None)
+
+let test_peterson_rejects_bad_ids () =
+  Alcotest.check_raises "ids must be 1 and 2"
+    (Invalid_argument "Peterson: identifiers must be 1 and 2") (fun () ->
+      ignore (RP.create (RP.simple_config ~ids:[ 1; 3 ] ~inputs:[ (); () ] ())))
+
+(* --- Burns --- *)
+module EB = Check.Explore.Make (Baseline.Burns.P)
+module RB = Runtime.Make (Baseline.Burns.P)
+
+let test_burns_me_df () =
+  List.iter
+    (fun n ->
+      let ids = List.init n (fun i -> i + 1) in
+      let cfg = EB.config ~ids ~inputs:(List.map (fun _ -> ()) ids) () in
+      let g = EB.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      let f = EB.to_flat g in
+      Alcotest.(check bool) "mutual exclusion" true
+        (Check.Mutex_props.mutual_exclusion f = None);
+      Alcotest.(check bool) "deadlock freedom" true
+        (Check.Mutex_props.deadlock_freedom f = None))
+    [ 2; 3 ]
+
+(* Burns' one-bit algorithm is the classic example of deadlock-freedom
+   without starvation-freedom: low-indexed processes can starve the rest. *)
+let test_burns_not_starvation_free () =
+  let cfg = EB.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] () in
+  let f = EB.to_flat (EB.explore cfg) in
+  Alcotest.(check bool) "burns can starve someone" true
+    (Check.Mutex_props.starvation_freedom f <> None)
+
+let test_burns_solo () =
+  let rt = RB.create (RB.simple_config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ()) in
+  let reason =
+    RB.run rt
+      ~until:(fun t -> RB.status t 1 = Protocol.Critical)
+      (Schedule.solo 1) ~max_steps:100
+  in
+  Alcotest.(check bool) "middle process enters solo" true
+    (reason = RB.Condition_met)
+
+(* --- Tournament --- *)
+module ET = Check.Explore.Make (Baseline.Tournament.P)
+module RT = Runtime.Make (Baseline.Tournament.P)
+
+let test_tournament_model_check () =
+  List.iter
+    (fun n ->
+      let ids = List.init n (fun i -> i + 1) in
+      let cfg = ET.config ~ids ~inputs:(List.map (fun _ -> ()) ids) () in
+      let g = ET.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      let f = ET.to_flat g in
+      Alcotest.(check bool) "mutual exclusion" true
+        (Check.Mutex_props.mutual_exclusion f = None);
+      Alcotest.(check bool) "deadlock freedom" true
+        (Check.Mutex_props.deadlock_freedom f = None);
+      (* the whole point of paying 3(n-1) registers: nobody starves *)
+      Alcotest.(check bool) "starvation freedom" true
+        (Check.Mutex_props.starvation_freedom f = None))
+    [ 2; 4 ]
+
+let test_tournament_validation () =
+  Alcotest.check_raises "n must be a power of two"
+    (Invalid_argument "Tournament: n must be a power of two") (fun () ->
+      ignore
+        (RT.create
+           (RT.simple_config ~m:6 ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ())))
+
+let test_tournament_simulation_n8 () =
+  (* beyond exhaustive reach: 8 processes under random schedules *)
+  let n = 8 in
+  let ids = List.init n (fun i -> i + 1) in
+  let rt =
+    RT.create (RT.simple_config ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+  in
+  let rng = Rng.create 5 in
+  let sched = Schedule.random rng in
+  let entries = ref 0 in
+  for _ = 1 to 30_000 do
+    match
+      sched { n; clock = RT.clock rt; kind = (fun i -> RT.kind rt i) }
+    with
+    | Some i ->
+      let e = RT.step rt i in
+      if Trace.enters_critical e then incr entries;
+      Alcotest.(check bool) "exclusive" true (RT.critical_pair rt = None)
+    | None -> ()
+  done;
+  Alcotest.(check bool) "plenty of CS entries" true (!entries > 50)
+
+let test_tournament_levels () =
+  Alcotest.(check int) "log2 8" 3 (Baseline.Tournament.P.levels ~n:8);
+  Alcotest.(check int) "log2 2" 1 (Baseline.Tournament.P.levels ~n:2)
+
+(* --- Lamport fast mutex --- *)
+module EF = Check.Explore.Make (Baseline.Fast_mutex.P)
+module RF = Runtime.Make (Baseline.Fast_mutex.P)
+
+let test_fast_mutex_model_check () =
+  List.iter
+    (fun n ->
+      let ids = List.init n (fun i -> i + 1) in
+      let cfg = EF.config ~ids ~inputs:(List.map (fun _ -> ()) ids) () in
+      let g = EF.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      let f = EF.to_flat g in
+      Alcotest.(check bool) "mutual exclusion" true
+        (Check.Mutex_props.mutual_exclusion f = None);
+      Alcotest.(check bool) "deadlock freedom" true
+        (Check.Mutex_props.deadlock_freedom f = None);
+      (* famously not starvation-free: contended losers can wait forever *)
+      Alcotest.(check bool) "not starvation-free" true
+        (Check.Mutex_props.starvation_freedom f <> None))
+    [ 2; 3 ]
+
+(* The headline feature: the uncontended entry touches exactly five shared
+   registers (plus one internal step), independent of n. *)
+let test_fast_mutex_fast_path () =
+  List.iter
+    (fun n ->
+      let ids = List.init n (fun i -> i + 1) in
+      let rt =
+        RF.create
+          (RF.simple_config ~m:(n + 2) ~ids
+             ~inputs:(List.map (fun _ -> ()) ids)
+             ())
+      in
+      let reason =
+        RF.run rt
+          ~until:(fun t -> RF.status t 0 = Protocol.Critical)
+          (Schedule.solo 0) ~max_steps:100
+      in
+      Alcotest.(check bool) "entered" true (reason = RF.Condition_met);
+      Alcotest.(check int) "constant-cost fast path" 6 (RF.steps_of rt 0))
+    [ 2; 4; 8; 16 ]
+
+let test_fast_mutex_validation () =
+  Alcotest.check_raises "register count enforced"
+    (Invalid_argument "Fast_mutex: needs n + 2 registers") (fun () ->
+      ignore
+        (RF.create (RF.simple_config ~m:3 ~ids:[ 1; 2 ] ~inputs:[ (); () ] ())))
+
+let test_fast_mutex_random_safe () =
+  for seed = 1 to 25 do
+    let n = 2 + (seed mod 3) in
+    let ids = List.init n (fun i -> i + 1) in
+    let rt =
+      RF.create
+        (RF.simple_config ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+    in
+    let rng = Rng.create (seed * 7) in
+    let sched = Schedule.random rng in
+    let entries = ref 0 in
+    for _ = 1 to 4000 do
+      match
+        sched { n; clock = RF.clock rt; kind = (fun i -> RF.kind rt i) }
+      with
+      | Some i ->
+        let e = RF.step rt i in
+        if Trace.enters_critical e then incr entries;
+        Alcotest.(check bool) "exclusive" true (RF.critical_pair rt = None)
+      | None -> ()
+    done;
+    Alcotest.(check bool) "made progress" true (!entries > 0)
+  done
+
+(* --- CA consensus --- *)
+module ECA = Check.Explore.Make (Baseline.Ca_consensus.P)
+module RCA = Runtime.Make (Baseline.Ca_consensus.P)
+
+let test_ca_model_check () =
+  let m = Baseline.Ca_consensus.P.registers_for ~n:2 ~rounds:2 in
+  let cfg = ECA.config ~m ~ids:[ 1; 2 ] ~inputs:[ 100; 200 ] () in
+  let g = ECA.explore cfg in
+  Alcotest.(check bool) "complete" true g.complete;
+  Alcotest.(check bool) "agreement" true
+    (Check.Props.agreement ~equal:Int.equal ~statuses:ECA.statuses g.states
+    = None);
+  Alcotest.(check bool) "validity" true
+    (Check.Props.validity
+       ~allowed:(fun v -> v = 100 || v = 200)
+       ~statuses:ECA.statuses g.states
+    = None)
+
+(* Obstruction freedom holds wherever round headroom remains. A solo run
+   from round r commits by round max_round + 1, where max_round is the
+   highest round any process has already polluted with a conflicting
+   A-entry — so the bounded register file guarantees solo termination
+   exactly from states with max_round <= rounds - 2. *)
+let test_ca_of_with_headroom () =
+  let rounds = 3 in
+  let m = Baseline.Ca_consensus.P.registers_for ~n:2 ~rounds in
+  let cfg = ECA.config ~m ~ids:[ 1; 2 ] ~inputs:[ 100; 200 ] () in
+  let g = ECA.explore cfg in
+  let bound = 4 * m in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  Array.iter
+    (fun st ->
+      (* highest round whose registers anyone has touched: a solo run from
+         such a state commits by the following round *)
+      let max_polluted =
+        let top = ref 0 in
+        Array.iteri
+          (fun j v -> if v <> 0 then top := max !top (j / 4))
+          st.ECA.mem;
+        Array.fold_left
+          (fun acc l -> max acc (Baseline.Ca_consensus.P.round_of l))
+          !top st.ECA.locals
+      in
+      if max_polluted <= rounds - 2 then
+        Array.iteri
+          (fun proc l ->
+            if not (Protocol.is_decided (Baseline.Ca_consensus.P.status l))
+            then begin
+              incr checked;
+              match ECA.solo_run cfg st ~proc ~max_steps:bound with
+              | `Decided _ -> ()
+              | `Out_of_steps | `Coin -> incr failures
+            end)
+          st.ECA.locals)
+    g.states;
+  Alcotest.(check bool) "checked a substantial set" true (!checked > 100);
+  Alcotest.(check int) "all headroom states decide solo" 0 !failures
+
+let test_ca_solo_decides () =
+  let n = 3 in
+  let m = Baseline.Ca_consensus.P.default_registers ~n in
+  let rt =
+    RCA.create (RCA.simple_config ~m ~ids:[ 1; 2; 3 ] ~inputs:[ 7; 8; 9 ] ())
+  in
+  let _ = RCA.run rt (Schedule.solo 2) ~max_steps:1000 in
+  match RCA.status rt 2 with
+  | Protocol.Decided v -> Alcotest.(check int) "decides own input" 9 v
+  | _ -> Alcotest.fail "solo must decide"
+
+let test_ca_random_agreement () =
+  for seed = 1 to 40 do
+    let n = 2 + (seed mod 3) in
+    let m = Baseline.Ca_consensus.P.default_registers ~n in
+    let rng = Rng.create (seed * 31) in
+    let ids = List.init n (fun i -> i + 1) in
+    let inputs = List.init n (fun i -> (i + 1) * 11) in
+    let rt = RCA.create (RCA.simple_config ~m ~ids ~inputs ()) in
+    let _ = RCA.run rt (Schedule.random rng) ~max_steps:(100 * n) in
+    for i = 0 to n - 1 do
+      ignore (RCA.run rt (Schedule.solo i) ~max_steps:(50 * m))
+    done;
+    let ds = Array.to_list (RCA.decisions rt) |> List.filter_map Fun.id in
+    Alcotest.(check int) "all decided" n (List.length ds);
+    (match ds with
+    | v :: rest ->
+      List.iter (fun w -> Alcotest.(check int) "agreement" v w) rest;
+      Alcotest.(check bool) "validity" true (List.mem v inputs)
+    | [] -> Alcotest.fail "no decisions")
+  done
+
+(* --- Chain renaming --- *)
+module ECH = Check.Explore.Make (Baseline.Chain_renaming.P)
+module RCH = Runtime.Make (Baseline.Chain_renaming.P)
+
+let test_chain_model_check () =
+  let cfg = ECH.config ~ids:[ 7; 13 ] ~inputs:[ (); () ] () in
+  let g = ECH.explore cfg in
+  Alcotest.(check bool) "complete" true g.complete;
+  Alcotest.(check bool) "unique names" true
+    (Check.Props.distinct_outputs ~equal:Int.equal ~statuses:ECH.statuses
+       g.states
+    = None);
+  Alcotest.(check bool) "adaptive range" true
+    (Check.Props.adaptive_range ~name_of:Fun.id ~statuses:ECH.statuses
+       g.states
+    = None);
+  Alcotest.(check bool) "obstruction-free termination" true
+    (ECH.check_obstruction_freedom g = None)
+
+let test_chain_solo_name_1 () =
+  let n = 4 in
+  let m = Baseline.Chain_renaming.P.default_registers ~n in
+  let ids = [ 9; 2; 5; 7 ] in
+  let rt =
+    RCH.create
+      (RCH.simple_config ~m ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+  in
+  let _ = RCH.run rt (Schedule.solo 0) ~max_steps:(100 * m) in
+  match RCH.status rt 0 with
+  | Protocol.Decided v -> Alcotest.(check int) "solo gets name 1" 1 v
+  | _ -> Alcotest.fail "solo must decide"
+
+let test_chain_random_unique () =
+  for seed = 1 to 30 do
+    let n = 2 + (seed mod 3) in
+    let m = Baseline.Chain_renaming.P.default_registers ~n in
+    let rng = Rng.create (seed * 17) in
+    let ids = List.init n (fun i -> (i + 1) * 5) in
+    let rt =
+      RCH.create
+        (RCH.simple_config ~m ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+    in
+    let _ = RCH.run rt (Schedule.random rng) ~max_steps:(300 * n) in
+    let budget = ref (10 * n) in
+    while (not (RCH.all_decided rt)) && !budget > 0 do
+      decr budget;
+      for i = 0 to n - 1 do
+        ignore (RCH.run rt (Schedule.solo i) ~max_steps:(100 * m))
+      done
+    done;
+    let names =
+      Array.to_list (RCH.decisions rt) |> List.filter_map Fun.id
+    in
+    Alcotest.(check int) "all named" n (List.length names);
+    Alcotest.(check (list int)) "perfect names"
+      (List.init n (fun i -> i + 1))
+      (List.sort compare names)
+  done
+
+let test_chain_wrong_m_rejected () =
+  Alcotest.check_raises "register count enforced"
+    (Invalid_argument "Chain_renaming: wrong register count") (fun () ->
+      ignore
+        (RCH.create (RCH.simple_config ~m:4 ~ids:[ 1; 2 ] ~inputs:[ (); () ] ())))
+
+let suite =
+  [
+    Alcotest.test_case "peterson: model check ME+DF" `Quick test_peterson_me_df;
+    Alcotest.test_case "peterson: starvation-free" `Quick
+      test_peterson_starvation_free;
+    Alcotest.test_case "peterson: id validation" `Quick
+      test_peterson_rejects_bad_ids;
+    Alcotest.test_case "burns: model check ME+DF (n=2,3)" `Slow
+      test_burns_me_df;
+    Alcotest.test_case "burns: not starvation-free" `Slow
+      test_burns_not_starvation_free;
+    Alcotest.test_case "burns: solo entry" `Quick test_burns_solo;
+    Alcotest.test_case "tournament: model check incl. starvation (n=2,4)"
+      `Slow test_tournament_model_check;
+    Alcotest.test_case "tournament: validation" `Quick
+      test_tournament_validation;
+    Alcotest.test_case "tournament: simulation n=8" `Quick
+      test_tournament_simulation_n8;
+    Alcotest.test_case "tournament: levels" `Quick test_tournament_levels;
+    Alcotest.test_case "fast mutex: model check (n=2,3)" `Slow
+      test_fast_mutex_model_check;
+    Alcotest.test_case "fast mutex: constant fast path" `Quick
+      test_fast_mutex_fast_path;
+    Alcotest.test_case "fast mutex: validation" `Quick
+      test_fast_mutex_validation;
+    Alcotest.test_case "fast mutex: random schedules safe" `Quick
+      test_fast_mutex_random_safe;
+    Alcotest.test_case "ca-consensus: model check" `Slow test_ca_model_check;
+    Alcotest.test_case "ca-consensus: OF with round headroom" `Slow
+      test_ca_of_with_headroom;
+    Alcotest.test_case "ca-consensus: solo decides" `Quick test_ca_solo_decides;
+    Alcotest.test_case "ca-consensus: random agreement" `Quick
+      test_ca_random_agreement;
+    Alcotest.test_case "chain renaming: model check" `Slow
+      test_chain_model_check;
+    Alcotest.test_case "chain renaming: solo name 1" `Quick
+      test_chain_solo_name_1;
+    Alcotest.test_case "chain renaming: random runs are perfect" `Quick
+      test_chain_random_unique;
+    Alcotest.test_case "chain renaming: wrong m rejected" `Quick
+      test_chain_wrong_m_rejected;
+  ]

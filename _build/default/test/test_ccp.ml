@@ -1,0 +1,234 @@
+open Anonmem
+module P = Coord.Ccp.P
+module Det = Coord.Ccp.Det
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+(* Agreement must hold on the *physical* register chosen: a process reports
+   its local index, which its naming translates. *)
+let physical_choices (cfg : E.config) st =
+  Array.to_list
+    (Array.mapi
+       (fun p l ->
+         match P.status l with
+         | Protocol.Decided loc -> Some (Naming.apply cfg.namings.(p) loc)
+         | _ -> None)
+       st.E.locals)
+  |> List.filter_map Fun.id
+
+(* Exhaustive safety for n = 2 over both relative namings and both coin
+   outcomes at every flip. *)
+let test_safety_n2 () =
+  List.iter
+    (fun nam ->
+      let cfg : E.config =
+        {
+          ids = [| 7; 13 |];
+          inputs = [| (); () |];
+          namings = [| Naming.identity 2; nam |];
+        }
+      in
+      let g = E.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      Array.iter
+        (fun st ->
+          match physical_choices cfg st with
+          | a :: rest ->
+            List.iter
+              (fun b ->
+                Alcotest.(check int) "all choose the same register" a b)
+              rest
+          | [] -> ())
+        g.states)
+    (Naming.all 2)
+
+(* Same, three processes; a lower level cap keeps the coin-branching state
+   space exhaustive-friendly without changing the claiming logic. *)
+module P3 = Coord.Ccp.Make (struct
+  let cap = 3
+  let deterministic = false
+end)
+
+module E3 = Check.Explore.Make (P3)
+
+let test_safety_n3 () =
+  let namings =
+    [
+      [| Naming.identity 2; Naming.identity 2; Naming.rotation 2 1 |];
+      [| Naming.identity 2; Naming.rotation 2 1; Naming.rotation 2 1 |];
+    ]
+  in
+  List.iter
+    (fun nams ->
+      let cfg : E3.config =
+        { ids = [| 3; 5; 9 |]; inputs = [| (); (); () |]; namings = nams }
+      in
+      let g = E3.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      Array.iter
+        (fun st ->
+          let choices =
+            Array.to_list
+              (Array.mapi
+                 (fun p l ->
+                   match P3.status l with
+                   | Protocol.Decided loc ->
+                     Some (Naming.apply cfg.namings.(p) loc)
+                   | _ -> None)
+                 st.E3.locals)
+            |> List.filter_map Fun.id
+          in
+          match choices with
+          | a :: rest ->
+            List.iter
+              (fun b -> Alcotest.(check int) "same register (n=3)" a b)
+              rest
+          | [] -> ())
+        g.states)
+    namings
+
+let test_solo_chooses () =
+  let rt = R.create (R.simple_config ~ids:[ 5 ] ~inputs:[ () ]
+                       ~rng:(Rng.create 3) ()) in
+  let _ = R.run rt (Schedule.solo 0) ~max_steps:100 in
+  match R.status rt 0 with
+  | Protocol.Decided v -> Alcotest.(check bool) "chose a register" true (v = 0 || v = 1)
+  | _ -> Alcotest.fail "solo process must choose"
+
+(* Rabin's point: determinism dies under symmetry. Two deterministic
+   processes in lock step with opposite namings never choose. *)
+let test_deterministic_livelocks () =
+  let module Sym = Lowerbound.Symmetry.Make (Det) in
+  let verdict, _ = Sym.run ~ids:[ 7; 13 ] ~inputs:[ (); () ] ~m:2 ~d:2 () in
+  match verdict with
+  | Lowerbound.Symmetry.Livelock _ -> ()
+  | v ->
+    Alcotest.failf "expected livelock, got %a" Lowerbound.Symmetry.pp_verdict v
+
+(* ... and the randomized version terminates with overwhelming probability
+   (Rabin: 1 - 2^{-Theta(cap)} per contention burst). Cap-locked runs are
+   possible in principle, so this measures a failure *rate* over fixed
+   seeds rather than demanding every run terminate — safety is still
+   asserted unconditionally. *)
+let test_randomized_termination_rate () =
+  let samples = 300 in
+  let failures = ref 0 in
+  for seed = 1 to samples do
+    let n = 2 + (seed mod 3) in
+    let rng = Rng.create (seed * 101) in
+    let ids = List.init n (fun i -> (i + 1) * 3) in
+    let cfg : R.config =
+      {
+        ids = Array.of_list ids;
+        inputs = Array.make n ();
+        namings = Array.init n (fun _ -> Naming.random rng 2);
+        rng = Some (Rng.split rng);
+        record_trace = false;
+      }
+    in
+    let rt = R.create cfg in
+    let reason = R.run rt (Schedule.random rng) ~max_steps:5_000 in
+    if reason <> R.All_decided then incr failures
+    else begin
+      let phys =
+        List.init n (fun i ->
+            match R.status rt i with
+            | Protocol.Decided loc -> Naming.apply (R.naming_of rt i) loc
+            | _ -> -1)
+      in
+      match phys with
+      | a :: rest ->
+        Alcotest.(check bool) "safe choice" true
+          (a >= 0 && List.for_all (( = ) a) rest)
+      | [] -> Alcotest.fail "no processes"
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "failure rate below 2%% (saw %d/%d)" !failures samples)
+    true
+    (!failures * 50 < samples)
+
+let test_level_monotone () =
+  (* levels never exceed the cap *)
+  let rng = Rng.create 11 in
+  let cfg : R.config =
+    {
+      ids = [| 3; 5 |];
+      inputs = [| (); () |];
+      namings = [| Naming.identity 2; Naming.rotation 2 1 |];
+      rng = Some (Rng.split rng);
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  for _ = 1 to 2000 do
+    (match Schedule.random rng { n = 2; clock = 0; kind = (fun i -> R.kind rt i) } with
+    | Some i ->
+      ignore (R.step rt i);
+      Alcotest.(check bool) "level within cap" true
+        (P.level_of (R.local rt i) <= 8)
+    | None -> ())
+  done
+
+(* --- the k = 3 strawman (Ccp_k) --- *)
+
+module EK = Check.Explore.Make (Coord.Ccp_k.P3)
+
+let kccp_violations namings =
+  let cfg : EK.config =
+    { ids = [| 7; 13 |]; inputs = [| (); () |]; namings }
+  in
+  let g = EK.explore cfg in
+  Alcotest.(check bool) "complete" true g.complete;
+  let viol = ref 0 in
+  Array.iter
+    (fun st ->
+      let choices =
+        Array.to_list
+          (Array.mapi
+             (fun p l ->
+               match Coord.Ccp_k.P3.status l with
+               | Protocol.Decided loc ->
+                 Some (Naming.apply cfg.namings.(p) loc)
+               | _ -> None)
+             st.EK.locals)
+        |> List.filter_map Fun.id
+      in
+      match choices with
+      | a :: rest -> if List.exists (( <> ) a) rest then incr viol
+      | [] -> ())
+    g.states;
+  !viol
+
+(* Same ring orientation: the walk-and-race scheme stays safe... *)
+let test_kccp_same_orientation_safe () =
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "no disagreement" 0
+        (kccp_violations [| Naming.identity 3; Naming.rotation 3 d |]))
+    [ 0; 1; 2 ]
+
+(* ...but opposite orientations defeat it: the checker exhibits reachable
+   states where the two processes chose different registers. This is why
+   k-alternative choice coordination needed its own machinery ([13]). *)
+let test_kccp_opposite_orientation_unsafe () =
+  let reversed = Naming.of_array [| 0; 2; 1 |] in
+  Alcotest.(check bool) "disagreement reachable" true
+    (kccp_violations [| Naming.identity 3; reversed |] > 0)
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive safety n=2 (all namings, all coins)" `Slow
+      test_safety_n2;
+    Alcotest.test_case "exhaustive safety n=3" `Slow test_safety_n3;
+    Alcotest.test_case "solo chooses" `Quick test_solo_chooses;
+    Alcotest.test_case "deterministic variant livelocks (Rabin's point)"
+      `Quick test_deterministic_livelocks;
+    Alcotest.test_case "randomized termination rate" `Quick
+      test_randomized_termination_rate;
+    Alcotest.test_case "levels capped" `Quick test_level_monotone;
+    Alcotest.test_case "k=3 strawman: same orientation safe" `Slow
+      test_kccp_same_orientation_safe;
+    Alcotest.test_case "k=3 strawman: opposite orientation unsafe" `Slow
+      test_kccp_opposite_orientation_unsafe;
+  ]

@@ -1,0 +1,125 @@
+open Anonmem
+module P = Coord.Cmp_mutex.P
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+let me_df ~m ~naming_b =
+  let cfg : E.config =
+    {
+      ids = [| 7; 13 |];
+      inputs = [| (); () |];
+      namings = [| Naming.identity m; naming_b |];
+    }
+  in
+  let g = E.explore cfg in
+  Alcotest.(check bool) "complete" true g.complete;
+  let f = E.to_flat g in
+  (Check.Mutex_props.mutual_exclusion f, Check.Mutex_props.deadlock_freedom f)
+
+(* The headline claim of the extension: with arbitrary comparisons, every
+   m >= 2 works — including the even values that Theorem 3.1 forbids in the
+   equality-only model. Exhaustive over all relative namings. *)
+let test_every_m_works () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun nam ->
+          let me, df = me_df ~m ~naming_b:nam in
+          Alcotest.(check bool) "mutual exclusion" true (me = None);
+          Alcotest.(check bool) "deadlock freedom" true (df = None))
+        (Naming.all m))
+    [ 2; 3; 4 ]
+
+(* The comparison tie-break resolves even the lock-step symmetric runs
+   that kill Figure 1 on even m. *)
+let test_survives_lock_step () =
+  let module Sym = Lowerbound.Symmetry.Make (P) in
+  List.iter
+    (fun m ->
+      let verdict, _ =
+        Sym.run ~max_steps:5_000 ~ids:[ 7; 13 ] ~inputs:[ (); () ] ~m ~d:2 ()
+      in
+      match verdict with
+      | Lowerbound.Symmetry.No_violation _ -> ()
+      | v ->
+        Alcotest.failf "comparisons should break symmetry on m=%d, got %a" m
+          Lowerbound.Symmetry.pp_verdict v)
+    [ 2; 4; 8 ]
+
+let test_solo_entry () =
+  List.iter
+    (fun m ->
+      let rt = R.create (R.simple_config ~m ~ids:[ 5 ] ~inputs:[ () ] ()) in
+      let reason =
+        R.run rt
+          ~until:(fun t -> R.status t 0 = Protocol.Critical)
+          (Schedule.solo 0) ~max_steps:(4 * m)
+      in
+      Alcotest.(check bool) "entered" true (reason = R.Condition_met))
+    [ 2; 3; 4; 6 ]
+
+(* Under contention the larger identifier wins the first conflict. *)
+let test_larger_id_insists () =
+  let rt =
+    R.create (R.simple_config ~m:2 ~ids:[ 5; 900 ] ~inputs:[ (); () ] ())
+  in
+  (* strict alternation from the start *)
+  let first_in = ref None in
+  let _ =
+    R.run rt
+      ~until:(fun t ->
+        (match (!first_in, R.critical_pair t) with
+        | None, _ ->
+          Array.iteri
+            (fun i s ->
+              if s = Schedule.Crit && !first_in = None then first_in := Some i)
+            (Array.init 2 (fun i -> R.kind t i))
+        | Some _, _ -> ());
+        !first_in <> None)
+      (Schedule.lock_step [ 0; 1 ]) ~max_steps:2_000
+  in
+  Alcotest.(check (option int)) "process with id 900 entered first" (Some 1)
+    !first_in
+
+let qcheck_random_safe =
+  QCheck.Test.make ~name:"random schedules: safe and live (any m >= 2)"
+    ~count:60
+    QCheck.(pair (int_bound 10_000) (int_range 2 6))
+    (fun (seed, m) ->
+      let rng = Rng.create ((seed * 31) + m) in
+      let cfg : R.config =
+        {
+          ids = [| 3; 11 |];
+          inputs = [| (); () |];
+          namings = [| Naming.random rng m; Naming.random rng m |];
+          rng = None;
+          record_trace = false;
+        }
+      in
+      let rt = R.create cfg in
+      let sched = Schedule.random rng in
+      let entries = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 3000 do
+        match
+          sched { n = 2; clock = R.clock rt; kind = (fun i -> R.kind rt i) }
+        with
+        | Some i ->
+          let e = R.step rt i in
+          if Trace.enters_critical e then incr entries;
+          if R.critical_pair rt <> None then ok := false
+        | None -> ()
+      done;
+      !ok && !entries > 0)
+
+let suite =
+  [
+    Alcotest.test_case "every m >= 2 works (exhaustive, m=2..4)" `Slow
+      test_every_m_works;
+    Alcotest.test_case "survives the lock-step symmetry attack" `Quick
+      test_survives_lock_step;
+    Alcotest.test_case "solo entry" `Quick test_solo_entry;
+    Alcotest.test_case "larger id wins first conflict" `Quick
+      test_larger_id_insists;
+    QCheck_alcotest.to_alcotest qcheck_random_safe;
+  ]

@@ -1,0 +1,196 @@
+open Anonmem
+module P = Coord.Consensus.P
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+(* Theorem 4.1/4.2, n = 2 (m = 3): exhaustive over all relative namings:
+   agreement, validity, and obstruction-free termination from every
+   reachable state. *)
+let test_model_check_n2 () =
+  List.iter
+    (fun nam ->
+      let cfg : E.config =
+        {
+          ids = [| 7; 13 |];
+          inputs = [| 100; 200 |];
+          namings = [| Naming.identity 3; nam |];
+        }
+      in
+      let g = E.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      Alcotest.(check bool) "agreement" true
+        (Check.Props.agreement ~equal:Int.equal ~statuses:E.statuses g.states
+        = None);
+      Alcotest.(check bool) "validity" true
+        (Check.Props.validity
+           ~allowed:(fun v -> v = 100 || v = 200)
+           ~statuses:E.statuses g.states
+        = None);
+      Alcotest.(check bool) "obstruction-free termination" true
+        (E.check_obstruction_freedom g = None))
+    (Naming.all 3)
+
+(* Equal inputs must decide that input, in every run (n = 2, exhaustive). *)
+let test_model_check_equal_inputs () =
+  let cfg : E.config =
+    {
+      ids = [| 7; 13 |];
+      inputs = [| 42; 42 |];
+      namings = [| Naming.identity 3; Naming.rotation 3 1 |];
+    }
+  in
+  let g = E.explore cfg in
+  Alcotest.(check bool) "decides the common input" true
+    (Check.Props.validity ~allowed:(( = ) 42) ~statuses:E.statuses g.states
+    = None)
+
+let test_solo_decides_own_input () =
+  List.iter
+    (fun n ->
+      let m = (2 * n) - 1 in
+      let ids = List.init n (fun i -> (i * 17) + 3) in
+      let inputs = List.init n (fun i -> (i + 1) * 100) in
+      let rt = R.create (R.simple_config ~m ~ids ~inputs ()) in
+      let reason = R.run rt (Schedule.solo 0) ~max_steps:(20 * m) in
+      Alcotest.(check bool) "decided" true (reason = R.All_decided || reason = R.Schedule_exhausted);
+      match R.status rt 0 with
+      | Protocol.Decided v ->
+        Alcotest.(check int) "solo decides its input" 100 v
+      | _ -> Alcotest.fail "solo run must decide")
+    [ 1; 2; 3; 5 ]
+
+(* Solo decision costs one pass of writes interleaved with scans:
+   (2n-1) * (scan + write) + final scan, plus the initial internal step. *)
+let test_solo_step_complexity () =
+  List.iter
+    (fun n ->
+      let m = (2 * n) - 1 in
+      let ids = List.init n (fun i -> i + 1) in
+      let inputs = List.init n (fun i -> (i + 1) * 10) in
+      let rt = R.create (R.simple_config ~m ~ids ~inputs ()) in
+      let _ = R.run rt (Schedule.solo 0) ~max_steps:(10 * m * m) in
+      Alcotest.(check int) "steps = 1 + m*(m+1) + m"
+        (1 + (m * (m + 1)) + m)
+        (R.steps_of rt 0))
+    [ 2; 3; 4 ]
+
+let random_run ~seed ~n =
+  let m = (2 * n) - 1 in
+  let rng = Rng.create seed in
+  let ids = List.init n (fun i -> (i + 1) * 7) in
+  let inputs = List.init n (fun i -> (i + 1) * 100) in
+  let cfg : R.config =
+    {
+      ids = Array.of_list ids;
+      inputs = Array.of_list inputs;
+      namings = Array.init n (fun _ -> Naming.random rng m);
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  (* random schedule, then help stragglers finish solo (OF termination) *)
+  let _ = R.run rt (Schedule.random rng) ~max_steps:(200 * n * n) in
+  for i = 0 to n - 1 do
+    let _ = R.run rt (Schedule.solo i) ~max_steps:(20 * m * m) in
+    ()
+  done;
+  (rt, inputs)
+
+let qcheck_agreement_validity =
+  QCheck.Test.make
+    ~name:"random schedules + solo finish: agreement & validity (n<=6)"
+    ~count:80
+    QCheck.(pair (int_bound 100_000) (int_range 2 6))
+    (fun (seed, n) ->
+      let rt, inputs = random_run ~seed:(seed + 1) ~n in
+      let decisions = R.decisions rt in
+      Array.for_all Option.is_some decisions
+      &&
+      let vs = Array.to_list decisions |> List.filter_map Fun.id in
+      match vs with
+      | [] -> false
+      | v :: rest -> List.for_all (( = ) v) rest && List.mem v inputs)
+
+(* The decided value must moreover be the input of a process that actually
+   took at least one step (validity is about participants). *)
+let qcheck_validity_participants =
+  QCheck.Test.make ~name:"decision comes from a participant" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let n = 4 in
+      let m = (2 * n) - 1 in
+      let rng = Rng.create (seed + 13) in
+      let ids = [| 3; 5; 7; 11 |] in
+      let inputs = [| 100; 200; 300; 400 |] in
+      let cfg : R.config =
+        {
+          ids;
+          inputs;
+          namings = Array.init n (fun _ -> Naming.random rng m);
+          rng = None;
+          record_trace = false;
+        }
+      in
+      let rt = R.create cfg in
+      (* only processes 0 and 1 participate *)
+      let sched (v : Schedule.view) =
+        if v.clock > 400 then None
+        else
+          match
+            List.filter (fun i -> v.kind i <> Schedule.Finished) [ 0; 1 ]
+          with
+          | [] -> None
+          | cands -> Some (List.nth cands (Rng.int rng (List.length cands)))
+      in
+      let _ = R.run rt sched ~max_steps:500 in
+      let _ = R.run rt (Schedule.solo 0) ~max_steps:(20 * m * m) in
+      match R.status rt 0 with
+      | Protocol.Decided v -> v = 100 || v = 200
+      | _ -> false)
+
+let test_preference_tracking () =
+  let rt = R.create (R.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ 1; 2 ] ()) in
+  ignore (R.step rt 0);
+  Alcotest.(check int) "initial preference is the input" 1
+    (P.preference (R.local rt 0))
+
+(* Symmetric contract: consistently relabeling the identifiers (preserving
+   distinctness) produces runs with identical memory access patterns. *)
+let qcheck_id_equivariance =
+  QCheck.Test.make ~name:"id relabeling equivariance" ~count:60
+    QCheck.(pair (int_bound 10_000) (small_list (int_bound 1)))
+    (fun (seed, script_bits) ->
+      let script = List.map (fun b -> b land 1) script_bits in
+      let run ids =
+        let rt =
+          R.create (R.simple_config ~m:3 ~ids ~inputs:[ 100; 200 ] ())
+        in
+        let _ = R.run rt (Schedule.script script) ~max_steps:100 in
+        ( List.init 2 (fun i -> Protocol.status_kind (R.status rt i)),
+          List.init 2 (fun i -> R.steps_of rt i) )
+      in
+      let a = run [ 7; 13 ] in
+      let b = run [ 5000 + (seed mod 100); 1 ] in
+      a = b)
+
+let test_rejects_zero_input () =
+  Alcotest.check_raises "input 0 rejected"
+    (Invalid_argument "Consensus: inputs must be non-zero") (fun () ->
+      ignore (R.create (R.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ 0; 2 ] ())))
+
+let suite =
+  [
+    Alcotest.test_case "model check n=2, all namings (Thm 4.1/4.2)" `Slow
+      test_model_check_n2;
+    Alcotest.test_case "model check: equal inputs" `Slow
+      test_model_check_equal_inputs;
+    Alcotest.test_case "solo decides own input" `Quick
+      test_solo_decides_own_input;
+    Alcotest.test_case "solo step complexity" `Quick test_solo_step_complexity;
+    QCheck_alcotest.to_alcotest qcheck_agreement_validity;
+    QCheck_alcotest.to_alcotest qcheck_validity_participants;
+    QCheck_alcotest.to_alcotest qcheck_id_equivariance;
+    Alcotest.test_case "preference tracking" `Quick test_preference_tracking;
+    Alcotest.test_case "rejects zero input" `Quick test_rejects_zero_input;
+  ]

@@ -1,0 +1,77 @@
+open Anonmem
+module P = Coord.Election.P
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+(* §4's closing note, n = 2: all participants that terminate output the
+   same identifier, and it is a participant's identifier — exhaustively. *)
+let test_model_check_n2 () =
+  List.iter
+    (fun nam ->
+      let cfg : E.config =
+        {
+          ids = [| 7; 13 |];
+          inputs = [| (); () |];
+          namings = [| Naming.identity 3; nam |];
+        }
+      in
+      let g = E.explore cfg in
+      Alcotest.(check bool) "agreement on the leader" true
+        (Check.Props.agreement ~equal:Int.equal ~statuses:E.statuses g.states
+        = None);
+      Alcotest.(check bool) "leader is a participant" true
+        (Check.Props.validity
+           ~allowed:(fun v -> v = 7 || v = 13)
+           ~statuses:E.statuses g.states
+        = None);
+      Alcotest.(check bool) "obstruction-free termination" true
+        (E.check_obstruction_freedom g = None))
+    (Naming.all 3)
+
+let test_solo_elects_self () =
+  let rt =
+    R.create (R.simple_config ~m:5 ~ids:[ 42; 1; 2 ] ~inputs:[ (); (); () ] ())
+  in
+  let _ = R.run rt (Schedule.solo 0) ~max_steps:1000 in
+  match R.status rt 0 with
+  | Protocol.Decided v -> Alcotest.(check int) "elected itself" 42 v
+  | _ -> Alcotest.fail "solo participant must elect itself"
+
+let qcheck_election_agreement =
+  QCheck.Test.make ~name:"random schedules: one leader, a participant"
+    ~count:60
+    QCheck.(pair (int_bound 100_000) (int_range 2 5))
+    (fun (seed, n) ->
+      let m = (2 * n) - 1 in
+      let rng = Rng.create (seed + 3) in
+      let ids = List.init n (fun i -> ((i + 1) * 31) + Rng.int rng 7) in
+      let distinct = List.sort_uniq compare ids in
+      List.length distinct = n
+      &&
+      let cfg : R.config =
+        {
+          ids = Array.of_list ids;
+          inputs = Array.make n ();
+          namings = Array.init n (fun _ -> Naming.random rng m);
+          rng = None;
+          record_trace = false;
+        }
+      in
+      let rt = R.create cfg in
+      let _ = R.run rt (Schedule.random rng) ~max_steps:(300 * n) in
+      for i = 0 to n - 1 do
+        ignore (R.run rt (Schedule.solo i) ~max_steps:(20 * m * m))
+      done;
+      let ds = Array.to_list (R.decisions rt) |> List.filter_map Fun.id in
+      List.length ds = n
+      && (match ds with
+         | v :: rest -> List.for_all (( = ) v) rest && List.mem v ids
+         | [] -> false))
+
+let suite =
+  [
+    Alcotest.test_case "model check n=2, all namings" `Slow
+      test_model_check_n2;
+    Alcotest.test_case "solo elects itself" `Quick test_solo_elects_self;
+    QCheck_alcotest.to_alcotest qcheck_election_agreement;
+  ]

@@ -1,0 +1,213 @@
+open Anonmem
+
+(* --- divisor witness (the arithmetic side of Theorem 3.4) --- *)
+
+let test_divisor_witness () =
+  Alcotest.(check (option int)) "m=4,n=2" (Some 2)
+    (Lowerbound.Symmetry.divisor_witness ~n:2 ~m:4);
+  Alcotest.(check (option int)) "m=9,n=3" (Some 3)
+    (Lowerbound.Symmetry.divisor_witness ~n:3 ~m:9);
+  Alcotest.(check (option int)) "m=9,n=2: coprime" None
+    (Lowerbound.Symmetry.divisor_witness ~n:2 ~m:9);
+  Alcotest.(check (option int)) "m=5,n=4: coprime" None
+    (Lowerbound.Symmetry.divisor_witness ~n:4 ~m:5);
+  Alcotest.(check (option int)) "m=6,n=4" (Some 2)
+    (Lowerbound.Symmetry.divisor_witness ~n:4 ~m:6);
+  Alcotest.(check (option int)) "m=15,n=5" (Some 3)
+    (Lowerbound.Symmetry.divisor_witness ~n:5 ~m:15)
+
+(* --- symmetry attack against Figure 1 --- *)
+
+module Sym = Lowerbound.Symmetry.Make (Coord.Amutex.P)
+
+let attack ~n ~m =
+  let ids = List.init n (fun i -> (i + 1) * 7) in
+  Sym.attack ~ids ~inputs:(List.map (fun _ -> ()) ids) ~m ()
+
+let test_symmetry_beats_even_m () =
+  List.iter
+    (fun m ->
+      match attack ~n:2 ~m with
+      | Some (2, Lowerbound.Symmetry.Livelock _, trace) ->
+        Alcotest.(check bool) "trace non-empty" true (trace <> [])
+      | Some (_, v, _) ->
+        Alcotest.failf "expected livelock, got %a"
+          Lowerbound.Symmetry.pp_verdict v
+      | None -> Alcotest.fail "witness expected for even m")
+    [ 2; 4; 6; 8 ]
+
+let test_symmetry_beats_divisible_m () =
+  List.iter
+    (fun (n, m) ->
+      match attack ~n ~m with
+      | Some (_, Lowerbound.Symmetry.Livelock _, _)
+      | Some (_, Lowerbound.Symmetry.Mutex_violation _, _) ->
+        ()
+      | Some (_, v, _) ->
+        Alcotest.failf "expected a violation, got %a"
+          Lowerbound.Symmetry.pp_verdict v
+      | None -> Alcotest.fail "witness expected")
+    [ (3, 3); (3, 9); (4, 6); (5, 15) ]
+
+let test_symmetry_no_witness_when_coprime () =
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check bool) "no attack possible" true (attack ~n ~m = None))
+    [ (2, 3); (2, 5); (2, 9); (4, 5); (6, 7) ]
+
+let test_livelock_trace_has_no_cs_entry () =
+  match attack ~n:2 ~m:4 with
+  | Some (_, Lowerbound.Symmetry.Livelock _, trace) ->
+    Alcotest.(check bool) "no process ever entered its CS" true
+      (List.for_all (fun e -> not (Trace.enters_critical e)) trace)
+  | _ -> Alcotest.fail "expected livelock"
+
+(* The lock-step rotated configuration keeps symmetric processes in
+   identical local states: after each full round all locals coincide. *)
+let test_lock_step_preserves_symmetry () =
+  let module R = Sym.R in
+  let m = 4 and d = 2 in
+  let cfg : R.config =
+    {
+      ids = [| 7; 13 |];
+      inputs = [| (); () |];
+      namings = [| Naming.rotation m 0; Naming.rotation m (m / d) |];
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  for _round = 1 to 40 do
+    ignore (R.step rt 0);
+    ignore (R.step rt 1);
+    Alcotest.(check int) "locals equal after each full round" 0
+      (Coord.Amutex.P.compare_local (R.local rt 0) (R.local rt 1))
+  done
+
+(* --- covering adversary (Theorems 6.2 / 6.3 / 6.5) --- *)
+
+module CovMutex = Lowerbound.Covering.Make (Coord.Amutex.P)
+
+let test_covering_mutex () =
+  match CovMutex.construct ~m:3 ~q_input:() ~recruit_input:(fun _ -> ()) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check (list int)) "q covered all 3 registers" [ 0; 1; 2 ]
+      (List.sort compare o.write_set);
+    Alcotest.(check bool) "q in critical section" true
+      (o.q_success = CovMutex.Entered_cs);
+    Alcotest.(check bool) "a recruit also entered" true
+      (o.p_success = CovMutex.Entered_cs);
+    (* the trace really is a single legal run with two CS entries and no
+       intervening exit *)
+    let entries =
+      List.filter Trace.enters_critical o.trace |> List.map (fun e -> e.Trace.proc)
+    in
+    let exits = List.filter Trace.exits_critical o.trace in
+    Alcotest.(check int) "two CS entries" 2 (List.length entries);
+    Alcotest.(check int) "no exits" 0 (List.length exits);
+    Alcotest.(check bool) "q is one of them" true (List.mem 0 entries)
+
+module Cons2 = Wrap.Fix_n (Coord.Consensus.P) (struct let n = 2 end)
+module CovCons2 = Lowerbound.Covering.Make (Cons2)
+
+let test_covering_consensus_unknown_n () =
+  (* Figure 2 sized for two processes meets 1 + 3 of them. *)
+  match CovCons2.construct ~m:3 ~q_input:100 ~recruit_input:(fun _ -> 200) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check bool) "q decided its own input" true
+      (o.q_success = CovCons2.Decided 100);
+    Alcotest.(check bool) "a recruit decided differently" true
+      (o.p_success = CovCons2.Decided 200)
+
+module Cons4 = Wrap.Fix_n (Coord.Consensus.P) (struct let n = 4 end)
+module CovCons4 = Lowerbound.Covering.Make (Cons4)
+
+let test_covering_consensus_space_bound () =
+  (* n = 4 processes, m = n - 1 = 3 registers: the Theorem 6.3(2) setting. *)
+  match CovCons4.construct ~m:3 ~q_input:100 ~recruit_input:(fun _ -> 200) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check int) "exactly n-1 recruits" 3 (List.length o.write_set);
+    Alcotest.(check bool) "agreement violated" true
+      (o.q_success = CovCons4.Decided 100
+      && o.p_success = CovCons4.Decided 200)
+
+module Ren4 = Wrap.Fix_n (Coord.Renaming.P) (struct let n = 4 end)
+module CovRen4 = Lowerbound.Covering.Make (Ren4)
+
+let test_covering_renaming_space_bound () =
+  match CovRen4.construct ~m:3 ~q_input:() ~recruit_input:(fun _ -> ()) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check bool) "name 1 handed out twice" true
+      (o.q_success = CovRen4.Decided 1 && o.p_success = CovRen4.Decided 1)
+
+module Ren2 = Wrap.Fix_n (Coord.Renaming.P) (struct let n = 2 end)
+module CovRen2 = Lowerbound.Covering.Make (Ren2)
+
+let test_covering_renaming_unknown_n () =
+  match CovRen2.construct ~m:3 ~q_input:() ~recruit_input:(fun _ -> ()) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check bool) "duplicate name 1" true
+      (o.q_success = CovRen2.Decided 1 && o.p_success = CovRen2.Decided 1)
+
+(* The covering prefixes must be invisible: every recruit stops right
+   before its first write. *)
+let test_covering_prefixes_silent () =
+  match CovMutex.construct ~m:5 ~q_input:() ~recruit_input:(fun _ -> ()) () with
+  | Error e -> Alcotest.failf "construction failed: %s" e
+  | Ok o ->
+    Alcotest.(check int) "five covering recruits" 5
+      (List.length o.covering_prefix_steps);
+    (* Figure 1's first write comes after one internal step and one read *)
+    List.iter
+      (fun s -> Alcotest.(check int) "prefix = internal + read" 2 s)
+      o.covering_prefix_steps
+
+(* Without the freedom to pick namings after watching the recruits — i.e.
+   in the named model — the covering step itself fails: all recruits' first
+   writes are pinned to the same fixed register. This is why Theorem 6.2
+   does not contradict named-register mutex algorithms. *)
+let test_covering_needs_anonymity () =
+  match
+    CovMutex.construct ~respect_names:true ~m:3 ~q_input:()
+      ~recruit_input:(fun _ -> ())
+      ()
+  with
+  | Ok _ -> Alcotest.fail "covering should fail with fixed names"
+  | Error e ->
+    Alcotest.(check bool) "diagnostic mentions covering" true
+      (String.length e > 0
+      && String.sub e 0 13 = "cannot cover ")
+
+let suite =
+  [
+    Alcotest.test_case "divisor witness" `Quick test_divisor_witness;
+    Alcotest.test_case "covering needs anonymity (named model resists)"
+      `Quick test_covering_needs_anonymity;
+    Alcotest.test_case "symmetry beats even m (Thm 3.1)" `Quick
+      test_symmetry_beats_even_m;
+    Alcotest.test_case "symmetry beats divisible m (Thm 3.4)" `Quick
+      test_symmetry_beats_divisible_m;
+    Alcotest.test_case "coprime m admits no witness" `Quick
+      test_symmetry_no_witness_when_coprime;
+    Alcotest.test_case "livelock trace has no CS entry" `Quick
+      test_livelock_trace_has_no_cs_entry;
+    Alcotest.test_case "lock step preserves symmetry" `Quick
+      test_lock_step_preserves_symmetry;
+    Alcotest.test_case "covering beats mutex (Thm 6.2)" `Quick
+      test_covering_mutex;
+    Alcotest.test_case "covering beats consensus, unknown n (Thm 6.3.1)"
+      `Quick test_covering_consensus_unknown_n;
+    Alcotest.test_case "covering beats consensus, n-1 registers (Thm 6.3.2)"
+      `Quick test_covering_consensus_space_bound;
+    Alcotest.test_case "covering beats renaming, n-1 registers (Thm 6.5.2)"
+      `Quick test_covering_renaming_space_bound;
+    Alcotest.test_case "covering beats renaming, unknown n (Thm 6.5.1)"
+      `Quick test_covering_renaming_unknown_n;
+    Alcotest.test_case "covering prefixes are silent" `Quick
+      test_covering_prefixes_silent;
+  ]

@@ -1,0 +1,103 @@
+open Anonmem
+
+module IntValue = struct
+  type t = int
+
+  let init = 0
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module Mem = Memory.Make (IntValue)
+
+let test_create_initial () =
+  let m = Mem.create ~m:4 in
+  Alcotest.(check int) "size" 4 (Mem.size m);
+  for j = 0 to 3 do
+    Alcotest.(check int) "initial value" 0 (Mem.get_physical m j)
+  done
+
+let test_read_write_identity () =
+  let m = Mem.create ~m:3 in
+  let nm = Naming.identity 3 in
+  Mem.write m nm 1 42;
+  Alcotest.(check int) "read back" 42 (Mem.read m nm 1);
+  Alcotest.(check int) "physical location" 42 (Mem.get_physical m 1)
+
+let test_read_write_permuted () =
+  let m = Mem.create ~m:3 in
+  let nm = Naming.of_array [| 2; 0; 1 |] in
+  Mem.write m nm 0 7;
+  (* local 0 is physical 2 *)
+  Alcotest.(check int) "landed on physical 2" 7 (Mem.get_physical m 2);
+  Alcotest.(check int) "physical 0 untouched" 0 (Mem.get_physical m 0);
+  Alcotest.(check int) "reads through the same naming" 7 (Mem.read m nm 0)
+
+let test_two_views_same_register () =
+  (* The same physical register seen under different local names. *)
+  let m = Mem.create ~m:4 in
+  let a = Naming.identity 4 in
+  let b = Naming.rotation 4 1 in
+  Mem.write m a 1 99;
+  (* physical 1; under b, local 0 is physical 1 *)
+  Alcotest.(check int) "b sees a's write at its local 0" 99 (Mem.read m b 0)
+
+let test_rmw () =
+  let m = Mem.create ~m:2 in
+  let nm = Naming.identity 2 in
+  Mem.write m nm 0 10;
+  let old_value, new_value = Mem.rmw m nm 0 (fun v -> v + 5) in
+  Alcotest.(check int) "old" 10 old_value;
+  Alcotest.(check int) "new" 15 new_value;
+  Alcotest.(check int) "stored" 15 (Mem.read m nm 0)
+
+let test_snapshot_restore () =
+  let m = Mem.create ~m:3 in
+  let nm = Naming.identity 3 in
+  Mem.write m nm 0 1;
+  Mem.write m nm 2 3;
+  let snap = Mem.snapshot m in
+  Mem.write m nm 0 100;
+  Mem.restore m snap;
+  Alcotest.(check int) "restored" 1 (Mem.get_physical m 0);
+  Alcotest.(check int) "restored untouched" 3 (Mem.get_physical m 2)
+
+let test_snapshot_is_copy () =
+  let m = Mem.create ~m:2 in
+  let snap = Mem.snapshot m in
+  Mem.write m (Naming.identity 2) 0 5;
+  Alcotest.(check int) "snapshot unaffected by later writes" 0 snap.(0)
+
+let test_reset () =
+  let m = Mem.create ~m:3 in
+  Mem.write m (Naming.identity 3) 1 9;
+  Mem.reset m;
+  for j = 0 to 2 do
+    Alcotest.(check int) "reset to init" 0 (Mem.get_physical m j)
+  done
+
+let test_write_count () =
+  let m = Mem.create ~m:2 in
+  let nm = Naming.identity 2 in
+  Alcotest.(check int) "starts at 0" 0 (Mem.write_count m);
+  Mem.write m nm 0 1;
+  ignore (Mem.rmw m nm 1 succ);
+  ignore (Mem.read m nm 0);
+  Alcotest.(check int) "reads don't count" 2 (Mem.write_count m)
+
+let suite =
+  [
+    Alcotest.test_case "create initializes" `Quick test_create_initial;
+    Alcotest.test_case "read/write via identity" `Quick
+      test_read_write_identity;
+    Alcotest.test_case "read/write via permutation" `Quick
+      test_read_write_permuted;
+    Alcotest.test_case "two views of one register" `Quick
+      test_two_views_same_register;
+    Alcotest.test_case "rmw" `Quick test_rmw;
+    Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+    Alcotest.test_case "snapshot is a copy" `Quick test_snapshot_is_copy;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "write count" `Quick test_write_count;
+  ]

@@ -1,0 +1,111 @@
+open Anonmem
+
+let naming = Alcotest.testable Naming.pp Naming.equal
+
+let test_identity () =
+  let t = Naming.identity 5 in
+  for j = 0 to 4 do
+    Alcotest.(check int) "identity maps j to j" j (Naming.apply t j)
+  done;
+  Alcotest.(check int) "size" 5 (Naming.size t)
+
+let test_rotation () =
+  let t = Naming.rotation 5 2 in
+  Alcotest.(check int) "0 -> 2" 2 (Naming.apply t 0);
+  Alcotest.(check int) "4 -> 1" 1 (Naming.apply t 4);
+  Alcotest.check naming "rotation by m is identity" (Naming.identity 5)
+    (Naming.rotation 5 5);
+  Alcotest.check naming "negative rotation wraps" (Naming.rotation 5 3)
+    (Naming.rotation 5 (-2))
+
+let test_of_array_valid () =
+  let t = Naming.of_array [| 2; 0; 1 |] in
+  Alcotest.(check int) "0 -> 2" 2 (Naming.apply t 0);
+  Alcotest.(check (array int)) "to_array round-trips" [| 2; 0; 1 |]
+    (Naming.to_array t)
+
+let test_of_array_rejects () =
+  Alcotest.check_raises "duplicate entries rejected"
+    (Invalid_argument "Naming.of_array: not a permutation") (fun () ->
+      ignore (Naming.of_array [| 0; 0; 1 |]));
+  Alcotest.check_raises "out-of-range rejected"
+    (Invalid_argument "Naming.of_array: not a permutation") (fun () ->
+      ignore (Naming.of_array [| 0; 3; 1 |]))
+
+let test_of_array_copies () =
+  let a = [| 1; 0 |] in
+  let t = Naming.of_array a in
+  a.(0) <- 0;
+  Alcotest.(check int) "mutating the source does not affect t" 1
+    (Naming.apply t 0)
+
+let test_invert () =
+  let t = Naming.of_array [| 2; 0; 1 |] in
+  let inv = Naming.invert t in
+  for j = 0 to 2 do
+    Alcotest.(check int) "inv(t(j)) = j" j (Naming.apply inv (Naming.apply t j))
+  done
+
+let test_compose () =
+  let f = Naming.rotation 4 1 and g = Naming.rotation 4 2 in
+  Alcotest.check naming "rotations compose additively" (Naming.rotation 4 3)
+    (Naming.compose f g);
+  let t = Naming.of_array [| 3; 1; 0; 2 |] in
+  Alcotest.check naming "compose with inverse is identity" (Naming.identity 4)
+    (Naming.compose t (Naming.invert t))
+
+let test_all_count () =
+  Alcotest.(check int) "3! namings" 6 (List.length (Naming.all 3));
+  Alcotest.(check int) "4! namings" 24 (List.length (Naming.all 4));
+  Alcotest.(check int) "1! namings" 1 (List.length (Naming.all 1))
+
+let test_all_distinct () =
+  let all = Naming.all 4 in
+  let distinct = List.sort_uniq compare (List.map Naming.to_array all) in
+  Alcotest.(check int) "all distinct" 24 (List.length distinct)
+
+let test_all_rejects_large () =
+  Alcotest.check_raises "m > 8 rejected"
+    (Invalid_argument "Naming.all: m too large") (fun () ->
+      ignore (Naming.all 9))
+
+let test_pp () =
+  Alcotest.(check string) "pp format" "⟨2 0 1⟩"
+    (Format.asprintf "%a" Naming.pp (Naming.of_array [| 2; 0; 1 |]))
+
+let test_random_valid () =
+  let g = Rng.create 31 in
+  for _ = 1 to 20 do
+    let t = Naming.random g 6 in
+    let sorted = Array.copy (Naming.to_array t) in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "random naming is a permutation"
+      (Array.init 6 Fun.id) sorted
+  done
+
+let qcheck_invert_involution =
+  QCheck.Test.make ~name:"invert is an involution" ~count:200
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (size, seed) ->
+      let m = 1 + (size mod 8) in
+      let t = Naming.random (Rng.create seed) m in
+      Naming.equal t (Naming.invert (Naming.invert t)))
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "rotation" `Quick test_rotation;
+    Alcotest.test_case "of_array accepts permutations" `Quick
+      test_of_array_valid;
+    Alcotest.test_case "of_array rejects non-permutations" `Quick
+      test_of_array_rejects;
+    Alcotest.test_case "of_array copies its input" `Quick test_of_array_copies;
+    Alcotest.test_case "invert" `Quick test_invert;
+    Alcotest.test_case "compose" `Quick test_compose;
+    Alcotest.test_case "all: count" `Quick test_all_count;
+    Alcotest.test_case "all: distinct" `Quick test_all_distinct;
+    Alcotest.test_case "all: rejects m > 8" `Quick test_all_rejects_large;
+    Alcotest.test_case "pretty printer" `Quick test_pp;
+    Alcotest.test_case "random namings are valid" `Quick test_random_valid;
+    QCheck_alcotest.to_alcotest qcheck_invert_involution;
+  ]

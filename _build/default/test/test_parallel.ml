@@ -1,0 +1,145 @@
+open Anonmem
+
+(* The multicore backend: real domains over real atomics. These tests
+   assert safety only (the OS scheduler is a weaker adversary than the
+   simulator's, and obstruction-free progress is not guaranteed under
+   contention) — every run that does decide must be correct. *)
+
+module PCons = Parallel.Prun.Make (Coord.Consensus.P)
+module PRen = Parallel.Prun.Make (Coord.Renaming.P)
+module PMutex = Parallel.Prun.Make (Coord.Amutex.P)
+module PCcp = Parallel.Prun.Make (Coord.Ccp.P)
+
+let namings_of rng n m = Array.init n (fun _ -> Naming.random rng m)
+
+let test_consensus_domains () =
+  for round = 1 to 8 do
+    let n = 2 + (round mod 2) in
+    let m = (2 * n) - 1 in
+    let rng = Rng.create (round * 13) in
+    let inputs = Array.init n (fun i -> (i + 1) * 100) in
+    let cfg : PCons.config =
+      {
+        ids = Array.init n (fun i -> (i + 1) * 7);
+        inputs;
+        namings = namings_of rng n m;
+        seed = round;
+      }
+    in
+    let o = PCons.run_decide cfg in
+    let decided =
+      Array.to_list o.results |> List.filter_map (fun r -> r.PCons.output)
+    in
+    (* agreement + validity on whatever did decide *)
+    (match decided with
+    | [] -> ()
+    | v :: rest ->
+      List.iter (fun w -> Alcotest.(check int) "agreement" v w) rest;
+      Alcotest.(check bool) "validity" true (Array.exists (( = ) v) inputs));
+    (* domains uncontended at the end usually all decide; don't require it *)
+    Alcotest.(check bool) "someone decided" true (decided <> [])
+  done
+
+let test_renaming_domains () =
+  for round = 1 to 6 do
+    let n = 2 + (round mod 2) in
+    let m = (2 * n) - 1 in
+    let rng = Rng.create (round * 29) in
+    let cfg : PRen.config =
+      {
+        ids = Array.init n (fun i -> (i + 1) * 13);
+        inputs = Array.make n ();
+        namings = namings_of rng n m;
+        seed = round;
+      }
+    in
+    let o = PRen.run_decide cfg in
+    let names =
+      Array.to_list o.results |> List.filter_map (fun r -> r.PRen.output)
+    in
+    Alcotest.(check bool) "names within {1..n}" true
+      (List.for_all (fun v -> 1 <= v && v <= n) names);
+    Alcotest.(check bool) "names distinct" true
+      (List.length (List.sort_uniq compare names) = List.length names)
+  done
+
+let test_mutex_domains () =
+  for round = 1 to 4 do
+    let m = 3 + (2 * (round mod 2)) in
+    let cfg : PMutex.config =
+      {
+        ids = [| 7; 13 |];
+        inputs = [| (); () |];
+        namings =
+          (let rng = Rng.create (round * 41) in
+           namings_of rng 2 m);
+        seed = round;
+      }
+    in
+    let o = PMutex.run_sessions ~step_budget:400_000 ~sessions:50 cfg in
+    Alcotest.(check bool) "no mutual-exclusion violation" true
+      (not o.mutex_violation);
+    let total =
+      Array.fold_left (fun acc r -> acc + r.PMutex.cs_entries) 0 o.results
+    in
+    Alcotest.(check bool) "critical sections were used" true (total > 0)
+  done
+
+let test_ccp_domains () =
+  for round = 1 to 8 do
+    let n = 2 + (round mod 3) in
+    let rng = Rng.create (round * 53) in
+    let cfg : PCcp.config =
+      {
+        ids = Array.init n (fun i -> (i + 1) * 3);
+        inputs = Array.make n ();
+        namings = namings_of rng n 2;
+        seed = round;
+      }
+    in
+    let o = PCcp.run_decide ~step_budget:200_000 cfg in
+    (* whoever chose must have chosen the same physical register *)
+    let phys =
+      Array.to_list
+        (Array.mapi
+           (fun i (r : PCcp.proc_result) ->
+             Option.map (fun loc -> Naming.apply cfg.namings.(i) loc) r.output)
+           o.results)
+      |> List.filter_map Fun.id
+    in
+    match phys with
+    | [] -> ()
+    | a :: rest ->
+      List.iter (fun b -> Alcotest.(check int) "same register" a b) rest
+  done
+
+let test_memory_snapshot_consistent () =
+  (* after a solo (n=1) consensus run the memory holds the decided pair in
+     every register *)
+  let cfg : PCons.config =
+    {
+      ids = [| 5 |];
+      inputs = [| 42 |];
+      namings = [| Naming.identity 1 |];
+      seed = 1;
+    }
+  in
+  let o = PCons.run_decide cfg in
+  Alcotest.(check (option int)) "decided own input" (Some 42)
+    o.results.(0).PCons.output;
+  Array.iter
+    (fun (v : Coord.Consensus.Value.t) ->
+      Alcotest.(check int) "register holds the decision" 42 v.pref)
+    o.memory
+
+let suite =
+  [
+    Alcotest.test_case "consensus across domains" `Slow test_consensus_domains;
+    Alcotest.test_case "renaming across domains" `Slow test_renaming_domains;
+    Alcotest.test_case "mutex sessions across domains" `Slow
+      test_mutex_domains;
+    Alcotest.test_case "choice coordination across domains" `Slow
+      test_ccp_domains;
+    Alcotest.test_case "final memory snapshot" `Quick
+      test_memory_snapshot_consistent;
+  ]

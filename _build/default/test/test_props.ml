@@ -1,0 +1,91 @@
+open Anonmem
+
+(* Synthetic "states": arrays of statuses, with the identity statuses
+   extraction. Exercises the generic property verdicts directly. *)
+
+let statuses (s : int Protocol.status array) = s
+
+let rem : int Protocol.status = Protocol.Remainder
+let trying : int Protocol.status = Protocol.Trying
+let dec v : int Protocol.status = Protocol.Decided v
+
+let test_decided_outputs () =
+  let states = [| [| rem; dec 5 |]; [| dec 3; dec 5 |] |] in
+  let ds = Check.Props.decided_outputs statuses states in
+  Alcotest.(check int) "three decisions" 3 (List.length ds);
+  let d = List.hd ds in
+  Alcotest.(check int) "first is state 0" 0 d.Check.Props.state;
+  Alcotest.(check int) "by proc 1" 1 d.Check.Props.proc;
+  Alcotest.(check int) "value" 5 d.Check.Props.output
+
+let test_agreement_ok () =
+  let states = [| [| dec 5; rem |]; [| dec 5; dec 5 |] |] in
+  Alcotest.(check bool) "agreement holds" true
+    (Check.Props.agreement ~equal:Int.equal ~statuses states = None)
+
+let test_agreement_violation () =
+  let states = [| [| dec 5; rem |]; [| dec 5; dec 7 |] |] in
+  match Check.Props.agreement ~equal:Int.equal ~statuses states with
+  | Some d ->
+    Alcotest.(check int) "in state 1" 1 d.Check.Props.state;
+    Alcotest.(check bool) "different outputs" true
+      (d.Check.Props.a.output <> d.Check.Props.b.output)
+  | None -> Alcotest.fail "should find the disagreement"
+
+let test_agreement_needs_same_state () =
+  (* decisions are stable, so the checker only compares within one state;
+     a disagreement that never coexists in a state is unreachable anyway *)
+  let states = [| [| dec 5; rem |]; [| rem; dec 7 |] |] in
+  Alcotest.(check bool) "no same-state disagreement" true
+    (Check.Props.agreement ~equal:Int.equal ~statuses states = None)
+
+let test_validity () =
+  let states = [| [| dec 5; trying |] |] in
+  Alcotest.(check bool) "valid" true
+    (Check.Props.validity ~allowed:(( = ) 5) ~statuses states = None);
+  match Check.Props.validity ~allowed:(( = ) 9) ~statuses states with
+  | Some d -> Alcotest.(check int) "invalid output" 5 d.Check.Props.output
+  | None -> Alcotest.fail "should flag 5 as invalid"
+
+let test_distinct_outputs () =
+  let ok = [| [| dec 1; dec 2 |] |] in
+  Alcotest.(check bool) "distinct names fine" true
+    (Check.Props.distinct_outputs ~equal:Int.equal ~statuses ok = None);
+  let bad = [| [| dec 1; dec 1 |] |] in
+  Alcotest.(check bool) "duplicate names flagged" true
+    (Check.Props.distinct_outputs ~equal:Int.equal ~statuses bad <> None)
+
+let test_adaptive_range () =
+  (* two participants, names 1 and 2: fine *)
+  let ok = [| [| dec 1; dec 2; rem |] |] in
+  Alcotest.(check bool) "within participants" true
+    (Check.Props.adaptive_range ~name_of:Fun.id ~statuses ok = None);
+  (* name 2 while only one process ever participated: violation *)
+  let bad = [| [| dec 2; rem; rem |] |] in
+  (match Check.Props.adaptive_range ~name_of:Fun.id ~statuses bad with
+  | Some d -> Alcotest.(check int) "offending name" 2 d.Check.Props.output
+  | None -> Alcotest.fail "should flag name 2 with 1 participant");
+  (* names below 1 are never valid *)
+  let zero = [| [| dec 0; trying |] |] in
+  Alcotest.(check bool) "name 0 flagged" true
+    (Check.Props.adaptive_range ~name_of:Fun.id ~statuses zero <> None)
+
+let test_trying_participates () =
+  (* a Trying (undecided) process still counts as a participant *)
+  let states = [| [| dec 2; trying |] |] in
+  Alcotest.(check bool) "trying counts toward adaptivity" true
+    (Check.Props.adaptive_range ~name_of:Fun.id ~statuses states = None)
+
+let suite =
+  [
+    Alcotest.test_case "decided_outputs" `Quick test_decided_outputs;
+    Alcotest.test_case "agreement: ok" `Quick test_agreement_ok;
+    Alcotest.test_case "agreement: violation" `Quick test_agreement_violation;
+    Alcotest.test_case "agreement: same-state only" `Quick
+      test_agreement_needs_same_state;
+    Alcotest.test_case "validity" `Quick test_validity;
+    Alcotest.test_case "distinct outputs" `Quick test_distinct_outputs;
+    Alcotest.test_case "adaptive range" `Quick test_adaptive_range;
+    Alcotest.test_case "trying counts as participant" `Quick
+      test_trying_participates;
+  ]

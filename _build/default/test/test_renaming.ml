@@ -1,0 +1,162 @@
+open Anonmem
+module P = Coord.Renaming.P
+module R = Runtime.Make (P)
+module E = Check.Explore.Make (P)
+
+(* Theorems 5.1-5.3, n = 2 (m = 3), exhaustive over namings: unique names,
+   perfect range, adaptivity, and obstruction-free termination. *)
+let test_model_check_n2 () =
+  List.iter
+    (fun nam ->
+      let cfg : E.config =
+        {
+          ids = [| 7; 13 |];
+          inputs = [| (); () |];
+          namings = [| Naming.identity 3; nam |];
+        }
+      in
+      let g = E.explore cfg in
+      Alcotest.(check bool) "complete" true g.complete;
+      Alcotest.(check bool) "names are distinct" true
+        (Check.Props.distinct_outputs ~equal:Int.equal ~statuses:E.statuses
+           g.states
+        = None);
+      Alcotest.(check bool) "names adaptive in the participants" true
+        (Check.Props.adaptive_range ~name_of:Fun.id ~statuses:E.statuses
+           g.states
+        = None);
+      Alcotest.(check bool) "obstruction-free termination" true
+        (E.check_obstruction_freedom g = None))
+    (Naming.all 3)
+
+let test_solo_takes_name_one () =
+  List.iter
+    (fun n ->
+      let m = (2 * n) - 1 in
+      let ids = List.init n (fun i -> (i * 3) + 2) in
+      let rt =
+        R.create
+          (R.simple_config ~m ~ids ~inputs:(List.map (fun _ -> ()) ids) ())
+      in
+      let _ = R.run rt (Schedule.solo 0) ~max_steps:(30 * m * m) in
+      match R.status rt 0 with
+      | Protocol.Decided v -> Alcotest.(check int) "solo gets name 1" 1 v
+      | _ -> Alcotest.fail "solo participant must terminate")
+    [ 2; 3; 4 ]
+
+let finish_run ~n ~m rt rng participants =
+  (* keep scheduling only the participants: waking an idle process here
+     would change k and void the adaptivity bound under test *)
+  let participants_only (v : Schedule.view) =
+    match
+      List.filter (fun i -> v.kind i <> Schedule.Finished) participants
+    with
+    | [] -> None
+    | cands -> Some (List.nth cands (Rng.int rng (List.length cands)))
+  in
+  let _ = R.run rt participants_only ~max_steps:(400 * n * n) in
+  (* obstruction-free finish: let stragglers run alone, round by round,
+     until every participant has a name *)
+  let budget = ref (100 * n) in
+  let rec settle () =
+    let undecided =
+      List.filter
+        (fun i -> not (Protocol.is_decided (R.status rt i)))
+        participants
+    in
+    if undecided <> [] && !budget > 0 then begin
+      decr budget;
+      List.iter
+        (fun i -> ignore (R.run rt (Schedule.solo i) ~max_steps:(40 * m * m)))
+        undecided;
+      settle ()
+    end
+  in
+  settle ()
+
+let random_renaming ~seed ~n ~k =
+  (* k of the n processes participate *)
+  let m = (2 * n) - 1 in
+  let rng = Rng.create seed in
+  let ids = List.init n (fun i -> (i + 1) * 13) in
+  let cfg : R.config =
+    {
+      ids = Array.of_list ids;
+      inputs = Array.make n ();
+      namings = Array.init n (fun _ -> Naming.random rng m);
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  let participants = List.init k Fun.id in
+  let sched (v : Schedule.view) =
+    match
+      List.filter (fun i -> v.kind i <> Schedule.Finished) participants
+    with
+    | [] -> None
+    | cands -> Some (List.nth cands (Rng.int rng (List.length cands)))
+  in
+  let _ = R.run rt sched ~max_steps:(300 * n * n) in
+  finish_run ~n ~m rt rng participants;
+  (rt, participants)
+
+let qcheck_unique_and_adaptive =
+  QCheck.Test.make
+    ~name:"random schedules: unique names within {1..k} (n<=5, k<=n)"
+    ~count:60
+    QCheck.(triple (int_bound 100_000) (int_range 2 5) (int_range 1 5))
+    (fun (seed, n, kr) ->
+      let k = 1 + (kr mod n) in
+      let rt, participants = random_renaming ~seed:(seed + 1) ~n ~k in
+      let names =
+        List.filter_map
+          (fun i ->
+            match R.status rt i with
+            | Protocol.Decided v -> Some v
+            | _ -> None)
+          participants
+      in
+      List.length names = k
+      && List.sort_uniq compare names = List.sort compare names
+      && List.for_all (fun v -> 1 <= v && v <= k) names)
+
+let test_contended_pair_gets_1_2 () =
+  (* two participants under a fixed interleaved schedule end with {1, 2} *)
+  let rt =
+    R.create (R.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ (); () ] ())
+  in
+  let rng = Rng.create 99 in
+  let _ = R.run rt (Schedule.random rng) ~max_steps:500 in
+  finish_run ~n:2 ~m:3 rt rng [ 0; 1 ];
+  let names =
+    Array.to_list (R.decisions rt) |> List.filter_map Fun.id |> List.sort compare
+  in
+  Alcotest.(check (list int)) "names {1,2}" [ 1; 2 ] names
+
+let test_round_tracking () =
+  let rt =
+    R.create (R.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ (); () ] ())
+  in
+  Alcotest.(check int) "initial round" 1 (P.round_of (R.local rt 0));
+  ignore (R.step rt 0);
+  Alcotest.(check int) "round 1 while playing" 1 (P.round_of (R.local rt 0))
+
+let test_history_union_canonical () =
+  let h = Coord.Renaming.Value.union_history [ (3, 1) ] (1, 2) in
+  Alcotest.(check bool) "sorted" true (h = [ (1, 2); (3, 1) ]);
+  let h' = Coord.Renaming.Value.union_history h (3, 1) in
+  Alcotest.(check bool) "idempotent" true (h' = h)
+
+let suite =
+  [
+    Alcotest.test_case "model check n=2, all namings (Thm 5.1-5.3)" `Slow
+      test_model_check_n2;
+    Alcotest.test_case "solo takes name 1" `Quick test_solo_takes_name_one;
+    QCheck_alcotest.to_alcotest qcheck_unique_and_adaptive;
+    Alcotest.test_case "contended pair gets {1,2}" `Quick
+      test_contended_pair_gets_1_2;
+    Alcotest.test_case "round tracking" `Quick test_round_tracking;
+    Alcotest.test_case "history union is canonical" `Quick
+      test_history_union_canonical;
+  ]

@@ -1,0 +1,109 @@
+open Anonmem
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_replays () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_assign () =
+  let a = Rng.create 7 and b = Rng.create 9 in
+  ignore (Rng.next_int64 a);
+  Rng.assign b a;
+  Alcotest.(check int64) "assign syncs" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  (* not a statistical test; just that both advance and differ *)
+  let xa = Rng.next_int64 a and xb = Rng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_int_bounds () =
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (0 <= x && x < 7)
+  done
+
+let test_int_covers () =
+  let g = Rng.create 5 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int g 4) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float g in
+    Alcotest.(check bool) "in [0,1)" true (0. <= x && x < 1.)
+  done
+
+let test_bool_balanced () =
+  let g = Rng.create 13 in
+  let heads = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool g then incr heads
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!heads > 400 && !heads < 600)
+
+let test_permutation_valid () =
+  let g = Rng.create 17 in
+  for n = 1 to 10 do
+    let p = Rng.permutation g n in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int))
+      "is a permutation"
+      (Array.init n Fun.id)
+      sorted
+  done
+
+let test_pick_member () =
+  let g = Rng.create 19 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick from array" true (Array.mem (Rng.pick g a) a)
+  done
+
+let test_shuffle_permutes () =
+  let g = Rng.create 23 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset preserved" (Array.init 20 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_deterministic;
+    Alcotest.test_case "different seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays the future" `Quick test_copy_replays;
+    Alcotest.test_case "assign synchronizes state" `Quick test_assign;
+    Alcotest.test_case "split gives a distinct stream" `Quick
+      test_split_independent;
+    Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers all residues" `Quick test_int_covers;
+    Alcotest.test_case "float stays in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "bool is roughly fair" `Quick test_bool_balanced;
+    Alcotest.test_case "permutation is valid" `Quick test_permutation_valid;
+    Alcotest.test_case "pick returns a member" `Quick test_pick_member;
+    Alcotest.test_case "shuffle preserves elements" `Quick
+      test_shuffle_permutes;
+  ]

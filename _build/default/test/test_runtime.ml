@@ -1,0 +1,240 @@
+open Anonmem
+
+(* A toy protocol: write your id to local register 0, read it back, decide
+   what you read. Exercises the runtime without algorithmic noise. *)
+module Toy = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = int
+  type local = Rem | Put | Get | Fin of int
+
+  let name = "toy"
+  let default_registers ~n:_ = 2
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let step ~n:_ ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal Put
+    | Put -> Write (0, id, Get)
+    | Get -> Read (0, fun v -> Fin v)
+    | Fin _ -> invalid_arg "toy: decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Put | Get -> Protocol.Trying
+    | Fin v -> Protocol.Decided v
+
+  let compare_local = Stdlib.compare
+  let pp_local ppf _ = Format.pp_print_string ppf "<toy>"
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module R = Runtime.Make (Toy)
+
+let mk ?(ids = [ 5; 9 ]) ?m () =
+  R.create (R.simple_config ?m ~record_trace:true ~ids
+              ~inputs:(List.map (fun _ -> ()) ids) ())
+
+let test_create_validates () =
+  let bad ids = fun () -> ignore (mk ~ids ()) in
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Runtime.create: duplicate ids")
+    (bad [ 3; 3 ]);
+  Alcotest.check_raises "non-positive ids"
+    (Invalid_argument "Runtime.create: ids must be positive")
+    (bad [ 0; 1 ])
+
+let test_initial_state () =
+  let rt = mk () in
+  Alcotest.(check int) "n" 2 (R.n rt);
+  Alcotest.(check int) "m" 2 (R.m rt);
+  Alcotest.(check int) "clock" 0 (R.clock rt);
+  Alcotest.(check int) "id of proc 1" 9 (R.id_of rt 1);
+  Alcotest.(check bool) "remainder" true (R.status rt 0 = Protocol.Remainder);
+  Alcotest.(check bool) "kind idle" true (R.kind rt 0 = Schedule.Idle)
+
+let test_step_and_decide () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  (* internal *)
+  ignore (R.step rt 0);
+  (* write 5 *)
+  ignore (R.step rt 0);
+  (* read 5, decide *)
+  (match R.status rt 0 with
+  | Protocol.Decided v -> Alcotest.(check int) "decided own id" 5 v
+  | _ -> Alcotest.fail "expected decided");
+  Alcotest.(check int) "three steps" 3 (R.steps_of rt 0);
+  Alcotest.check_raises "stepping decided process rejected"
+    (Invalid_argument "Runtime.step: process already decided") (fun () ->
+      ignore (R.step rt 0))
+
+let test_interference () =
+  (* p0 writes, p1 overwrites, p0 reads p1's id *)
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  (* p0 wrote 5 *)
+  ignore (R.step rt 1);
+  ignore (R.step rt 1);
+  (* p1 wrote 9 over it *)
+  ignore (R.step rt 0);
+  (match R.status rt 0 with
+  | Protocol.Decided v -> Alcotest.(check int) "p0 sees p1's write" 9 v
+  | _ -> Alcotest.fail "expected decided")
+
+let test_trace_records () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  let trace = R.trace rt in
+  Alcotest.(check int) "three entries" 3 (List.length trace);
+  match trace with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "internal first" true (a.Trace.action = Internal);
+    (match b.Trace.action with
+    | Trace.Write { value; phys; _ } ->
+      Alcotest.(check int) "wrote id" 5 value;
+      Alcotest.(check int) "physical 0" 0 phys
+    | _ -> Alcotest.fail "expected write");
+    (match Trace.decision c with
+    | Some v -> Alcotest.(check int) "decision recorded" 5 v
+    | None -> Alcotest.fail "expected decision")
+  | _ -> Alcotest.fail "unexpected trace shape"
+
+let test_writes_by () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  ignore (R.step rt 1);
+  ignore (R.step rt 1);
+  Alcotest.(check (list int)) "p0 wrote physical 0" [ 0 ]
+    (Trace.writes_by (R.trace rt) 0);
+  Alcotest.(check (list int)) "p1 wrote physical 0" [ 0 ]
+    (Trace.writes_by (R.trace rt) 1)
+
+let test_run_all_decided () =
+  let rt = mk () in
+  let reason = R.run rt (Schedule.round_robin ()) ~max_steps:100 in
+  Alcotest.(check bool) "all decided" true (reason = R.All_decided);
+  Alcotest.(check bool) "decisions present" true
+    (Array.for_all Option.is_some (R.decisions rt))
+
+let test_run_step_limit () =
+  let rt = mk () in
+  let reason = R.run rt (Schedule.round_robin ()) ~max_steps:2 in
+  Alcotest.(check bool) "step limit" true (reason = R.Step_limit)
+
+let test_run_until () =
+  let rt = mk () in
+  let reason =
+    R.run rt
+      ~until:(fun t -> R.clock t >= 1)
+      (Schedule.round_robin ()) ~max_steps:100
+  in
+  Alcotest.(check bool) "condition met" true (reason = R.Condition_met);
+  Alcotest.(check int) "stopped at once" 1 (R.clock rt)
+
+let test_run_schedule_exhausted () =
+  let rt = mk () in
+  let reason = R.run rt (Schedule.script [ 0 ]) ~max_steps:100 in
+  Alcotest.(check bool) "schedule exhausted" true
+    (reason = R.Schedule_exhausted)
+
+let test_checkpoint_restore () =
+  let rt = mk () in
+  let cp = R.checkpoint rt in
+  let _ = R.run rt (Schedule.round_robin ()) ~max_steps:100 in
+  Alcotest.(check bool) "ran" true (R.all_decided rt);
+  R.restore rt cp;
+  Alcotest.(check int) "clock restored" 0 (R.clock rt);
+  Alcotest.(check bool) "statuses restored" true
+    (R.status rt 0 = Protocol.Remainder);
+  Alcotest.(check int) "memory restored" 0
+    (R.Mem.get_physical (R.memory rt) 0);
+  Alcotest.(check int) "trace restored" 0 (List.length (R.trace rt));
+  (* re-running after restore yields the same result *)
+  let _ = R.run rt (Schedule.round_robin ()) ~max_steps:100 in
+  Alcotest.(check bool) "replays fine" true (R.all_decided rt)
+
+let test_peek_does_not_execute () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  (match R.peek rt 0 with
+  | Protocol.Write (0, 5, _) -> ()
+  | _ -> Alcotest.fail "expected pending write of id 5 at local 0");
+  Alcotest.(check int) "clock unchanged by peek" 1 (R.clock rt);
+  Alcotest.(check int) "memory unchanged by peek" 0
+    (R.Mem.get_physical (R.memory rt) 0)
+
+let test_namings_respected () =
+  let cfg : R.config =
+    {
+      ids = [| 5; 9 |];
+      inputs = [| (); () |];
+      namings = [| Naming.identity 2; Naming.rotation 2 1 |];
+      rng = None;
+      record_trace = false;
+    }
+  in
+  let rt = R.create cfg in
+  (* p1's local 0 is physical 1 *)
+  ignore (R.step rt 1);
+  ignore (R.step rt 1);
+  Alcotest.(check int) "p1's write landed on physical 1" 9
+    (R.Mem.get_physical (R.memory rt) 1);
+  Alcotest.(check int) "physical 0 untouched" 0
+    (R.Mem.get_physical (R.memory rt) 0)
+
+let test_coin_requires_rng () =
+  let module RC = Runtime.Make (Coord.Ccp.P) in
+  let rt = RC.create (RC.simple_config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ()) in
+  ignore (RC.step rt 0);
+  (* leave remainder *)
+  Alcotest.check_raises "coin without rng rejected"
+    (Invalid_argument "Runtime.step: Coin step but no rng in config")
+    (fun () -> ignore (RC.step rt 0))
+
+let test_coin_with_rng () =
+  let module RC = Runtime.Make (Coord.Ccp.P) in
+  let rt =
+    RC.create
+      (RC.simple_config ~rng:(Rng.create 4) ~record_trace:true ~ids:[ 5 ]
+         ~inputs:[ () ] ())
+  in
+  ignore (RC.step rt 0);
+  let e = RC.step rt 0 in
+  match e.Trace.action with
+  | Trace.Coin _ -> ()
+  | _ -> Alcotest.fail "expected a coin action in the trace"
+
+let suite =
+  [
+    Alcotest.test_case "create validates config" `Quick test_create_validates;
+    Alcotest.test_case "coin requires rng" `Quick test_coin_requires_rng;
+    Alcotest.test_case "coin with rng recorded" `Quick test_coin_with_rng;
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "step and decide" `Quick test_step_and_decide;
+    Alcotest.test_case "interference between processes" `Quick
+      test_interference;
+    Alcotest.test_case "trace records actions" `Quick test_trace_records;
+    Alcotest.test_case "writes_by extracts write sets" `Quick test_writes_by;
+    Alcotest.test_case "run to completion" `Quick test_run_all_decided;
+    Alcotest.test_case "run stops at step limit" `Quick test_run_step_limit;
+    Alcotest.test_case "run stops on condition" `Quick test_run_until;
+    Alcotest.test_case "run stops when schedule ends" `Quick
+      test_run_schedule_exhausted;
+    Alcotest.test_case "checkpoint/restore" `Quick test_checkpoint_restore;
+    Alcotest.test_case "peek has no effect" `Quick test_peek_does_not_execute;
+    Alcotest.test_case "namings respected" `Quick test_namings_respected;
+  ]

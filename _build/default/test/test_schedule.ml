@@ -1,0 +1,122 @@
+open Anonmem
+
+let view kinds : Schedule.view =
+  { n = Array.length kinds; clock = 0; kind = (fun i -> kinds.(i)) }
+
+let working n = view (Array.make n Schedule.Working)
+
+let test_round_robin_cycles () =
+  let s = Schedule.round_robin () in
+  let v = working 3 in
+  let picks = List.init 6 (fun _ -> Option.get (s v)) in
+  Alcotest.(check (list int)) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_round_robin_skips_finished () =
+  let s = Schedule.round_robin () in
+  let v = view [| Schedule.Working; Finished; Working |] in
+  let picks = List.init 4 (fun _ -> Option.get (s v)) in
+  Alcotest.(check (list int)) "skips 1" [ 0; 2; 0; 2 ] picks
+
+let test_round_robin_stops () =
+  let s = Schedule.round_robin () in
+  let v = view [| Schedule.Finished; Finished |] in
+  Alcotest.(check bool) "all finished -> None" true (s v = None)
+
+let test_solo () =
+  let s = Schedule.solo 1 in
+  let v = working 3 in
+  Alcotest.(check (option int)) "always 1" (Some 1) (s v);
+  Alcotest.(check (option int)) "still 1" (Some 1) (s v);
+  let v' = view [| Schedule.Working; Finished; Working |] in
+  Alcotest.(check (option int)) "stops when finished" None (s v')
+
+let test_lock_step () =
+  let s = Schedule.lock_step [ 2; 0 ] in
+  let v = working 3 in
+  let picks = List.init 4 (fun _ -> Option.get (s v)) in
+  Alcotest.(check (list int)) "cycles the given list" [ 2; 0; 2; 0 ] picks
+
+let test_lock_step_stops_on_finish () =
+  let s = Schedule.lock_step [ 0; 1 ] in
+  let v = view [| Schedule.Working; Finished |] in
+  Alcotest.(check (option int)) "first pick ok" (Some 0) (s v);
+  Alcotest.(check (option int)) "stops at finished member" None (s v)
+
+let test_script () =
+  let s = Schedule.script [ 1; 1; 0 ] in
+  let v = working 2 in
+  Alcotest.(check (option int)) "1" (Some 1) (s v);
+  Alcotest.(check (option int)) "1" (Some 1) (s v);
+  Alcotest.(check (option int)) "0" (Some 0) (s v);
+  Alcotest.(check (option int)) "exhausted" None (s v)
+
+let test_script_skips_finished () =
+  let s = Schedule.script [ 1; 0 ] in
+  let v = view [| Schedule.Working; Finished |] in
+  Alcotest.(check (option int)) "skips finished 1, picks 0" (Some 0) (s v)
+
+let test_random_only_unfinished () =
+  let rng = Rng.create 5 in
+  let s = Schedule.random rng in
+  let v = view [| Schedule.Finished; Idle; Working |] in
+  for _ = 1 to 50 do
+    match s v with
+    | Some i -> Alcotest.(check bool) "never finished" true (i = 1 || i = 2)
+    | None -> Alcotest.fail "should pick someone"
+  done
+
+let test_random_active_excludes_idle () =
+  let rng = Rng.create 6 in
+  let s = Schedule.random_active rng in
+  let v = view [| Schedule.Idle; Working; Crit |] in
+  for _ = 1 to 50 do
+    match s v with
+    | Some i -> Alcotest.(check bool) "active only" true (i = 1 || i = 2)
+    | None -> Alcotest.fail "should pick someone"
+  done;
+  let v' = view [| Schedule.Idle; Idle |] in
+  Alcotest.(check (option int)) "no active -> None" None (s v')
+
+let test_then_ () =
+  let s = Schedule.then_ (Schedule.script [ 0 ]) (Schedule.solo 1) in
+  let v = working 2 in
+  Alcotest.(check (option int)) "first scheduler" (Some 0) (s v);
+  Alcotest.(check (option int)) "falls through" (Some 1) (s v);
+  Alcotest.(check (option int)) "stays on second" (Some 1) (s v)
+
+let test_take () =
+  let s = Schedule.take 2 (Schedule.solo 0) in
+  let v = working 1 in
+  Alcotest.(check (option int)) "one" (Some 0) (s v);
+  Alcotest.(check (option int)) "two" (Some 0) (s v);
+  Alcotest.(check (option int)) "capped" None (s v)
+
+let test_pick_active () =
+  let v = view [| Schedule.Idle; Finished; Exitg; Working |] in
+  Alcotest.(check (option int)) "lowest active" (Some 2)
+    (Schedule.pick_active v);
+  let v' = view [| Schedule.Idle; Finished |] in
+  Alcotest.(check (option int)) "none active" None (Schedule.pick_active v')
+
+let suite =
+  [
+    Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+    Alcotest.test_case "round robin skips finished" `Quick
+      test_round_robin_skips_finished;
+    Alcotest.test_case "round robin stops when all done" `Quick
+      test_round_robin_stops;
+    Alcotest.test_case "solo" `Quick test_solo;
+    Alcotest.test_case "lock step cycles" `Quick test_lock_step;
+    Alcotest.test_case "lock step stops on finish" `Quick
+      test_lock_step_stops_on_finish;
+    Alcotest.test_case "script" `Quick test_script;
+    Alcotest.test_case "script skips finished" `Quick
+      test_script_skips_finished;
+    Alcotest.test_case "random picks unfinished" `Quick
+      test_random_only_unfinished;
+    Alcotest.test_case "random_active excludes idle" `Quick
+      test_random_active_excludes_idle;
+    Alcotest.test_case "then_ chains" `Quick test_then_;
+    Alcotest.test_case "take caps steps" `Quick test_take;
+    Alcotest.test_case "pick_active" `Quick test_pick_active;
+  ]

@@ -1,0 +1,52 @@
+open Anonmem
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 1.25) s.stddev
+
+let test_summarize_singleton () =
+  let s = Stats.summarize [ 7. ] in
+  Alcotest.(check (float 1e-9)) "mean" 7. s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0. s.stddev
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Stats.summarize []))
+
+let test_summarize_ints () =
+  let s = Stats.summarize_ints [ 2; 4 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3. s.mean
+
+let test_pp_summary () =
+  let s = Stats.summarize [ 1.; 3. ] in
+  Alcotest.(check string) "rendering" "n=2 mean=2.00 sd=1.00 min=1 max=3"
+    (Format.asprintf "%a" Stats.pp_summary s)
+
+let test_tally () =
+  let t = Stats.Tally.create () in
+  Stats.Tally.incr t "ok";
+  Stats.Tally.incr t "ok";
+  Stats.Tally.add t "fail" 3;
+  Alcotest.(check int) "ok" 2 (Stats.Tally.get t "ok");
+  Alcotest.(check int) "fail" 3 (Stats.Tally.get t "fail");
+  Alcotest.(check int) "missing" 0 (Stats.Tally.get t "nope");
+  Alcotest.(check int) "total" 5 (Stats.Tally.total t);
+  Alcotest.(check (list (pair string int)))
+    "sorted list"
+    [ ("fail", 3); ("ok", 2) ]
+    (Stats.Tally.to_list t)
+
+let suite =
+  [
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize singleton" `Quick test_summarize_singleton;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "summarize ints" `Quick test_summarize_ints;
+    Alcotest.test_case "pp summary" `Quick test_pp_summary;
+    Alcotest.test_case "tally" `Quick test_tally;
+  ]

@@ -1,0 +1,99 @@
+open Anonmem
+
+let entry ?(time = 0) ?(proc = 0) ?(id = 1) ?(action = Trace.Internal)
+    ?(before = Protocol.Trying) ?(after = Protocol.Trying) () :
+    (int, int) Trace.entry =
+  {
+    time;
+    proc;
+    id;
+    action;
+    status_before = before;
+    status_after = after;
+  }
+
+let test_enters_exits_critical () =
+  let enter = entry ~before:Protocol.Trying ~after:Protocol.Critical () in
+  let stay = entry ~before:Protocol.Critical ~after:Protocol.Critical () in
+  let leave = entry ~before:Protocol.Critical ~after:Protocol.Exiting () in
+  Alcotest.(check bool) "enter" true (Trace.enters_critical enter);
+  Alcotest.(check bool) "stay is not enter" false (Trace.enters_critical stay);
+  Alcotest.(check bool) "stay is not exit" false (Trace.exits_critical stay);
+  Alcotest.(check bool) "leave" true (Trace.exits_critical leave);
+  Alcotest.(check bool) "leave is not enter" false (Trace.enters_critical leave)
+
+let test_decision () =
+  let decide = entry ~before:Protocol.Trying ~after:(Protocol.Decided 9) () in
+  let already = entry ~before:(Protocol.Decided 9) ~after:(Protocol.Decided 9) () in
+  Alcotest.(check (option int)) "decision captured" (Some 9)
+    (Trace.decision decide);
+  Alcotest.(check (option int)) "no re-decision" None (Trace.decision already)
+
+let write ~proc ~phys =
+  entry ~proc ~action:(Trace.Write { loc = phys; phys; value = 1 }) ()
+
+let test_writes_by_order_and_dedup () =
+  let trace =
+    [
+      write ~proc:0 ~phys:2;
+      write ~proc:1 ~phys:0;
+      write ~proc:0 ~phys:2;
+      (* duplicate *)
+      write ~proc:0 ~phys:1;
+      entry ~proc:0 ~action:(Trace.Read { loc = 0; phys = 0; value = 0 }) ();
+    ]
+  in
+  Alcotest.(check (list int)) "first-write order, deduped" [ 2; 1 ]
+    (Trace.writes_by trace 0);
+  Alcotest.(check (list int)) "other process separate" [ 0 ]
+    (Trace.writes_by trace 1);
+  Alcotest.(check (list int)) "absent process empty" []
+    (Trace.writes_by trace 7)
+
+let test_rmw_counts_as_write () =
+  let trace =
+    [
+      entry ~proc:0
+        ~action:(Trace.Rmw { loc = 1; phys = 1; old_value = 0; new_value = 3 })
+        ();
+    ]
+  in
+  Alcotest.(check (list int)) "rmw registers in write set" [ 1 ]
+    (Trace.writes_by trace 0)
+
+let test_pp_runs () =
+  (* the printers must not raise and must include the essentials *)
+  let trace =
+    [
+      write ~proc:0 ~phys:2;
+      entry ~proc:1 ~action:(Trace.Coin true) ();
+      entry ~proc:1 ~before:Protocol.Trying ~after:(Protocol.Decided 4) ();
+    ]
+  in
+  let s =
+    Format.asprintf "%a"
+      (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Format.pp_print_int)
+      trace
+  in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output mentions %S" needle)
+        true (contains needle))
+    [ "write"; "coin"; "decided(4)" ]
+
+let suite =
+  [
+    Alcotest.test_case "enters/exits critical" `Quick
+      test_enters_exits_critical;
+    Alcotest.test_case "decision extraction" `Quick test_decision;
+    Alcotest.test_case "writes_by: order and dedup" `Quick
+      test_writes_by_order_and_dedup;
+    Alcotest.test_case "writes_by: rmw counts" `Quick test_rmw_counts_as_write;
+    Alcotest.test_case "pretty printer" `Quick test_pp_runs;
+  ]

@@ -1,0 +1,116 @@
+open Anonmem
+
+(* Fix_n must make the protocol blind to the actual process count. *)
+module Pinned = Wrap.Fix_n (Coord.Consensus.P) (struct let n = 2 end)
+module R = Runtime.Make (Pinned)
+module R0 = Runtime.Make (Coord.Consensus.P)
+
+let test_name_tagged () =
+  Alcotest.(check bool) "name records the pin" true
+    (Pinned.name = "anonymous-consensus-fig2[n:=2]")
+
+let test_default_registers_pinned () =
+  (* 2n-1 with n pinned to 2, whatever n is claimed *)
+  Alcotest.(check int) "m for n=50" 3 (Pinned.default_registers ~n:50)
+
+let test_behavior_matches_designed_instance () =
+  (* a pinned run with 4 processes restricted to 2 participants behaves
+     exactly like the genuine 2-process instance under the same schedule *)
+  let script = [ 0; 1; 0; 0; 1; 1; 1; 0; 0; 0; 1; 1; 0; 1 ] in
+  let wrapped =
+    let rt =
+      R.create
+        (R.simple_config ~m:3 ~ids:[ 5; 9; 13; 17 ]
+           ~inputs:[ 100; 200; 300; 400 ] ())
+    in
+    let _ = R.run rt (Schedule.script script) ~max_steps:100 in
+    (R.Mem.snapshot (R.memory rt), R.status rt 0, R.status rt 1)
+  in
+  let genuine =
+    let rt =
+      R0.create (R0.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ 100; 200 ] ())
+    in
+    let _ = R0.run rt (Schedule.script script) ~max_steps:100 in
+    (R0.Mem.snapshot (R0.memory rt), R0.status rt 0, R0.status rt 1)
+  in
+  Alcotest.(check bool) "identical memory and statuses" true (wrapped = genuine)
+
+let test_solo_decides_like_designed () =
+  let rt =
+    R.create
+      (R.simple_config ~m:3 ~ids:[ 5; 9; 13; 17 ]
+         ~inputs:[ 100; 200; 300; 400 ] ())
+  in
+  let _ = R.run rt (Schedule.solo 2) ~max_steps:200 in
+  match R.status rt 2 with
+  | Protocol.Decided v -> Alcotest.(check int) "solo decides its input" 300 v
+  | _ -> Alcotest.fail "pinned protocol must still decide solo"
+
+(* Fix_m: §3.2's property 1 made executable. Figure 1 for 3 registers run
+   inside a memory of 5: correct whenever both processes use the SAME
+   physical triple (the named discipline), broken when their namings pick
+   different triples (no agreement which registers to ignore). *)
+module Fig1_3 = Wrap.Fix_m (Coord.Amutex.P) (struct let m = 3 end)
+module EFix = Check.Explore.Make (Fig1_3)
+
+let fixm_verdicts namings =
+  let cfg : EFix.config =
+    { ids = [| 7; 13 |]; inputs = [| (); () |]; namings }
+  in
+  let f = EFix.to_flat (EFix.explore cfg) in
+  ( Check.Mutex_props.mutual_exclusion f = None,
+    Check.Mutex_props.deadlock_freedom f = None )
+
+let test_fix_m_aligned_correct () =
+  List.iter
+    (fun namings ->
+      let me, df = fixm_verdicts namings in
+      Alcotest.(check bool) "ME with agreed window" true me;
+      Alcotest.(check bool) "DF with agreed window" true df)
+    [
+      [| Naming.identity 5; Naming.identity 5 |];
+      [| Naming.of_array [| 2; 3; 4; 0; 1 |];
+         Naming.of_array [| 2; 3; 4; 1; 0 |] |];
+    ]
+
+let test_fix_m_misaligned_broken () =
+  (* one-register overlap: both can assemble an all-mine view -> ME falls *)
+  let me, _ =
+    fixm_verdicts [| Naming.identity 5; Naming.of_array [| 2; 3; 4; 0; 1 |] |]
+  in
+  Alcotest.(check bool) "ME broken with overlap {2}" true (not me);
+  (* two-register overlap: they block each other forever -> DF falls *)
+  let me2, df2 =
+    fixm_verdicts [| Naming.identity 5; Naming.of_array [| 1; 2; 3; 0; 4 |] |]
+  in
+  Alcotest.(check bool) "ME survives overlap {1,2}" true me2;
+  Alcotest.(check bool) "DF broken with overlap {1,2}" true (not df2);
+  (* disjoint windows: two independent "solo" runs -> ME falls trivially *)
+  let me3, _ =
+    fixm_verdicts [| Naming.identity 5; Naming.of_array [| 3; 4; 0; 1; 2 |] |]
+  in
+  Alcotest.(check bool) "ME broken with disjoint windows" true (not me3)
+
+let test_fix_m_validates () =
+  let module R = Runtime.Make (Fig1_3) in
+  Alcotest.check_raises "too few physical registers"
+    (Invalid_argument "Wrap.Fix_m: fewer physical registers than the pinned m")
+    (fun () ->
+      ignore (R.create (R.simple_config ~m:2 ~ids:[ 1; 2 ] ~inputs:[ (); () ] ())))
+
+let suite =
+  [
+    Alcotest.test_case "name tagged" `Quick test_name_tagged;
+    Alcotest.test_case "Fix_m: aligned windows stay correct" `Slow
+      test_fix_m_aligned_correct;
+    Alcotest.test_case "Fix_m: misaligned windows break (property 1)" `Slow
+      test_fix_m_misaligned_broken;
+    Alcotest.test_case "Fix_m: validates register count" `Quick
+      test_fix_m_validates;
+    Alcotest.test_case "default registers pinned" `Quick
+      test_default_registers_pinned;
+    Alcotest.test_case "behavior matches designed instance" `Quick
+      test_behavior_matches_designed_instance;
+    Alcotest.test_case "solo decides beyond design bound" `Quick
+      test_solo_decides_like_designed;
+  ]
