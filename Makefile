@@ -1,0 +1,30 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test check bench bench-checker tables clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate the repo must pass before a change lands.
+check:
+	dune build @all && dune runtest
+
+# Full benchmark run (experiment tables + bechamel micro-benchmarks).
+bench:
+	dune exec bench/main.exe
+
+# Checker throughput sweep; writes BENCH_checker.json.
+# Override the worker count with DOMAINS=N.
+bench-checker:
+	dune exec bench/check_throughput.exe -- $(or $(DOMAINS),2)
+
+tables:
+	dune exec -- coordctl tables
+
+clean:
+	dune clean

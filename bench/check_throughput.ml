@@ -1,0 +1,109 @@
+(* Checker throughput sweep: sequential reference explorer vs the
+   frontier-parallel explorer, on each in-tree protocol family, recorded
+   to BENCH_checker.json.
+
+   Every parallel run is first cross-validated against the sequential one
+   (bit-identical states, transitions, completeness) before its timing is
+   reported, so a number in the JSON always describes a correct run.
+
+     dune exec bench/check_throughput.exe [-- DOMAINS]
+
+   DOMAINS defaults to Domain.recommended_domain_count (). Speedups are
+   honest wall-clock ratios on the machine at hand: on a single-core host
+   the parallel explorer pays barrier overhead and reports < 1x. *)
+
+open Anonmem
+
+let str = Printf.sprintf
+
+type entry = { label : string; seq_json : string; par_json : string; speedup : float }
+
+module Sweep (P : Protocol.PROTOCOL) = struct
+  module E = Check.Explore.Make (P)
+
+  let run ~label ~domains (cfg : E.config) =
+    let gs, ss = E.explore_with_stats cfg in
+    let gp, sp = E.explore_par ~domains cfg in
+    if
+      not
+        (gs.states = gp.states && gs.succs = gp.succs
+       && gs.complete = gp.complete)
+    then failwith (str "%s: parallel explorer diverged from sequential" label);
+    let speedup = ss.Check.Checker_stats.elapsed_s /. sp.Check.Checker_stats.elapsed_s in
+    Format.printf "--- %s ---@.seq: %a@.par: %a@.speedup: %.2fx@.@."
+      label Check.Checker_stats.pp ss Check.Checker_stats.pp sp speedup;
+    {
+      label;
+      seq_json = Check.Checker_stats.to_json ss;
+      par_json = Check.Checker_stats.to_json sp;
+      speedup;
+    }
+end
+
+module SMutex = Sweep (Coord.Amutex.P)
+module SCons = Sweep (Coord.Consensus.P)
+module SRen = Sweep (Coord.Renaming.P)
+module SCcp = Sweep (Coord.Ccp.P)
+module SBurns = Sweep (Baseline.Burns.P)
+
+let indent s =
+  String.split_on_char '\n' s
+  |> List.map (fun l -> "    " ^ l)
+  |> String.concat "\n"
+
+let () =
+  let domains =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with
+      | Some d when d >= 1 -> d
+      | _ ->
+        prerr_endline "usage: check_throughput [DOMAINS]  (DOMAINS >= 1)";
+        exit 2
+    else Domain.recommended_domain_count ()
+  in
+  Format.printf "host cores (recommended domains): %d; using %d domain(s)@.@."
+    (Domain.recommended_domain_count ())
+    domains;
+  let rot2 m = [| Naming.identity m; Naming.rotation m 1 |] in
+  (* the largest config first: the m=5 mutex state space is the benchmark's
+     centerpiece; m=3 gives a small-comparison point *)
+  let e1 =
+    SMutex.run ~label:"amutex-m5" ~domains
+      { ids = [| 7; 13 |]; inputs = [| (); () |]; namings = rot2 5 }
+  in
+  let e2 =
+    SMutex.run ~label:"amutex-m3" ~domains
+      { ids = [| 7; 13 |]; inputs = [| (); () |]; namings = rot2 3 }
+  in
+  let e3 =
+    SCons.run ~label:"consensus-m3" ~domains
+      { ids = [| 7; 13 |]; inputs = [| 100; 200 |]; namings = rot2 3 }
+  in
+  let e4 =
+    SRen.run ~label:"renaming-m3" ~domains
+      { ids = [| 7; 13 |]; inputs = [| (); () |]; namings = rot2 3 }
+  in
+  let e5 =
+    SCcp.run ~label:"ccp-m2" ~domains
+      { ids = [| 7; 13 |]; inputs = [| (); () |]; namings = rot2 2 }
+  in
+  let e6 =
+    SBurns.run ~label:"burns-n3" ~domains
+      (SBurns.E.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ())
+  in
+  let entries = [ e1; e2; e3; e4; e5; e6 ] in
+  let oc = open_out "BENCH_checker.json" in
+  Printf.fprintf oc "{\n  \"host_recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"domains\": %d,\n  \"entries\": [\n" domains;
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "  {\n    \"workload\": %S,\n" e.label;
+      Printf.fprintf oc "    \"speedup\": %.3f,\n" e.speedup;
+      Printf.fprintf oc "    \"seq\":\n%s,\n" (indent e.seq_json);
+      Printf.fprintf oc "    \"par\":\n%s\n  }%s\n" (indent e.par_json)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_checker.json@."

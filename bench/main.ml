@@ -184,15 +184,19 @@ let chain_all n seed0 =
   done;
   assert (RChain.all_decided rt)
 
+let explore_m3_cfg =
+  {
+    EMutex.ids = [| 7; 13 |];
+    inputs = [| (); () |];
+    namings = [| Naming.identity 3; Naming.rotation 3 1 |];
+  }
+
 let explore_m3 () =
-  let cfg =
-    {
-      EMutex.ids = [| 7; 13 |];
-      inputs = [| (); () |];
-      namings = [| Naming.identity 3; Naming.rotation 3 1 |];
-    }
-  in
-  let g = EMutex.explore cfg in
+  let g = EMutex.explore explore_m3_cfg in
+  assert (Array.length g.states > 2000)
+
+let explore_m3_par domains () =
+  let g, _ = EMutex.explore_par ~domains explore_m3_cfg in
   assert (Array.length g.states > 2000)
 
 let ccp_full n seed0 =
@@ -257,7 +261,11 @@ let tests =
                (Staged.stage (chain_all n (41 * n)));
            ])
          [ 2; 4; 8 ]);
-    Test.make ~name:"B4-model-check-fig1-m3" (Staged.stage explore_m3);
+    Test.make_grouped ~name:"B4-model-check-fig1-m3"
+      [
+        Test.make ~name:"sequential" (Staged.stage explore_m3);
+        Test.make ~name:"parallel/d=2" (Staged.stage (explore_m3_par 2));
+      ];
     Test.make_grouped ~name:"B5-ccp-full"
       (List.map
          (fun n ->
@@ -306,9 +314,21 @@ let print_results results =
           rows)
     results
 
+(* Checker throughput at a glance; `check_throughput.exe` runs the full
+   sweep and records BENCH_checker.json. *)
+let checker_stats () =
+  Format.printf
+    "=== Model-checker throughput (fig1 mutex, m=3; see BENCH_checker.json) \
+     ===@.@.";
+  let _, seq = EMutex.explore_with_stats explore_m3_cfg in
+  Format.printf "%a@.@." Check.Checker_stats.pp seq;
+  let _, par = EMutex.explore_par explore_m3_cfg in
+  Format.printf "%a@.@." Check.Checker_stats.pp par
+
 let () =
   Format.printf "=== Experiment tables (quick mode; see EXPERIMENTS.md) ===@.@.";
   Report.Table.render_all Format.std_formatter
     (Report.Experiments.all Report.Experiments.Quick);
+  checker_stats ();
   Format.printf "=== Micro-benchmarks (bechamel) ===@.@.";
   print_results (benchmark ())

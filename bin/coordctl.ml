@@ -108,6 +108,11 @@ let simulate proto n m seed steps show_trace =
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* How the `check` command explores: sequential oracle by default; the
+   frontier-parallel explorer with [--par]; checker statistics (states/sec,
+   dedup hit-rate, shard load) with [--stats]. *)
+type chk_opts = { par : bool; domains : int option; stats : bool }
+
 module Chk (P : Protocol.PROTOCOL) = struct
   module E = Check.Explore.Make (P)
 
@@ -118,7 +123,21 @@ module Chk (P : Protocol.PROTOCOL) = struct
     else
       [ Array.init n (fun k -> Naming.rotation m k) ]
 
-  let explore_all ~n ~m ~inputs ~report =
+  let explore_one opts cfg =
+    if opts.par then begin
+      let g, st = E.explore_par ?domains:opts.domains cfg in
+      if opts.stats then Format.printf "%a@." Check.Checker_stats.pp st;
+      g
+    end
+    else if opts.stats then begin
+      let g, st = E.explore_with_stats cfg in
+      Format.printf "%a@." Check.Checker_stats.pp st;
+      g
+    end
+    else E.explore cfg
+
+  let explore_all ?(opts = { par = false; domains = None; stats = false }) ~n
+      ~m ~inputs ~report () =
     let count = ref 0 in
     List.iter
       (fun namings ->
@@ -126,7 +145,7 @@ module Chk (P : Protocol.PROTOCOL) = struct
         let cfg : E.config =
           { ids = Array.init n (fun i -> ((i + 1) * 17) + 1); inputs; namings }
         in
-        let g = E.explore cfg in
+        let g = explore_one opts cfg in
         report namings g)
       (namings_under_test ~n ~m);
     Format.printf "%d naming assignment(s) checked.@." !count
@@ -137,9 +156,10 @@ module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
 
   (* Starvation is reported for information; only ME/DF count as
      violations, matching the paper's two requirements. *)
-  let run ~n ~m =
+  let run ~opts ~n ~m =
     let bad = ref false in
-    C.explore_all ~n ~m ~inputs:(Array.make n ()) ~report:(fun namings g ->
+    C.explore_all ~opts ~n ~m ~inputs:(Array.make n ()) ()
+      ~report:(fun namings g ->
         let f = C.E.to_flat g in
         let me = Check.Mutex_props.mutual_exclusion f in
         let df = Check.Mutex_props.deadlock_freedom f in
@@ -158,13 +178,13 @@ module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
     !bad
 end
 
-let check_mutex ~n ~m =
+let check_mutex ~opts ~n ~m =
   let module M = Mutex_check (Coord.Amutex.P) in
-  M.run ~n ~m
+  M.run ~opts ~n ~m
 
-let check_cmp_mutex ~n ~m =
+let check_cmp_mutex ~opts ~n ~m =
   let module M = Mutex_check (Coord.Cmp_mutex.P) in
-  M.run ~n ~m
+  M.run ~opts ~n ~m
 
 let check_decision (type g) ~n ~m ~inputs
     ~(explore_all :
@@ -186,7 +206,8 @@ let check_decision (type g) ~n ~m ~inputs
               vs)));
   !bad
 
-let check proto n m =
+let check proto n m par domains stats =
+  let opts = { par; domains; stats } in
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -197,13 +218,14 @@ let check proto n m =
   in
   let bad =
     match proto with
-    | Mutex -> check_mutex ~n ~m
-    | Cmp_mutex -> check_cmp_mutex ~n ~m
+    | Mutex -> check_mutex ~opts ~n ~m
+    | Cmp_mutex -> check_cmp_mutex ~opts ~n ~m
     | Consensus ->
       let module C = Chk (Coord.Consensus.P) in
       let inputs = Array.init n (fun i -> (i + 1) * 100) in
       check_decision ~n ~m ~inputs
-        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~explore_all:(fun ~inputs ~report ->
+          C.explore_all ~opts ~n ~m ~inputs ~report ())
         ~verdicts:(fun g ->
           [
             ( "agreement",
@@ -221,7 +243,8 @@ let check proto n m =
       let module C = Chk (Coord.Election.P) in
       let ids = Array.init n (fun i -> ((i + 1) * 17) + 1) in
       check_decision ~n ~m ~inputs:(Array.make n ())
-        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~explore_all:(fun ~inputs ~report ->
+          C.explore_all ~opts ~n ~m ~inputs ~report ())
         ~verdicts:(fun g ->
           [
             ( "one-leader",
@@ -238,7 +261,8 @@ let check proto n m =
     | Renaming ->
       let module C = Chk (Coord.Renaming.P) in
       check_decision ~n ~m ~inputs:(Array.make n ())
-        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~explore_all:(fun ~inputs ~report ->
+          C.explore_all ~opts ~n ~m ~inputs ~report ())
         ~verdicts:(fun g ->
           [
             ( "uniqueness",
@@ -254,7 +278,8 @@ let check proto n m =
     | Ccp ->
       let module C = Chk (Coord.Ccp.P) in
       check_decision ~n ~m ~inputs:(Array.make n ())
-        ~explore_all:(fun ~inputs ~report -> C.explore_all ~n ~m ~inputs ~report)
+        ~explore_all:(fun ~inputs ~report ->
+          C.explore_all ~opts ~n ~m ~inputs ~report ())
         ~verdicts:(fun g ->
           (* agreement is on the physical register chosen *)
           let safe = ref true in
@@ -533,11 +558,32 @@ let simulate_cmd =
         (const simulate $ proto_arg $ n_arg $ m_arg $ seed_arg $ steps_arg
        $ trace_arg))
 
+let par_arg =
+  Arg.(
+    value & flag
+    & info [ "par" ] ~doc:"Use the frontier-parallel explorer.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"Worker domains for --par (default: recommended count).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print checker statistics (throughput, dedup, shard load).")
+
 let check_cmd =
   let doc = "exhaustively model-check a protocol instance" in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(term_result (const check $ proto_arg $ n_arg $ m_arg))
+    Term.(
+      term_result
+        (const check $ proto_arg $ n_arg $ m_arg $ par_arg $ domains_arg
+       $ stats_arg))
 
 let symmetry_cmd =
   let doc = "run the Theorem 3.4 lock-step symmetry adversary on Figure 1" in

@@ -1,6 +1,8 @@
 module Make (V : Protocol.VALUE) = struct
   type t = { regs : V.t array; mutable writes : int }
 
+  type snapshot = { snap_regs : V.t array; snap_writes : int }
+
   let create ~m =
     assert (m >= 1);
     { regs = Array.make m V.init; writes = 0 }
@@ -18,26 +20,33 @@ module Make (V : Protocol.VALUE) = struct
     t.regs.(physical t naming j) <- v;
     t.writes <- t.writes + 1
 
+  (* [f] is evaluated exactly once: the caller's payload (typically the
+     protocol's next local state) rides along with the new register value,
+     so effectful or expensive closures behave as a single atomic step. *)
   let rmw t naming j f =
     let phys = physical t naming j in
     let old_value = t.regs.(phys) in
-    let new_value = f old_value in
+    let new_value, payload = f old_value in
     t.regs.(phys) <- new_value;
     t.writes <- t.writes + 1;
-    (old_value, new_value)
+    (old_value, new_value, payload)
 
   let get_physical t j = t.regs.(j)
 
   let set_physical t j v = t.regs.(j) <- v
 
-  let snapshot t = Array.copy t.regs
+  let contents t = Array.copy t.regs
+
+  let snapshot t = { snap_regs = Array.copy t.regs; snap_writes = t.writes }
 
   let restore t snap =
-    assert (Array.length snap = size t);
-    Array.blit snap 0 t.regs 0 (Array.length snap)
+    assert (Array.length snap.snap_regs = size t);
+    Array.blit snap.snap_regs 0 t.regs 0 (Array.length snap.snap_regs);
+    t.writes <- snap.snap_writes
 
   let reset t =
-    Array.fill t.regs 0 (size t) V.init
+    Array.fill t.regs 0 (size t) V.init;
+    t.writes <- 0
 
   let write_count t = t.writes
 

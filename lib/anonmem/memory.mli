@@ -8,6 +8,10 @@
 module Make (V : Protocol.VALUE) : sig
   type t
 
+  type snapshot = { snap_regs : V.t array; snap_writes : int }
+  (** A full checkpoint of the memory: register contents {e and} the write
+      counter, so instrumentation stays truthful across restore. *)
+
   val create : m:int -> t
   (** [m] registers, all holding [V.init]. *)
 
@@ -18,27 +22,33 @@ module Make (V : Protocol.VALUE) : sig
 
   val write : t -> Naming.t -> int -> V.t -> unit
 
-  val rmw : t -> Naming.t -> int -> (V.t -> V.t) -> V.t * V.t
-  (** [rmw mem naming j f] atomically replaces [v] with [f v]; returns
-      [(old, new)]. Only used by read-modify-write protocols (paper §7). *)
+  val rmw : t -> Naming.t -> int -> (V.t -> V.t * 'a) -> V.t * V.t * 'a
+  (** [rmw mem naming j f] atomically replaces [v] with [fst (f v)];
+      returns [(old, new, payload)] where [payload] is [snd (f v)]. [f] is
+      evaluated exactly once, so callers can thread their continuation
+      state (e.g. the protocol's next local state) through it safely. Only
+      used by read-modify-write protocols (paper §7). *)
 
   val get_physical : t -> int -> V.t
   (** Direct physical access, for checkers and reports only. *)
 
   val set_physical : t -> int -> V.t -> unit
 
-  val snapshot : t -> V.t array
-  (** A copy of the physical register contents. *)
+  val contents : t -> V.t array
+  (** A copy of the physical register contents, for inspection. *)
 
-  val restore : t -> V.t array -> unit
-  (** Overwrite contents from a snapshot. *)
+  val snapshot : t -> snapshot
+  (** A checkpoint of contents plus the write counter. *)
+
+  val restore : t -> snapshot -> unit
+  (** Overwrite contents {e and} write counter from a snapshot. *)
 
   val reset : t -> unit
-  (** All registers back to [V.init]. *)
+  (** All registers back to [V.init]; the write counter back to 0. *)
 
   val write_count : t -> int
-  (** Total number of writes (and rmws) performed since creation, for
-      instrumentation. *)
+  (** Total number of writes (and rmws) performed since creation (or the
+      last {!reset}/{!restore}), for instrumentation. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -24,10 +24,22 @@ let split g =
   let seed = next_int64 g in
   { state = mix seed }
 
+(* Rejection sampling: [r mod bound] alone over-represents the low residues
+   whenever [bound] does not divide 2^62, which would bias every random
+   schedule drawn from this generator. Draws above the largest multiple of
+   [bound] representable in 62 bits are redrawn; acceptance probability is
+   always > 1/2, so the loop terminates quickly. *)
 let int g bound =
   assert (bound > 0);
-  let r = Int64.to_int (next_int64 g) land max_int in
-  r mod bound
+  (* [max_int + 1 = 2^62] is not representable, so compute
+     [2^62 mod bound] as [((max_int mod bound) + 1) mod bound]. *)
+  let overhang = ((max_int mod bound) + 1) mod bound in
+  let accept_max = max_int - overhang in
+  let rec draw () =
+    let r = Int64.to_int (next_int64 g) land max_int in
+    if r > accept_max then draw () else r mod bound
+  in
+  draw ()
 
 let bool g = Int64.logand (next_int64 g) 1L = 1L
 

@@ -26,7 +26,10 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+(** [int g bound] is uniform in [\[0, bound)]. Requires [bound > 0].
+    Exactly uniform for every bound (rejection sampling, not a biased
+    [mod]); may consume more than one raw draw for bounds close to
+    [max_int]. *)
 
 val bool : t -> bool
 (** Fair coin flip. *)

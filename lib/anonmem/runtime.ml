@@ -116,7 +116,9 @@ module Make (P : Protocol.PROTOCOL) = struct
         | Protocol.Critical -> crit := i :: !crit
         | _ -> ())
       t.procs;
-    match !crit with a :: b :: _ -> Some (b, a) | _ -> None
+    (* the accumulator is built backwards; reverse so callers always get
+       the two lowest indices, in ascending order *)
+    match List.rev !crit with a :: b :: _ -> Some (a, b) | _ -> None
 
   let peek t i =
     let p = t.procs.(i) in
@@ -138,10 +140,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         p.local <- l;
         Write { loc = j; phys = Naming.apply p.naming j; value = v }
       | Protocol.Rmw (j, f) ->
-        let old_value, new_value =
-          Mem.rmw t.mem p.naming j (fun v -> fst (f v))
-        in
-        let _, l = f old_value in
+        let old_value, new_value, l = Mem.rmw t.mem p.naming j f in
         p.local <- l;
         Rmw { loc = j; phys = Naming.apply p.naming j; old_value; new_value }
       | Protocol.Internal l ->
@@ -197,7 +196,7 @@ module Make (P : Protocol.PROTOCOL) = struct
   let trace t = List.rev t.trace_rev
 
   type checkpoint = {
-    cp_mem : P.Value.t array;
+    cp_mem : Mem.snapshot;
     cp_locals : P.local array;
     cp_steps : int array;
     cp_clock : int;

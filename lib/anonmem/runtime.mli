@@ -51,7 +51,8 @@ module Make (P : Protocol.PROTOCOL) : sig
   val all_decided : t -> bool
   val critical_pair : t -> (int * int) option
   (** Two distinct processes currently both in their critical sections, if
-      any — a mutual-exclusion violation. *)
+      any — a mutual-exclusion violation. Returns the two lowest such
+      indices, in ascending order. *)
 
   val peek : t -> int -> (P.local, P.Value.t) Protocol.step
   (** The next atomic action process [proc] would take, without taking it.

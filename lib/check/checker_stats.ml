@@ -1,0 +1,97 @@
+type depth_sample = {
+  depth : int;
+  frontier : int;
+  candidates : int;
+  discovered : int;
+  duplicates : int;
+}
+
+type t = {
+  protocol : string;
+  n_procs : int;
+  n_registers : int;
+  domains : int;
+  n_states : int;
+  n_transitions : int;
+  max_depth : int;
+  max_frontier : int;
+  candidates : int;
+  dedup_hits : int;
+  shard_load : int array;
+  elapsed_s : float;
+  complete : bool;
+  depths : depth_sample list;
+}
+
+let now = Unix.gettimeofday
+
+let states_per_sec t =
+  if t.elapsed_s <= 0. then 0. else float_of_int t.n_states /. t.elapsed_s
+
+let dedup_rate t =
+  if t.candidates = 0 then 0.
+  else float_of_int t.dedup_hits /. float_of_int t.candidates
+
+let shard_imbalance t =
+  (* max over mean shard population: 1.0 is a perfect split *)
+  let n = Array.length t.shard_load in
+  if n = 0 || t.n_states = 0 then 1.
+  else
+    let mx = Array.fold_left max 0 t.shard_load in
+    float_of_int (mx * n) /. float_of_int t.n_states
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>checker: %s n=%d m=%d (%d domain%s)@,\
+     states %d (%s), transitions %d, depth %d, peak frontier %d@,\
+     throughput %.0f states/s (%.3f s)@,\
+     dedup: %d/%d candidate successors were duplicates (%.1f%% hit-rate)@,\
+     shard load: [%s] (imbalance %.2fx)@]"
+    t.protocol t.n_procs t.n_registers t.domains
+    (if t.domains = 1 then "" else "s")
+    t.n_states
+    (if t.complete then "complete" else "TRUNCATED")
+    t.n_transitions t.max_depth t.max_frontier (states_per_sec t) t.elapsed_s
+    t.dedup_hits t.candidates
+    (100. *. dedup_rate t)
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.shard_load)))
+    (shard_imbalance t)
+
+let pp_depths ppf t =
+  Format.fprintf ppf "@[<v>%-6s %10s %12s %12s %12s@," "depth" "frontier"
+    "candidates" "discovered" "duplicates";
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "%-6d %10d %12d %12d %12d@," d.depth d.frontier
+        d.candidates d.discovered d.duplicates)
+    t.depths;
+  Format.fprintf ppf "@]"
+
+(* Hand-rolled JSON so BENCH_*.json entries need no extra dependency. *)
+let to_json t =
+  let buf = Buffer.create 512 in
+  let field ?(last = false) name value =
+    Buffer.add_string buf (Printf.sprintf "  %S: %s%s\n" name value
+                             (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field "protocol" (Printf.sprintf "%S" t.protocol);
+  field "n_procs" (string_of_int t.n_procs);
+  field "n_registers" (string_of_int t.n_registers);
+  field "domains" (string_of_int t.domains);
+  field "states" (string_of_int t.n_states);
+  field "transitions" (string_of_int t.n_transitions);
+  field "max_depth" (string_of_int t.max_depth);
+  field "max_frontier" (string_of_int t.max_frontier);
+  field "candidates" (string_of_int t.candidates);
+  field "dedup_hits" (string_of_int t.dedup_hits);
+  field "dedup_rate" (Printf.sprintf "%.4f" (dedup_rate t));
+  field "shard_load"
+    (Printf.sprintf "[%s]"
+       (String.concat ", "
+          (Array.to_list (Array.map string_of_int t.shard_load))));
+  field "elapsed_s" (Printf.sprintf "%.6f" t.elapsed_s);
+  field "states_per_sec" (Printf.sprintf "%.1f" (states_per_sec t));
+  field ~last:true "complete" (string_of_bool t.complete);
+  Buffer.add_string buf "}";
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Observability for the model checker.
+
+    Every exploration (sequential or frontier-parallel) can report what it
+    did: states per second, the frontier profile per BFS depth, how often
+    candidate successors deduplicated against already-known states, and how
+    evenly the state space spread over the hash-partitioned shards. The
+    record is plain data so benchmark harnesses can serialize it
+    (see {!to_json}) into BENCH_*.json entries. *)
+
+type depth_sample = {
+  depth : int;  (** BFS generation *)
+  frontier : int;  (** states expanded at this depth *)
+  candidates : int;  (** successor states generated *)
+  discovered : int;  (** genuinely new states interned *)
+  duplicates : int;  (** candidates that deduplicated away *)
+}
+
+type t = {
+  protocol : string;
+  n_procs : int;
+  n_registers : int;
+  domains : int;  (** 1 for the sequential reference explorer *)
+  n_states : int;
+  n_transitions : int;
+  max_depth : int;
+  max_frontier : int;
+  candidates : int;  (** total successor states generated *)
+  dedup_hits : int;  (** total candidates that were already known *)
+  shard_load : int array;  (** states owned per shard; [|n_states|] when
+                               sequential *)
+  elapsed_s : float;
+  complete : bool;
+  depths : depth_sample list;  (** oldest (depth 0) first *)
+}
+
+val now : unit -> float
+(** Wall-clock seconds (the clock explorations are timed with). *)
+
+val states_per_sec : t -> float
+
+val dedup_rate : t -> float
+(** Fraction of candidate successors that were already interned. *)
+
+val shard_imbalance : t -> float
+(** Largest shard over the ideal even split; 1.0 is perfectly balanced. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human summary. *)
+
+val pp_depths : Format.formatter -> t -> unit
+(** The per-depth frontier table. *)
+
+val to_json : t -> string
+(** A self-contained JSON object for BENCH_*.json tracking. *)

@@ -134,6 +134,318 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     { cfg; states; succs; complete = !complete }
 
+  (* Frontier-parallel BFS.
+
+     The sequential explorer above pops a FIFO queue, so states are
+     discovered generation by generation: every state at depth d gets an id
+     below every state at depth d+1, and within one generation ids follow
+     (expanded-state id ascending, successor position ascending). The
+     parallel explorer reproduces exactly that order. Each generation runs
+     in barrier-separated phases:
+
+       A  workers expand a slice of the frontier (successor computation —
+          the protocol-step work that dominates the run);
+       -  worker 0 flattens the successor lists into one candidate array,
+          in the sequential discovery order;
+       B  the interning table is sharded by state hash; each worker
+          resolves the candidates its shard owns against its own table
+          (no locks — ownership is a partition), marking each candidate
+          as an existing state, a duplicate of an earlier candidate of
+          this generation, or fresh;
+       -  worker 0 scans the candidate array once, in order, handing out
+          consecutive ids to fresh candidates — exactly the ids the
+          sequential explorer would have assigned, including where the
+          [max_states] budget cuts off;
+       C  workers insert their shards' newly-identified states and build
+          the transition lists for their frontier slice;
+       -  worker 0 appends the generation's states and transitions and
+          forms the next frontier.
+
+     Only the O(candidates) flatten/assign scans are sequential; hashing,
+     deduplication, and successor generation all run in parallel. The
+     result is bit-identical to [explore] on every input, which the test
+     suite cross-checks for every in-tree protocol. *)
+
+  let explore_impl ~max_states ~domains cfg =
+    let t0 = Checker_stats.now () in
+    let d = max 1 domains in
+    let n_procs = Array.length cfg.ids in
+    let n_registers = Naming.size cfg.namings.(0) in
+    let stats_base ~n_states ~n_transitions ~max_depth ~max_frontier
+        ~candidates ~dedup_hits ~shard_load ~complete ~depths =
+      {
+        Checker_stats.protocol = P.name;
+        n_procs;
+        n_registers;
+        domains = d;
+        n_states;
+        n_transitions;
+        max_depth;
+        max_frontier;
+        candidates;
+        dedup_hits;
+        shard_load;
+        elapsed_s = Checker_stats.now () -. t0;
+        complete;
+        depths;
+      }
+    in
+    if max_states < 1 then
+      ( { cfg; states = [||]; succs = [||]; complete = false },
+        stats_base ~n_states:0 ~n_transitions:0 ~max_depth:0 ~max_frontier:0
+          ~candidates:0 ~dedup_hits:0 ~shard_load:(Array.make d 0)
+          ~complete:false ~depths:[] )
+    else begin
+      let init_st = initial cfg in
+      (* Shard s owns every state whose structural hash is s mod d. *)
+      let owner st = Hashtbl.hash st mod d in
+      let shard_tbl : (state, int) Hashtbl.t array =
+        Array.init d (fun _ -> Hashtbl.create 1024)
+      in
+      (* Per-shard scratch: first candidate index of each fresh state seen
+         this generation, so later duplicates resolve to it. *)
+      let scratch : (state, int) Hashtbl.t array =
+        Array.init d (fun _ -> Hashtbl.create 256)
+      in
+      let b = Parallel.Barrier.create d in
+      (* Shared per-generation structures. Plain refs: every write is
+         published to the readers of the next phase by the barrier. *)
+      let stop = ref false in
+      let frontier = ref [| (0, init_st) |] in
+      let succ_lists : (label * state * int) list array ref =
+        ref (Array.make 1 [])
+      in
+      let offsets = ref [||] in
+      let cand_state = ref [||] in
+      let cand_owner = ref [||] in
+      (* resolved.(k): id >= 0 existing state; -1 fresh (first occurrence
+         in this generation); -2 - k0 duplicate of candidate k0. *)
+      let resolved = ref [||] in
+      (* cand_id.(k): final state id, or -1 when the budget dropped it. *)
+      let cand_id = ref [||] in
+      let trans : transition list array ref = ref (Array.make 1 []) in
+      let n_states = ref 1 in
+      let complete = ref true in
+      let states_chunks = ref [ [| init_st |] ] in
+      let trans_chunks = ref [] in
+      (* stats accumulators (worker 0 only) *)
+      let depth = ref 0 in
+      let depths_rev = ref [] in
+      let total_cand = ref 0 in
+      let total_dups = ref 0 in
+      let max_frontier = ref 1 in
+      let failure = ref None in
+      let fail_mutex = Mutex.create () in
+      let guard f =
+        try f ()
+        with e ->
+          Mutex.lock fail_mutex;
+          (match !failure with None -> failure := Some e | Some _ -> ());
+          Mutex.unlock fail_mutex
+      in
+      Hashtbl.add shard_tbl.(owner init_st) init_st 0;
+      let phase_a me =
+        let fr = !frontier and sl = !succ_lists in
+        let nf = Array.length fr in
+        let i = ref me in
+        while !i < nf do
+          let _, st = fr.(!i) in
+          sl.(!i) <-
+            List.map
+              (fun (label, st') -> (label, st', Hashtbl.hash st'))
+              (successors cfg st);
+          i := !i + d
+        done
+      in
+      let flatten () =
+        let fr = !frontier and sl = !succ_lists in
+        let nf = Array.length fr in
+        let offs = Array.make nf 0 in
+        let ncand = ref 0 in
+        for i = 0 to nf - 1 do
+          offs.(i) <- !ncand;
+          ncand := !ncand + List.length sl.(i)
+        done;
+        let ncand = !ncand in
+        let cs = Array.make ncand init_st in
+        let ow = Array.make ncand 0 in
+        for i = 0 to nf - 1 do
+          List.iteri
+            (fun j (_, st', h) ->
+              cs.(offs.(i) + j) <- st';
+              ow.(offs.(i) + j) <- h mod d)
+            sl.(i)
+        done;
+        offsets := offs;
+        cand_state := cs;
+        cand_owner := ow;
+        resolved := Array.make ncand (-1);
+        cand_id := Array.make ncand (-1)
+      in
+      let phase_b me =
+        let cs = !cand_state and ow = !cand_owner and rs = !resolved in
+        let tbl = shard_tbl.(me) and scr = scratch.(me) in
+        Array.iteri
+          (fun k o ->
+            if o = me then
+              let st = cs.(k) in
+              match Hashtbl.find_opt tbl st with
+              | Some id -> rs.(k) <- id
+              | None -> (
+                match Hashtbl.find_opt scr st with
+                | Some k0 -> rs.(k) <- -2 - k0
+                | None ->
+                  Hashtbl.add scr st k;
+                  rs.(k) <- -1))
+          ow
+      in
+      (* The one inherently sequential step: replay the candidate scan the
+         sequential explorer would have done, in the same order, so fresh
+         states receive identical ids and the budget truncates at the
+         identical point. *)
+      let assign_ids () =
+        let rs = !resolved and ci = !cand_id in
+        let ncand = Array.length rs in
+        let discovered = ref 0 and dups = ref 0 in
+        for k = 0 to ncand - 1 do
+          match rs.(k) with
+          | -1 ->
+            if !n_states < max_states then begin
+              ci.(k) <- !n_states;
+              incr n_states;
+              incr discovered
+            end
+            else begin
+              complete := false;
+              ci.(k) <- -1
+            end
+          | r when r >= 0 ->
+            ci.(k) <- r;
+            incr dups
+          | r ->
+            (* duplicate of candidate [-2 - r], already resolved above *)
+            let k0 = -2 - r in
+            ci.(k) <- ci.(k0);
+            if ci.(k0) >= 0 then incr dups else complete := false
+        done;
+        let fr = !frontier in
+        depths_rev :=
+          {
+            Checker_stats.depth = !depth;
+            frontier = Array.length fr;
+            candidates = ncand;
+            discovered = !discovered;
+            duplicates = !dups;
+          }
+          :: !depths_rev;
+        total_cand := !total_cand + ncand;
+        total_dups := !total_dups + !dups
+      in
+      let phase_c me =
+        let cs = !cand_state
+        and ow = !cand_owner
+        and rs = !resolved
+        and ci = !cand_id in
+        let tbl = shard_tbl.(me) in
+        Array.iteri
+          (fun k o ->
+            if o = me && rs.(k) = -1 && ci.(k) >= 0 then
+              Hashtbl.add tbl cs.(k) ci.(k))
+          ow;
+        Hashtbl.reset scratch.(me);
+        let fr = !frontier
+        and sl = !succ_lists
+        and offs = !offsets
+        and tr = !trans in
+        let nf = Array.length fr in
+        let i = ref me in
+        while !i < nf do
+          let base = offs.(!i) in
+          let j = ref (-1) in
+          tr.(!i) <-
+            List.filter_map
+              (fun (label, _, _) ->
+                incr j;
+                let dst = ci.(base + !j) in
+                if dst >= 0 then Some { dst; label } else None)
+              sl.(!i);
+          i := !i + d
+        done
+      in
+      let collect () =
+        trans_chunks := !trans :: !trans_chunks;
+        let rs = !resolved and ci = !cand_id and cs = !cand_state in
+        let fresh = ref [] in
+        for k = Array.length rs - 1 downto 0 do
+          if rs.(k) = -1 && ci.(k) >= 0 then fresh := (ci.(k), cs.(k)) :: !fresh
+        done;
+        let next = Array.of_list !fresh in
+        let nf = Array.length next in
+        if nf = 0 || !failure <> None then stop := true
+        else begin
+          states_chunks := Array.map snd next :: !states_chunks;
+          frontier := next;
+          succ_lists := Array.make nf [];
+          trans := Array.make nf [];
+          if nf > !max_frontier then max_frontier := nf;
+          incr depth
+        end
+      in
+      let body me =
+        let running = ref true in
+        while !running do
+          Parallel.Barrier.wait b;
+          (* generation inputs published *)
+          if !stop then running := false
+          else begin
+            guard (fun () -> phase_a me);
+            Parallel.Barrier.wait b;
+            if me = 0 then guard flatten;
+            Parallel.Barrier.wait b;
+            guard (fun () -> phase_b me);
+            Parallel.Barrier.wait b;
+            if me = 0 then guard assign_ids;
+            Parallel.Barrier.wait b;
+            guard (fun () -> phase_c me);
+            Parallel.Barrier.wait b;
+            if me = 0 then guard collect
+          end
+        done
+      in
+      let workers = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in
+      body 0;
+      Array.iter Domain.join workers;
+      (match !failure with Some e -> raise e | None -> ());
+      let states = Array.concat (List.rev !states_chunks) in
+      let succs = Array.concat (List.rev !trans_chunks) in
+      assert (Array.length states = !n_states);
+      assert (Array.length succs = !n_states);
+      let n_transitions =
+        Array.fold_left (fun acc ts -> acc + List.length ts) 0 succs
+      in
+      let g = { cfg; states; succs; complete = !complete } in
+      let stats =
+        stats_base ~n_states:!n_states ~n_transitions ~max_depth:!depth
+          ~max_frontier:!max_frontier ~candidates:!total_cand
+          ~dedup_hits:!total_dups
+          ~shard_load:(Array.map Hashtbl.length shard_tbl)
+          ~complete:!complete
+          ~depths:(List.rev !depths_rev)
+      in
+      (g, stats)
+    end
+
+  let explore_with_stats ?(max_states = 2_000_000) cfg =
+    explore_impl ~max_states ~domains:1 cfg
+
+  let explore_par ?(max_states = 2_000_000) ?domains cfg =
+    let domains =
+      match domains with
+      | Some d -> max 1 d
+      | None -> Domain.recommended_domain_count ()
+    in
+    explore_impl ~max_states ~domains cfg
+
   let solo_run cfg st ~proc ~max_steps =
     let rec go st steps =
       match P.status st.locals.(proc) with

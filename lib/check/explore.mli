@@ -44,7 +44,26 @@ module Make (P : Protocol.PROTOCOL) : sig
 
   val explore : ?max_states:int -> config -> graph
   (** Breadth-first reachability from {!initial}. Default budget is
-      2,000,000 states. *)
+      2,000,000 states. This is the sequential reference explorer; the
+      parallel explorers below are cross-validated against it. *)
+
+  val explore_with_stats :
+    ?max_states:int -> config -> graph * Checker_stats.t
+  (** {!explore} semantics (bit-identical graph) with observability:
+      per-depth frontier profile, throughput, dedup hit-rate. Runs
+      in-process on the calling domain. *)
+
+  val explore_par :
+    ?max_states:int -> ?domains:int -> config -> graph * Checker_stats.t
+  (** Frontier-parallel breadth-first exploration over [domains] worker
+      domains (default [Domain.recommended_domain_count ()]). The
+      state-interning table is sharded by state hash with one shard owned
+      per domain; generations are barrier-synchronized and state ids are
+      assigned by a sequential scan in discovery order, so the resulting
+      graph — state numbering, transition lists, [complete] flag — is
+      bit-identical to {!explore} for every input, including when
+      [max_states] truncates the search. [domains = 1] runs inline without
+      spawning. *)
 
   val solo_run :
     config ->

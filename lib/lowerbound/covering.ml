@@ -185,7 +185,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     let mem_initial =
       Array.for_all
         (fun v -> P.Value.equal v P.Value.init)
-        (R.Mem.snapshot (R.memory rt))
+        (R.Mem.contents (R.memory rt))
     in
     if not mem_initial then
       invalid_arg "Covering: covering prefix wrote memory (broken invariant)";

@@ -33,7 +33,7 @@ module Make (P : Protocol.PROTOCOL) = struct
   (* The global state fingerprint must include the lock-step cursor so that
      recurrence really implies an infinite loop of the deterministic run. *)
   let fingerprint rt cursor =
-    let mem = R.Mem.snapshot (R.memory rt) in
+    let mem = R.Mem.contents (R.memory rt) in
     let locals = Array.init (R.n rt) (fun i -> R.local rt i) in
     (Array.to_list mem, Array.to_list locals, cursor)
 

@@ -1,0 +1,41 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable epoch : int;
+}
+
+let create parties =
+  assert (parties >= 1);
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    parties;
+    waiting = 0;
+    epoch = 0;
+  }
+
+let parties t = t.parties
+
+(* Blocking (mutex + condition) rather than spinning: the checker runs
+   fine on oversubscribed or single-core hosts, where spin-waiting would
+   burn whole scheduling quanta per phase. The mutex also gives the
+   happens-before edge that publishes each phase's plain (non-atomic)
+   writes to the domains of the next phase. *)
+let wait t =
+  if t.parties > 1 then begin
+    Mutex.lock t.mutex;
+    let e = t.epoch in
+    t.waiting <- t.waiting + 1;
+    if t.waiting = t.parties then begin
+      t.waiting <- 0;
+      t.epoch <- e + 1;
+      Condition.broadcast t.cond
+    end
+    else
+      while t.epoch = e do
+        Condition.wait t.cond t.mutex
+      done;
+    Mutex.unlock t.mutex
+  end

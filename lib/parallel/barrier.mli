@@ -1,0 +1,20 @@
+(** A reusable cyclic barrier for domains.
+
+    [wait] blocks until all [parties] domains have called it, then
+    releases them together and resets for the next phase. Crossing the
+    barrier is a synchronization point: plain writes made before [wait]
+    by any party are visible to every party after it returns, so
+    phase-structured algorithms (like the frontier-parallel explorer) can
+    pass data between phases through ordinary mutable structures. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier for [parties] domains.
+    Requires [parties >= 1]; with one party, {!wait} is a no-op. *)
+
+val parties : t -> int
+
+val wait : t -> unit
+(** Block until all parties arrive, then release everyone. Reusable:
+    the barrier resets itself for the next round. *)

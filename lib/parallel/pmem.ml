@@ -17,13 +17,16 @@ module Make (V : Protocol.VALUE) = struct
 
   let write t naming j v = Atomic.set (cell t naming j) v
 
+  (* [f] is evaluated once per CAS attempt; the payload returned belongs to
+     the attempt that won, so callers see a value/payload pair computed
+     from the same old value that the hardware actually swapped out. *)
   let rmw t naming j f =
     let c = cell t naming j in
     let rec loop () =
       let old_value = Atomic.get c in
-      let new_value = f old_value in
+      let new_value, payload = f old_value in
       if Atomic.compare_and_set c old_value new_value then
-        (old_value, new_value)
+        (old_value, new_value, payload)
       else loop ()
     in
     loop ()

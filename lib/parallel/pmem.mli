@@ -19,8 +19,11 @@ module Make (V : Protocol.VALUE) : sig
   val read : t -> Naming.t -> int -> V.t
   val write : t -> Naming.t -> int -> V.t -> unit
 
-  val rmw : t -> Naming.t -> int -> (V.t -> V.t) -> V.t * V.t
-  (** CAS retry loop; returns [(old, new)] of the successful exchange. *)
+  val rmw : t -> Naming.t -> int -> (V.t -> V.t * 'a) -> V.t * V.t * 'a
+  (** CAS retry loop; returns [(old, new, payload)] of the successful
+      exchange. [f] is evaluated once per attempt and the winning
+      attempt's payload is returned, so effectful closures observe exactly
+      the value that was atomically replaced. *)
 
   val snapshot : t -> V.t array
   (** Non-atomic register-by-register copy — only meaningful when the

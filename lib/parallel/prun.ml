@@ -51,8 +51,8 @@ module Make (P : Protocol.PROTOCOL) = struct
             Mem.write mem naming j v;
             local := l
           | Protocol.Rmw (j, f) ->
-            let old_value, _ = Mem.rmw mem naming j (fun v -> fst (f v)) in
-            local := snd (f old_value)
+            let _, _, l = Mem.rmw mem naming j f in
+            local := l
           | Protocol.Internal l -> local := l
           | Protocol.Coin k -> local := k (Rng.bool rng));
           incr steps;

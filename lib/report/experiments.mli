@@ -63,9 +63,14 @@ val e16_hunting : speed -> Table.t list
 val e17_fairness : speed -> Table.t list
 (** Long-run CS-entry split under a biased scheduler (companion to E12). *)
 
+val e18_parallel_checker : speed -> Table.t list
+(** The frontier-parallel model checker cross-validated against the
+    sequential oracle: bit-identical graphs on every protocol family,
+    with wall-clock throughput for both explorers. *)
+
 val all : speed -> Table.t list
 (** Every experiment, in order. *)
 
 val by_id : string -> (speed -> Table.t list) option
-(** Look up an experiment by its identifier ("E1" .. "E17", case
+(** Look up an experiment by its identifier ("E1" .. "E18", case
     insensitive). *)

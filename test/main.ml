@@ -8,6 +8,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("stats", Test_stats.suite);
       ("check", Test_check.suite);
+      ("explore_par", Test_explore_par.suite);
       ("props", Test_props.suite);
       ("trace", Test_trace.suite);
       ("wrap", Test_wrap.suite);

@@ -206,7 +206,7 @@ let test_simulator_states_are_reachable () =
     | None -> ());
     let st : E.state =
       {
-        mem = R.Mem.snapshot (R.memory rt);
+        mem = R.Mem.contents (R.memory rt);
         locals = Array.init 2 (fun i -> R.local rt i);
       }
     in

@@ -1,0 +1,167 @@
+open Anonmem
+open Check
+
+(* Cross-validation of the frontier-parallel explorer against the
+   sequential reference oracle. The parallel explorer promises a
+   bit-identical graph — same state numbering, same transition lists, same
+   completeness flag — for any domain count, so every check here is
+   exact equality, not just "same verdicts". *)
+
+let domains_under_test = [ 1; 2; 3 ]
+
+module Parity (P : Protocol.PROTOCOL) = struct
+  module E = Explore.Make (P)
+
+  (* Compares the sequential oracle against [explore_par] at several
+     domain counts and against [explore_with_stats], and sanity-checks
+     the reported statistics against the graph. *)
+  let run ?max_states (cfg : E.config) =
+    let seq = E.explore ?max_states cfg in
+    let n_seq = Array.length seq.states in
+    List.iter
+      (fun d ->
+        let par, stats = E.explore_par ?max_states ~domains:d cfg in
+        let tag what = Printf.sprintf "%s (%d domains): %s" P.name d what in
+        Alcotest.(check bool) (tag "same states") true (seq.states = par.states);
+        Alcotest.(check bool)
+          (tag "same transitions")
+          true
+          (seq.succs = par.succs);
+        Alcotest.(check bool)
+          (tag "same completeness")
+          true
+          (seq.complete = par.complete);
+        Alcotest.(check int) (tag "stats domains") d stats.Checker_stats.domains;
+        Alcotest.(check int) (tag "stats states") n_seq
+          stats.Checker_stats.n_states;
+        Alcotest.(check int)
+          (tag "shard loads sum to states")
+          n_seq
+          (Array.fold_left ( + ) 0 stats.Checker_stats.shard_load))
+      domains_under_test;
+    let ws, _ = E.explore_with_stats ?max_states cfg in
+    Alcotest.(check bool)
+      (P.name ^ ": with_stats parity")
+      true
+      (seq.states = ws.states && seq.succs = ws.succs
+     && seq.complete = ws.complete)
+end
+
+(* --- toy protocol (plus budget truncation, where ids must still align) --- *)
+
+module PToy = Parity (Test_runtime.Toy)
+
+let toy_cfg () = PToy.E.config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ()
+
+let test_toy () = PToy.run (toy_cfg ())
+
+let test_toy_truncated () =
+  (* the budget must cut the parallel id assignment at the exact same
+     candidate as the sequential scan *)
+  List.iter (fun b -> PToy.run ~max_states:b (toy_cfg ())) [ 1; 5; 17 ]
+
+(* --- the paper's protocols --- *)
+
+module PMutex = Parity (Coord.Amutex.P)
+
+let test_amutex () =
+  List.iter
+    (fun nam ->
+      PMutex.run
+        {
+          ids = [| 7; 13 |];
+          inputs = [| (); () |];
+          namings = [| Naming.identity 3; nam |];
+        })
+    [ Naming.identity 3; Naming.rotation 3 1 ]
+
+module PCons = Parity (Coord.Consensus.P)
+
+let test_consensus () =
+  PCons.run
+    {
+      ids = [| 7; 13 |];
+      inputs = [| 100; 200 |];
+      namings = [| Naming.identity 3; Naming.rotation 3 2 |];
+    }
+
+module PRen = Parity (Coord.Renaming.P)
+
+let test_renaming () =
+  PRen.run
+    {
+      ids = [| 7; 13 |];
+      inputs = [| (); () |];
+      namings = [| Naming.identity 3; Naming.rotation 3 1 |];
+    }
+
+module PCcp = Parity (Coord.Ccp.P)
+
+let test_ccp () =
+  PCcp.run
+    {
+      ids = [| 7; 13 |];
+      inputs = [| (); () |];
+      namings = [| Naming.identity 2; Naming.rotation 2 1 |];
+    }
+
+(* --- known-name baselines --- *)
+
+module PPet = Parity (Baseline.Peterson.P)
+
+let test_peterson () =
+  PPet.run (PPet.E.config ~ids:[ 1; 2 ] ~inputs:[ (); () ] ())
+
+module PBurns = Parity (Baseline.Burns.P)
+
+let test_burns () =
+  PBurns.run (PBurns.E.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ())
+
+(* --- statistics coherence on a complete exploration --- *)
+
+let test_stats_coherent () =
+  let g, s = PToy.E.explore_with_stats (toy_cfg ()) in
+  let n = Array.length g.states in
+  Alcotest.(check int) "states" n s.Checker_stats.n_states;
+  Alcotest.(check bool) "complete" true s.Checker_stats.complete;
+  Alcotest.(check int) "transitions" s.Checker_stats.n_transitions
+    (Array.fold_left (fun acc ts -> acc + List.length ts) 0 g.succs);
+  (* every state but the initial one was discovered as a candidate; the
+     rest of the candidates deduplicated away *)
+  Alcotest.(check int) "candidate accounting" s.Checker_stats.candidates
+    (s.Checker_stats.dedup_hits + n - 1);
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 s.Checker_stats.depths in
+  Alcotest.(check int) "frontiers partition the states" n
+    (sum (fun d -> d.Checker_stats.frontier));
+  Alcotest.(check int) "per-depth discoveries" (n - 1)
+    (sum (fun d -> d.Checker_stats.discovered));
+  Alcotest.(check int) "depth samples" (s.Checker_stats.max_depth + 1)
+    (List.length s.Checker_stats.depths);
+  Alcotest.(check bool) "throughput positive" true
+    (Checker_stats.states_per_sec s > 0.);
+  Alcotest.(check bool) "json has fields" true
+    (let j = Checker_stats.to_json s in
+     String.length j > 0
+     &&
+     let contains needle =
+       let nl = String.length needle and sl = String.length j in
+       let rec go i =
+         i + nl <= sl && (String.sub j i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains "\"states\"" && contains "\"states_per_sec\""
+     && contains "\"dedup_rate\"")
+
+let suite =
+  [
+    Alcotest.test_case "par = seq: toy" `Quick test_toy;
+    Alcotest.test_case "par = seq: toy under budget" `Quick test_toy_truncated;
+    Alcotest.test_case "par = seq: anonymous mutex" `Quick test_amutex;
+    Alcotest.test_case "par = seq: consensus" `Quick test_consensus;
+    Alcotest.test_case "par = seq: renaming" `Quick test_renaming;
+    Alcotest.test_case "par = seq: ccp" `Quick test_ccp;
+    Alcotest.test_case "par = seq: peterson" `Quick test_peterson;
+    Alcotest.test_case "par = seq: burns" `Quick test_burns;
+    Alcotest.test_case "checker stats are coherent" `Quick test_stats_coherent;
+  ]

@@ -47,10 +47,27 @@ let test_rmw () =
   let m = Mem.create ~m:2 in
   let nm = Naming.identity 2 in
   Mem.write m nm 0 10;
-  let old_value, new_value = Mem.rmw m nm 0 (fun v -> v + 5) in
+  let old_value, new_value, payload = Mem.rmw m nm 0 (fun v -> (v + 5, v * 2)) in
   Alcotest.(check int) "old" 10 old_value;
   Alcotest.(check int) "new" 15 new_value;
+  Alcotest.(check int) "payload from same old value" 20 payload;
   Alcotest.(check int) "stored" 15 (Mem.read m nm 0)
+
+let test_rmw_single_evaluation () =
+  (* a counting closure must fire exactly once per rmw *)
+  let m = Mem.create ~m:1 in
+  let nm = Naming.identity 1 in
+  let calls = ref 0 in
+  let _, new_value, payload =
+    Mem.rmw m nm 0 (fun v ->
+        incr calls;
+        (v + 1, "next-local"))
+  in
+  Alcotest.(check int) "closure evaluated once" 1 !calls;
+  Alcotest.(check int) "new value stored" 1 new_value;
+  Alcotest.(check string) "payload threaded through" "next-local" payload;
+  ignore (Mem.rmw m nm 0 (fun v -> (incr calls; v + 1), ()));
+  Alcotest.(check int) "still once per call" 2 !calls
 
 let test_snapshot_restore () =
   let m = Mem.create ~m:3 in
@@ -67,7 +84,10 @@ let test_snapshot_is_copy () =
   let m = Mem.create ~m:2 in
   let snap = Mem.snapshot m in
   Mem.write m (Naming.identity 2) 0 5;
-  Alcotest.(check int) "snapshot unaffected by later writes" 0 snap.(0)
+  Alcotest.(check int) "snapshot unaffected by later writes" 0
+    snap.Mem.snap_regs.(0);
+  Alcotest.(check int) "contents is a copy too" 5
+    (Mem.contents m).(0)
 
 let test_reset () =
   let m = Mem.create ~m:3 in
@@ -82,9 +102,37 @@ let test_write_count () =
   let nm = Naming.identity 2 in
   Alcotest.(check int) "starts at 0" 0 (Mem.write_count m);
   Mem.write m nm 0 1;
-  ignore (Mem.rmw m nm 1 succ);
+  ignore (Mem.rmw m nm 1 (fun v -> (v + 1, ())));
   ignore (Mem.read m nm 0);
   Alcotest.(check int) "reads don't count" 2 (Mem.write_count m)
+
+let test_write_count_reset () =
+  (* regression: the counter used to survive [reset] *)
+  let m = Mem.create ~m:2 in
+  let nm = Naming.identity 2 in
+  Mem.write m nm 0 1;
+  Mem.write m nm 1 2;
+  Alcotest.(check int) "two writes counted" 2 (Mem.write_count m);
+  Mem.reset m;
+  Alcotest.(check int) "reset zeroes the counter" 0 (Mem.write_count m);
+  Mem.write m nm 0 3;
+  Alcotest.(check int) "counts restart from zero" 1 (Mem.write_count m)
+
+let test_write_count_restore () =
+  (* regression: the counter used to survive [restore] untouched *)
+  let m = Mem.create ~m:2 in
+  let nm = Naming.identity 2 in
+  Mem.write m nm 0 1;
+  Mem.write m nm 1 2;
+  let snap = Mem.snapshot m in
+  Mem.write m nm 0 9;
+  Mem.write m nm 0 10;
+  Alcotest.(check int) "four writes before restore" 4 (Mem.write_count m);
+  Mem.restore m snap;
+  Alcotest.(check int) "restore rewinds the counter" 2 (Mem.write_count m);
+  Mem.write m nm 1 7;
+  Alcotest.(check int) "counting resumes from the checkpoint" 3
+    (Mem.write_count m)
 
 let suite =
   [
@@ -96,8 +144,14 @@ let suite =
     Alcotest.test_case "two views of one register" `Quick
       test_two_views_same_register;
     Alcotest.test_case "rmw" `Quick test_rmw;
+    Alcotest.test_case "rmw evaluates its closure once" `Quick
+      test_rmw_single_evaluation;
     Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
     Alcotest.test_case "snapshot is a copy" `Quick test_snapshot_is_copy;
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "write count" `Quick test_write_count;
+    Alcotest.test_case "reset zeroes the write count" `Quick
+      test_write_count_reset;
+    Alcotest.test_case "restore rewinds the write count" `Quick
+      test_write_count_restore;
   ]

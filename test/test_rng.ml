@@ -48,6 +48,52 @@ let test_int_covers () =
   done;
   Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
 
+let test_int_chi_square () =
+  (* uniformity sanity check: 70k draws over 7 buckets. With a fair
+     generator the statistic is chi-square distributed with 6 degrees of
+     freedom (99.9th percentile ~ 22.5); the seed is fixed, so this is a
+     deterministic regression test, not a flaky statistical one. The old
+     [r mod bound] implementation was modulo-biased; rejection sampling
+     makes every residue exactly equally likely. *)
+  let g = Rng.create 2017 in
+  let bound = 7 in
+  let draws = 70_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Rng.int g bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f below 22.5" chi2)
+    true (chi2 < 22.5)
+
+let test_int_huge_bound_rejects () =
+  (* bound ~ 2^61: about half of all raw draws fall in the rejected zone,
+     so this exercises the rejection loop; results must stay in range and
+     have mean ~ bound/2 (the old modulo fold-over skewed the mean toward
+     0.375 * bound, which this tolerance catches). *)
+  let g = Rng.create 31 in
+  let bound = (max_int / 2) + 2 in
+  let draws = 10_000 in
+  let sum = ref 0. in
+  for _ = 1 to draws do
+    let x = Rng.int g bound in
+    Alcotest.(check bool) "in range" true (0 <= x && x < bound);
+    sum := !sum +. (float_of_int x /. float_of_int bound)
+  done;
+  let mean = !sum /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near 0.5" mean)
+    true (mean > 0.48 && mean < 0.52)
+
 let test_float_range () =
   let g = Rng.create 9 in
   for _ = 1 to 1000 do
@@ -100,6 +146,10 @@ let suite =
       test_split_independent;
     Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
     Alcotest.test_case "int covers all residues" `Quick test_int_covers;
+    Alcotest.test_case "int is unbiased (chi-square)" `Quick
+      test_int_chi_square;
+    Alcotest.test_case "int near max_int exercises rejection" `Quick
+      test_int_huge_bound_rejects;
     Alcotest.test_case "float stays in [0,1)" `Quick test_float_range;
     Alcotest.test_case "bool is roughly fair" `Quick test_bool_balanced;
     Alcotest.test_case "permutation is valid" `Quick test_permutation_valid;

@@ -196,6 +196,108 @@ let test_namings_respected () =
   Alcotest.(check int) "physical 0 untouched" 0
     (R.Mem.get_physical (R.memory rt) 0)
 
+(* A protocol whose single shared access is an Rmw with an observable
+   (counting) closure. The closure must run exactly once per step: the
+   runtime used to evaluate it twice (once for the register, once for the
+   local state), which double-fired any effect and desynced expensive
+   closures. *)
+let rmw_evaluations = ref 0
+
+module RmwToy = struct
+  module Value = Toy.Value
+
+  type input = unit
+  type output = int
+  type local = Rem | Bump | Fin of int
+
+  let name = "rmw-toy"
+  let default_registers ~n:_ = 1
+  let start ~n:_ ~m:_ ~id:_ () = Rem
+
+  let step ~n:_ ~m:_ ~id:_ local : (local, Value.t) Protocol.step =
+    match local with
+    | Rem -> Internal Bump
+    | Bump ->
+      Rmw
+        ( 0,
+          fun v ->
+            incr rmw_evaluations;
+            (v + 1, Fin (v + 1)) )
+    | Fin _ -> invalid_arg "rmw-toy: decided"
+
+  let status = function
+    | Rem -> Protocol.Remainder
+    | Bump -> Protocol.Trying
+    | Fin v -> Protocol.Decided v
+
+  let compare_local = Stdlib.compare
+  let pp_local ppf _ = Format.pp_print_string ppf "<rmw-toy>"
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+let test_rmw_closure_evaluated_once () =
+  let module RR = Runtime.Make (RmwToy) in
+  rmw_evaluations := 0;
+  let rt = RR.create (RR.simple_config ~m:1 ~ids:[ 3 ] ~inputs:[ () ] ()) in
+  ignore (RR.step rt 0);
+  let e = RR.step rt 0 in
+  Alcotest.(check int) "closure ran exactly once" 1 !rmw_evaluations;
+  (match e.Trace.action with
+  | Trace.Rmw { old_value; new_value; _ } ->
+    Alcotest.(check int) "old" 0 old_value;
+    Alcotest.(check int) "new" 1 new_value
+  | _ -> Alcotest.fail "expected an rmw action");
+  (match RR.status rt 0 with
+  | Protocol.Decided v ->
+    Alcotest.(check int) "local threaded from the same evaluation" 1 v
+  | _ -> Alcotest.fail "expected decided");
+  Alcotest.(check int) "register written once" 1
+    (RR.Mem.get_physical (RR.memory rt) 0)
+
+(* A protocol that is Critical after one step, to exercise critical_pair
+   on states with two or more processes in the CS. *)
+module AlwaysCrit = struct
+  module Value = Toy.Value
+
+  type input = unit
+  type output = int
+  type local = Out | In
+
+  let name = "always-crit"
+  let default_registers ~n:_ = 1
+  let start ~n:_ ~m:_ ~id:_ () = Out
+
+  let step ~n:_ ~m:_ ~id:_ local : (local, Value.t) Protocol.step =
+    match local with Out -> Internal In | In -> Internal In
+
+  let status = function Out -> Protocol.Remainder | In -> Protocol.Critical
+  let compare_local = Stdlib.compare
+  let pp_local ppf _ = Format.pp_print_string ppf "<crit>"
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+let test_critical_pair_ascending () =
+  let module RC = Runtime.Make (AlwaysCrit) in
+  let rt =
+    RC.create (RC.simple_config ~ids:[ 5; 9; 13 ] ~inputs:[ (); (); () ] ())
+  in
+  Alcotest.(check (option (pair int int))) "no pair initially" None
+    (RC.critical_pair rt);
+  (* enter the CS in descending index order, so discovery order and index
+     order disagree; the pair must still be the two lowest indices,
+     ascending *)
+  ignore (RC.step rt 2);
+  Alcotest.(check (option (pair int int))) "one critical is no pair" None
+    (RC.critical_pair rt);
+  ignore (RC.step rt 1);
+  Alcotest.(check (option (pair int int))) "ascending pair" (Some (1, 2))
+    (RC.critical_pair rt);
+  ignore (RC.step rt 0);
+  Alcotest.(check (option (pair int int))) "lowest two, ascending"
+    (Some (0, 1)) (RC.critical_pair rt)
+
 let test_coin_requires_rng () =
   let module RC = Runtime.Make (Coord.Ccp.P) in
   let rt = RC.create (RC.simple_config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ()) in
@@ -234,6 +336,10 @@ let suite =
     Alcotest.test_case "run stops on condition" `Quick test_run_until;
     Alcotest.test_case "run stops when schedule ends" `Quick
       test_run_schedule_exhausted;
+    Alcotest.test_case "rmw closure evaluated once" `Quick
+      test_rmw_closure_evaluated_once;
+    Alcotest.test_case "critical_pair is ascending" `Quick
+      test_critical_pair_ascending;
     Alcotest.test_case "checkpoint/restore" `Quick test_checkpoint_restore;
     Alcotest.test_case "peek has no effect" `Quick test_peek_does_not_execute;
     Alcotest.test_case "namings respected" `Quick test_namings_respected;

@@ -24,14 +24,14 @@ let test_behavior_matches_designed_instance () =
            ~inputs:[ 100; 200; 300; 400 ] ())
     in
     let _ = R.run rt (Schedule.script script) ~max_steps:100 in
-    (R.Mem.snapshot (R.memory rt), R.status rt 0, R.status rt 1)
+    (R.Mem.contents (R.memory rt), R.status rt 0, R.status rt 1)
   in
   let genuine =
     let rt =
       R0.create (R0.simple_config ~m:3 ~ids:[ 5; 9 ] ~inputs:[ 100; 200 ] ())
     in
     let _ = R0.run rt (Schedule.script script) ~max_steps:100 in
-    (R0.Mem.snapshot (R0.memory rt), R0.status rt 0, R0.status rt 1)
+    (R0.Mem.contents (R0.memory rt), R0.status rt 0, R0.status rt 1)
   in
   Alcotest.(check bool) "identical memory and statuses" true (wrapped = genuine)
 
