@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-checker tables clean
+.PHONY: all build test check chaos bench bench-checker tables clean
 
 all: build
 
@@ -10,9 +10,22 @@ build:
 test:
 	dune runtest
 
-# The gate the repo must pass before a change lands.
+# The gate the repo must pass before a change lands. Wrapped in a hard
+# timeout so a wedged test (the very thing the fault layer exists to
+# catch) fails the gate instead of hanging it.
+CHECK_TIMEOUT ?= 600
 check:
-	dune build @all && dune runtest
+	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
+
+# Fixed-seed chaos sweep: random crash injection over every protocol
+# family plus the E19 crash-tolerance tables. Deterministic by seed.
+chaos: build
+	dune exec -- coordctl chaos consensus -n 3 --seed 42 --attempts 10
+	dune exec -- coordctl chaos election -n 3 --seed 42 --attempts 10
+	dune exec -- coordctl chaos renaming -n 3 --seed 42 --attempts 10
+	dune exec -- coordctl chaos ccp -n 2 --seed 42 --attempts 10
+	dune exec -- coordctl chaos mutex --seed 42 --crash-cs 1 --attempts 3
+	dune exec -- coordctl tables -e E19
 
 # Full benchmark run (experiment tables + bechamel micro-benchmarks).
 bench:

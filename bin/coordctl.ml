@@ -3,6 +3,7 @@
      coordctl tables [-e E4] [--full]       regenerate experiment tables
      coordctl simulate PROTO [-n N] ...     run a protocol under a schedule
      coordctl check PROTO [-n N] [-m M]     exhaustively model-check
+     coordctl chaos PROTO [--crash P@K] ... crash-inject and check survivors
      coordctl symmetry [-n N] [-m M]        run the Thm 3.4 lock-step attack
      coordctl covering PROTO [-m M] ...     run the §6 covering adversary *)
 
@@ -398,6 +399,212 @@ let covering proto m show_trace =
   Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash plans from the command line: repeatable --crash P@K,
+   --crash-cs P and --rejoin P@K+D flags; with no flags, each attempt
+   draws a fresh single crash (random process, random step). *)
+
+let crash_spec_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ p; k ] -> (
+      match (int_of_string_opt p, int_of_string_opt k) with
+      | Some p, Some k -> Ok (p, k)
+      | _ -> Error (`Msg (str "bad crash spec %S (want P@K)" s)))
+    | _ -> Error (`Msg (str "bad crash spec %S (want P@K)" s))
+  in
+  let print ppf (p, k) = Format.fprintf ppf "%d@%d" p k in
+  Cmdliner.Arg.conv (parse, print)
+
+let rejoin_spec_conv =
+  let parse s =
+    let err = Error (`Msg (str "bad rejoin spec %S (want P@K+D)" s)) in
+    match String.split_on_char '@' s with
+    | [ p; rest ] -> (
+      match String.split_on_char '+' rest with
+      | [ k; d ] -> (
+        match
+          (int_of_string_opt p, int_of_string_opt k, int_of_string_opt d)
+        with
+        | Some p, Some k, Some d -> Ok (p, k, d)
+        | _ -> err)
+      | _ -> err)
+    | _ -> err
+  in
+  let print ppf (p, k, d) = Format.fprintf ppf "%d@%d+%d" p k d in
+  Cmdliner.Arg.conv (parse, print)
+
+let chaos_ids n = List.init n (fun i -> ((i + 1) * 17) + 1)
+
+(* With no explicit plan, each attempt draws one fresh random crash. *)
+let plan_for_attempt master n prefix_steps = function
+  | [] ->
+    let proc = Rng.int master n in
+    let after = Rng.int master (max 1 prefix_steps) in
+    [ Fault.Crash_at_step { proc; after } ]
+  | p -> p
+
+let crashed_by_plan plan =
+  List.filter_map
+    (function
+      | Fault.Crash_at_step { proc; _ } | Fault.Crash_in_critical { proc } ->
+        Some proc
+      | Fault.Crash_and_rejoin _ -> None)
+    plan
+
+module ChaosMutex (P : Protocol.PROTOCOL with type input = unit) = struct
+  module CP = Check.Crash_props.Make (P)
+
+  let run ~n ~m ~seed ~attempts ~prefix_steps ~plan =
+    let ids = chaos_ids n in
+    let inputs = List.init n (fun _ -> ()) in
+    let master = Rng.create ((seed * 31) + 17) in
+    for a = 1 to attempts do
+      let aseed = seed + a in
+      let plan = plan_for_attempt master n prefix_steps plan in
+      Format.printf "attempt %d (seed %d): plan [%a]@." a aseed Fault.pp_plan
+        plan;
+      match
+        List.find_opt
+          (fun p -> not (List.mem p (crashed_by_plan plan)))
+          (List.init n Fun.id)
+      with
+      | None -> Format.printf "  no survivor to probe@."
+      | Some proc ->
+        let wedged =
+          CP.wedges_solo ~seed:aseed ~prefix_steps ~ids ~inputs ~m ~proc plan
+        in
+        Format.printf "  survivor p%d %s@." proc
+          (if wedged then "WEDGED (expected for mutex: Theorem 6.2)"
+           else "made progress")
+    done;
+    Format.printf "done (%d attempts).@." attempts;
+    false
+end
+
+module ChaosDecide (P : Protocol.PROTOCOL with type output = int) = struct
+  module CP = Check.Crash_props.Make (P)
+
+  (* renaming-style tasks promise pairwise-distinct outputs rather than a
+     common one *)
+  let distinct_violation (r : CP.run_result) =
+    let rec pairs = function
+      | [] -> None
+      | a :: rest -> (
+        match List.find_opt (fun b -> snd a = snd b) rest with
+        | Some b -> Some (a, b)
+        | None -> pairs rest)
+    in
+    pairs r.CP.decided
+
+  let run ?(distinct = false) ~n ~m ~seed ~attempts ~prefix_steps ~plan
+      ~inputs () =
+    let ids = chaos_ids n in
+    let master = Rng.create ((seed * 31) + 17) in
+    let bad = ref 0 in
+    for a = 1 to attempts do
+      let aseed = seed + a in
+      let plan = plan_for_attempt master n prefix_steps plan in
+      Format.printf "attempt %d (seed %d): plan [%a]@." a aseed Fault.pp_plan
+        plan;
+      let r = CP.run_plan ~seed:aseed ~prefix_steps ~ids ~inputs ~m plan in
+      List.iter
+        (fun ap -> Format.printf "  fired: %a@." Fault.pp_applied ap)
+        r.CP.applied;
+      List.iter
+        (fun (i, v) -> Format.printf "  p%d decided %d@." i v)
+        r.CP.decided;
+      let of_ok = CP.crash_obstruction_free r in
+      let safety =
+        if distinct then distinct_violation r
+        else CP.agreement_under_crashes ~equal:Int.equal r
+      in
+      if not of_ok then begin
+        incr bad;
+        Format.printf "  STUCK survivors: %s@."
+          (String.concat ", " (List.map (fun i -> str "p%d" i) r.CP.stuck))
+      end;
+      (match safety with
+      | Some ((i, u), (j, v)) ->
+        incr bad;
+        Format.printf "  %s: p%d=%d vs p%d=%d@."
+          (if distinct then "NAME CLASH" else "DISAGREEMENT")
+          i u j v
+      | None -> ());
+      if of_ok && safety = None then
+        Format.printf "  crash-obstruction-freedom ok, %s ok@."
+          (if distinct then "uniqueness" else "agreement")
+    done;
+    if !bad = 0 then
+      Format.printf "all %d attempts clean under crashes.@." attempts
+    else Format.printf "%d/%d attempts VIOLATED.@." !bad attempts;
+    !bad > 0
+end
+
+let chaos proto n m seed attempts prefix_steps crashes crash_cs rejoins =
+  let m =
+    match (m, proto) with
+    | Some m, _ -> m
+    | None, Mutex -> 3
+    | None, Cmp_mutex -> 2
+    | None, (Consensus | Election | Renaming) -> (2 * n) - 1
+    | None, Ccp -> 2
+  in
+  let plan =
+    List.map (fun (proc, after) -> Fault.Crash_at_step { proc; after }) crashes
+    @ List.map (fun proc -> Fault.Crash_in_critical { proc }) crash_cs
+    @ List.map
+        (fun (proc, after, rejoin_delay) ->
+          Fault.Crash_and_rejoin { proc; after; rejoin_delay })
+        rejoins
+  in
+  List.iter
+    (fun e ->
+      let p =
+        match e with
+        | Fault.Crash_at_step { proc; _ }
+        | Fault.Crash_in_critical { proc }
+        | Fault.Crash_and_rejoin { proc; _ } ->
+          proc
+      in
+      if p < 0 || p >= n then failwith (str "crash spec names p%d but n=%d" p n))
+    plan;
+  let bad =
+    match proto with
+    | Mutex ->
+      let module C = ChaosMutex (Coord.Amutex.P) in
+      C.run ~n ~m ~seed ~attempts ~prefix_steps ~plan
+    | Cmp_mutex ->
+      let module C = ChaosMutex (Coord.Cmp_mutex.P) in
+      C.run ~n ~m ~seed ~attempts ~prefix_steps ~plan
+    | Consensus ->
+      let module C = ChaosDecide (Coord.Consensus.P) in
+      C.run ~n ~m ~seed ~attempts ~prefix_steps ~plan
+        ~inputs:(List.init n (fun i -> (i + 1) * 100))
+        ()
+    | Election ->
+      let module C = ChaosDecide (Coord.Election.P) in
+      C.run ~n ~m ~seed ~attempts ~prefix_steps ~plan
+        ~inputs:(List.init n (fun _ -> ()))
+        ()
+    | Renaming ->
+      let module C = ChaosDecide (Coord.Renaming.P) in
+      C.run ~distinct:true ~n ~m ~seed ~attempts ~prefix_steps ~plan
+        ~inputs:(List.init n (fun _ -> ()))
+        ()
+    | Ccp ->
+      let module C = ChaosDecide (Coord.Ccp.P) in
+      C.run ~n ~m ~seed ~attempts ~prefix_steps ~plan
+        ~inputs:(List.init n (fun _ -> ()))
+        ()
+  in
+  if bad then Format.printf "RESULT: violations found.@."
+  else Format.printf "RESULT: survivors coped with every crash.@.";
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* graph export                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,6 +810,50 @@ let covering_cmd =
     (Cmd.info "covering" ~doc)
     Term.(term_result (const covering $ proto_arg $ m_pos $ trace_arg))
 
+let chaos_cmd =
+  let doc = "crash-inject a protocol and check the survivors" in
+  let attempts =
+    Arg.(
+      value & opt int 20
+      & info [ "attempts" ] ~docv:"A" ~doc:"Seeded attempts to run.")
+  in
+  let prefix_steps =
+    Arg.(
+      value & opt int 64
+      & info [ "prefix-steps" ] ~docv:"K"
+          ~doc:"Adversarial prefix length before the solo periods.")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt_all crash_spec_conv []
+      & info [ "crash" ] ~docv:"P@K"
+          ~doc:"Crash process $(i,P) after $(i,K) of its steps (repeatable).")
+  in
+  let crash_cs =
+    Arg.(
+      value & opt_all int []
+      & info [ "crash-cs" ] ~docv:"P"
+          ~doc:
+            "Crash process $(i,P) on entry to its critical section \
+             (repeatable).")
+  in
+  let rejoins =
+    Arg.(
+      value
+      & opt_all rejoin_spec_conv []
+      & info [ "rejoin" ] ~docv:"P@K+D"
+          ~doc:
+            "Crash process $(i,P) after $(i,K) steps and rejoin it with \
+             fresh state $(i,D) ticks later (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(
+      term_result
+        (const chaos $ proto_arg $ n_arg $ m_arg $ seed_arg $ attempts
+       $ prefix_steps $ crashes $ crash_cs $ rejoins))
+
 let graph_cmd =
   let doc = "export the reachable state graph as Graphviz DOT" in
   let output =
@@ -628,4 +879,4 @@ let tables_cmd =
 let () =
   let doc = "memory-anonymous coordination (Taubenfeld, PODC'17) reproduction" in
   let info = Cmd.info "coordctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; symmetry_cmd; covering_cmd; graph_cmd; tables_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; chaos_cmd; symmetry_cmd; covering_cmd; graph_cmd; tables_cmd ]))

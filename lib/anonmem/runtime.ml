@@ -7,6 +7,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     naming : Naming.t;
     mutable local : P.local;
     mutable steps : int;
+    mutable crashed : bool;
   }
 
   type t = {
@@ -61,6 +62,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             naming = c.namings.(i);
             local = P.start ~n ~m ~id:c.ids.(i) c.inputs.(i);
             steps = 0;
+            crashed = false;
           })
     in
     { mem; procs; rng = c.rng; record_trace = c.record_trace; clock = 0;
@@ -88,14 +90,36 @@ module Make (P : Protocol.PROTOCOL) = struct
   let status t i = P.status t.procs.(i).local
 
   let kind t i : Schedule.proc_kind =
-    match status t i with
-    | Protocol.Remainder -> Idle
-    | Trying -> Working
-    | Critical -> Crit
-    | Exiting -> Exitg
-    | Decided _ -> Finished
+    if t.procs.(i).crashed then Crashed
+    else
+      match status t i with
+      | Protocol.Remainder -> Idle
+      | Trying -> Working
+      | Critical -> Crit
+      | Exiting -> Exitg
+      | Decided _ -> Finished
 
   let steps_of t i = t.procs.(i).steps
+  let crashed t i = t.procs.(i).crashed
+
+  let crash t i =
+    let p = t.procs.(i) in
+    if Protocol.is_decided (P.status p.local) then
+      invalid_arg "Runtime.crash: process already decided";
+    p.crashed <- true
+
+  let rejoin t i =
+    let p = t.procs.(i) in
+    if not p.crashed then invalid_arg "Runtime.rejoin: process not crashed";
+    p.crashed <- false;
+    (* fresh local state; shared registers keep whatever the crash left *)
+    p.local <- P.start ~n:(Array.length t.procs) ~m:(Mem.size t.mem) ~id:p.id
+                 p.input
+
+  let survivors t =
+    let acc = ref [] in
+    Array.iteri (fun i p -> if not p.crashed then acc := i :: !acc) t.procs;
+    List.rev !acc
 
   let decisions t =
     Array.map
@@ -107,6 +131,11 @@ module Make (P : Protocol.PROTOCOL) = struct
 
   let all_decided t =
     Array.for_all (fun p -> Protocol.is_decided (P.status p.local)) t.procs
+
+  let all_survivors_decided t =
+    Array.for_all
+      (fun p -> p.crashed || Protocol.is_decided (P.status p.local))
+      t.procs
 
   let critical_pair t =
     let crit = ref [] in
@@ -126,6 +155,7 @@ module Make (P : Protocol.PROTOCOL) = struct
 
   let step t i =
     let p = t.procs.(i) in
+    if p.crashed then invalid_arg "Runtime.step: process crashed";
     let status_before = P.status p.local in
     if Protocol.is_decided status_before then
       invalid_arg "Runtime.step: process already decided";
@@ -183,7 +213,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     let rec go remaining =
       if remaining <= 0 then Step_limit
-      else if all_decided t then All_decided
+      else if all_survivors_decided t then All_decided
       else
         match sched { view with clock = t.clock } with
         | None -> Schedule_exhausted
@@ -199,6 +229,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     cp_mem : Mem.snapshot;
     cp_locals : P.local array;
     cp_steps : int array;
+    cp_crashed : bool array;
     cp_clock : int;
     cp_trace_rev : (P.Value.t, P.output) Trace.entry list;
     cp_rng : Rng.t option;
@@ -209,6 +240,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       cp_mem = Mem.snapshot t.mem;
       cp_locals = Array.map (fun p -> p.local) t.procs;
       cp_steps = Array.map (fun p -> p.steps) t.procs;
+      cp_crashed = Array.map (fun p -> p.crashed) t.procs;
       cp_clock = t.clock;
       cp_trace_rev = t.trace_rev;
       cp_rng = Option.map Rng.copy t.rng;
@@ -219,7 +251,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     Array.iteri
       (fun i p ->
         p.local <- cp.cp_locals.(i);
-        p.steps <- cp.cp_steps.(i))
+        p.steps <- cp.cp_steps.(i);
+        p.crashed <- cp.cp_crashed.(i))
       t.procs;
     t.clock <- cp.cp_clock;
     t.trace_rev <- cp.cp_trace_rev;
@@ -231,8 +264,9 @@ module Make (P : Protocol.PROTOCOL) = struct
     Format.fprintf ppf "@[<v>mem: %a" Mem.pp t.mem;
     Array.iteri
       (fun i p ->
-        Format.fprintf ppf "@,p%d id=%d steps=%d %s %a" i p.id p.steps
+        Format.fprintf ppf "@,p%d id=%d steps=%d %s%s %a" i p.id p.steps
           (Protocol.status_kind (P.status p.local))
+          (if p.crashed then " CRASHED" else "")
           P.pp_local p.local)
       t.procs;
     Format.fprintf ppf "@]"

@@ -45,10 +45,35 @@ module Make (P : Protocol.PROTOCOL) : sig
   val status : t -> int -> P.output Protocol.status
   val kind : t -> int -> Schedule.proc_kind
   val steps_of : t -> int -> int
-  (** Steps taken by one process. *)
+  (** Steps taken by one process (cumulative across {!rejoin}). *)
+
+  val crash : t -> int -> unit
+  (** Crash-stop process [i]: it becomes permanently unschedulable, {!kind}
+      reports it as [Crashed], and {!step} rejects it. Shared registers
+      keep whatever the process last wrote — the crash model of the
+      obstruction-freedom results. Idempotent on an already-crashed
+      process; raises [Invalid_argument] on a decided one. *)
+
+  val rejoin : t -> int -> unit
+  (** Un-crash process [i] with a {e fresh} local state ([P.start]), as a
+      process re-entering a long-lived protocol (e.g. a mutex entry
+      section) after a crash. Its step counter is kept (cumulative) and
+      memory is untouched. Raises [Invalid_argument] if [i] is not
+      crashed. *)
+
+  val crashed : t -> int -> bool
+  val survivors : t -> int list
+  (** Indices of non-crashed processes, ascending. *)
 
   val decisions : t -> P.output option array
   val all_decided : t -> bool
+  (** Every process (crashed or not) decided; unchanged from the
+      crash-free model. *)
+
+  val all_survivors_decided : t -> bool
+  (** Every non-crashed process decided — vacuously true if everyone
+      crashed. This is {!run}'s [All_decided] condition. *)
+
   val critical_pair : t -> (int * int) option
   (** Two distinct processes currently both in their critical sections, if
       any — a mutual-exclusion violation. Returns the two lowest such
@@ -60,13 +85,13 @@ module Make (P : Protocol.PROTOCOL) : sig
 
   val step : t -> int -> (P.Value.t, P.output) Trace.entry
   (** Execute one atomic step of process [proc]. Raises [Invalid_argument]
-      if the process has already decided. The entry is also appended to the
-      trace when trace recording is on. *)
+      if the process has already decided or crashed. The entry is also
+      appended to the trace when trace recording is on. *)
 
   (** Why a {!run} ended. *)
   type stop_reason =
     | Schedule_exhausted  (** the scheduler returned [None] *)
-    | All_decided
+    | All_decided  (** every surviving process decided *)
     | Step_limit
     | Condition_met  (** the [until] predicate fired *)
 

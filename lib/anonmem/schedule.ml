@@ -1,8 +1,12 @@
-type proc_kind = Idle | Working | Crit | Exitg | Finished
+type proc_kind = Idle | Working | Crit | Exitg | Finished | Crashed
 
 type view = { n : int; clock : int; kind : int -> proc_kind }
 
 type t = view -> int option
+
+let runnable = function
+  | Idle | Working | Crit | Exitg -> true
+  | Finished | Crashed -> false
 
 let find_from view start pred =
   (* First process index >= start (cyclically) satisfying [pred], if any. *)
@@ -16,13 +20,13 @@ let find_from view start pred =
 let round_robin () =
   let cursor = ref 0 in
   fun view ->
-    match find_from view !cursor (fun k -> k <> Finished) with
+    match find_from view !cursor runnable with
     | Some i ->
       cursor := (i + 1) mod view.n;
       Some i
     | None -> None
 
-let solo p view = if view.kind p = Finished then None else Some p
+let solo p view = if runnable (view.kind p) then Some p else None
 
 let lock_step procs =
   let arr = Array.of_list procs in
@@ -30,7 +34,7 @@ let lock_step procs =
   let cursor = ref 0 in
   fun view ->
     let p = arr.(!cursor mod Array.length arr) in
-    if view.kind p = Finished then None
+    if not (runnable (view.kind p)) then None
     else begin
       incr cursor;
       Some p
@@ -44,7 +48,7 @@ let script steps =
       | [] -> None
       | p :: rest ->
         remaining := rest;
-        if view.kind p = Finished then go () else Some p
+        if runnable (view.kind p) then Some p else go ()
     in
     go ()
 
@@ -56,10 +60,10 @@ let choose_uniform rng view pred =
   | [] -> None
   | _ -> Some (Rng.pick rng (Array.of_list candidates))
 
-let random rng view = choose_uniform rng view (fun k -> k <> Finished)
+let random rng view = choose_uniform rng view runnable
 
 let random_active rng view =
-  choose_uniform rng view (fun k -> k <> Finished && k <> Idle)
+  choose_uniform rng view (fun k -> runnable k && k <> Idle)
 
 let then_ a b =
   let first_done = ref false in
@@ -86,4 +90,4 @@ let take k sched =
 let pick_active view =
   find_from view 0 (function
     | Working | Crit | Exitg -> true
-    | Idle | Finished -> false)
+    | Idle | Finished | Crashed -> false)

@@ -12,6 +12,7 @@ type proc_kind =
   | Crit  (** in its critical section *)
   | Exitg  (** in its exit code *)
   | Finished  (** decided; can take no more steps *)
+  | Crashed  (** crash-stopped by a fault plan; permanently unschedulable *)
 
 type view = {
   n : int;  (** number of processes *)
@@ -21,31 +22,37 @@ type view = {
 
 type t = view -> int option
 (** [schedule view] names the next process to step, or [None] to stop the
-    run. Returning a [Finished] process is an error the runtime rejects. *)
+    run. Returning a [Finished] or [Crashed] process is an error the
+    runtime rejects. *)
+
+val runnable : proc_kind -> bool
+(** Whether a process of this kind may still be scheduled: everything but
+    [Finished] and [Crashed]. All built-in schedulers restrict themselves
+    to runnable processes, so they honor any crashed set for free. *)
 
 val round_robin : unit -> t
-(** Cycle 0,1,…,n-1 repeatedly, skipping finished processes; stops when all
-    are finished. Schedulers carry internal position state, so each run
-    needs a fresh one. *)
+(** Cycle 0,1,…,n-1 repeatedly, skipping finished and crashed processes;
+    stops when none is runnable. Schedulers carry internal position state,
+    so each run needs a fresh one. *)
 
 val solo : int -> t
-(** Only process [p] ever steps; stops when [p] finishes. *)
+(** Only process [p] ever steps; stops when [p] finishes or crashes. *)
 
 val lock_step : int list -> t
 (** Cycle through the given processes in order, one step each — the paper's
     Theorem 3.4 adversary that keeps symmetric processes in identical
-    states. Stops when any of them finishes. *)
+    states. Stops when any of them finishes or crashes. *)
 
 val script : int list -> t
-(** Exactly these steps, in order, then stop. Steps naming a finished
-    process are skipped. *)
+(** Exactly these steps, in order, then stop. Steps naming a finished or
+    crashed process are skipped. *)
 
 val random : Rng.t -> t
-(** Uniform over non-finished processes (idle processes may be started at
+(** Uniform over runnable processes (idle processes may be started at
     any time). *)
 
 val random_active : Rng.t -> t
-(** Uniform over non-finished, non-idle processes: no new arrivals. Stops if
+(** Uniform over runnable, non-idle processes: no new arrivals. Stops if
     no process is active. *)
 
 val then_ : t -> t -> t
@@ -55,5 +62,5 @@ val take : int -> t -> t
 (** At most [k] steps of the underlying scheduler. *)
 
 val pick_active : view -> int option
-(** Lowest-index active (non-idle, non-finished) process, if any — a handy
+(** Lowest-index active (runnable and non-idle) process, if any — a handy
     building block for custom adversaries. *)

@@ -1,0 +1,102 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module F = Fault.Make (P)
+  module R = F.R
+
+  type run_result = {
+    plan : Fault.plan;
+    applied : Fault.applied list;
+    decided : (int * P.output) list;
+    stuck : int list;
+    rt : R.t;
+  }
+
+  let prepare ?(seed = 1) ?namings ~ids ~inputs ~m () =
+    let rng = Rng.create (seed * 2654435761) in
+    let n = List.length ids in
+    let namings =
+      match namings with
+      | Some ns -> ns
+      | None -> Array.init n (fun _ -> Naming.identity m)
+    in
+    let cfg : R.config =
+      {
+        ids = Array.of_list ids;
+        inputs = Array.of_list inputs;
+        namings;
+        rng = Some (Rng.split rng);
+        record_trace = false;
+      }
+    in
+    (R.create cfg, rng)
+
+  let run_plan ?seed ?namings ?(prefix_steps = 64) ?(solo_bound = 4000) ~ids
+      ~inputs ~m plan =
+    let rt, rng = prepare ?seed ?namings ~ids ~inputs ~m () in
+    let wrap, log = F.injector rt plan in
+    ignore (R.run rt (wrap (Schedule.random rng)) ~max_steps:prefix_steps);
+    (* solo periods: obstruction-freedom's promise to each survivor. The
+       injector stays armed, so late crash points and pending rejoins
+       still fire as the clock advances; survivors are re-scanned after
+       every window because a rejoin can add one. *)
+    let rec solo_phase seen =
+      match
+        List.find_opt
+          (fun i ->
+            (not (List.mem i seen))
+            && not (Protocol.is_decided (R.status rt i)))
+          (R.survivors rt)
+      with
+      | None -> ()
+      | Some i ->
+        ignore (R.run rt (wrap (Schedule.solo i)) ~max_steps:solo_bound);
+        solo_phase (i :: seen)
+    in
+    solo_phase [];
+    let applied = log () in
+    let decided, stuck =
+      List.fold_left
+        (fun (dec, stk) i ->
+          match R.status rt i with
+          | Protocol.Decided v -> ((i, v) :: dec, stk)
+          | _ -> (dec, i :: stk))
+        ([], []) (R.survivors rt)
+    in
+    { plan; applied; decided = List.rev decided; stuck = List.rev stuck; rt }
+
+  let crash_obstruction_free r = r.stuck = []
+
+  let agreement_under_crashes ~equal r =
+    let rec pairs = function
+      | [] -> None
+      | a :: rest -> (
+        match List.find_opt (fun b -> not (equal (snd a) (snd b))) rest with
+        | Some b -> Some (a, b)
+        | None -> pairs rest)
+    in
+    pairs r.decided
+
+  let validity_under_crashes ~allowed r =
+    List.find_opt (fun (_, v) -> not (allowed v)) r.decided
+
+  let wedges_solo ?seed ?namings ?(prefix_steps = 64) ?(solo_bound = 20_000)
+      ~ids ~inputs ~m ~proc plan =
+    let rt, rng = prepare ?seed ?namings ~ids ~inputs ~m () in
+    let _, _ =
+      F.run_with_plan rt plan (Schedule.random rng) ~max_steps:prefix_steps
+    in
+    if R.crashed rt proc then
+      invalid_arg "Crash_props.wedges_solo: proc crashed under the plan";
+    if R.status rt proc = Protocol.Critical then false
+    else
+      let reason =
+        R.run rt
+          ~until:(fun t -> R.status t proc = Protocol.Critical)
+          (Schedule.solo proc) ~max_steps:solo_bound
+      in
+      match reason with
+      | R.Condition_met -> false (* reached its critical section *)
+      | R.All_decided | R.Schedule_exhausted -> false (* decided: progress *)
+      | R.Step_limit -> not (Protocol.is_decided (R.status rt proc))
+end

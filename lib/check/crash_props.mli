@@ -1,0 +1,85 @@
+(** Crash-aware correctness properties.
+
+    The graph checkers in {!Explore} quantify over schedules but not over
+    crashes; these checks quantify over {e crash prefixes}: run an
+    instance under a seeded adversarial schedule with a {!Fault.plan}
+    injected, then give every surviving process a solo period — the
+    obstruction-freedom promise is exactly that each survivor then
+    decides, no matter how many peers crash-stopped (Figs 2–3 of the
+    paper). The same driver exposes the other side of the dividing line:
+    deadlock-free mutex {e must} wedge when a register-covering peer
+    crashes (the Theorem 6.2 covering argument), which {!Make.wedges_solo}
+    asserts as an {e expected} deadlock. *)
+
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module F : module type of Fault.Make (P)
+
+  module R = F.R
+
+  (** Outcome of one crash-prefixed run. Process indices are runtime
+      positions. *)
+  type run_result = {
+    plan : Fault.plan;
+    applied : Fault.applied list;  (** faults that actually fired *)
+    decided : (int * P.output) list;
+        (** surviving processes that decided, with their outputs *)
+    stuck : int list;
+        (** surviving processes still undecided after their solo period —
+            a crash-obstruction-freedom violation for decision tasks *)
+    rt : R.t;  (** the final runtime, for further inspection *)
+  }
+
+  val run_plan :
+    ?seed:int ->
+    ?namings:Naming.t array ->
+    ?prefix_steps:int ->
+    ?solo_bound:int ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    Fault.plan ->
+    run_result
+  (** Run a seeded random schedule for [prefix_steps] (default 64) with
+      the plan injected, then run each surviving undecided process solo
+      for up to [solo_bound] steps (default 4000). The injector stays
+      armed through the solo windows, so crash points past the prefix and
+      pending rejoins still fire; a process rejoined late gets a solo
+      window of its own. Namings default to the identity; [seed] (default
+      1) drives the schedule, the namings' consumers and the protocol's
+      coins, so results are reproducible. *)
+
+  val crash_obstruction_free : run_result -> bool
+  (** No surviving process is stuck: after the crash prefix, every
+      survivor decided once run solo. *)
+
+  val agreement_under_crashes :
+    equal:(P.output -> P.output -> bool) ->
+    run_result ->
+    ((int * P.output) * (int * P.output)) option
+  (** First pair of surviving decided processes with non-equal outputs. *)
+
+  val validity_under_crashes :
+    allowed:(P.output -> bool) -> run_result -> (int * P.output) option
+  (** First surviving decided process whose output is not allowed. *)
+
+  val wedges_solo :
+    ?seed:int ->
+    ?namings:Naming.t array ->
+    ?prefix_steps:int ->
+    ?solo_bound:int ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    proc:int ->
+    Fault.plan ->
+    bool
+  (** After the crash prefix, does survivor [proc] fail to make progress —
+      running solo for [solo_bound] steps (default 20000) without ever
+      entering its critical section or deciding? [true] on Figure 1's
+      mutex with a peer crashed inside (or covering) the critical section
+      is the executable counterpart of Theorem 6.2; [false] must hold for
+      the empty plan. Raises [Invalid_argument] if [proc] itself crashed
+      under the plan. *)
+end

@@ -1,6 +1,6 @@
 open Anonmem
 
-type strategy = Uniform | Bursts
+type strategy = Uniform | Bursts | Chaos
 
 type outcome = {
   attempts_made : int;
@@ -21,16 +21,34 @@ module Make (P : Protocol.PROTOCOL) = struct
         left := 1 + Rng.int rng (if Rng.bool rng then 4 else 60)
       end;
       decr left;
-      if view.Schedule.kind !current = Schedule.Finished then begin
+      if not (Schedule.runnable (view.Schedule.kind !current)) then begin
         left := 0;
         Schedule.random rng view
       end
       else Some !current
 
-  let schedule_of strategy rng n =
+  (* The chaos strategy crashes live processes mid-attempt (never the last
+     one), so bursts land on a memory whose stale claims nobody will ever
+     withdraw — the covering-argument texture. *)
+  let chaos_crashes rng rt (sched : Schedule.t) : Schedule.t =
+   fun view ->
+    (if Rng.float rng < 0.005 then
+       match
+         List.filter
+           (fun i -> Schedule.runnable (R.kind rt i))
+           (List.init (R.n rt) Fun.id)
+       with
+       | [] -> ()
+       | candidates ->
+         if List.length (R.survivors rt) > 1 then
+           R.crash rt (Rng.pick rng (Array.of_list candidates)));
+    sched view
+
+  let schedule_of strategy rng rt n =
     match strategy with
     | Uniform -> Schedule.random rng
     | Bursts -> burst_schedule rng n
+    | Chaos -> chaos_crashes rng rt (burst_schedule rng n)
 
   let mutex_violation rt = R.critical_pair rt <> None
 
@@ -57,7 +75,7 @@ module Make (P : Protocol.PROTOCOL) = struct
       }
     in
     let rt = R.create cfg in
-    let sched = schedule_of strategy rng n in
+    let sched = schedule_of strategy rng rt n in
     let hit = ref false in
     let steps = ref 0 in
     (try
@@ -76,6 +94,14 @@ module Make (P : Protocol.PROTOCOL) = struct
        done
      with Stdlib.Exit -> ());
     (!hit, !steps, rt)
+
+  let replay ?(strategy = Bursts) ?(steps_per_attempt = 2_000) ~violation
+      ~ids ~inputs ~m seed =
+    let hit, _, rt =
+      attempt ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m
+        ~record_trace:true seed
+    in
+    (hit, R.trace rt)
 
   let hunt ?(strategy = Bursts) ?(attempts = 1_000)
       ?(steps_per_attempt = 2_000) ?(seed = 1) ~violation ~ids ~inputs ~m () =
@@ -98,14 +124,13 @@ module Make (P : Protocol.PROTOCOL) = struct
         None )
     | Some s ->
       (* replay with tracing for the witness *)
-      let _, _, rt =
-        attempt ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m
-          ~record_trace:true s
+      let _, trace =
+        replay ~strategy ~steps_per_attempt ~violation ~ids ~inputs ~m s
       in
       ( {
           attempts_made = !a;
           steps_taken = !total_steps;
           witness_seed = Some s;
         },
-        Some (R.trace rt) )
+        Some trace )
 end

@@ -17,6 +17,11 @@ type strategy =
   | Bursts
       (** geometric bursts: one process runs 1-60 consecutive steps — the
           sleep/wake pattern covering arguments need *)
+  | Chaos
+      (** bursts plus random crash-stops: each step a small coin decides
+          whether to crash a live process (never the last survivor), so
+          attempts explore executions where stale register claims are
+          never withdrawn *)
 
 type outcome = {
   attempts_made : int;
@@ -42,6 +47,23 @@ module Make (P : Protocol.PROTOCOL) : sig
       stream; [violation] is evaluated after every step. On a hit, the
       attempt is replayed with tracing on and the trace returned. Defaults:
       [Bursts], 1000 attempts, 2000 steps each. *)
+
+  val replay :
+    ?strategy:strategy ->
+    ?steps_per_attempt:int ->
+    violation:(R.t -> bool) ->
+    ids:int list ->
+    inputs:P.input list ->
+    m:int ->
+    int ->
+    bool * (P.Value.t, P.output) Trace.t
+  (** [replay ~violation ~ids ~inputs ~m seed] re-runs the single attempt
+      identified by [seed] with tracing on, returning whether the
+      violation was hit and the recorded trace. Attempts are deterministic
+      functions of their seed, so replaying [witness_seed] from a
+      {!hunt} outcome (with the same strategy and step bound) must
+      reproduce the identical violating trace — the regression test
+      [test_hunt.ml] pins this down. *)
 
   val mutex_violation : R.t -> bool
   (** Two processes in their critical sections. *)

@@ -1,0 +1,139 @@
+open Anonmem
+
+type event =
+  | Crash_at_step of { proc : int; after : int }
+  | Crash_in_critical of { proc : int }
+  | Crash_and_rejoin of { proc : int; after : int; rejoin_delay : int }
+
+type plan = event list
+
+let single_crashes ~n ~max_step =
+  List.concat_map
+    (fun proc ->
+      List.init (max_step + 1) (fun after ->
+          [ Crash_at_step { proc; after } ]))
+    (List.init n Fun.id)
+
+let pp_event ppf = function
+  | Crash_at_step { proc; after } ->
+    Format.fprintf ppf "crash p%d after %d steps" proc after
+  | Crash_in_critical { proc } ->
+    Format.fprintf ppf "crash p%d in critical section" proc
+  | Crash_and_rejoin { proc; after; rejoin_delay } ->
+    Format.fprintf ppf "crash p%d after %d steps, rejoin +%d" proc after
+      rejoin_delay
+
+let pp_plan ppf plan =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    pp_event ppf plan
+
+type applied = { clock : int; proc : int; what : [ `Crash | `Rejoin ] }
+
+let pp_applied ppf { clock; proc; what } =
+  Format.fprintf ppf "t=%d p%d %s" clock proc
+    (match what with `Crash -> "crash" | `Rejoin -> "rejoin")
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  (* A Crash_and_rejoin that has crashed waits for its rejoin time. *)
+  type pending = Planned of event | Rejoin_at of { proc : int; at : int }
+
+  let make_injector rt plan =
+    let pending = ref (List.map (fun e -> Planned e) plan) in
+    let log_rev = ref [] in
+    let record proc what =
+      log_rev := { clock = R.clock rt; proc; what } :: !log_rev
+    in
+    let crash proc =
+      if not (R.crashed rt proc) then begin
+        R.crash rt proc;
+        record proc `Crash
+      end
+    in
+    let fire = function
+      | Planned (Crash_at_step { proc; after }) ->
+        if R.crashed rt proc || Protocol.is_decided (R.status rt proc) then
+          None (* already down, or expired: decided before the crash point *)
+        else if R.steps_of rt proc >= after then begin
+          crash proc;
+          None
+        end
+        else Some (Planned (Crash_at_step { proc; after }))
+      | Planned (Crash_in_critical { proc }) ->
+        if R.crashed rt proc || Protocol.is_decided (R.status rt proc) then
+          None
+        else if R.status rt proc = Protocol.Critical then begin
+          crash proc;
+          None
+        end
+        else Some (Planned (Crash_in_critical { proc }))
+      | Planned (Crash_and_rejoin { proc; after; rejoin_delay }) ->
+        if R.crashed rt proc || Protocol.is_decided (R.status rt proc) then
+          None
+        else if R.steps_of rt proc >= after then begin
+          crash proc;
+          Some (Rejoin_at { proc; at = R.clock rt + rejoin_delay })
+        end
+        else Some (Planned (Crash_and_rejoin { proc; after; rejoin_delay }))
+      | Rejoin_at { proc; at } ->
+        if R.clock rt >= at then begin
+          if R.crashed rt proc then begin
+            R.rejoin rt proc;
+            record proc `Rejoin
+          end;
+          None
+        end
+        else Some (Rejoin_at { proc; at })
+    in
+    let apply_due () = pending := List.filter_map fire !pending in
+    (apply_due, fun () -> List.rev !log_rev)
+
+  let injector rt plan =
+    let apply_due, log = make_injector rt plan in
+    let wrap sched view =
+      apply_due ();
+      sched view
+    in
+    (wrap, log)
+
+  let inject rt plan sched =
+    let wrap, log = injector rt plan in
+    (wrap sched, log)
+
+  let chaos ?(crash_prob = 0.01) ?max_crashes ?(min_survivors = 1) rt rng
+      sched =
+    let max_crashes =
+      match max_crashes with Some k -> k | None -> R.n rt - 1
+    in
+    let log_rev = ref [] in
+    let crashes = ref 0 in
+    let wrapped view =
+      (if !crashes < max_crashes && Rng.float rng < crash_prob then begin
+         (* candidates: runnable processes we may still take down *)
+         let candidates =
+           List.filter
+             (fun i -> Schedule.runnable (R.kind rt i))
+             (List.init (R.n rt) Fun.id)
+         in
+         let live = List.length (R.survivors rt) in
+         match candidates with
+         | _ when live <= min_survivors -> ()
+         | [] -> ()
+         | _ ->
+           let victim = Rng.pick rng (Array.of_list candidates) in
+           R.crash rt victim;
+           incr crashes;
+           log_rev :=
+             { clock = R.clock rt; proc = victim; what = `Crash } :: !log_rev
+       end);
+      sched view
+    in
+    (wrapped, fun () -> List.rev !log_rev)
+
+  let run_with_plan ?until rt plan sched ~max_steps =
+    let sched, log = inject rt plan sched in
+    let reason = R.run ?until rt sched ~max_steps in
+    (reason, log ())
+end

@@ -1,0 +1,89 @@
+(** Crash-fault injection: plans, injectors and chaos adversaries.
+
+    The paper's dividing line is crash-tolerance: the obstruction-free
+    tasks (consensus, election, renaming — Figs 2–3) survive any number of
+    crash-stopped processes, while deadlock-free mutual exclusion provably
+    cannot (the Theorem 6.2 covering argument needs only one well-timed
+    crash). This library makes that line executable: a {e fault plan} is
+    data describing which processes crash when, an {e injector} applies it
+    to a {!Anonmem.Runtime} run by wrapping the scheduler, and a {e chaos}
+    adversary crashes random processes on a seeded stream. Crashed
+    processes are reported to schedulers as {!Anonmem.Schedule.Crashed},
+    so every built-in scheduler honors the crashed set already. *)
+
+open Anonmem
+
+(** One planned fault. Process indices are runtime positions (as in
+    {!Schedule.view}), not identifiers. *)
+type event =
+  | Crash_at_step of { proc : int; after : int }
+      (** crash [proc] once it has taken [after] steps (0 = before its
+          first step). If the process decides first, the event expires:
+          a decided process cannot crash. *)
+  | Crash_in_critical of { proc : int }
+      (** crash [proc] the moment it is observed inside its critical
+          section — the Thm 6.2 wedge: its register claims are never
+          withdrawn. *)
+  | Crash_and_rejoin of { proc : int; after : int; rejoin_delay : int }
+      (** crash [proc] after [after] of its steps, then bring it back
+          [rejoin_delay] global steps later with a fresh local state
+          (mutex's crash-recovery model: the entry section restarts from
+          scratch over whatever the registers hold). *)
+
+type plan = event list
+
+val single_crashes : n:int -> max_step:int -> plan list
+(** Every single-crash plan over [n] processes up to a step bound:
+    [Crash_at_step { proc = p; after = k }] for each [p < n] and each
+    [0 <= k <= max_step]. The crash-tolerance matrix (E19) sweeps these. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+(** What the injector actually did, oldest first. *)
+type applied = { clock : int; proc : int; what : [ `Crash | `Rejoin ] }
+
+val pp_applied : Format.formatter -> applied -> unit
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module R : module type of Runtime.Make (P)
+
+  val inject : R.t -> plan -> Schedule.t -> Schedule.t * (unit -> applied list)
+  (** [inject rt plan sched] is a scheduler that fires every due event of
+      [plan] against [rt] (before delegating to [sched]) plus a function
+      returning the log of faults applied so far. Each event fires at most
+      once; events naming an already-decided process expire silently.
+      The wrapped scheduler is stateful — use it for one run. *)
+
+  val injector :
+    R.t -> plan -> (Schedule.t -> Schedule.t) * (unit -> applied list)
+  (** Like {!inject}, but returns a reusable wrapper so one plan's pending
+      events (a rejoin still waiting for its time, say) survive across
+      several [R.run] calls on the same runtime — an adversarial prefix
+      followed by per-survivor solo windows, as the crash-aware checks in
+      [Check.Crash_props] do. *)
+
+  val chaos :
+    ?crash_prob:float ->
+    ?max_crashes:int ->
+    ?min_survivors:int ->
+    R.t ->
+    Rng.t ->
+    Schedule.t ->
+    Schedule.t * (unit -> applied list)
+  (** A chaos adversary: before each delegated scheduling decision, with
+      probability [crash_prob] (default 0.01) crash a uniformly chosen
+      runnable process — but never more than [max_crashes] (default
+      [n - 1]) in total and never below [min_survivors] (default 1) live
+      processes. Deterministic given the [Rng.t] stream. *)
+
+  val run_with_plan :
+    ?until:(R.t -> bool) ->
+    R.t ->
+    plan ->
+    Schedule.t ->
+    max_steps:int ->
+    R.stop_reason * applied list
+  (** Convenience: {!inject} then [R.run], returning the stop reason and
+      the faults that actually fired. *)
+end

@@ -10,95 +10,204 @@ module Make (P : Protocol.PROTOCOL) = struct
     seed : int;
   }
 
+  type fault_plan = {
+    crash_at : int option array;
+    pause_prob : float;
+  }
+
+  let no_faults n = { crash_at = Array.make n None; pause_prob = 0.0 }
+
   type proc_result = {
     output : P.output option;
     steps : int;
     cs_entries : int;
+    crashed : bool;
+    timed_out : bool;
   }
 
   type outcome = {
     results : proc_result array;
     mutex_violation : bool;
+    watchdog_fired : bool;
     memory : P.Value.t array;
   }
 
-  let run ~step_budget ~stop_when cfg =
+  let run ?watchdog_s ?faults ~step_budget ~stop_when cfg =
     let n = Array.length cfg.ids in
     if n = 0 then invalid_arg "Prun: no processes";
     if Array.length cfg.inputs <> n || Array.length cfg.namings <> n then
       invalid_arg "Prun: config length mismatch";
+    let faults = match faults with Some f -> f | None -> no_faults n in
+    if Array.length faults.crash_at <> n then
+      invalid_arg "Prun: fault plan length mismatch";
     let m = Naming.size cfg.namings.(0) in
     let mem = Mem.create ~m in
     let occupancy = Atomic.make 0 in
     let violated = Atomic.make false in
+    (* stop is set when a domain dies of an escaped exception (peers must
+       not spin forever on a lock its corpse still holds) or when the
+       watchdog gives up on a stalled domain. Injected crash_at faults do
+       NOT set it: crash-stop means the survivors keep running. *)
+    let stop = Atomic.make false in
+    let heartbeats = Array.init n (fun _ -> Atomic.make 0) in
+    let mailbox = Array.init n (fun _ -> Atomic.make None) in
     let body proc () =
       let id = cfg.ids.(proc) in
       let naming = cfg.namings.(proc) in
       let rng = Rng.create (cfg.seed + (7919 * (proc + 1))) in
+      let fault_rng = Rng.create (cfg.seed + (104729 * (proc + 1))) in
+      let crash_at = faults.crash_at.(proc) in
       let local = ref (P.start ~n ~m ~id cfg.inputs.(proc)) in
       let steps = ref 0 in
       let cs_entries = ref 0 in
       let cs_exits = ref 0 in
       let finished = ref false in
-      while (not !finished) && !steps < step_budget do
-        let before = P.status !local in
-        (match before with
-        | Protocol.Decided _ -> finished := true
-        | _ ->
-          (match P.step ~n ~m ~id !local with
-          | Protocol.Read (j, k) -> local := k (Mem.read mem naming j)
-          | Protocol.Write (j, v, l) ->
-            Mem.write mem naming j v;
-            local := l
-          | Protocol.Rmw (j, f) ->
-            let _, _, l = Mem.rmw mem naming j f in
-            local := l
-          | Protocol.Internal l -> local := l
-          | Protocol.Coin k -> local := k (Rng.bool rng));
-          incr steps;
-          let after = P.status !local in
-          (match (before, after) with
-          | (Protocol.Remainder | Trying | Exiting), Protocol.Critical ->
-            incr cs_entries;
-            let prev = Atomic.fetch_and_add occupancy 1 in
-            if prev <> 0 then Atomic.set violated true
-          | Protocol.Critical, (Protocol.Remainder | Trying | Exiting) ->
-            incr cs_exits;
-            ignore (Atomic.fetch_and_add occupancy (-1))
-          | _ -> ());
-          if stop_when ~status:after ~cs_completed:!cs_exits then
-            finished := true)
-      done;
+      let crashed = ref false in
+      let res =
+        try
+          while
+            (not !finished)
+            && !steps < step_budget
+            && not (Atomic.get stop)
+          do
+            Atomic.incr heartbeats.(proc);
+            (match crash_at with
+            | Some k when !steps >= k ->
+              crashed := true;
+              finished := true
+            | _ -> ());
+            if not !finished then begin
+              if
+                faults.pause_prob > 0.0
+                && Rng.float fault_rng < faults.pause_prob
+              then Unix.sleepf 0.0002;
+              let before = P.status !local in
+              match before with
+              | Protocol.Decided _ -> finished := true
+              | _ ->
+                (match P.step ~n ~m ~id !local with
+                | Protocol.Read (j, k) -> local := k (Mem.read mem naming j)
+                | Protocol.Write (j, v, l) ->
+                  Mem.write mem naming j v;
+                  local := l
+                | Protocol.Rmw (j, f) ->
+                  let _, _, l = Mem.rmw mem naming j f in
+                  local := l
+                | Protocol.Internal l -> local := l
+                | Protocol.Coin k -> local := k (Rng.bool rng));
+                incr steps;
+                let after = P.status !local in
+                (match (before, after) with
+                | (Protocol.Remainder | Trying | Exiting), Protocol.Critical
+                  ->
+                  incr cs_entries;
+                  let prev = Atomic.fetch_and_add occupancy 1 in
+                  if prev <> 0 then Atomic.set violated true
+                | Protocol.Critical, (Protocol.Remainder | Trying | Exiting)
+                  ->
+                  incr cs_exits;
+                  ignore (Atomic.fetch_and_add occupancy (-1))
+                | _ -> ());
+                if stop_when ~status:after ~cs_completed:!cs_exits then
+                  finished := true
+            end
+          done;
+          {
+            output =
+              (match P.status !local with
+              | Protocol.Decided v when not !crashed -> Some v
+              | _ -> None);
+            steps = !steps;
+            cs_entries = !cs_entries;
+            crashed = !crashed;
+            timed_out = false;
+          }
+        with _exn ->
+          Atomic.set stop true;
+          {
+            output = None;
+            steps = !steps;
+            cs_entries = !cs_entries;
+            crashed = true;
+            timed_out = false;
+          }
+      in
       (* never leave the occupancy counter skewed if we stop inside the CS *)
       (match P.status !local with
       | Protocol.Critical -> ignore (Atomic.fetch_and_add occupancy (-1))
       | _ -> ());
-      {
-        output =
-          (match P.status !local with
-          | Protocol.Decided v -> Some v
-          | _ -> None);
-        steps = !steps;
-        cs_entries = !cs_entries;
-      }
+      Atomic.set mailbox.(proc) (Some res)
     in
-    let domains =
-      Array.init n (fun proc -> Domain.spawn (body proc))
+    let domains = Array.init n (fun proc -> Domain.spawn (body proc)) in
+    let fired = ref false in
+    (match watchdog_s with
+    | None -> Array.iter Domain.join domains
+    | Some patience ->
+      let all_reported () =
+        Array.for_all (fun mb -> Atomic.get mb <> None) mailbox
+      in
+      let last_beat = Array.map Atomic.get heartbeats in
+      let now () = Unix.gettimeofday () in
+      let last_change = Array.make n (now ()) in
+      let grace_deadline = ref None in
+      let continue = ref true in
+      while !continue do
+        Unix.sleepf (Float.min 0.005 (patience /. 10.));
+        if all_reported () then continue := false
+        else begin
+          let t = now () in
+          Array.iteri
+            (fun i h ->
+              let beat = Atomic.get h in
+              if beat <> last_beat.(i) || Atomic.get mailbox.(i) <> None
+              then begin
+                last_beat.(i) <- beat;
+                last_change.(i) <- t
+              end
+              else if t -. last_change.(i) > patience then begin
+                fired := true;
+                Atomic.set stop true
+              end)
+            heartbeats;
+          match !grace_deadline with
+          | None -> if !fired then grace_deadline := Some (t +. patience)
+          | Some d -> if t > d then continue := false
+        end
+      done;
+      (* join only the domains that reported; a domain stuck inside a
+         protocol step cannot be cancelled, so it is leaked and its slot
+         synthesised below with [timed_out] set *)
+      Array.iteri
+        (fun i d -> if Atomic.get mailbox.(i) <> None then Domain.join d)
+        domains);
+    let results =
+      Array.init n (fun i ->
+          match Atomic.get mailbox.(i) with
+          | Some r -> r
+          | None ->
+            {
+              output = None;
+              steps = Atomic.get heartbeats.(i);
+              cs_entries = 0;
+              crashed = false;
+              timed_out = true;
+            })
     in
-    let results = Array.map Domain.join domains in
     {
       results;
       mutex_violation = Atomic.get violated;
+      watchdog_fired = !fired;
       memory = Mem.snapshot mem;
     }
 
-  let run_decide ?(step_budget = 2_000_000) cfg =
-    run ~step_budget
+  let run_decide ?watchdog_s ?faults ?(step_budget = 2_000_000) cfg =
+    run ?watchdog_s ?faults ~step_budget
       ~stop_when:(fun ~status ~cs_completed:_ -> Protocol.is_decided status)
       cfg
 
-  let run_sessions ?(step_budget = 2_000_000) ~sessions cfg =
-    run ~step_budget
+  let run_sessions ?watchdog_s ?faults ?(step_budget = 2_000_000) ~sessions
+      cfg =
+    run ?watchdog_s ?faults ~step_budget
       ~stop_when:(fun ~status ~cs_completed ->
         cs_completed >= sessions && status = Protocol.Remainder)
       cfg

@@ -11,7 +11,24 @@
     (incremented on every transition into the critical section): any
     overlap is latched in {!outcome.mutex_violation}. Runs are bounded by
     per-process step budgets, so obstruction-free protocols that livelock
-    under contention simply report [None] decisions rather than hanging. *)
+    under contention simply report [None] decisions rather than hanging.
+
+    {2 Robustness}
+
+    Every domain increments a per-process heartbeat each loop iteration
+    and posts its result to a mailbox slot rather than relying on
+    [Domain.join] alone. An exception escaping a protocol step no longer
+    hangs the run: the dying domain records itself [crashed] and raises a
+    shared stop flag so its peers — possibly blocked on a lock the corpse
+    still holds — exit their loops instead of spinning out their budgets.
+    Passing [?watchdog_s] arms a monitor that detects domains whose
+    heartbeat has stalled (a protocol step that never returns), stops the
+    rest, and returns a {e partial} outcome in which the stuck domain's
+    slot is synthesised with [timed_out] set. A {!fault_plan} injects
+    crash-stops ([crash_at]) and random scheduling pauses ([pause_prob])
+    to probe crash tolerance under real preemption; an injected crash
+    does {e not} raise the stop flag — survivors keep running, which is
+    exactly the property under test. *)
 
 open Anonmem
 
@@ -23,23 +40,53 @@ module Make (P : Protocol.PROTOCOL) : sig
     seed : int;  (** coin streams are split per process from this seed *)
   }
 
+  (** Faults injected into a run; see {!no_faults} for the identity. *)
+  type fault_plan = {
+    crash_at : int option array;
+        (** [crash_at.(i) = Some k] crash-stops process [i] once it has
+            taken [k] steps: the domain exits silently, its registers
+            keeping their last-written values *)
+    pause_prob : float;
+        (** probability, per loop iteration, that a process sleeps for a
+            fraction of a millisecond — widens the preemption windows the
+            OS scheduler explores *)
+  }
+
+  val no_faults : int -> fault_plan
+  (** [no_faults n] is the plan for [n] processes that injects nothing. *)
+
   type proc_result = {
     output : P.output option;
     steps : int;
     cs_entries : int;
+    crashed : bool;
+        (** the process crash-stopped: either its [crash_at] fault fired
+            or an exception escaped a protocol step *)
+    timed_out : bool;
+        (** the watchdog gave up on this domain; [steps] is then its last
+            observed heartbeat, and the domain itself is leaked *)
   }
 
   type outcome = {
     results : proc_result array;
     mutex_violation : bool;
-    memory : P.Value.t array;  (** snapshot after every domain joined *)
+    watchdog_fired : bool;
+        (** at least one domain stalled past the [watchdog_s] patience *)
+    memory : P.Value.t array;
+        (** snapshot after every reporting domain finished *)
   }
 
-  val run_decide : ?step_budget:int -> config -> outcome
+  val run_decide :
+    ?watchdog_s:float -> ?faults:fault_plan -> ?step_budget:int -> config ->
+    outcome
   (** Each domain steps its process until it decides or exhausts the budget
-      (default 2,000,000 steps). *)
+      (default 2,000,000 steps). [watchdog_s] (off by default) bounds how
+      long a single protocol step may stall before the run is abandoned
+      with a partial outcome. *)
 
-  val run_sessions : ?step_budget:int -> sessions:int -> config -> outcome
+  val run_sessions :
+    ?watchdog_s:float -> ?faults:fault_plan -> ?step_budget:int ->
+    sessions:int -> config -> outcome
   (** Mutex workload: each domain keeps entering and leaving its critical
       section until it has completed [sessions] of them (counted at exit
       back to the remainder) or runs out of budget. *)

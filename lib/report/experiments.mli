@@ -68,9 +68,16 @@ val e18_parallel_checker : speed -> Table.t list
     sequential oracle: bit-identical graphs on every protocol family,
     with wall-clock throughput for both explorers. *)
 
+val e19_crash_tolerance : speed -> Table.t list
+(** Crash-fault injection: single-crash sweeps through the crash-aware
+    checker (survivors of obstruction-free tasks still decide; Figure 1's
+    mutex wedges when the peer crashes in its critical section, the
+    executable face of Thm 6.2), plus multicore crash-stops and the
+    hung-domain watchdog. *)
+
 val all : speed -> Table.t list
 (** Every experiment, in order. *)
 
 val by_id : string -> (speed -> Table.t list) option
-(** Look up an experiment by its identifier ("E1" .. "E18", case
+(** Look up an experiment by its identifier ("E1" .. "E19", case
     insensitive). *)

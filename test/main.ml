@@ -8,6 +8,8 @@ let () =
       ("runtime", Test_runtime.suite);
       ("stats", Test_stats.suite);
       ("check", Test_check.suite);
+      ("fault", Test_fault.suite);
+      ("hunt", Test_hunt.suite);
       ("explore_par", Test_explore_par.suite);
       ("props", Test_props.suite);
       ("trace", Test_trace.suite);

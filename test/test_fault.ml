@@ -1,0 +1,168 @@
+open Anonmem
+
+(* Fault plans, the injector and the chaos adversary, exercised against
+   Figure 2 consensus (obstruction-free: survivors must still decide) and
+   Figure 1 mutex (deadlock-free only: a covering crash must wedge it). *)
+
+module P = Coord.Consensus.P
+module F = Fault.Make (P)
+module R = F.R
+module CP = Check.Crash_props.Make (P)
+module CPM = Check.Crash_props.Make (Coord.Amutex.P)
+
+let mk ?(seed = 1) ?(ids = [ 7; 13 ]) ?(inputs = [ 100; 200 ]) ?(m = 3) () =
+  let rng = Rng.create seed in
+  let n = List.length ids in
+  let cfg : R.config =
+    {
+      ids = Array.of_list ids;
+      inputs = Array.of_list inputs;
+      namings = Array.init n (fun _ -> Naming.identity m);
+      rng = Some (Rng.split rng);
+      record_trace = false;
+    }
+  in
+  (R.create cfg, rng)
+
+let test_single_crashes_enumeration () =
+  let plans = Fault.single_crashes ~n:3 ~max_step:4 in
+  Alcotest.(check int) "n * (max_step + 1) plans" 15 (List.length plans);
+  Alcotest.(check bool) "all single-event" true
+    (List.for_all (fun p -> List.length p = 1) plans);
+  let covers proc after =
+    List.exists
+      (function
+        | [ Fault.Crash_at_step c ] -> c.proc = proc && c.after = after
+        | _ -> false)
+      plans
+  in
+  Alcotest.(check bool) "covers first point" true (covers 0 0);
+  Alcotest.(check bool) "covers last point" true (covers 2 4)
+
+let test_crash_at_step_fires_on_time () =
+  let rt, _ = mk () in
+  let reason, applied =
+    F.run_with_plan rt
+      [ Fault.Crash_at_step { proc = 0; after = 3 } ]
+      (Schedule.solo 0) ~max_steps:100
+  in
+  (* p0 runs solo; once it has taken 3 steps the injector downs it, and
+     solo-of-a-crashed-process yields no pick *)
+  Alcotest.(check bool) "schedule exhausted" true
+    (reason = R.Schedule_exhausted);
+  Alcotest.(check int) "victim stopped at its crash point" 3 (R.steps_of rt 0);
+  Alcotest.(check bool) "victim crashed" true (R.crashed rt 0);
+  match applied with
+  | [ { Fault.proc = 0; what = `Crash; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one applied crash for p0"
+
+let test_event_expires_when_victim_decides () =
+  (* consensus is only obstruction-free, so give each process a solo
+     window — the victim decides long before its distant crash point *)
+  let rt, _ = mk () in
+  let _, applied =
+    F.run_with_plan rt
+      [ Fault.Crash_at_step { proc = 0; after = 10_000 } ]
+      (Schedule.then_ (Schedule.solo 0) (Schedule.solo 1))
+      ~max_steps:5_000
+  in
+  Alcotest.(check bool) "all decided" true (R.all_decided rt);
+  Alcotest.(check int) "event expired, nothing fired" 0 (List.length applied)
+
+let test_crash_and_rejoin_timing () =
+  let r =
+    CP.run_plan ~seed:5 ~ids:[ 7; 13 ] ~inputs:[ 100; 200 ] ~m:3
+      [ Fault.Crash_and_rejoin { proc = 0; after = 2; rejoin_delay = 6 } ]
+  in
+  (match r.CP.applied with
+  | [
+   { Fault.proc = 0; what = `Crash; clock = c };
+   { Fault.proc = 0; what = `Rejoin; clock = rj };
+  ] ->
+    Alcotest.(check bool) "rejoin waits out its delay" true (rj - c >= 6)
+  | _ -> Alcotest.fail "expected a crash then a rejoin for p0");
+  Alcotest.(check bool) "rejoined process recovered and decided" true
+    (CP.crash_obstruction_free r)
+
+let test_chaos_respects_bounds_and_seed () =
+  let run seed =
+    let rt, rng = mk ~ids:[ 7; 13; 21 ] ~inputs:[ 100; 200; 300 ] ~m:5 () in
+    let sched, log =
+      F.chaos ~crash_prob:0.9 ~min_survivors:2 rt rng (Schedule.random rng)
+    in
+    ignore seed;
+    ignore (R.run rt sched ~max_steps:200);
+    (log (), R.survivors rt)
+  in
+  let applied, survivors = run 1 in
+  Alcotest.(check bool) "at most one crash (min_survivors = 2)" true
+    (List.length applied <= 1);
+  Alcotest.(check bool) "at least two survivors" true
+    (List.length survivors >= 2);
+  (* determinism: the same seed reproduces the same chaos *)
+  let applied', survivors' = run 1 in
+  Alcotest.(check bool) "same crashes" true (applied = applied');
+  Alcotest.(check bool) "same survivors" true (survivors = survivors')
+
+let test_chaos_composes_with_take_then () =
+  let rt, rng = mk ~ids:[ 7; 13; 21 ] ~inputs:[ 100; 200; 300 ] ~m:5 () in
+  let chaotic, log =
+    F.chaos ~crash_prob:0.3 ~min_survivors:2 rt rng (Schedule.random rng)
+  in
+  (* a chaotic prefix capped by take, then solo windows: the standard
+     crash-obstruction-freedom shape, built from schedule combinators *)
+  ignore (R.run rt (Schedule.take 40 chaotic) ~max_steps:1_000);
+  List.iter
+    (fun i ->
+      if not (Protocol.is_decided (R.status rt i)) then
+        ignore (R.run rt (Schedule.solo i) ~max_steps:4_000))
+    (R.survivors rt);
+  Alcotest.(check bool) "every survivor decided" true
+    (R.all_survivors_decided rt);
+  Alcotest.(check bool) "crash bound held" true (List.length (log ()) <= 1)
+
+let test_consensus_single_crash_sweep () =
+  List.iter
+    (fun plan ->
+      let r =
+        CP.run_plan ~seed:3 ~ids:[ 7; 13 ] ~inputs:[ 100; 200 ] ~m:3 plan
+      in
+      Alcotest.(check bool) "crash-obstruction-free" true
+        (CP.crash_obstruction_free r);
+      Alcotest.(check bool) "agreement" true
+        (CP.agreement_under_crashes ~equal:Int.equal r = None);
+      Alcotest.(check bool) "validity" true
+        (CP.validity_under_crashes
+           ~allowed:(fun v -> v = 100 || v = 200)
+           r
+        = None))
+    (Fault.single_crashes ~n:2 ~max_step:8)
+
+let test_mutex_wedges_exactly_under_covering_crash () =
+  let ids = [ 7; 13 ] and inputs = [ (); () ] in
+  Alcotest.(check bool) "peer crash in CS wedges the survivor (Thm 6.2)"
+    true
+    (CPM.wedges_solo ~seed:3 ~prefix_steps:200 ~ids ~inputs ~m:3 ~proc:0
+       [ Fault.Crash_in_critical { proc = 1 } ]);
+  Alcotest.(check bool) "no crash, no wedge" false
+    (CPM.wedges_solo ~seed:3 ~prefix_steps:200 ~ids ~inputs ~m:3 ~proc:0 [])
+
+let suite =
+  [
+    Alcotest.test_case "single_crashes enumerates the sweep" `Quick
+      test_single_crashes_enumeration;
+    Alcotest.test_case "crash_at_step fires on time" `Quick
+      test_crash_at_step_fires_on_time;
+    Alcotest.test_case "events expire when the victim decides" `Quick
+      test_event_expires_when_victim_decides;
+    Alcotest.test_case "crash-and-rejoin timing" `Quick
+      test_crash_and_rejoin_timing;
+    Alcotest.test_case "chaos respects bounds; seeded determinism" `Quick
+      test_chaos_respects_bounds_and_seed;
+    Alcotest.test_case "chaos composes with take/then_/solo" `Quick
+      test_chaos_composes_with_take_then;
+    Alcotest.test_case "consensus survives every single crash" `Quick
+      test_consensus_single_crash_sweep;
+    Alcotest.test_case "mutex wedges exactly under a covering crash" `Quick
+      test_mutex_wedges_exactly_under_covering_crash;
+  ]

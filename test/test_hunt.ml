@@ -1,0 +1,58 @@
+open Anonmem
+
+(* Replay determinism: a hunt's witness seed must reproduce the identical
+   violating trace, attempt after attempt. The target is E16's reliable
+   witness — Figure 1's mutex believing m = 3 while memory has 5 registers,
+   where mutual exclusion actually breaks under bursty schedules. *)
+
+module Fig1_pinned3 = Wrap.Fix_m (Coord.Amutex.P) (struct let m = 3 end)
+module H = Check.Hunt.Make (Fig1_pinned3)
+module HC = Check.Hunt.Make (Coord.Consensus.P)
+
+let ids = [ 7; 13 ]
+let inputs = [ (); () ]
+
+let test_replay_reproduces_witness () =
+  let o, trace =
+    H.hunt ~attempts:400 ~violation:H.mutex_violation ~ids ~inputs ~m:5 ()
+  in
+  match o.Check.Hunt.witness_seed with
+  | None ->
+    Alcotest.fail "hunter found no witness in 400 attempts (E16 expects one)"
+  | Some seed ->
+    let witness =
+      match trace with
+      | Some t -> t
+      | None -> Alcotest.fail "witness seed without a witness trace"
+    in
+    let hit1, t1 =
+      H.replay ~violation:H.mutex_violation ~ids ~inputs ~m:5 seed
+    in
+    let hit2, t2 =
+      H.replay ~violation:H.mutex_violation ~ids ~inputs ~m:5 seed
+    in
+    Alcotest.(check bool) "replay hits the violation" true (hit1 && hit2);
+    Alcotest.(check bool) "replay matches the hunt's witness trace" true
+      (witness = t1);
+    Alcotest.(check bool) "replays are identical" true (t1 = t2)
+
+let test_chaos_strategy_deterministic () =
+  (* consensus under the crash-injecting strategy: attempts stay pure
+     functions of their seed even when the adversary downs processes *)
+  let replay () =
+    HC.replay ~strategy:Check.Hunt.Chaos
+      ~violation:(HC.disagreement ~equal:Int.equal)
+      ~ids:[ 7; 13; 21 ] ~inputs:[ 100; 200; 300 ] ~m:5 5
+  in
+  let hit1, t1 = replay () in
+  let hit2, t2 = replay () in
+  Alcotest.(check bool) "no false disagreement witness" false (hit1 || hit2);
+  Alcotest.(check bool) "chaos replays are identical" true (t1 = t2)
+
+let suite =
+  [
+    Alcotest.test_case "witness seed replays to the identical trace" `Slow
+      test_replay_reproduces_witness;
+    Alcotest.test_case "chaos attempts are deterministic in their seed" `Quick
+      test_chaos_strategy_deterministic;
+  ]

@@ -132,6 +132,152 @@ let test_memory_snapshot_consistent () =
       Alcotest.(check int) "register holds the decision" 42 v.pref)
     o.memory
 
+(* ---------------- robustness: crashes, corpses and watchdogs --------- *)
+
+(* A protocol whose id-1 process raises out of its step; its peers spin
+   forever. Before the per-domain exception capture + shared stop flag,
+   this escaped through [Domain.join] while the peers burned their whole
+   budgets against a corpse. *)
+module Boom_p = struct
+  module Value = struct
+    type t = int
+
+    let init = 0
+    let equal = Int.equal
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end
+
+  type input = unit
+  type output = int
+  type local = Start | Spin
+
+  let name = "boom"
+  let default_registers ~n:_ = 1
+  let start ~n:_ ~m:_ ~id:_ () = Start
+
+  let step ~n:_ ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Start -> if id = 1 then failwith "boom" else Internal Spin
+    | Spin -> Internal Spin
+
+  let status _ = Protocol.Trying
+  let compare_local = Stdlib.compare
+  let pp_local ppf _ = Format.pp_print_string ppf "<boom>"
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module PBoom = Parallel.Prun.Make (Boom_p)
+
+(* A protocol whose id-1 process blocks inside a single step until
+   released — a livelocked domain no step budget can bound. Before the
+   heartbeat watchdog, [run_decide] sat in [Domain.join] forever. *)
+let hang_release = Atomic.make false
+
+module Hang_p = struct
+  module Value = Boom_p.Value
+
+  type input = unit
+  type output = int
+  type local = Start | Done
+
+  let name = "hang"
+  let default_registers ~n:_ = 1
+  let start ~n:_ ~m:_ ~id:_ () = Start
+
+  let step ~n:_ ~m:_ ~id local : (local, Value.t) Protocol.step =
+    match local with
+    | Start ->
+      if id = 1 then
+        while not (Atomic.get hang_release) do
+          Domain.cpu_relax ()
+        done;
+      Internal Done
+    | Done -> invalid_arg "hang: decided"
+
+  let status = function Start -> Protocol.Trying | Done -> Protocol.Decided 0
+  let compare_local = Stdlib.compare
+  let pp_local ppf _ = Format.pp_print_string ppf "<hang>"
+  let pp_input ppf () = Format.pp_print_string ppf "()"
+  let pp_output = Format.pp_print_int
+end
+
+module PHang = Parallel.Prun.Make (Hang_p)
+
+let test_escaped_exception_degrades_gracefully () =
+  let budget = 10_000_000 in
+  let cfg : PBoom.config =
+    {
+      ids = [| 1; 2; 3 |];
+      inputs = [| (); (); () |];
+      namings = Array.init 3 (fun _ -> Naming.identity 1);
+      seed = 1;
+    }
+  in
+  let o = PBoom.run_decide ~step_budget:budget cfg in
+  Alcotest.(check bool) "raising process recorded as crashed" true
+    o.results.(0).PBoom.crashed;
+  Alcotest.(check bool) "peers did not crash" false
+    (o.results.(1).PBoom.crashed || o.results.(2).PBoom.crashed);
+  Alcotest.(check bool) "no domain leaked" true
+    (Array.for_all (fun r -> not r.PBoom.timed_out) o.results);
+  Alcotest.(check bool) "peers stopped early, not at their budgets" true
+    (o.results.(1).PBoom.steps < budget && o.results.(2).PBoom.steps < budget)
+
+let test_watchdog_returns_partial_outcome () =
+  Atomic.set hang_release false;
+  let cfg : PHang.config =
+    {
+      ids = [| 1; 2; 3 |];
+      inputs = [| (); (); () |];
+      namings = Array.init 3 (fun _ -> Naming.identity 1);
+      seed = 1;
+    }
+  in
+  let o = PHang.run_decide ~watchdog_s:0.2 ~step_budget:1_000 cfg in
+  (* run_decide returned at all: this call deadlocked in Domain.join
+     before the watchdog existed. Release the leaked domain so it
+     terminates before the test binary exits. *)
+  Atomic.set hang_release true;
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "watchdog fired" true o.watchdog_fired;
+  Alcotest.(check bool) "stuck domain synthesised as timed_out" true
+    o.results.(0).PHang.timed_out;
+  Alcotest.(check int) "exactly one domain was leaked" 1
+    (Array.fold_left
+       (fun acc r -> if r.PHang.timed_out then acc + 1 else acc)
+       0 o.results);
+  Alcotest.(check bool) "peers still decided" true
+    (o.results.(1).PHang.output = Some 0 && o.results.(2).PHang.output = Some 0)
+
+let test_injected_crash_survivors_decide () =
+  let rng = Rng.create 11 in
+  let cfg : PCons.config =
+    {
+      ids = [| 7; 13; 21 |];
+      inputs = [| 100; 200; 300 |];
+      namings = namings_of rng 3 5;
+      seed = 2;
+    }
+  in
+  let faults =
+    { PCons.crash_at = [| Some 5; None; None |]; pause_prob = 0.001 }
+  in
+  let o = PCons.run_decide ~faults cfg in
+  Alcotest.(check bool) "victim crashed without deciding" true
+    (o.results.(0).PCons.crashed && o.results.(0).PCons.output = None);
+  let decided =
+    Array.to_list o.results |> List.filter_map (fun r -> r.PCons.output)
+  in
+  Alcotest.(check bool) "a survivor decided" true (decided <> []);
+  (match decided with
+  | [] -> ()
+  | v :: rest ->
+    List.iter (fun w -> Alcotest.(check int) "agreement survives" v w) rest;
+    Alcotest.(check bool) "validity survives" true
+      (List.mem v [ 100; 200; 300 ]))
+
 let suite =
   [
     Alcotest.test_case "consensus across domains" `Slow test_consensus_domains;
@@ -142,4 +288,10 @@ let suite =
       test_ccp_domains;
     Alcotest.test_case "final memory snapshot" `Quick
       test_memory_snapshot_consistent;
+    Alcotest.test_case "escaped exception degrades gracefully" `Slow
+      test_escaped_exception_degrades_gracefully;
+    Alcotest.test_case "watchdog returns a partial outcome" `Slow
+      test_watchdog_returns_partial_outcome;
+    Alcotest.test_case "injected crash: survivors decide" `Slow
+      test_injected_crash_survivors_decide;
   ]

@@ -298,6 +298,77 @@ let test_critical_pair_ascending () =
   Alcotest.(check (option (pair int int))) "lowest two, ascending"
     (Some (0, 1)) (RC.critical_pair rt)
 
+let test_crash_basics () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  (* p0 wrote its id; crash it there: the register must keep the value *)
+  R.crash rt 0;
+  Alcotest.(check bool) "crashed" true (R.crashed rt 0);
+  Alcotest.(check bool) "kind is Crashed" true
+    (R.kind rt 0 = Schedule.Crashed);
+  Alcotest.(check (list int)) "survivors" [ 1 ] (R.survivors rt);
+  Alcotest.(check int) "register keeps the last write" 5
+    (R.Mem.get_physical (R.memory rt) 0);
+  Alcotest.check_raises "stepping a crashed process rejected"
+    (Invalid_argument "Runtime.step: process crashed") (fun () ->
+      ignore (R.step rt 0))
+
+let test_crash_decided_rejected () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  Alcotest.check_raises "crashing a decided process rejected"
+    (Invalid_argument "Runtime.crash: process already decided") (fun () ->
+      R.crash rt 0)
+
+let test_run_stops_when_survivors_decide () =
+  let rt = mk () in
+  R.crash rt 0;
+  let reason = R.run rt (Schedule.round_robin ()) ~max_steps:100 in
+  Alcotest.(check bool) "all survivors decided" true
+    (reason = R.All_decided && R.all_survivors_decided rt);
+  Alcotest.(check bool) "but not everyone" false (R.all_decided rt);
+  Alcotest.(check bool) "survivor decided" true
+    (Protocol.is_decided (R.status rt 1))
+
+let test_rejoin_fresh_state_cumulative_steps () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  ignore (R.step rt 0);
+  R.crash rt 0;
+  Alcotest.check_raises "rejoining a live process rejected"
+    (Invalid_argument "Runtime.rejoin: process not crashed") (fun () ->
+      R.rejoin rt 1);
+  R.rejoin rt 0;
+  Alcotest.(check bool) "no longer crashed" false (R.crashed rt 0);
+  Alcotest.(check bool) "fresh local state" true
+    (R.status rt 0 = Protocol.Remainder);
+  Alcotest.(check int) "step count survives the crash" 2 (R.steps_of rt 0);
+  ignore (R.step rt 0);
+  Alcotest.(check int) "and keeps counting" 3 (R.steps_of rt 0);
+  (* the recovered process can still finish the protocol *)
+  ignore (R.run rt (Schedule.round_robin ()) ~max_steps:100);
+  Alcotest.(check bool) "recovered and decided" true (R.all_decided rt)
+
+let test_checkpoint_restores_crashed_set () =
+  let rt = mk () in
+  ignore (R.step rt 0);
+  let cp_live = R.checkpoint rt in
+  R.crash rt 0;
+  let cp_down = R.checkpoint rt in
+  R.restore rt cp_live;
+  Alcotest.(check bool) "restored to live" false (R.crashed rt 0);
+  ignore (R.step rt 0);
+  (* steppable again, and diverging from the checkpoints *)
+  R.restore rt cp_down;
+  Alcotest.(check bool) "restored to crashed" true (R.crashed rt 0);
+  Alcotest.(check int) "steps_of restored with it" 1 (R.steps_of rt 0);
+  Alcotest.check_raises "still unsteppable after restore"
+    (Invalid_argument "Runtime.step: process crashed") (fun () ->
+      ignore (R.step rt 0))
+
 let test_coin_requires_rng () =
   let module RC = Runtime.Make (Coord.Ccp.P) in
   let rt = RC.create (RC.simple_config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ()) in
@@ -341,6 +412,16 @@ let suite =
     Alcotest.test_case "critical_pair is ascending" `Quick
       test_critical_pair_ascending;
     Alcotest.test_case "checkpoint/restore" `Quick test_checkpoint_restore;
+    Alcotest.test_case "crash freezes a process and its registers" `Quick
+      test_crash_basics;
+    Alcotest.test_case "crash refuses decided processes" `Quick
+      test_crash_decided_rejected;
+    Alcotest.test_case "run stops when the survivors decide" `Quick
+      test_run_stops_when_survivors_decide;
+    Alcotest.test_case "rejoin: amnesia, cumulative steps" `Quick
+      test_rejoin_fresh_state_cumulative_steps;
+    Alcotest.test_case "checkpoint/restore carries the crashed set" `Quick
+      test_checkpoint_restores_crashed_set;
     Alcotest.test_case "peek has no effect" `Quick test_peek_does_not_execute;
     Alcotest.test_case "namings respected" `Quick test_namings_respected;
   ]

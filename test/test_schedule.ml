@@ -91,6 +91,53 @@ let test_take () =
   Alcotest.(check (option int)) "two" (Some 0) (s v);
   Alcotest.(check (option int)) "capped" None (s v)
 
+let test_runnable_predicate () =
+  Alcotest.(check bool) "idle runs" true (Schedule.runnable Schedule.Idle);
+  Alcotest.(check bool) "working runs" true
+    (Schedule.runnable Schedule.Working);
+  Alcotest.(check bool) "crit runs" true (Schedule.runnable Schedule.Crit);
+  Alcotest.(check bool) "exiting runs" true (Schedule.runnable Schedule.Exitg);
+  Alcotest.(check bool) "finished doesn't" false
+    (Schedule.runnable Schedule.Finished);
+  Alcotest.(check bool) "crashed doesn't" false
+    (Schedule.runnable Schedule.Crashed)
+
+let test_schedulers_skip_crashed () =
+  let v = view [| Schedule.Working; Crashed; Working |] in
+  let rr = Schedule.round_robin () in
+  let picks = List.init 4 (fun _ -> Option.get (rr v)) in
+  Alcotest.(check (list int)) "round robin skips crashed" [ 0; 2; 0; 2 ] picks;
+  Alcotest.(check (option int)) "solo of a crashed process stops" None
+    (Schedule.solo 1 v);
+  Alcotest.(check (option int)) "script skips crashed" (Some 2)
+    (Schedule.script [ 1; 2 ] v);
+  let rng = Rng.create 7 in
+  let s = Schedule.random rng in
+  for _ = 1 to 50 do
+    match s v with
+    | Some i -> Alcotest.(check bool) "random never crashed" true (i = 0 || i = 2)
+    | None -> Alcotest.fail "should pick someone"
+  done;
+  let dead = view [| Schedule.Crashed; Crashed |] in
+  Alcotest.(check (option int)) "all crashed -> None" None (rr dead)
+
+let test_take_then_over_crashed () =
+  (* the chaos-check shape: a capped adversarial prefix, then a solo
+     window — composed over a view with a crashed process *)
+  let v = view [| Schedule.Working; Crashed; Working |] in
+  let s =
+    Schedule.then_ (Schedule.take 2 (Schedule.round_robin ())) (Schedule.solo 2)
+  in
+  let picks = List.init 4 (fun _ -> Option.get (s v)) in
+  Alcotest.(check (list int)) "prefix skips crashed, then solo" [ 0; 2; 2; 2 ]
+    picks;
+  (* take must not burn budget on None: a solo of the crashed process
+     yields nothing, and the fallback takes over immediately *)
+  let s' =
+    Schedule.then_ (Schedule.take 5 (Schedule.solo 1)) (Schedule.solo 0)
+  in
+  Alcotest.(check (option int)) "empty prefix falls through" (Some 0) (s' v)
+
 let test_pick_active () =
   let v = view [| Schedule.Idle; Finished; Exitg; Working |] in
   Alcotest.(check (option int)) "lowest active" (Some 2)
@@ -118,5 +165,10 @@ let suite =
       test_random_active_excludes_idle;
     Alcotest.test_case "then_ chains" `Quick test_then_;
     Alcotest.test_case "take caps steps" `Quick test_take;
+    Alcotest.test_case "runnable predicate" `Quick test_runnable_predicate;
+    Alcotest.test_case "schedulers skip crashed" `Quick
+      test_schedulers_skip_crashed;
+    Alcotest.test_case "take/then_ compose over crashes" `Quick
+      test_take_then_over_crashed;
     Alcotest.test_case "pick_active" `Quick test_pick_active;
   ]
