@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check chaos bench bench-checker tables clean
+.PHONY: all build test check chaos bench bench-checker bench-quick tables clean
 
 all: build
 
@@ -16,6 +16,7 @@ test:
 CHECK_TIMEOUT ?= 600
 check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
+	$(MAKE) bench-quick
 
 # Fixed-seed chaos sweep: random crash injection over every protocol
 # family plus the E19 crash-tolerance tables. Deterministic by seed.
@@ -31,10 +32,19 @@ chaos: build
 bench:
 	dune exec bench/main.exe
 
-# Checker throughput sweep; writes BENCH_checker.json.
-# Override the worker count with DOMAINS=N.
+# Checker throughput sweep: reduced-vs-full and par-vs-seq workloads,
+# appended as a timestamped run to BENCH_checker.json. Defaults to the
+# host's recommended domain count; DOMAINS=N overrides, and the harness
+# refuses N above the recommendation unless FORCE=1 (oversubscribed
+# numbers would record meaningless slowdowns).
 bench-checker:
-	dune exec bench/check_throughput.exe -- $(or $(DOMAINS),2)
+	dune exec bench/check_throughput.exe -- $(DOMAINS) $(if $(FORCE),--force)
+
+# Sub-30s smoke benchmark (1 rep, small workloads); part of `make check`
+# so throughput regressions and quotient-soundness cross-checks surface
+# with the tests. Appends to BENCH_checker.json like the full sweep.
+bench-quick:
+	timeout 60 dune exec bench/check_throughput.exe -- --quick $(if $(FORCE),--force)
 
 tables:
 	dune exec -- coordctl tables

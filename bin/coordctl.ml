@@ -111,8 +111,15 @@ let simulate proto n m seed steps show_trace =
 
 (* How the `check` command explores: sequential oracle by default; the
    frontier-parallel explorer with [--par]; checker statistics (states/sec,
-   dedup hit-rate, shard load) with [--stats]. *)
-type chk_opts = { par : bool; domains : int option; stats : bool }
+   dedup hit-rate, shard load) with [--stats]; the symmetry quotient with
+   [--canon] (sound for every protocol: verdicts coincide with the full
+   graph's, see DESIGN.md §9). *)
+type chk_opts = {
+  par : bool;
+  domains : int option;
+  stats : bool;
+  reduction : Check.Explore.reduction;
+}
 
 module Chk (P : Protocol.PROTOCOL) = struct
   module E = Check.Explore.Make (P)
@@ -126,19 +133,27 @@ module Chk (P : Protocol.PROTOCOL) = struct
 
   let explore_one opts cfg =
     if opts.par then begin
-      let g, st = E.explore_par ?domains:opts.domains cfg in
+      let g, st =
+        E.explore_par ?domains:opts.domains ~reduction:opts.reduction cfg
+      in
       if opts.stats then Format.printf "%a@." Check.Checker_stats.pp st;
       g
     end
     else if opts.stats then begin
-      let g, st = E.explore_with_stats cfg in
+      let g, st = E.explore_with_stats ~reduction:opts.reduction cfg in
       Format.printf "%a@." Check.Checker_stats.pp st;
       g
     end
-    else E.explore cfg
+    else E.explore ~reduction:opts.reduction cfg
 
-  let explore_all ?(opts = { par = false; domains = None; stats = false }) ~n
-      ~m ~inputs ~report () =
+  let explore_all
+      ?(opts =
+        {
+          par = false;
+          domains = None;
+          stats = false;
+          reduction = Check.Explore.Full;
+        }) ~n ~m ~inputs ~report () =
     let count = ref 0 in
     List.iter
       (fun namings ->
@@ -207,8 +222,15 @@ let check_decision (type g) ~n ~m ~inputs
               vs)));
   !bad
 
-let check proto n m par domains stats =
-  let opts = { par; domains; stats } in
+let reduction_of_flags ~canon ~no_canon =
+  if canon && no_canon then
+    failwith "--canon and --no-canon are mutually exclusive"
+  else if canon then Check.Explore.Canon
+  else Check.Explore.Full
+
+let check proto n m par domains stats canon no_canon =
+  let reduction = reduction_of_flags ~canon ~no_canon in
+  let opts = { par; domains; stats; reduction } in
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -724,6 +746,125 @@ let tables ids full =
   Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* explore / bench                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-configuration exploration with the statistics always on — the
+   direct CLI surface for the symmetry quotient ([--canon]) and the
+   frontier-parallel explorer ([--par]). Identity namings by default so
+   process symmetry is visible; [--rot] switches to the rotation tuple. *)
+module Xpl (P : Protocol.PROTOCOL) = struct
+  module E = Check.Explore.Make (P)
+
+  let config ~n ~m ~rot ~(inputs : P.input array) : E.config =
+    {
+      ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+      inputs;
+      namings =
+        Array.init n (fun k ->
+            if rot then Naming.rotation m k else Naming.identity m);
+    }
+
+  let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths =
+    let cfg = config ~n ~m ~rot ~inputs in
+    let g, st =
+      if par then E.explore_par ?max_states ?domains ~reduction cfg
+      else E.explore_with_stats ?max_states ~reduction cfg
+    in
+    ignore g;
+    Format.printf "%a@." Check.Checker_stats.pp st;
+    if depths then Format.printf "%a@." Check.Checker_stats.pp_depths st
+
+  (* One benchmark line: the full graph, then (unless [--no-canon]) the
+     symmetry quotient of the same configuration, with the quotient's
+     verdict-preserving reduction factor. *)
+  let bench_line ~label ~n ~m ~rot ~inputs ~reduction ~max_states =
+    let cfg = config ~n ~m ~rot ~inputs in
+    let _, full = E.explore_with_stats ?max_states cfg in
+    let tput = Check.Checker_stats.states_per_sec in
+    match reduction with
+    | Check.Explore.Full ->
+      Format.printf "%-18s full %8d states %9.0f st/s%s@." label
+        full.Check.Checker_stats.n_states (tput full)
+        (if full.Check.Checker_stats.complete then "" else " (truncated)")
+    | Check.Explore.Canon ->
+      let _, quot = E.explore_with_stats ?max_states ~reduction cfg in
+      Format.printf
+        "%-18s full %8d states %9.0f st/s | quotient %8d states %9.0f st/s \
+         (group %d, reduction %.2fx)%s@."
+        label full.Check.Checker_stats.n_states (tput full)
+        quot.Check.Checker_stats.n_states (tput quot)
+        quot.Check.Checker_stats.group_order
+        (Check.Checker_stats.reduction_factor quot)
+        (if full.Check.Checker_stats.complete then "" else " (full truncated)")
+end
+
+let explore proto n m rot par domains canon no_canon max_states depths =
+  let reduction = reduction_of_flags ~canon ~no_canon in
+  let m =
+    match (m, proto) with
+    | Some m, _ -> m
+    | None, Mutex -> 3
+    | None, Cmp_mutex -> 2
+    | None, (Consensus | Election | Renaming) -> (2 * n) - 1
+    | None, Ccp -> 2
+  in
+  (match proto with
+  | Mutex ->
+    let module X = Xpl (Coord.Amutex.P) in
+    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+      ~max_states ~depths
+  | Cmp_mutex ->
+    let module X = Xpl (Coord.Cmp_mutex.P) in
+    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+      ~max_states ~depths
+  | Consensus ->
+    let module X = Xpl (Coord.Consensus.P) in
+    (* equal inputs keep the configuration symmetric; `check` still sweeps
+       distinct inputs *)
+    X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
+      ~max_states ~depths
+  | Election ->
+    let module X = Xpl (Coord.Election.P) in
+    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+      ~max_states ~depths
+  | Renaming ->
+    let module X = Xpl (Coord.Renaming.P) in
+    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+      ~max_states ~depths
+  | Ccp ->
+    let module X = Xpl (Coord.Ccp.P) in
+    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+      ~max_states ~depths);
+  Ok ()
+
+let bench n canon no_canon max_states =
+  let reduction =
+    (* bench defaults to showing the quotient; --no-canon drops it *)
+    if no_canon then Check.Explore.Full
+    else (ignore canon; Check.Explore.Canon)
+  in
+  let max_states = Some (Option.value max_states ~default:500_000) in
+  (let module X = Xpl (Coord.Amutex.P) in
+   X.bench_line ~label:"amutex m=3" ~n ~m:3 ~rot:false
+     ~inputs:(Array.make n ()) ~reduction ~max_states;
+   X.bench_line ~label:"amutex m=5" ~n ~m:5 ~rot:false
+     ~inputs:(Array.make n ()) ~reduction ~max_states);
+  (let module X = Xpl (Coord.Consensus.P) in
+   X.bench_line ~label:"consensus m=3" ~n ~m:3 ~rot:false
+     ~inputs:(Array.make n 42) ~reduction ~max_states);
+  (let module X = Xpl (Coord.Renaming.P) in
+   X.bench_line ~label:"renaming m=3" ~n ~m:3 ~rot:false
+     ~inputs:(Array.make n ()) ~reduction ~max_states);
+  (let module X = Xpl (Coord.Ccp.P) in
+   X.bench_line ~label:"ccp m=2" ~n ~m:2 ~rot:false ~inputs:(Array.make n ())
+     ~reduction ~max_states);
+  Format.printf
+    "(quick in-process sweep; `make bench-checker` records the full \
+     reduced-vs-full and par-vs-seq matrix into BENCH_checker.json)@.";
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -783,6 +924,21 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Print checker statistics (throughput, dedup, shard load).")
 
+let canon_arg =
+  Arg.(
+    value & flag
+    & info [ "canon" ]
+        ~doc:
+          "Explore the symmetry quotient: canonicalize every state under \
+           the admissible register/process permutations. Sound — verdicts \
+           match the full graph (DESIGN.md §9).")
+
+let no_canon_arg =
+  Arg.(
+    value & flag
+    & info [ "no-canon" ]
+        ~doc:"Explicitly explore the full (unreduced) state graph.")
+
 let check_cmd =
   let doc = "exhaustively model-check a protocol instance" in
   Cmd.v
@@ -790,7 +946,49 @@ let check_cmd =
     Term.(
       term_result
         (const check $ proto_arg $ n_arg $ m_arg $ par_arg $ domains_arg
-       $ stats_arg))
+       $ stats_arg $ canon_arg $ no_canon_arg))
+
+let explore_cmd =
+  let doc = "explore one configuration and print checker statistics" in
+  let rot =
+    Arg.(
+      value & flag
+      & info [ "rot" ]
+          ~doc:
+            "Give process $(i,k) the rotation-by-$(i,k) naming instead of \
+             the identity.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"B" ~doc:"Truncate after $(i,B) states.")
+  in
+  let depths =
+    Arg.(
+      value & flag
+      & info [ "depths" ] ~doc:"Also print the per-depth frontier table.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      term_result
+        (const explore $ proto_arg $ n_arg $ m_arg $ rot $ par_arg
+       $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths))
+
+let bench_cmd =
+  let doc = "quick in-process checker benchmark (full vs quotient)" in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"B"
+          ~doc:"State budget per exploration (default 500000).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      term_result (const bench $ n_arg $ canon_arg $ no_canon_arg $ max_states))
 
 let symmetry_cmd =
   let doc = "run the Theorem 3.4 lock-step symmetry adversary on Figure 1" in
@@ -879,4 +1077,17 @@ let tables_cmd =
 let () =
   let doc = "memory-anonymous coordination (Taubenfeld, PODC'17) reproduction" in
   let info = Cmd.info "coordctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; check_cmd; chaos_cmd; symmetry_cmd; covering_cmd; graph_cmd; tables_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd;
+            check_cmd;
+            explore_cmd;
+            bench_cmd;
+            chaos_cmd;
+            symmetry_cmd;
+            covering_cmd;
+            graph_cmd;
+            tables_cmd;
+          ]))

@@ -29,11 +29,14 @@ module type PROTOCOL = sig
   type local
 
   val name : string
+  val symmetric : bool
   val default_registers : n:int -> int
   val start : n:int -> m:int -> id:int -> input -> local
   val step : n:int -> m:int -> id:int -> local -> (local, Value.t) step
   val status : local -> output status
   val compare_local : local -> local -> int
+  val map_value_ids : (int -> int) -> Value.t -> Value.t
+  val map_local_ids : (int -> int) -> local -> local
   val pp_local : Format.formatter -> local -> unit
   val pp_input : Format.formatter -> input -> unit
   val pp_output : Format.formatter -> output -> unit

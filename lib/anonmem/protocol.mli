@@ -73,6 +73,18 @@ module type PROTOCOL = sig
   val name : string
   (** Short human-readable protocol name for traces and reports. *)
 
+  val symmetric : bool
+  (** [true] asserts the paper's §2 symmetry contract: the code treats
+      process identifiers as {e black boxes compared only for equality} —
+      relabeling the identifiers by any bijection [f] commutes with
+      {!step}, provided register contents and local states are relabeled
+      with {!map_value_ids}[ f] / {!map_local_ids}[ f]. The symmetry
+      quotient ({!section-canon} in the checker) only permutes processes
+      of protocols that declare [true]; protocols that order-compare ids
+      (the §2 arbitrary-comparisons variant) or read them as array
+      indices (the named baselines) must say [false], which soundly
+      degrades the quotient to the identity group. *)
+
   val default_registers : n:int -> int
   (** The register count the protocol is designed for (e.g. [2n - 1] for the
       paper's consensus and renaming; any odd [m >= 3] for the 2-process
@@ -88,6 +100,22 @@ module type PROTOCOL = sig
   val status : local -> output status
 
   val compare_local : local -> local -> int
+
+  val map_value_ids : (int -> int) -> Value.t -> Value.t
+  (** Apply a relabeling to every {e process-identifier} field of a
+      register value, leaving everything else (levels, rounds, register
+      indices, preference values that are not ids) untouched. Callers
+      pass bijections of the live identifier space that fix every
+      non-identifier integer (in particular 0, the "free" marker).
+      Protocols whose values carry no identifiers return the value
+      unchanged. *)
+
+  val map_local_ids : (int -> int) -> local -> local
+  (** Same relabeling applied to identifier fields buried in the local
+      state (cached views, adopted preferences that are identifiers,
+      decided leader names) — {e never} to register indices or loop
+      counters, which are naming-relative, not identity-relative. *)
+
   val pp_local : Format.formatter -> local -> unit
   val pp_input : Format.formatter -> input -> unit
   val pp_output : Format.formatter -> output -> unit

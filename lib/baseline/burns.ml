@@ -38,6 +38,11 @@ module P = struct
 
   let name = "burns-one-bit-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let default_registers ~n = n
 
   let start ~n ~m ~id () =
@@ -78,6 +83,9 @@ module P = struct
       Protocol.Trying
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

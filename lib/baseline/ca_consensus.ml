@@ -37,6 +37,11 @@ module P = struct
 
   let name = "ca-consensus-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let registers_for ~n ~rounds = 2 * n * rounds
 
   let default_registers ~n = registers_for ~n ~rounds:8
@@ -128,6 +133,9 @@ module P = struct
     | Decided_st _ -> 0
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem _ -> Format.pp_print_string ppf "rem"

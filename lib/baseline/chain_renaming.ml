@@ -14,6 +14,11 @@ module P = struct
 
   let name = "chain-renaming-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let block ~n = (2 * n) - 1
 
   let default_registers ~n =
@@ -66,6 +71,9 @@ module P = struct
       let c = Int.compare oa ob in
       if c <> 0 then c else Consensus.P.compare_local ia ib
     | _ -> Stdlib.compare a b
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

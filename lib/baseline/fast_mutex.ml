@@ -45,6 +45,11 @@ module P = struct
 
   let name = "lamport-fast-mutex-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let default_registers ~n = n + 2
 
   let x_reg = 0
@@ -93,6 +98,9 @@ module P = struct
       Protocol.Trying
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf l =
     Format.pp_print_string ppf

@@ -26,6 +26,11 @@ module P = struct
 
   let name = "peterson-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let default_registers ~n:_ = 3
 
   let start ~n:_ ~m:_ ~id () =
@@ -55,6 +60,9 @@ module P = struct
     | Set_flag | Set_victim | Check_flag | Check_victim -> Protocol.Trying
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf l =
     Format.pp_print_string ppf

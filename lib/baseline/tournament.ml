@@ -39,6 +39,11 @@ module P = struct
 
   let name = "tournament-peterson-named"
 
+  (* Named baseline: identifiers are used as indices or order-compared,
+     so no nontrivial relabeling commutes with the code; the symmetry
+     quotient degrades to the identity group. *)
+  let symmetric = false
+
   let levels ~n =
     let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
     go 0 n
@@ -109,6 +114,9 @@ module P = struct
     | Set_turn -> "set-turn"
     | Check_flag -> "check-flag"
     | Check_turn -> "check-turn"
+
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

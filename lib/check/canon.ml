@@ -1,0 +1,114 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  type sym = {
+    sigma : int array;  (** process permutation: [q] plays the role of [sigma.(q)] *)
+    pi : int array;  (** induced physical-register permutation *)
+    rho : (int * int) array;  (** identifier relabeling, as (old, new) pairs *)
+  }
+
+  let identity ~n ~m =
+    { sigma = Array.init n Fun.id; pi = Array.init m Fun.id; rho = [||] }
+
+  let is_identity s =
+    let id = ref true in
+    Array.iteri (fun q q' -> if q <> q' then id := false) s.sigma;
+    !id
+
+  let rho_fun rho =
+    if Array.length rho = 0 then Fun.id
+    else fun i ->
+      let r = ref i in
+      Array.iter (fun (a, b) -> if a = i then r := b) rho;
+      !r
+
+  (* A triple (sigma, pi, rho) is an automorphism of the configuration iff
+     - sigma fixes the input vector ([Stdlib.compare] equality, matching
+       the explorer's structural state equality);
+     - pi, defined as nu_{sigma(0)} o nu_0^{-1}, satisfies
+       pi o nu_q = nu_{sigma(q)} for every q, i.e. relabeled processes
+       address physical registers exactly as their images do;
+     - rho sends ids.(q) to ids.(sigma q) and fixes everything else, in
+       particular the reserved empty value 0 (we reject any sigma that
+       would relabel an id 0 across the zero/non-zero boundary).
+     Under those conditions relabeling commutes with [P.step] for
+     symmetric protocols, so the orbit of a reachable state is reachable
+     and property verdicts transfer (DESIGN.md §9). *)
+  let admissible ~ids ~inputs ~namings sigma =
+    let n = Array.length sigma in
+    let ok = ref true in
+    for q = 0 to n - 1 do
+      if Stdlib.compare inputs.(sigma.(q)) inputs.(q) <> 0 then ok := false;
+      if ids.(q) = 0 <> (ids.(sigma.(q)) = 0) then ok := false
+    done;
+    if not !ok then None
+    else begin
+      let pi = Naming.compose namings.(sigma.(0)) (Naming.invert namings.(0)) in
+      for q = 0 to n - 1 do
+        if not (Naming.equal (Naming.compose pi namings.(q)) namings.(sigma.(q)))
+        then ok := false
+      done;
+      if not !ok then None
+      else begin
+        let rho = ref [] in
+        for q = n - 1 downto 0 do
+          if ids.(q) <> ids.(sigma.(q)) then
+            rho := (ids.(q), ids.(sigma.(q))) :: !rho
+        done;
+        Some { sigma; pi = Naming.to_array pi; rho = Array.of_list !rho }
+      end
+    end
+
+  let max_procs = 7
+
+  let group ~ids ~inputs ~namings =
+    let n = Array.length ids in
+    let m = Naming.size namings.(0) in
+    if (not P.symmetric) || n > max_procs then [ identity ~n ~m ]
+    else
+      Naming.all n
+      |> List.filter_map (fun perm ->
+             admissible ~ids ~inputs ~namings (Naming.to_array perm))
+
+  let apply sym mem locals =
+    let f = rho_fun sym.rho in
+    let mem' = Array.copy mem in
+    Array.iteri (fun k v -> mem'.(sym.pi.(k)) <- P.map_value_ids f v) mem;
+    let locals' = Array.copy locals in
+    Array.iteri (fun q l -> locals'.(sym.sigma.(q)) <- P.map_local_ids f l) locals;
+    (mem', locals')
+
+  (* Structural order on (mem, locals) pairs. The representative must be
+     chosen structurally, not by encoded key: interning codes depend on
+     discovery order, which differs across runs and domain counts. *)
+  let compare_image (m1, l1) (m2, l2) =
+    let c = ref 0 in
+    let k = ref 0 in
+    let lm = Array.length m1 in
+    while !c = 0 && !k < lm do
+      c := P.Value.compare m1.(!k) m2.(!k);
+      incr k
+    done;
+    let q = ref 0 in
+    let ln = Array.length l1 in
+    while !c = 0 && !q < ln do
+      c := P.compare_local l1.(!q) l2.(!q);
+      incr q
+    done;
+    !c
+
+  (* Lex-least element of the orbit of (mem, locals), plus the orbit
+     size (number of distinct images). *)
+  let canonize syms mem locals =
+    match syms with
+    | [] | [ _ ] -> (mem, locals, 1)
+    | syms ->
+      let images =
+        List.map
+          (fun s -> if is_identity s then (mem, locals) else apply s mem locals)
+          syms
+      in
+      let sorted = List.sort_uniq compare_image images in
+      let best = List.hd sorted in
+      (fst best, snd best, List.length sorted)
+end

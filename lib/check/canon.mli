@@ -1,0 +1,57 @@
+(** Symmetry reduction: canonical representatives of states under the
+    automorphisms of a configuration.
+
+    In the memory-anonymous model a configuration is (ids, inputs,
+    namings). A triple (sigma, pi, rho) — a process permutation, the
+    induced physical-register permutation and the induced identifier
+    relabeling — is an {e automorphism} when relabeling a global state by
+    it commutes with every step of the protocol; exploring only the
+    lex-least element of each orbit then yields a quotient graph that is
+    bisimilar to the full one (soundness argument in DESIGN.md §9).
+
+    The group is computed exactly by filtering all [n!] process
+    permutations (guarded to [n <= 7]) against the configuration:
+    all-identical namings with identical inputs yield the full symmetric
+    group (n! reduction); the rotation tuple of Theorem 3.4 with [n = m]
+    yields the cyclic group of order [m]; generic namings yield only the
+    identity. Protocols that compare identifiers for more than equality
+    declare [symmetric = false] and always get the identity group — the
+    reduction soundly degrades to no reduction. *)
+
+module Make (P : Anonmem.Protocol.PROTOCOL) : sig
+  type sym = {
+    sigma : int array;
+        (** process permutation: [q] plays the role of [sigma.(q)] *)
+    pi : int array;  (** induced physical-register permutation *)
+    rho : (int * int) array;
+        (** identifier relabeling as (old, new) pairs; ids not listed are
+            fixed, in particular the reserved empty value [0] *)
+  }
+
+  val identity : n:int -> m:int -> sym
+
+  val is_identity : sym -> bool
+
+  val group :
+    ids:int array ->
+    inputs:P.input array ->
+    namings:Anonmem.Naming.t array ->
+    sym list
+  (** All automorphisms of the configuration. Always contains the
+      identity; is exactly [[identity]] when [P.symmetric] is [false] or
+      [n > 7]. *)
+
+  val apply : sym -> P.Value.t array -> P.local array -> P.Value.t array * P.local array
+  (** The image of a global state: fresh arrays with
+      [mem'.(pi.(k)) = map_value_ids rho mem.(k)] and
+      [locals'.(sigma.(q)) = map_local_ids rho locals.(q)]. *)
+
+  val canonize :
+    sym list -> P.Value.t array -> P.local array ->
+    P.Value.t array * P.local array * int
+  (** [canonize syms mem locals] is the lex-least element of the orbit
+      under [syms] (by [Value.compare] on memory, then [compare_local] on
+      locals) together with the orbit size (number of distinct images).
+      With a trivial group the state is returned unchanged with orbit
+      size 1. *)
+end

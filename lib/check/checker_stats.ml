@@ -20,6 +20,10 @@ type t = {
   shard_load : int array;
   elapsed_s : float;
   complete : bool;
+  canon : bool;
+  group_order : int;
+  orbit_sum : int;
+  cutover : int option;
   depths : depth_sample list;
 }
 
@@ -31,6 +35,10 @@ let states_per_sec t =
 let dedup_rate t =
   if t.candidates = 0 then 0.
   else float_of_int t.dedup_hits /. float_of_int t.candidates
+
+let reduction_factor t =
+  if t.n_states = 0 then 1.
+  else float_of_int t.orbit_sum /. float_of_int t.n_states
 
 let shard_imbalance t =
   (* max over mean shard population: 1.0 is a perfect split *)
@@ -46,7 +54,7 @@ let pp ppf t =
      states %d (%s), transitions %d, depth %d, peak frontier %d@,\
      throughput %.0f states/s (%.3f s)@,\
      dedup: %d/%d candidate successors were duplicates (%.1f%% hit-rate)@,\
-     shard load: [%s] (imbalance %.2fx)@]"
+     shard load: [%s] (imbalance %.2fx)"
     t.protocol t.n_procs t.n_registers t.domains
     (if t.domains = 1 then "" else "s")
     t.n_states
@@ -55,7 +63,15 @@ let pp ppf t =
     t.dedup_hits t.candidates
     (100. *. dedup_rate t)
     (String.concat "; " (Array.to_list (Array.map string_of_int t.shard_load)))
-    (shard_imbalance t)
+    (shard_imbalance t);
+  if t.canon then
+    Format.fprintf ppf
+      "@,symmetry: group order %d, orbit sum %d (%.2fx reduction)"
+      t.group_order t.orbit_sum (reduction_factor t);
+  (match t.cutover with
+  | Some dep -> Format.fprintf ppf "@,parallel cutover at depth %d" dep
+  | None -> ());
+  Format.fprintf ppf "@]"
 
 let pp_depths ppf t =
   Format.fprintf ppf "@[<v>%-6s %10s %12s %12s %12s@," "depth" "frontier"
@@ -92,6 +108,13 @@ let to_json t =
           (Array.to_list (Array.map string_of_int t.shard_load))));
   field "elapsed_s" (Printf.sprintf "%.6f" t.elapsed_s);
   field "states_per_sec" (Printf.sprintf "%.1f" (states_per_sec t));
+  field "canon" (string_of_bool t.canon);
+  field "group_order" (string_of_int t.group_order);
+  field "orbit_sum" (string_of_int t.orbit_sum);
+  field "reduction_factor" (Printf.sprintf "%.4f" (reduction_factor t));
+  (match t.cutover with
+  | Some dep -> field "cutover" (string_of_int dep)
+  | None -> field "cutover" "null");
   field ~last:true "complete" (string_of_bool t.complete);
   Buffer.add_string buf "}";
   Buffer.contents buf

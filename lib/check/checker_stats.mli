@@ -30,6 +30,15 @@ type t = {
                                sequential *)
   elapsed_s : float;
   complete : bool;
+  canon : bool;  (** explored the symmetry quotient, not the full graph *)
+  group_order : int;  (** automorphism group order (1 = no reduction) *)
+  orbit_sum : int;
+      (** sum of orbit sizes over stored states = size of the full graph
+          the quotient stands for; equals [n_states] when not [canon] *)
+  cutover : int option;
+      (** BFS depth at which the explorer switched from its sequential
+          warm-up to barrier-parallel generations; [None] when the whole
+          run stayed sequential (small frontier or [domains = 1]) *)
   depths : depth_sample list;  (** oldest (depth 0) first *)
 }
 
@@ -40,6 +49,10 @@ val states_per_sec : t -> float
 
 val dedup_rate : t -> float
 (** Fraction of candidate successors that were already interned. *)
+
+val reduction_factor : t -> float
+(** [orbit_sum / n_states]: how many full-graph states each stored
+    quotient state stands for. 1.0 when no symmetry reduction applied. *)
 
 val shard_imbalance : t -> float
 (** Largest shard over the ideal even split; 1.0 is perfectly balanced. *)

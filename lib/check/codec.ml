@@ -1,0 +1,94 @@
+open Anonmem
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module VMap = Map.Make (struct
+    type t = P.Value.t
+
+    let compare = P.Value.compare
+  end)
+
+  module LMap = Map.Make (struct
+    type t = P.local
+
+    let compare = P.compare_local
+  end)
+
+  (* Interning table: a persistent map behind an [Atomic], extended by
+     compare-and-set. Lookups are wait-free; a miss retries its CAS until
+     it wins or someone else interned the same key. [next] rides in the
+     same atomic cell so code assignment and map extension are one
+     linearization point (Map.cardinal is O(n), far too slow to recompute
+     per miss). *)
+  type 'm slot = { map : 'm; next : int }
+
+  type t = {
+    vcodes : int VMap.t slot Atomic.t;
+    locals : int LMap.t slot Atomic.t;
+  }
+
+  (* Two concrete copies of the interning loop: first-class functors over
+     two different Map instantiations buy nothing here. *)
+  let rec value_code t v =
+    let s = Atomic.get t.vcodes in
+    match VMap.find_opt v s.map with
+    | Some c -> c
+    | None ->
+      if
+        Atomic.compare_and_set t.vcodes s
+          { map = VMap.add v s.next s.map; next = s.next + 1 }
+      then s.next
+      else value_code t v
+
+  let rec local_code t l =
+    let s = Atomic.get t.locals in
+    match LMap.find_opt l s.map with
+    | Some c -> c
+    | None ->
+      if
+        Atomic.compare_and_set t.locals s
+          { map = LMap.add l s.next s.map; next = s.next + 1 }
+      then s.next
+      else local_code t l
+
+  let create () =
+    {
+      vcodes = Atomic.make { map = VMap.empty; next = 0 };
+      locals = Atomic.make { map = LMap.empty; next = 0 };
+    }
+
+  let n_values t = (Atomic.get t.vcodes).next
+  let n_locals t = (Atomic.get t.locals).next
+
+  (* Three bytes per slot: 16.7M distinct codes dwarfs any state budget
+     the explorer accepts, and fixed width keeps every encoding of one
+     state identical regardless of when its codes were interned. *)
+  let width = 3
+
+  let put b i c =
+    if c > 0xFF_FFFF then failwith "Codec: more than 2^24 distinct codes";
+    let o = width * i in
+    Bytes.unsafe_set b o (Char.unsafe_chr (c land 0xff));
+    Bytes.unsafe_set b (o + 1) (Char.unsafe_chr ((c lsr 8) land 0xff));
+    Bytes.unsafe_set b (o + 2) (Char.unsafe_chr ((c lsr 16) land 0xff))
+
+  let encode t mem locals =
+    let m = Array.length mem and n = Array.length locals in
+    let b = Bytes.create (width * (m + n)) in
+    for k = 0 to m - 1 do
+      put b k (value_code t mem.(k))
+    done;
+    for q = 0 to n - 1 do
+      put b (m + q) (local_code t locals.(q))
+    done;
+    Bytes.unsafe_to_string b
+
+  let encode_solo t ~proc local mem =
+    let m = Array.length mem in
+    let b = Bytes.create (width * (m + 2)) in
+    put b 0 proc;
+    put b 1 (local_code t local);
+    for k = 0 to m - 1 do
+      put b (k + 2) (value_code t mem.(k))
+    done;
+    Bytes.unsafe_to_string b
+end

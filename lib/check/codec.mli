@@ -1,0 +1,46 @@
+(** Compact state encoding for the explorers.
+
+    Register values and local states are interned on the fly into dense
+    integer codes, and a global state is packed into a short [string] key
+    (3 bytes per slot, little-endian): first the [m] register codes, then
+    the [n] local-state codes. Keys replace structural states in the
+    explorers' hash tables — hashing and equality on a short flat string
+    instead of a deep OCaml value.
+
+    Interning is keyed by the protocol's own structural orders
+    ([Value.compare], [compare_local]), so two states receive equal keys
+    iff they are structurally equal. Codes are discovery-order dependent:
+    keys from different [t] values (or different runs) are not
+    comparable, and nothing outside one exploration may rely on a
+    particular code assignment.
+
+    The tables are lock-free (persistent maps behind [Atomic.t] with
+    CAS-extension) and safe to share across domains. *)
+
+module Make (P : Anonmem.Protocol.PROTOCOL) : sig
+  type t
+  (** Mutable interning context for one exploration. *)
+
+  val create : unit -> t
+
+  val encode : t -> P.Value.t array -> P.local array -> string
+  (** [encode t mem locals] is the packed key of a global state. Length
+      is [3 * (m + n)] bytes. *)
+
+  val encode_solo : t -> proc:int -> P.local -> P.Value.t array -> string
+  (** Key for a (process, local state, memory) triple — the full input of
+      a deterministic solo run, used to memoize obstruction-freedom
+      checks. *)
+
+  val value_code : t -> P.Value.t -> int
+  (** Dense code of one register value (interning it if new). *)
+
+  val local_code : t -> P.local -> int
+  (** Dense code of one local state (interning it if new). *)
+
+  val n_values : t -> int
+  (** Number of distinct register values interned so far. *)
+
+  val n_locals : t -> int
+  (** Number of distinct local states interned so far. *)
+end

@@ -1,6 +1,11 @@
 open Anonmem
 
+type reduction = Full | Canon
+
 module Make (P : Protocol.PROTOCOL) = struct
+  module Cd = Codec.Make (P)
+  module Cn = Canon.Make (P)
+
   type config = {
     ids : int array;
     inputs : P.input array;
@@ -26,6 +31,7 @@ module Make (P : Protocol.PROTOCOL) = struct
   type graph = {
     cfg : config;
     states : state array;
+    orbits : int array;
     succs : transition list array;
     complete : bool;
   }
@@ -89,15 +95,33 @@ module Make (P : Protocol.PROTOCOL) = struct
       st.locals;
     List.rev !acc
 
-  let explore ?(max_states = 2_000_000) cfg =
-    let table : (state, int) Hashtbl.t = Hashtbl.create 4096 in
+  (* The automorphism group of [cfg], or [] when the reduction is off so
+     the hot path can skip orbit enumeration entirely. *)
+  let syms_of ~reduction cfg =
+    match reduction with
+    | Full -> []
+    | Canon -> Cn.group ~ids:cfg.ids ~inputs:cfg.inputs ~namings:cfg.namings
+
+  let canonize syms st =
+    match syms with
+    | [] | [ _ ] -> (st, 1)
+    | syms ->
+      let mem, locals, orbit = Cn.canonize syms st.mem st.locals in
+      ({ mem; locals }, orbit)
+
+  let explore ?(max_states = 2_000_000) ?(reduction = Full) cfg =
+    let codec = Cd.create () in
+    let syms = syms_of ~reduction cfg in
+    let table : (string, int) Hashtbl.t = Hashtbl.create 4096 in
     let states_rev = ref [] in
+    let orbits_rev = ref [] in
     let n_states = ref 0 in
-    (* queue of state ids whose successors are not yet computed *)
     let pending = Queue.create () in
     let complete = ref true in
     let intern st =
-      match Hashtbl.find_opt table st with
+      let rep, orbit = canonize syms st in
+      let key = Cd.encode codec rep.mem rep.locals in
+      match Hashtbl.find_opt table key with
       | Some id -> Some id
       | None ->
         if !n_states >= max_states then begin
@@ -106,17 +130,22 @@ module Make (P : Protocol.PROTOCOL) = struct
         end
         else begin
           let id = !n_states in
-          Hashtbl.add table st id;
-          states_rev := st :: !states_rev;
+          Hashtbl.add table key id;
+          states_rev := rep :: !states_rev;
+          orbits_rev := orbit :: !orbits_rev;
           incr n_states;
-          Queue.add (id, st) pending;
+          Queue.add rep pending;
           Some id
         end
     in
     ignore (intern (initial cfg));
-    let out = Hashtbl.create 4096 in
+    (* [pending] is FIFO and ids are handed out in discovery order, so the
+       queue pops states in id order: consing each expansion's transition
+       list and reversing at the end rebuilds the id-indexed array without
+       any intermediate id-keyed table. *)
+    let succs_rev = ref [] in
     while not (Queue.is_empty pending) do
-      let id, st = Queue.pop pending in
+      let st = Queue.pop pending in
       let trans =
         List.filter_map
           (fun (label, st') ->
@@ -125,14 +154,15 @@ module Make (P : Protocol.PROTOCOL) = struct
             | None -> None)
           (successors cfg st)
       in
-      Hashtbl.replace out id trans
+      succs_rev := trans :: !succs_rev
     done;
-    let states = Array.of_list (List.rev !states_rev) in
-    let succs =
-      Array.init (Array.length states) (fun id ->
-          Option.value ~default:[] (Hashtbl.find_opt out id))
-    in
-    { cfg; states; succs; complete = !complete }
+    {
+      cfg;
+      states = Array.of_list (List.rev !states_rev);
+      orbits = Array.of_list (List.rev !orbits_rev);
+      succs = Array.of_list (List.rev !succs_rev);
+      complete = !complete;
+    }
 
   (* Frontier-parallel BFS.
 
@@ -140,14 +170,22 @@ module Make (P : Protocol.PROTOCOL) = struct
      discovered generation by generation: every state at depth d gets an id
      below every state at depth d+1, and within one generation ids follow
      (expanded-state id ascending, successor position ascending). The
-     parallel explorer reproduces exactly that order. Each generation runs
-     in barrier-separated phases:
+     parallel explorer reproduces exactly that order.
 
-       A  workers expand a slice of the frontier (successor computation —
-          the protocol-step work that dominates the run);
+     Generations start sequential: while the frontier is narrower than
+     [par_threshold] the barrier choreography costs more than the
+     expansion work, so worker 0 expands the whole generation alone
+     (before any domain is spawned at all, if the warm-up is still
+     running). Once the frontier first reaches the threshold, the worker
+     domains spawn — that depth is recorded as the [cutover] stat — and
+     each wide generation runs in barrier-separated phases:
+
+       A  workers expand a slice of the frontier (successor computation
+          plus canonicalization — the work that dominates the run),
+          packing every successor into its string key;
        -  worker 0 flattens the successor lists into one candidate array,
           in the sequential discovery order;
-       B  the interning table is sharded by state hash; each worker
+       B  the interning table is sharded by key hash; each worker
           resolves the candidates its shard owns against its own table
           (no locks — ownership is a partition), marking each candidate
           as an existing state, a duplicate of an earlier candidate of
@@ -158,19 +196,26 @@ module Make (P : Protocol.PROTOCOL) = struct
           [max_states] budget cuts off;
        C  workers insert their shards' newly-identified states and build
           the transition lists for their frontier slice;
-       -  worker 0 appends the generation's states and transitions and
-          forms the next frontier.
+       -  worker 0 appends the generation's states and transitions, forms
+          the next frontier and decides the next generation's mode.
 
-     Only the O(candidates) flatten/assign scans are sequential; hashing,
-     deduplication, and successor generation all run in parallel. The
-     result is bit-identical to [explore] on every input, which the test
-     suite cross-checks for every in-tree protocol. *)
+     Narrow generations after the cutover (a draining frontier) drop back
+     to sequential expansion by worker 0 — one barrier per generation
+     instead of six. The result is bit-identical to [explore] on every
+     input and every mode schedule, which the test suite cross-checks for
+     every in-tree protocol. *)
 
-  let explore_impl ~max_states ~domains cfg =
+  let explore_impl ~max_states ~domains ~par_threshold ~reduction cfg =
     let t0 = Checker_stats.now () in
     let d = max 1 domains in
     let n_procs = Array.length cfg.ids in
     let n_registers = Naming.size cfg.namings.(0) in
+    let codec = Cd.create () in
+    let syms = syms_of ~reduction cfg in
+    let group_order = max 1 (List.length syms) in
+    let canon = reduction = Canon in
+    let cutover = ref None in
+    let orbit_sum = ref 0 in
     let stats_base ~n_states ~n_transitions ~max_depth ~max_frontier
         ~candidates ~dedup_hits ~shard_load ~complete ~depths =
       {
@@ -187,46 +232,54 @@ module Make (P : Protocol.PROTOCOL) = struct
         shard_load;
         elapsed_s = Checker_stats.now () -. t0;
         complete;
+        canon;
+        group_order;
+        orbit_sum = !orbit_sum;
+        cutover = !cutover;
         depths;
       }
     in
     if max_states < 1 then
-      ( { cfg; states = [||]; succs = [||]; complete = false },
+      ( { cfg; states = [||]; orbits = [||]; succs = [||]; complete = false },
         stats_base ~n_states:0 ~n_transitions:0 ~max_depth:0 ~max_frontier:0
           ~candidates:0 ~dedup_hits:0 ~shard_load:(Array.make d 0)
           ~complete:false ~depths:[] )
     else begin
-      let init_st = initial cfg in
-      (* Shard s owns every state whose structural hash is s mod d. *)
-      let owner st = Hashtbl.hash st mod d in
-      let shard_tbl : (state, int) Hashtbl.t array =
+      let rep0, orbit0 = canonize syms (initial cfg) in
+      let key0 = Cd.encode codec rep0.mem rep0.locals in
+      (* Shard s owns every state whose key hash is s mod d. *)
+      let key_owner key = Hashtbl.hash (key : string) mod d in
+      let shard_tbl : (string, int) Hashtbl.t array =
         Array.init d (fun _ -> Hashtbl.create 1024)
       in
       (* Per-shard scratch: first candidate index of each fresh state seen
          this generation, so later duplicates resolve to it. *)
-      let scratch : (state, int) Hashtbl.t array =
+      let scratch : (string, int) Hashtbl.t array =
         Array.init d (fun _ -> Hashtbl.create 256)
       in
       let b = Parallel.Barrier.create d in
       (* Shared per-generation structures. Plain refs: every write is
          published to the readers of the next phase by the barrier. *)
       let stop = ref false in
-      let frontier = ref [| (0, init_st) |] in
-      let succ_lists : (label * state * int) list array ref =
-        ref (Array.make 1 [])
+      let frontier = ref [| rep0 |] in
+      let succ_lists : (label * state * string * int) list array ref =
+        ref [||]
       in
       let offsets = ref [||] in
       let cand_state = ref [||] in
+      let cand_key = ref [||] in
+      let cand_orbit = ref [||] in
       let cand_owner = ref [||] in
       (* resolved.(k): id >= 0 existing state; -1 fresh (first occurrence
          in this generation); -2 - k0 duplicate of candidate k0. *)
       let resolved = ref [||] in
       (* cand_id.(k): final state id, or -1 when the budget dropped it. *)
       let cand_id = ref [||] in
-      let trans : transition list array ref = ref (Array.make 1 []) in
+      let trans : transition list array ref = ref [||] in
       let n_states = ref 1 in
       let complete = ref true in
-      let states_chunks = ref [ [| init_st |] ] in
+      let states_chunks = ref [ [| rep0 |] ] in
+      let orbits_chunks = ref [ [| orbit0 |] ] in
       let trans_chunks = ref [] in
       (* stats accumulators (worker 0 only) *)
       let depth = ref 0 in
@@ -243,17 +296,105 @@ module Make (P : Protocol.PROTOCOL) = struct
           (match !failure with None -> failure := Some e | Some _ -> ());
           Mutex.unlock fail_mutex
       in
-      Hashtbl.add shard_tbl.(owner init_st) init_st 0;
+      orbit_sum := orbit0;
+      Hashtbl.add shard_tbl.(key_owner key0) key0 0;
+      (* Mode of the generation about to run; worker 0 decides the next
+         one at every generation end. *)
+      let seq_gen = ref (d = 1 || 1 < par_threshold) in
+      if not !seq_gen then begin
+        succ_lists := Array.make 1 [];
+        trans := Array.make 1 []
+      end;
+      (* Close out a generation: record its transitions and stats, append
+         the fresh states (already in id order) and pick the next mode. *)
+      let finish_gen ~tr ~fresh ~orbs ~ncand ~dups ~discovered =
+        trans_chunks := tr :: !trans_chunks;
+        depths_rev :=
+          {
+            Checker_stats.depth = !depth;
+            frontier = Array.length !frontier;
+            candidates = ncand;
+            discovered;
+            duplicates = dups;
+          }
+          :: !depths_rev;
+        total_cand := !total_cand + ncand;
+        total_dups := !total_dups + dups;
+        let nf = Array.length fresh in
+        if nf = 0 || !failure <> None then stop := true
+        else begin
+          states_chunks := fresh :: !states_chunks;
+          orbits_chunks := orbs :: !orbits_chunks;
+          frontier := fresh;
+          if nf > !max_frontier then max_frontier := nf;
+          incr depth;
+          seq_gen := d = 1 || nf < par_threshold;
+          if not !seq_gen then begin
+            succ_lists := Array.make nf [];
+            trans := Array.make nf []
+          end
+        end
+      in
+      (* One whole generation, sequentially (worker 0 / warm-up). Interns
+         straight into the shard tables so later parallel generations
+         find the states in the right shard. *)
+      let expand_seq () =
+        let fr = !frontier in
+        let nf = Array.length fr in
+        let tr = Array.make nf [] in
+        let fresh_rev = ref [] in
+        let orb_rev = ref [] in
+        let ncand = ref 0 and dups = ref 0 and discovered = ref 0 in
+        for i = 0 to nf - 1 do
+          tr.(i) <-
+            List.filter_map
+              (fun (label, st') ->
+                incr ncand;
+                let rep, orbit = canonize syms st' in
+                let key = Cd.encode codec rep.mem rep.locals in
+                let tbl = shard_tbl.(key_owner key) in
+                match Hashtbl.find_opt tbl key with
+                | Some dst ->
+                  incr dups;
+                  Some { dst; label }
+                | None ->
+                  if !n_states >= max_states then begin
+                    complete := false;
+                    None
+                  end
+                  else begin
+                    let id = !n_states in
+                    incr n_states;
+                    incr discovered;
+                    Hashtbl.add tbl key id;
+                    orbit_sum := !orbit_sum + orbit;
+                    fresh_rev := rep :: !fresh_rev;
+                    orb_rev := orbit :: !orb_rev;
+                    Some { dst = id; label }
+                  end)
+              (successors cfg fr.(i))
+        done;
+        finish_gen ~tr
+          ~fresh:(Array.of_list (List.rev !fresh_rev))
+          ~orbs:(Array.of_list (List.rev !orb_rev))
+          ~ncand:!ncand ~dups:!dups ~discovered:!discovered
+      in
+      let expand_seq_guarded () =
+        guard expand_seq;
+        if !failure <> None then stop := true
+      in
       let phase_a me =
         let fr = !frontier and sl = !succ_lists in
         let nf = Array.length fr in
         let i = ref me in
         while !i < nf do
-          let _, st = fr.(!i) in
           sl.(!i) <-
             List.map
-              (fun (label, st') -> (label, st', Hashtbl.hash st'))
-              (successors cfg st);
+              (fun (label, st') ->
+                let rep, orbit = canonize syms st' in
+                let key = Cd.encode codec rep.mem rep.locals in
+                (label, rep, key, orbit))
+              (successors cfg fr.(!i));
           i := !i + d
         done
       in
@@ -267,35 +408,41 @@ module Make (P : Protocol.PROTOCOL) = struct
           ncand := !ncand + List.length sl.(i)
         done;
         let ncand = !ncand in
-        let cs = Array.make ncand init_st in
+        let cs = Array.make ncand rep0 in
+        let ck = Array.make ncand "" in
+        let co = Array.make ncand 0 in
         let ow = Array.make ncand 0 in
         for i = 0 to nf - 1 do
           List.iteri
-            (fun j (_, st', h) ->
+            (fun j (_, st', key, orbit) ->
               cs.(offs.(i) + j) <- st';
-              ow.(offs.(i) + j) <- h mod d)
+              ck.(offs.(i) + j) <- key;
+              co.(offs.(i) + j) <- orbit;
+              ow.(offs.(i) + j) <- key_owner key)
             sl.(i)
         done;
         offsets := offs;
         cand_state := cs;
+        cand_key := ck;
+        cand_orbit := co;
         cand_owner := ow;
         resolved := Array.make ncand (-1);
         cand_id := Array.make ncand (-1)
       in
       let phase_b me =
-        let cs = !cand_state and ow = !cand_owner and rs = !resolved in
+        let ck = !cand_key and ow = !cand_owner and rs = !resolved in
         let tbl = shard_tbl.(me) and scr = scratch.(me) in
         Array.iteri
           (fun k o ->
             if o = me then
-              let st = cs.(k) in
-              match Hashtbl.find_opt tbl st with
+              let key = ck.(k) in
+              match Hashtbl.find_opt tbl key with
               | Some id -> rs.(k) <- id
               | None -> (
-                match Hashtbl.find_opt scr st with
+                match Hashtbl.find_opt scr key with
                 | Some k0 -> rs.(k) <- -2 - k0
                 | None ->
-                  Hashtbl.add scr st k;
+                  Hashtbl.add scr key k;
                   rs.(k) <- -1))
           ow
       in
@@ -303,8 +450,10 @@ module Make (P : Protocol.PROTOCOL) = struct
          sequential explorer would have done, in the same order, so fresh
          states receive identical ids and the budget truncates at the
          identical point. *)
+      (* per-generation counters stashed for [collect] *)
+      let gen_cand = ref 0 and gen_dups = ref 0 and gen_disc = ref 0 in
       let assign_ids () =
-        let rs = !resolved and ci = !cand_id in
+        let rs = !resolved and ci = !cand_id and co = !cand_orbit in
         let ncand = Array.length rs in
         let discovered = ref 0 and dups = ref 0 in
         for k = 0 to ncand - 1 do
@@ -313,7 +462,8 @@ module Make (P : Protocol.PROTOCOL) = struct
             if !n_states < max_states then begin
               ci.(k) <- !n_states;
               incr n_states;
-              incr discovered
+              incr discovered;
+              orbit_sum := !orbit_sum + co.(k)
             end
             else begin
               complete := false;
@@ -328,29 +478,18 @@ module Make (P : Protocol.PROTOCOL) = struct
             ci.(k) <- ci.(k0);
             if ci.(k0) >= 0 then incr dups else complete := false
         done;
-        let fr = !frontier in
-        depths_rev :=
-          {
-            Checker_stats.depth = !depth;
-            frontier = Array.length fr;
-            candidates = ncand;
-            discovered = !discovered;
-            duplicates = !dups;
-          }
-          :: !depths_rev;
-        total_cand := !total_cand + ncand;
-        total_dups := !total_dups + !dups
+        gen_cand := ncand;
+        gen_dups := !dups;
+        gen_disc := !discovered
       in
       let phase_c me =
-        let cs = !cand_state
-        and ow = !cand_owner
-        and rs = !resolved
+        let ck = !cand_key and ow = !cand_owner and rs = !resolved
         and ci = !cand_id in
         let tbl = shard_tbl.(me) in
         Array.iteri
           (fun k o ->
             if o = me && rs.(k) = -1 && ci.(k) >= 0 then
-              Hashtbl.add tbl cs.(k) ci.(k))
+              Hashtbl.add tbl ck.(k) ci.(k))
           ow;
         Hashtbl.reset scratch.(me);
         let fr = !frontier
@@ -364,7 +503,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           let j = ref (-1) in
           tr.(!i) <-
             List.filter_map
-              (fun (label, _, _) ->
+              (fun (label, _, _, _) ->
                 incr j;
                 let dst = ci.(base + !j) in
                 if dst >= 0 then Some { dst; label } else None)
@@ -373,23 +512,19 @@ module Make (P : Protocol.PROTOCOL) = struct
         done
       in
       let collect () =
-        trans_chunks := !trans :: !trans_chunks;
-        let rs = !resolved and ci = !cand_id and cs = !cand_state in
-        let fresh = ref [] in
+        let rs = !resolved and ci = !cand_id and cs = !cand_state
+        and co = !cand_orbit in
+        let fresh_rev = ref [] and orb_rev = ref [] in
         for k = Array.length rs - 1 downto 0 do
-          if rs.(k) = -1 && ci.(k) >= 0 then fresh := (ci.(k), cs.(k)) :: !fresh
+          if rs.(k) = -1 && ci.(k) >= 0 then begin
+            fresh_rev := cs.(k) :: !fresh_rev;
+            orb_rev := co.(k) :: !orb_rev
+          end
         done;
-        let next = Array.of_list !fresh in
-        let nf = Array.length next in
-        if nf = 0 || !failure <> None then stop := true
-        else begin
-          states_chunks := Array.map snd next :: !states_chunks;
-          frontier := next;
-          succ_lists := Array.make nf [];
-          trans := Array.make nf [];
-          if nf > !max_frontier then max_frontier := nf;
-          incr depth
-        end
+        finish_gen ~tr:!trans
+          ~fresh:(Array.of_list !fresh_rev)
+          ~orbs:(Array.of_list !orb_rev)
+          ~ncand:!gen_cand ~dups:!gen_dups ~discovered:!gen_disc
       in
       let body me =
         let running = ref true in
@@ -397,6 +532,10 @@ module Make (P : Protocol.PROTOCOL) = struct
           Parallel.Barrier.wait b;
           (* generation inputs published *)
           if !stop then running := false
+          else if !seq_gen then begin
+            if me = 0 then expand_seq_guarded ()
+            (* other workers loop straight to the next start barrier *)
+          end
           else begin
             guard (fun () -> phase_a me);
             Parallel.Barrier.wait b;
@@ -412,18 +551,36 @@ module Make (P : Protocol.PROTOCOL) = struct
           end
         done
       in
-      let workers = Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in
-      body 0;
-      Array.iter Domain.join workers;
+      if d = 1 then
+        while not !stop do
+          expand_seq_guarded ()
+        done
+      else begin
+        (* warm-up: no domains, no barriers, until the frontier is wide
+           enough — or exploration finishes first *)
+        while (not !stop) && !seq_gen do
+          expand_seq_guarded ()
+        done;
+        if not !stop then begin
+          cutover := Some !depth;
+          let workers =
+            Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+          in
+          body 0;
+          Array.iter Domain.join workers
+        end
+      end;
       (match !failure with Some e -> raise e | None -> ());
       let states = Array.concat (List.rev !states_chunks) in
+      let orbits = Array.concat (List.rev !orbits_chunks) in
       let succs = Array.concat (List.rev !trans_chunks) in
       assert (Array.length states = !n_states);
+      assert (Array.length orbits = !n_states);
       assert (Array.length succs = !n_states);
       let n_transitions =
         Array.fold_left (fun acc ts -> acc + List.length ts) 0 succs
       in
-      let g = { cfg; states; succs; complete = !complete } in
+      let g = { cfg; states; orbits; succs; complete = !complete } in
       let stats =
         stats_base ~n_states:!n_states ~n_transitions ~max_depth:!depth
           ~max_frontier:!max_frontier ~candidates:!total_cand
@@ -435,16 +592,24 @@ module Make (P : Protocol.PROTOCOL) = struct
       (g, stats)
     end
 
-  let explore_with_stats ?(max_states = 2_000_000) cfg =
-    explore_impl ~max_states ~domains:1 cfg
+  let explore_with_stats ?(max_states = 2_000_000) ?(reduction = Full) cfg =
+    explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction cfg
 
-  let explore_par ?(max_states = 2_000_000) ?domains cfg =
+  let default_par_threshold ~domains = 1024 * (domains - 1)
+
+  let explore_par ?(max_states = 2_000_000) ?domains ?par_threshold
+      ?(reduction = Full) cfg =
     let domains =
       match domains with
-      | Some d -> max 1 d
+      | Some d -> max 1 d (* explicit override, even past the host count *)
       | None -> Domain.recommended_domain_count ()
     in
-    explore_impl ~max_states ~domains cfg
+    let par_threshold =
+      match par_threshold with
+      | Some t -> max 0 t
+      | None -> default_par_threshold ~domains
+    in
+    explore_impl ~max_states ~domains ~par_threshold ~reduction cfg
 
   let solo_run cfg st ~proc ~max_steps =
     let rec go st steps =
@@ -464,11 +629,71 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     go st 0
 
-  let check_obstruction_freedom ?bound g =
+  (* Memo entries record EXACT distances along a solo run, so a hit
+     reproduces precisely what the unmemoized walk would have returned
+     at any starting depth:
+       MDec (s, v)   the run decides v after exactly s further steps
+       MCoin s       the first coin flip is exactly s further steps away
+       MNoDec s      s further steps were once walked with no decision
+                     and no coin (a bound cut the witness off there)
+     MDec/MCoin are total information and never change; MNoDec is a lower
+     bound and only ever grows. *)
+  type solo_memo = MDec of int * P.output | MCoin of int | MNoDec of int
+
+  let check_obstruction_freedom ?bound ?(memo = true) g =
     let n = Array.length g.cfg.ids in
     let m = Naming.size g.cfg.namings.(0) in
     let bound =
       match bound with Some b -> b | None -> 4 * m * (n + 2) * (n + 2)
+    in
+    let solo =
+      if not memo then fun st proc -> solo_run g.cfg st ~proc ~max_steps:bound
+      else begin
+        let codec = Cd.create () in
+        let tbl : (string, solo_memo) Hashtbl.t = Hashtbl.create 4096 in
+        let store key e =
+          match (Hashtbl.find_opt tbl key, e) with
+          | Some (MDec _ | MCoin _), _ -> ()
+          | Some (MNoDec s), MNoDec s' when s' <= s -> ()
+          | _ -> Hashtbl.replace tbl key e
+        in
+        let record visited mk = List.iter (fun (key, i) -> store key (mk i)) visited in
+        fun st0 proc ->
+          let rec go st k visited =
+            match P.status st.locals.(proc) with
+            | Protocol.Decided v ->
+              record visited (fun i -> MDec (k - i, v));
+              `Decided v
+            | _ -> (
+              let key = Cd.encode_solo codec ~proc st.locals.(proc) st.mem in
+              match Hashtbl.find_opt tbl key with
+              | Some (MDec (s, v)) ->
+                record ((key, k) :: visited) (fun i -> MDec (k - i + s, v));
+                if k + s <= bound then `Decided v else `Out_of_steps
+              | Some (MCoin s) ->
+                record ((key, k) :: visited) (fun i -> MCoin (k - i + s));
+                if k + s < bound then `Coin else `Out_of_steps
+              | Some (MNoDec s) when k + s >= bound ->
+                record ((key, k) :: visited) (fun i -> MNoDec (k - i + s));
+                `Out_of_steps
+              | Some (MNoDec _) | None ->
+                let visited = (key, k) :: visited in
+                if k >= bound then begin
+                  record visited (fun i -> MNoDec (bound - i));
+                  `Out_of_steps
+                end
+                else (
+                  match P.step ~n ~m ~id:g.cfg.ids.(proc) st.locals.(proc) with
+                  | Protocol.Coin _ ->
+                    record visited (fun i -> MCoin (k - i));
+                    `Coin
+                  | _ -> (
+                    match step_states g.cfg st proc with
+                    | [ st' ] -> go st' (k + 1) visited
+                    | _ -> assert false)))
+          in
+          go st0 0 []
+      end
     in
     let exception Found of int * int in
     try
@@ -477,7 +702,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           Array.iteri
             (fun proc local ->
               if not (Protocol.is_decided (P.status local)) then
-                match solo_run g.cfg st ~proc ~max_steps:bound with
+                match solo st proc with
                 | `Decided _ -> ()
                 | `Out_of_steps | `Coin -> raise (Found (sid, proc)))
             st.locals)

@@ -10,6 +10,17 @@
 
 open Anonmem
 
+type reduction =
+  | Full  (** every reachable state, no quotient *)
+  | Canon
+      (** explore the symmetry quotient: states are canonicalized to the
+          lex-least element of their orbit under the configuration's
+          automorphism group ({!Canon.Make.group}) before interning. Sound
+          for every protocol — asymmetric protocols get the identity group
+          and the quotient degenerates to the full graph — and all
+          graph-based property verdicts coincide with the full graph's
+          (DESIGN.md §9; cross-checked by the test suite). *)
+
 module Make (P : Protocol.PROTOCOL) : sig
   type config = {
     ids : int array;
@@ -30,6 +41,9 @@ module Make (P : Protocol.PROTOCOL) : sig
   type graph = {
     cfg : config;
     states : state array;  (** index 0 is the initial state *)
+    orbits : int array;
+        (** orbits.(i): number of full-graph states state [i] stands for;
+            all 1 under [Full] reduction or a trivial group *)
     succs : transition list array;
     complete : bool;  (** false when [max_states] truncated the search *)
   }
@@ -42,28 +56,45 @@ module Make (P : Protocol.PROTOCOL) : sig
   (** All one-step extensions (every non-decided process; both coin
       outcomes). *)
 
-  val explore : ?max_states:int -> config -> graph
-  (** Breadth-first reachability from {!initial}. Default budget is
-      2,000,000 states. This is the sequential reference explorer; the
-      parallel explorers below are cross-validated against it. *)
+  val explore : ?max_states:int -> ?reduction:reduction -> config -> graph
+  (** Breadth-first reachability from {!initial} (default reduction
+      {!Full}; default budget 2,000,000 states). States are interned by
+      their packed {!Codec} key. This is the sequential reference
+      explorer; the parallel explorers below are cross-validated against
+      it. *)
 
   val explore_with_stats :
-    ?max_states:int -> config -> graph * Checker_stats.t
+    ?max_states:int -> ?reduction:reduction -> config ->
+    graph * Checker_stats.t
   (** {!explore} semantics (bit-identical graph) with observability:
-      per-depth frontier profile, throughput, dedup hit-rate. Runs
-      in-process on the calling domain. *)
+      per-depth frontier profile, throughput, dedup hit-rate, reduction
+      factor. Runs in-process on the calling domain. *)
 
   val explore_par :
-    ?max_states:int -> ?domains:int -> config -> graph * Checker_stats.t
+    ?max_states:int ->
+    ?domains:int ->
+    ?par_threshold:int ->
+    ?reduction:reduction ->
+    config ->
+    graph * Checker_stats.t
   (** Frontier-parallel breadth-first exploration over [domains] worker
-      domains (default [Domain.recommended_domain_count ()]). The
-      state-interning table is sharded by state hash with one shard owned
-      per domain; generations are barrier-synchronized and state ids are
-      assigned by a sequential scan in discovery order, so the resulting
-      graph — state numbering, transition lists, [complete] flag — is
-      bit-identical to {!explore} for every input, including when
-      [max_states] truncates the search. [domains = 1] runs inline without
-      spawning. *)
+      domains (default [Domain.recommended_domain_count ()]; an explicit
+      [~domains] is honored as given, even beyond the host's recommended
+      count — benchmarks that oversubscribe must say so). The
+      state-interning table is sharded by packed-key hash with one shard
+      owned per domain; generations are barrier-synchronized and state
+      ids are assigned by a sequential scan in discovery order, so the
+      resulting graph — state numbering, transition lists, [complete]
+      flag — is bit-identical to {!explore} for every input, including
+      when [max_states] truncates the search.
+
+      Generations whose frontier is narrower than [par_threshold]
+      (default [1024 * (domains - 1)]) run sequentially on worker 0: no
+      domain is spawned until the frontier first reaches the threshold
+      (that depth is reported as [cutover] in the stats; [None] means the
+      whole run stayed sequential) and a draining frontier drops back to
+      one barrier per generation. [domains = 1] always runs inline
+      without spawning. *)
 
   val solo_run :
     config ->
@@ -76,10 +107,19 @@ module Make (P : Protocol.PROTOCOL) : sig
       flipped a coin, for which solo determinism does not hold. *)
 
   val check_obstruction_freedom :
-    ?bound:int -> graph -> (int * int) option
+    ?bound:int -> ?memo:bool -> graph -> (int * int) option
   (** For every reachable state and every non-decided process, the process
       running alone must decide within [bound] steps (default
-      [4 * m * (n + 2)]). Returns a counterexample (state index, proc). *)
+      [4 * m * (n + 2) * (n + 2)]). Returns a counterexample
+      (state index, proc).
+
+      Solo runs are deterministic, so runs from states that share a
+      (process, local state, memory) projection coincide; with [memo]
+      (the default) every such projection's exact outcome distance is
+      memoized and shared across start states. Verdicts are identical to
+      [~memo:false] — the memo stores exact step distances, not verdicts,
+      so the per-state bound arithmetic is unchanged; the test suite
+      asserts the equivalence on every in-tree protocol. *)
 
   val to_flat : graph -> Flatgraph.t
   (** The shape the generic property checkers consume. *)

@@ -32,6 +32,8 @@ module P = struct
 
   let name = "anonymous-mutex-fig1"
 
+  let symmetric = true
+
   let default_registers ~n:_ = 3
 
   let threshold ~m = (m + 1) / 2
@@ -82,6 +84,12 @@ module P = struct
       Protocol.Trying
 
   let compare_local = Stdlib.compare
+
+  (* A register holds 0 (free) or the claiming process's id. *)
+  let map_value_ids f v = if v = 0 then 0 else f v
+
+  (* Locals carry only register indices and counters — no ids. *)
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

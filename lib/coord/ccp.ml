@@ -40,6 +40,9 @@ struct
       (if C.deterministic then "det" else "rand")
       C.cap
 
+  (* Never looks at its identifier at all. *)
+  let symmetric = true
+
   let default_registers ~n:_ = 2
 
   let start ~n:_ ~m:_ ~id:_ () = Rem
@@ -73,6 +76,11 @@ struct
     | Chose _ -> 0
 
   let compare_local = Stdlib.compare
+
+  (* Registers hold levels / the chosen marker; locals hold positions and
+     levels — no identifiers anywhere. *)
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

@@ -29,6 +29,9 @@ struct
 
   let name = Printf.sprintf "ccp-k%d-cap%d-strawman" C.k C.cap
 
+  (* Never looks at its identifier at all. *)
+  let symmetric = true
+
   let default_registers ~n:_ = C.k
 
   let start ~n:_ ~m:_ ~id:_ () = Rem
@@ -56,6 +59,10 @@ struct
     | Chose pos -> Protocol.Decided pos
 
   let compare_local = Stdlib.compare
+
+  (* Levels and positions only — no identifiers. *)
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

@@ -37,6 +37,12 @@ module P = struct
 
   let name = "anonymous-mutex-comparisons"
 
+  (* §2's arbitrary-comparisons variant: [v > id] order-compares
+     identifiers, so only order-preserving relabelings commute with the
+     code — and an order-automorphism of a finite id set is the identity.
+     Declaring asymmetric keeps the quotient sound (identity group). *)
+  let symmetric = false
+
   let default_registers ~n:_ = 2
 
   let start ~n:_ ~m:_ ~id:_ () = Rem
@@ -86,6 +92,9 @@ module P = struct
       Protocol.Trying
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids f v = if v = 0 then 0 else f v
+  let map_local_ids _ l = l
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

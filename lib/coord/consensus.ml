@@ -7,6 +7,9 @@ module Value = struct
   let equal a b = a.id = b.id && a.pref = b.pref
   let compare = Stdlib.compare
   let pp ppf v = Format.fprintf ppf "(%d,%d)" v.id v.pref
+
+  (* The empty value (0, 0) stays fixed because relabelings fix 0. *)
+  let map ~f_id ~f_pref v = { id = f_id v.id; pref = f_pref v.pref }
 end
 
 module P = struct
@@ -25,6 +28,8 @@ module P = struct
     | Decided_st of int
 
   let name = "anonymous-consensus-fig2"
+
+  let symmetric = true
 
   let default_registers ~n = (2 * n) - 1
 
@@ -94,6 +99,23 @@ module P = struct
     | Decided_st v -> v
 
   let compare_local = Stdlib.compare
+
+  (* Election reuses these with [f_pref = f_id]: there, preferences are
+     identifiers. For plain consensus preferences are inputs, untouched. *)
+  let map_with ~f_id ~f_pref = function
+    | Rem { input } -> Rem { input = f_pref input }
+    | Reading { mypref; j; view_rev } ->
+      Reading
+        {
+          mypref = f_pref mypref;
+          j;
+          view_rev = List.map (Value.map ~f_id ~f_pref) view_rev;
+        }
+    | Writing { mypref; slot } -> Writing { mypref = f_pref mypref; slot }
+    | Decided_st v -> Decided_st (f_pref v)
+
+  let map_value_ids f = Value.map ~f_id:f ~f_pref:Fun.id
+  let map_local_ids f = map_with ~f_id:f ~f_pref:Fun.id
 
   let pp_local ppf = function
     | Rem _ -> Format.pp_print_string ppf "rem"

@@ -18,6 +18,9 @@ module Value : sig
   type t = { id : int; pref : int }
 
   include Protocol.VALUE with type t := t
+
+  val map : f_id:(int -> int) -> f_pref:(int -> int) -> t -> t
+  (** Relabel the identifier and preference fields independently. *)
 end
 
 module P : sig
@@ -30,4 +33,10 @@ module P : sig
   val preference : local -> int
   (** The process's current preference ([mypref]); its input until it first
       adopts, then possibly another participant's input. *)
+
+  val map_with : f_id:(int -> int) -> f_pref:(int -> int) -> local -> local
+  (** Relabel cached identifiers and preferences independently.
+      {!Election} instantiates both with the same bijection, because its
+      preferences {e are} identifiers; {!map_local_ids} instantiates
+      [f_pref] with the identity. *)
 end

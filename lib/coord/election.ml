@@ -8,6 +8,8 @@ module P = struct
 
   let name = "anonymous-election"
 
+  let symmetric = true
+
   let default_registers = Consensus.P.default_registers
 
   (* "Each process simply uses its own identifier as its initial input." *)
@@ -16,6 +18,11 @@ module P = struct
   let step = Consensus.P.step
   let status = Consensus.P.status
   let compare_local = Consensus.P.compare_local
+
+  (* Preferences are identifiers here (the input is the process's own id),
+     so a relabeling applies to both fields. *)
+  let map_value_ids f = Consensus.Value.map ~f_id:f ~f_pref:f
+  let map_local_ids f = Consensus.P.map_with ~f_id:f ~f_pref:f
   let pp_local = Consensus.P.pp_local
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int

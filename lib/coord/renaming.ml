@@ -25,6 +25,19 @@ module Value = struct
 
   (* Set-union of histories, keeping the sorted canonical form. *)
   let union_history h pair = List.sort_uniq Stdlib.compare (pair :: h)
+
+  (* Both [id] and [pref] are process identifiers (a process initially
+     prefers itself), as is the winner field of each history pair. The
+     history is re-sorted: relabeling can reorder its canonical form. *)
+  let map_ids f v =
+    {
+      id = f v.id;
+      pref = f v.pref;
+      round = v.round;
+      history =
+        List.sort_uniq Stdlib.compare
+          (List.map (fun (i, r) -> (f i, r)) v.history);
+    }
 end
 
 module P = struct
@@ -51,6 +64,8 @@ module P = struct
     | Named of int
 
   let name = "anonymous-renaming-fig3"
+
+  let symmetric = true
 
   let default_registers ~n = (2 * n) - 1
 
@@ -157,6 +172,28 @@ module P = struct
     | Named r -> r
 
   let compare_local = Stdlib.compare
+
+  let map_value_ids = Value.map_ids
+
+  let map_history f h =
+    List.sort_uniq Stdlib.compare (List.map (fun (i, r) -> (f i, r)) h)
+
+  (* Outputs ([Named r]) are rounds, not identifiers — untouched. *)
+  let map_local_ids f = function
+    | Rem -> Rem
+    | Reading { mypref; myround; myhistory; j; view_rev } ->
+      Reading
+        {
+          mypref = f mypref;
+          myround;
+          myhistory = map_history f myhistory;
+          j;
+          view_rev = List.map (Value.map_ids f) view_rev;
+        }
+    | Writing { mypref; myround; myhistory; slot } ->
+      Writing
+        { mypref = f mypref; myround; myhistory = map_history f myhistory; slot }
+    | Named r -> Named r
 
   let pp_local ppf = function
     | Rem -> Format.pp_print_string ppf "rem"

@@ -31,6 +31,10 @@ module Value : sig
 
   val union_history : (int * int) list -> int * int -> (int * int) list
   (** Set-union preserving the sorted canonical form. *)
+
+  val map_ids : (int -> int) -> t -> t
+  (** Relabel the [id], [pref] and history-winner identifier fields,
+      re-sorting the history into canonical form. *)
 end
 
 module P : sig

@@ -20,24 +20,48 @@ module Parity (P : Protocol.PROTOCOL) = struct
     let n_seq = Array.length seq.states in
     List.iter
       (fun d ->
-        let par, stats = E.explore_par ?max_states ~domains:d cfg in
-        let tag what = Printf.sprintf "%s (%d domains): %s" P.name d what in
-        Alcotest.(check bool) (tag "same states") true (seq.states = par.states);
-        Alcotest.(check bool)
-          (tag "same transitions")
-          true
-          (seq.succs = par.succs);
-        Alcotest.(check bool)
-          (tag "same completeness")
-          true
-          (seq.complete = par.complete);
-        Alcotest.(check int) (tag "stats domains") d stats.Checker_stats.domains;
-        Alcotest.(check int) (tag "stats states") n_seq
-          stats.Checker_stats.n_states;
-        Alcotest.(check int)
-          (tag "shard loads sum to states")
-          n_seq
-          (Array.fold_left ( + ) 0 stats.Checker_stats.shard_load))
+        (* threshold 0 forces the barrier phases from depth 0; the default
+           threshold exercises the sequential warm-up / adaptive path *)
+        List.iter
+          (fun threshold ->
+            let par, stats =
+              E.explore_par ?max_states ~domains:d ?par_threshold:threshold
+                cfg
+            in
+            let tag what =
+              Printf.sprintf "%s (%d domains, threshold %s): %s" P.name d
+                (match threshold with Some t -> string_of_int t | None -> "-")
+                what
+            in
+            Alcotest.(check bool)
+              (tag "same states")
+              true
+              (seq.states = par.states);
+            Alcotest.(check bool)
+              (tag "same transitions")
+              true
+              (seq.succs = par.succs);
+            Alcotest.(check bool)
+              (tag "same completeness")
+              true
+              (seq.complete = par.complete);
+            Alcotest.(check int) (tag "stats domains") d
+              stats.Checker_stats.domains;
+            Alcotest.(check int) (tag "stats states") n_seq
+              stats.Checker_stats.n_states;
+            (match (threshold, d > 1, n_seq > 1) with
+            | Some 0, true, true ->
+              (* every generation after depth 0 ran the barrier phases *)
+              Alcotest.(check bool)
+                (tag "cutover recorded")
+                true
+                (stats.Checker_stats.cutover = Some 0)
+            | _ -> ());
+            Alcotest.(check int)
+              (tag "shard loads sum to states")
+              n_seq
+              (Array.fold_left ( + ) 0 stats.Checker_stats.shard_load))
+          [ None; Some 0 ])
       domains_under_test;
     let ws, _ = E.explore_with_stats ?max_states cfg in
     Alcotest.(check bool)

@@ -163,6 +163,9 @@ module Boom_p = struct
 
   let status _ = Protocol.Trying
   let compare_local = Stdlib.compare
+  let symmetric = false
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
   let pp_local ppf _ = Format.pp_print_string ppf "<boom>"
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
@@ -198,6 +201,9 @@ module Hang_p = struct
 
   let status = function Start -> Protocol.Trying | Done -> Protocol.Decided 0
   let compare_local = Stdlib.compare
+  let symmetric = false
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
   let pp_local ppf _ = Format.pp_print_string ppf "<hang>"
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int

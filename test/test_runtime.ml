@@ -33,6 +33,9 @@ module Toy = struct
     | Fin v -> Protocol.Decided v
 
   let compare_local = Stdlib.compare
+  let symmetric = false
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
   let pp_local ppf _ = Format.pp_print_string ppf "<toy>"
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
@@ -231,6 +234,9 @@ module RmwToy = struct
     | Fin v -> Protocol.Decided v
 
   let compare_local = Stdlib.compare
+  let symmetric = false
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
   let pp_local ppf _ = Format.pp_print_string ppf "<rmw-toy>"
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
@@ -273,6 +279,9 @@ module AlwaysCrit = struct
 
   let status = function Out -> Protocol.Remainder | In -> Protocol.Critical
   let compare_local = Stdlib.compare
+  let symmetric = false
+  let map_value_ids _ v = v
+  let map_local_ids _ l = l
   let pp_local ppf _ = Format.pp_print_string ppf "<crit>"
   let pp_input ppf () = Format.pp_print_string ppf "()"
   let pp_output = Format.pp_print_int
