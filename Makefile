@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check chaos bench bench-checker bench-quick tables clean
+.PHONY: all build test check chaos bench bench-checker bench-quick tables \
+        resume-smoke clean-snapshots clean
 
 all: build
 
@@ -17,6 +18,18 @@ CHECK_TIMEOUT ?= 600
 check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
 	$(MAKE) bench-quick
+	$(MAKE) resume-smoke
+
+# End-to-end snapshot/resume smoke: truncate + resume vs oracle,
+# SIGTERM mid-exploration, and the `check` exit-code contract
+# (0 clean / 1 violation / 3 truncated / 4 rejected snapshot).
+resume-smoke: build
+	timeout 120 scripts/resume_smoke.sh _build/default/bin/coordctl.exe
+
+# Remove checkpoint files left behind by interrupted explorations.
+clean-snapshots:
+	find . -path ./_build -prune -o -name '*.snap' -print -exec rm -f {} +
+	rm -rf _snapshots
 
 # Fixed-seed chaos sweep: random crash injection over every protocol
 # family plus the E19 crash-tolerance tables. Deterministic by seed.

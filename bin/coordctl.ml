@@ -103,7 +103,7 @@ let simulate proto n m seed steps show_trace =
   | Ccp ->
     let module S = Sim (Coord.Ccp.P) in
     S.run ~n ~m ~seed ~steps ~show_trace ~inputs:(Array.make n ()));
-  Ok ()
+  Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -113,13 +113,35 @@ let simulate proto n m seed steps show_trace =
    frontier-parallel explorer with [--par]; checker statistics (states/sec,
    dedup hit-rate, shard load) with [--stats]; the symmetry quotient with
    [--canon] (sound for every protocol: verdicts coincide with the full
-   graph's, see DESIGN.md §9). *)
+   graph's, see DESIGN.md §9). [--max-states] truncates; [--snapshot-dir]
+   checkpoints each naming's exploration so a truncated or interrupted
+   sweep can be resumed with [--resume] (see DESIGN.md §10). *)
 type chk_opts = {
   par : bool;
   domains : int option;
   stats : bool;
   reduction : Check.Explore.reduction;
+  max_states : int option;
+  snapshot_dir : string option;
+  snapshot_every : int option;
+  resume : string option;
 }
+
+let default_chk_opts =
+  {
+    par = false;
+    domains = None;
+    stats = false;
+    reduction = Check.Explore.Full;
+    max_states = None;
+    snapshot_dir = None;
+    snapshot_every = None;
+    resume = None;
+  }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 module Chk (P : Protocol.PROTOCOL) = struct
   module E = Check.Explore.Make (P)
@@ -131,40 +153,88 @@ module Chk (P : Protocol.PROTOCOL) = struct
     else
       [ Array.init n (fun k -> Naming.rotation m k) ]
 
-  let explore_one opts cfg =
+  let explore_one ?snapshot_to ?resume_from opts cfg =
     if opts.par then begin
       let g, st =
-        E.explore_par ?domains:opts.domains ~reduction:opts.reduction cfg
+        E.explore_par ?max_states:opts.max_states ?domains:opts.domains
+          ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
+          ~reduction:opts.reduction cfg
       in
       if opts.stats then Format.printf "%a@." Check.Checker_stats.pp st;
       g
     end
     else if opts.stats then begin
-      let g, st = E.explore_with_stats ~reduction:opts.reduction cfg in
+      let g, st =
+        E.explore_with_stats ?max_states:opts.max_states
+          ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
+          ~reduction:opts.reduction cfg
+      in
       Format.printf "%a@." Check.Checker_stats.pp st;
       g
     end
-    else E.explore ~reduction:opts.reduction cfg
+    else
+      E.explore ?max_states:opts.max_states
+        ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
+        ~reduction:opts.reduction cfg
 
-  let explore_all
-      ?(opts =
-        {
-          par = false;
-          domains = None;
-          stats = false;
-          reduction = Check.Explore.Full;
-        }) ~n ~m ~inputs ~report () =
+  (* Returns [true] if any exploration in the sweep was truncated. A
+     [--resume] snapshot is matched to its naming assignment by config
+     fingerprint; if no assignment in the sweep matches, the snapshot
+     belongs to some other configuration and we refuse
+     (Snapshot.Config_mismatch, exit 4). *)
+  let explore_all ?(opts = default_chk_opts) ~n ~m ~inputs ~report () =
+    let resume_meta =
+      Option.map
+        (fun path -> (path, Check.Snapshot.read_meta ~path))
+        opts.resume
+    in
+    let resume_used = ref false in
+    Option.iter ensure_dir opts.snapshot_dir;
     let count = ref 0 in
+    let truncated = ref false in
     List.iter
       (fun namings ->
         incr count;
         let cfg : E.config =
           { ids = Array.init n (fun i -> ((i + 1) * 17) + 1); inputs; namings }
         in
-        let g = explore_one opts cfg in
+        let fp, _descr = E.fingerprint ~reduction:opts.reduction cfg in
+        let snapshot_to =
+          Option.map
+            (fun dir ->
+              Filename.concat dir
+                (str "%s-n%d-m%d-%d.snap" P.name n m !count))
+            opts.snapshot_dir
+        in
+        let resume_from =
+          match resume_meta with
+          | Some (path, meta) when meta.Check.Snapshot.fingerprint = fp ->
+            resume_used := true;
+            Some path
+          | _ -> None
+        in
+        let g = explore_one ?snapshot_to ?resume_from opts cfg in
+        if not g.E.complete then truncated := true;
         report namings g)
       (namings_under_test ~n ~m);
-    Format.printf "%d naming assignment(s) checked.@." !count
+    (match resume_meta with
+    | Some (path, meta) when not !resume_used ->
+      (* none of the swept configurations matches the snapshot *)
+      let _, descr =
+        E.fingerprint ~reduction:opts.reduction
+          {
+            ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+            inputs;
+            namings = List.hd (namings_under_test ~n ~m);
+          }
+      in
+      raise
+        (Check.Snapshot.Error
+           (Check.Snapshot.Config_mismatch
+              { path; snapshot = meta.Check.Snapshot.descr; current = descr }))
+    | _ -> ());
+    Format.printf "%d naming assignment(s) checked.@." !count;
+    !truncated
 end
 
 module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
@@ -174,8 +244,9 @@ module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
      violations, matching the paper's two requirements. *)
   let run ~opts ~n ~m =
     let bad = ref false in
-    C.explore_all ~opts ~n ~m ~inputs:(Array.make n ()) ()
-      ~report:(fun namings g ->
+    let truncated =
+      C.explore_all ~opts ~n ~m ~inputs:(Array.make n ()) ()
+        ~report:(fun namings g ->
         let f = C.E.to_flat g in
         let me = Check.Mutex_props.mutual_exclusion f in
         let df = Check.Mutex_props.deadlock_freedom f in
@@ -188,10 +259,11 @@ module Mutex_check (P : Protocol.PROTOCOL with type input = unit) = struct
           (Array.length g.states)
           (match me with None -> "ok" | Some _ -> "VIOLATED")
           (match df with None -> "ok" | Some _ -> "VIOLATED")
-          (match sf with
-          | None -> "ok"
-          | Some (p, _) -> str "p%d can starve" p));
-    !bad
+            (match sf with
+            | None -> "ok"
+            | Some (p, _) -> str "p%d can starve" p))
+    in
+    (!bad, truncated)
 end
 
 let check_mutex ~opts ~n ~m =
@@ -206,21 +278,24 @@ let check_decision (type g) ~n ~m ~inputs
     ~(explore_all :
        inputs:'i array ->
        report:(Naming.t array -> g -> unit) ->
-       unit) ~(verdicts : g -> (string * bool) list) =
+       bool) ~(verdicts : g -> (string * bool) list) =
   ignore n;
   ignore m;
   let bad = ref false in
-  explore_all ~inputs ~report:(fun namings g ->
-      let vs = verdicts g in
-      if List.exists (fun (_, ok) -> not ok) vs then bad := true;
-      Format.printf "namings %s: %s@."
-        (String.concat " "
-           (List.map (Format.asprintf "%a" Naming.pp) (Array.to_list namings)))
-        (String.concat ", "
-           (List.map
-              (fun (name, ok) -> str "%s %s" name (if ok then "ok" else "VIOLATED"))
-              vs)));
-  !bad
+  let truncated =
+    explore_all ~inputs ~report:(fun namings g ->
+        let vs = verdicts g in
+        if List.exists (fun (_, ok) -> not ok) vs then bad := true;
+        Format.printf "namings %s: %s@."
+          (String.concat " "
+             (List.map (Format.asprintf "%a" Naming.pp) (Array.to_list namings)))
+          (String.concat ", "
+             (List.map
+                (fun (name, ok) ->
+                  str "%s %s" name (if ok then "ok" else "VIOLATED"))
+                vs)))
+  in
+  (!bad, truncated)
 
 let reduction_of_flags ~canon ~no_canon =
   if canon && no_canon then
@@ -228,9 +303,27 @@ let reduction_of_flags ~canon ~no_canon =
   else if canon then Check.Explore.Canon
   else Check.Explore.Full
 
-let check proto n m par domains stats canon no_canon =
+(* Exit codes (also rendered in `coordctl check --help`): 0 all properties
+   hold on a complete exploration; 1 a violation was found; 3 no violation
+   but some exploration was truncated (the verdict covers only the explored
+   prefix); 4 a --resume snapshot was rejected (corrupt, wrong version, or
+   fingerprint mismatch with every swept configuration). *)
+let check proto n m par domains stats canon no_canon max_states snapshot_dir
+    snapshot_every resume =
   let reduction = reduction_of_flags ~canon ~no_canon in
-  let opts = { par; domains; stats; reduction } in
+  let opts =
+    {
+      par;
+      domains;
+      stats;
+      reduction;
+      max_states;
+      snapshot_dir;
+      snapshot_every;
+      resume;
+    }
+  in
+  if snapshot_dir <> None then Check.Snapshot.install_signal_handlers ();
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -239,7 +332,7 @@ let check proto n m par domains stats canon no_canon =
     | None, (Consensus | Election | Renaming) -> (2 * n) - 1
     | None, Ccp -> 2
   in
-  let bad =
+  match
     match proto with
     | Mutex -> check_mutex ~opts ~n ~m
     | Cmp_mutex -> check_cmp_mutex ~opts ~n ~m
@@ -324,15 +417,29 @@ let check proto n m par domains stats canon no_canon =
               | [] -> ())
             g.C.E.states;
           [ ("same-register", !safe) ])
-  in
-  if bad then begin
-    Format.printf "RESULT: violations found.@.";
-    Ok ()
-  end
-  else begin
-    Format.printf "RESULT: all properties hold.@.";
-    Ok ()
-  end
+  with
+  | exception Check.Snapshot.Error e ->
+    Format.eprintf "coordctl: snapshot rejected: %s@."
+      (Check.Snapshot.error_message e);
+    Ok 4
+  | bad, truncated ->
+    if truncated then
+      Format.eprintf
+        "WARNING: exploration truncated (state budget or interrupt); \
+         verdicts cover only the explored prefix.@.";
+    if bad then begin
+      Format.printf "RESULT: violations found.@.";
+      Ok 1
+    end
+    else if truncated then begin
+      Format.printf "RESULT: no violation in the explored prefix \
+                     (incomplete).@.";
+      Ok 3
+    end
+    else begin
+      Format.printf "RESULT: all properties hold.@.";
+      Ok 0
+    end
 
 (* ------------------------------------------------------------------ *)
 (* adversaries                                                         *)
@@ -357,7 +464,7 @@ let symmetry n m show_trace =
       Format.printf "%a@."
         (Trace.pp ~pp_value:Format.pp_print_int ~pp_output:Empty.pp)
         trace);
-  Ok ()
+  Ok 0
 
 let covering proto m show_trace =
   (match proto with
@@ -418,7 +525,7 @@ let covering proto m show_trace =
              ~pp_output:Format.pp_print_int)
           o.trace)
   | Ccp -> Format.printf "covering targets read/write protocols only@.");
-  Ok ()
+  Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -622,9 +729,14 @@ let chaos proto n m seed attempts prefix_steps crashes crash_cs rejoins =
         ~inputs:(List.init n (fun _ -> ()))
         ()
   in
-  if bad then Format.printf "RESULT: violations found.@."
-  else Format.printf "RESULT: survivors coped with every crash.@.";
-  Ok ()
+  if bad then begin
+    Format.printf "RESULT: violations found.@.";
+    Ok 1
+  end
+  else begin
+    Format.printf "RESULT: survivors coped with every crash.@.";
+    Ok 0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* graph export                                                        *)
@@ -723,7 +835,7 @@ let graph proto n m output =
                namings = Array.init n (fun k -> Naming.rotation m k);
              })
          ~to_flat:C.E.to_flat));
-  Ok ()
+  Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* tables                                                              *)
@@ -743,7 +855,7 @@ let tables ids full =
         ids
   in
   Report.Table.render_all Format.std_formatter selected;
-  Ok ()
+  Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* explore / bench                                                     *)
@@ -765,11 +877,16 @@ module Xpl (P : Protocol.PROTOCOL) = struct
             if rot then Naming.rotation m k else Naming.identity m);
     }
 
-  let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths =
+  let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths
+      ~snapshot_to ~snapshot_every ~resume_from =
     let cfg = config ~n ~m ~rot ~inputs in
     let g, st =
-      if par then E.explore_par ?max_states ?domains ~reduction cfg
-      else E.explore_with_stats ?max_states ~reduction cfg
+      if par then
+        E.explore_par ?max_states ?domains ?snapshot_every
+          ?snapshot_to ?resume_from ~reduction cfg
+      else
+        E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
+          ?resume_from ~reduction cfg
     in
     ignore g;
     Format.printf "%a@." Check.Checker_stats.pp st;
@@ -799,8 +916,10 @@ module Xpl (P : Protocol.PROTOCOL) = struct
         (if full.Check.Checker_stats.complete then "" else " (full truncated)")
 end
 
-let explore proto n m rot par domains canon no_canon max_states depths =
+let explore proto n m rot par domains canon no_canon max_states depths
+    snapshot_to snapshot_every resume_from =
   let reduction = reduction_of_flags ~canon ~no_canon in
+  if snapshot_to <> None then Check.Snapshot.install_signal_handlers ();
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -809,34 +928,40 @@ let explore proto n m rot par domains canon no_canon max_states depths =
     | None, (Consensus | Election | Renaming) -> (2 * n) - 1
     | None, Ccp -> 2
   in
-  (match proto with
-  | Mutex ->
-    let module X = Xpl (Coord.Amutex.P) in
-    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
-      ~max_states ~depths
-  | Cmp_mutex ->
-    let module X = Xpl (Coord.Cmp_mutex.P) in
-    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
-      ~max_states ~depths
-  | Consensus ->
-    let module X = Xpl (Coord.Consensus.P) in
-    (* equal inputs keep the configuration symmetric; `check` still sweeps
-       distinct inputs *)
-    X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
-      ~max_states ~depths
-  | Election ->
-    let module X = Xpl (Coord.Election.P) in
-    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
-      ~max_states ~depths
-  | Renaming ->
-    let module X = Xpl (Coord.Renaming.P) in
-    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
-      ~max_states ~depths
-  | Ccp ->
-    let module X = Xpl (Coord.Ccp.P) in
-    X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
-      ~max_states ~depths);
-  Ok ()
+  match
+    match proto with
+    | Mutex ->
+      let module X = Xpl (Coord.Amutex.P) in
+      X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+    | Cmp_mutex ->
+      let module X = Xpl (Coord.Cmp_mutex.P) in
+      X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+    | Consensus ->
+      let module X = Xpl (Coord.Consensus.P) in
+      (* equal inputs keep the configuration symmetric; `check` still sweeps
+         distinct inputs *)
+      X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+    | Election ->
+      let module X = Xpl (Coord.Election.P) in
+      X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+    | Renaming ->
+      let module X = Xpl (Coord.Renaming.P) in
+      X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+    | Ccp ->
+      let module X = Xpl (Coord.Ccp.P) in
+      X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
+        ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+  with
+  | exception Check.Snapshot.Error e ->
+    Format.eprintf "coordctl: snapshot rejected: %s@."
+      (Check.Snapshot.error_message e);
+    Ok 4
+  | () -> Ok 0
 
 let bench n canon no_canon max_states =
   let reduction =
@@ -862,7 +987,7 @@ let bench n canon no_canon max_states =
   Format.printf
     "(quick in-process sweep; `make bench-checker` records the full \
      reduced-vs-full and par-vs-seq matrix into BENCH_checker.json)@.";
-  Ok ()
+  Ok 0
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                   *)
@@ -939,14 +1064,74 @@ let no_canon_arg =
     & info [ "no-canon" ]
         ~doc:"Explicitly explore the full (unreduced) state graph.")
 
+let max_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states" ] ~docv:"B"
+        ~doc:
+          "Truncate each exploration after $(i,B) states. The verdict then \
+           covers only the explored prefix and the exit status is 3 \
+           instead of 0.")
+
+let snapshot_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint each exploration into \
+           $(i,DIR)/<proto>-nN-mM-IDX.snap (created if missing). A \
+           snapshot is also flushed on SIGINT/SIGTERM and when the state \
+           budget truncates the search, so the run can be continued with \
+           $(b,--resume).")
+
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--snapshot-dir), write a checkpoint roughly every \
+           $(i,N) newly interned states (default 500000).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a snapshot written by an earlier run. The snapshot \
+           is matched to the naming assignment it was taken from by config \
+           fingerprint; the resumed exploration produces results \
+           bit-identical to an uninterrupted run. A corrupt snapshot or \
+           one matching none of the checked configurations is rejected \
+           with exit status 4.")
+
+let check_exits =
+  Cmd.Exit.info 0 ~doc:"all checked properties hold (complete exploration)."
+  :: Cmd.Exit.info 1 ~doc:"a property violation was found."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "no violation, but at least one exploration was truncated by \
+          $(b,--max-states) or an interrupt: the verdict covers only the \
+          explored prefix."
+  :: Cmd.Exit.info 4
+       ~doc:
+         "a $(b,--resume) snapshot was rejected: corrupt, wrong format \
+          version, or its fingerprint matches none of the checked \
+          configurations."
+  :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+
 let check_cmd =
   let doc = "exhaustively model-check a protocol instance" in
   Cmd.v
-    (Cmd.info "check" ~doc)
+    (Cmd.info "check" ~doc ~exits:check_exits)
     Term.(
       term_result
         (const check $ proto_arg $ n_arg $ m_arg $ par_arg $ domains_arg
-       $ stats_arg $ canon_arg $ no_canon_arg))
+       $ stats_arg $ canon_arg $ no_canon_arg $ max_states_arg
+       $ snapshot_dir_arg $ snapshot_every_arg $ resume_arg))
 
 let explore_cmd =
   let doc = "explore one configuration and print checker statistics" in
@@ -969,12 +1154,23 @@ let explore_cmd =
       value & flag
       & info [ "depths" ] ~doc:"Also print the per-depth frontier table.")
   in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint the exploration into $(i,FILE) (periodically, on \
+             truncation, and on SIGINT/SIGTERM) so it can be continued \
+             with $(b,--resume).")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
       term_result
         (const explore $ proto_arg $ n_arg $ m_arg $ rot $ par_arg
-       $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths))
+       $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths
+       $ snapshot $ snapshot_every_arg $ resume_arg))
 
 let bench_cmd =
   let doc = "quick in-process checker benchmark (full vs quotient)" in
@@ -1078,7 +1274,7 @@ let () =
   let doc = "memory-anonymous coordination (Taubenfeld, PODC'17) reproduction" in
   let info = Cmd.info "coordctl" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             simulate_cmd;

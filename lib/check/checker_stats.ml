@@ -40,6 +40,9 @@ let reduction_factor t =
   if t.n_states = 0 then 1.
   else float_of_int t.orbit_sum /. float_of_int t.n_states
 
+let equal_ignoring_time a b =
+  { a with elapsed_s = 0. } = { b with elapsed_s = 0. }
+
 let shard_imbalance t =
   (* max over mean shard population: 1.0 is a perfect split *)
   let n = Array.length t.shard_load in

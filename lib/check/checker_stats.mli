@@ -57,6 +57,13 @@ val reduction_factor : t -> float
 val shard_imbalance : t -> float
 (** Largest shard over the ideal even split; 1.0 is perfectly balanced. *)
 
+val equal_ignoring_time : t -> t -> bool
+(** Structural equality of every field except [elapsed_s] (wall-clock can
+    never reproduce). This is the "bit-identical statistics" relation the
+    checkpoint/resume tests assert: a truncated-then-resumed exploration
+    must match an uninterrupted one on everything the clock doesn't
+    touch — counts, depth profile, shard loads, orbit sums, cutover. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human summary. *)
 

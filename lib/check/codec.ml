@@ -59,6 +59,28 @@ module Make (P : Protocol.PROTOCOL) = struct
   let n_values t = (Atomic.get t.vcodes).next
   let n_locals t = (Atomic.get t.locals).next
 
+  (* Plain-data image of the interning tables, for durable snapshots. The
+     persistent maps hold only protocol values/locals and ints, so the
+     dump marshals cleanly; [of_dump] rebuilds a live context whose
+     encodings are byte-identical to the dumped one's. *)
+  type dump = {
+    d_values : int VMap.t;
+    d_nvalues : int;
+    d_locals : int LMap.t;
+    d_nlocals : int;
+  }
+
+  let dump t =
+    let v = Atomic.get t.vcodes and l = Atomic.get t.locals in
+    { d_values = v.map; d_nvalues = v.next; d_locals = l.map;
+      d_nlocals = l.next }
+
+  let of_dump d =
+    {
+      vcodes = Atomic.make { map = d.d_values; next = d.d_nvalues };
+      locals = Atomic.make { map = d.d_locals; next = d.d_nlocals };
+    }
+
   (* Three bytes per slot: 16.7M distinct codes dwarfs any state budget
      the explorer accepts, and fixed width keeps every encoding of one
      state identical regardless of when its codes were interned. *)

@@ -43,4 +43,17 @@ module Make (P : Anonmem.Protocol.PROTOCOL) : sig
 
   val n_locals : t -> int
   (** Number of distinct local states interned so far. *)
+
+  type dump
+  (** Immutable plain-data image of the interning tables (protocol values,
+      locals and ints only — safe to [Marshal]). Snapshots carry a dump so
+      a resumed exploration re-encodes every state to the {e same} packed
+      key bytes as the interrupted run, keeping shard assignment and
+      statistics bit-identical across the resume. *)
+
+  val dump : t -> dump
+
+  val of_dump : dump -> t
+  (** A fresh context that continues the dumped one: already-interned
+      values keep their codes; new values extend from where it left off. *)
 end

@@ -2,6 +2,8 @@ open Anonmem
 
 type reduction = Full | Canon
 
+let reduction_tag = function Full -> "full" | Canon -> "canon"
+
 module Make (P : Protocol.PROTOCOL) = struct
   module Cd = Codec.Make (P)
   module Cn = Canon.Make (P)
@@ -109,7 +111,77 @@ module Make (P : Protocol.PROTOCOL) = struct
       let mem, locals, orbit = Cn.canonize syms st.mem st.locals in
       ({ mem; locals }, orbit)
 
-  let explore ?(max_states = 2_000_000) ?(reduction = Full) cfg =
+  (* ---------------------------------------------------------------- *)
+  (* durable checkpoints                                               *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Periodic-snapshot cadence (newly interned states between writes)
+     when [~snapshot_to] is given without an explicit [~snapshot_every]. *)
+  let default_snapshot_every = 500_000
+
+  let fingerprint ~reduction cfg =
+    let descr =
+      Printf.sprintf "protocol=%s n=%d m=%d reduction=%s" P.name
+        (Array.length cfg.ids)
+        (Naming.size cfg.namings.(0))
+        (reduction_tag reduction)
+    in
+    let digest =
+      Digest.string
+        (Marshal.to_string
+           (P.name, cfg.ids, cfg.inputs, cfg.namings, reduction_tag reduction)
+           [])
+    in
+    (digest, descr)
+
+  (* A resume point, captured only at expansion boundaries where the run
+     was still exact (no budget drop, no worker failure): states [0, n)
+     are interned, states [0, k) are expanded with their transition lists
+     recorded, and the pending frontier is exactly states [k, n) in id
+     order — which is precisely the FIFO order the sequential reference
+     explorer would expand them in, so continuing from a snapshot is
+     indistinguishable from never having stopped. The codec dump keeps
+     packed keys byte-identical across the resume, which keeps shard
+     assignment (and therefore [shard_load]) bit-identical too. *)
+  type snapshot_payload = {
+    sp_states : state array;
+    sp_orbits : int array;
+    sp_succs : transition list array;  (** the expanded prefix *)
+    sp_depth : int;  (** BFS depth of the pending generation *)
+    sp_depths_rev : Checker_stats.depth_sample list;
+    sp_candidates : int;
+    sp_dedup : int;
+    sp_max_frontier : int;
+    sp_orbit_sum : int;
+    sp_cutover : int option;
+    sp_elapsed : float;
+    sp_codec : Cd.dump;
+    sp_rng : int64 option;
+        (* explorations are deterministic — always [None] today; the slot
+           lets randomized drivers checkpoint without a format bump *)
+  }
+
+  (* In-memory image of the same boundary. O(1) to capture: the chunk
+     lists are persistent, so consing later generations never mutates a
+     stashed tail. *)
+  type boundary = {
+    b_states : state array list;  (* reversed chunks *)
+    b_orbits : int array list;
+    b_trans : transition list array list;
+    b_n_states : int;
+    b_n_expanded : int;
+    b_depth : int;
+    b_depths_rev : Checker_stats.depth_sample list;
+    b_cand : int;
+    b_dups : int;
+    b_max_frontier : int;
+    b_orbit_sum : int;
+    b_cutover : int option;
+  }
+
+  (* The plain FIFO-queue reference explorer (no checkpoint machinery);
+     [explore] below dispatches here when no snapshot option is given. *)
+  let explore_basic ~max_states ~reduction cfg =
     let codec = Cd.create () in
     let syms = syms_of ~reduction cfg in
     let table : (string, int) Hashtbl.t = Hashtbl.create 4096 in
@@ -205,16 +277,38 @@ module Make (P : Protocol.PROTOCOL) = struct
      input and every mode schedule, which the test suite cross-checks for
      every in-tree protocol. *)
 
-  let explore_impl ~max_states ~domains ~par_threshold ~reduction cfg =
-    let t0 = Checker_stats.now () in
+  let explore_impl ~max_states ~domains ~par_threshold ~reduction
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg =
     let d = max 1 domains in
     let n_procs = Array.length cfg.ids in
     let n_registers = Naming.size cfg.namings.(0) in
-    let codec = Cd.create () in
+    let fp = lazy (fingerprint ~reduction cfg) in
+    let resumed : snapshot_payload option =
+      match resume_from with
+      | None -> None
+      | Some path ->
+        let meta, payload = Snapshot.read ~path in
+        let digest, descr = Lazy.force fp in
+        Snapshot.check_fingerprint ~path meta ~fingerprint:digest ~descr;
+        Some (Marshal.from_string payload 0)
+    in
+    (* Elapsed time accumulates across resumes: back-date [t0] by the
+       snapshot's recorded wall-clock. *)
+    let t0 =
+      Checker_stats.now ()
+      -. (match resumed with Some sp -> sp.sp_elapsed | None -> 0.)
+    in
+    let codec =
+      match resumed with
+      | Some sp -> Cd.of_dump sp.sp_codec
+      | None -> Cd.create ()
+    in
     let syms = syms_of ~reduction cfg in
     let group_order = max 1 (List.length syms) in
     let canon = reduction = Canon in
-    let cutover = ref None in
+    let cutover =
+      ref (match resumed with Some sp -> sp.sp_cutover | None -> None)
+    in
     let orbit_sum = ref 0 in
     let stats_base ~n_states ~n_transitions ~max_depth ~max_frontier
         ~candidates ~dedup_hits ~shard_load ~complete ~depths =
@@ -246,9 +340,14 @@ module Make (P : Protocol.PROTOCOL) = struct
           ~complete:false ~depths:[] )
     else begin
       let rep0, orbit0 = canonize syms (initial cfg) in
-      let key0 = Cd.encode codec rep0.mem rep0.locals in
-      (* Shard s owns every state whose key hash is s mod d. *)
-      let key_owner key = Hashtbl.hash (key : string) mod d in
+      (* Shard s owns every state whose structural hash is s mod d. The
+         hash is over the canonical state, NOT the packed codec key:
+         codec codes are assigned in racy first-encode order during the
+         parallel phases, so key bytes differ run to run, while the
+         structural hash is a pure function of the state — shard
+         assignment (and the [shard_load] statistic) stays deterministic
+         and therefore reproducible across checkpoint/resume. *)
+      let state_owner (st : state) = Hashtbl.hash st mod d in
       let shard_tbl : (string, int) Hashtbl.t array =
         Array.init d (fun _ -> Hashtbl.create 1024)
       in
@@ -258,10 +357,23 @@ module Make (P : Protocol.PROTOCOL) = struct
         Array.init d (fun _ -> Hashtbl.create 256)
       in
       let b = Parallel.Barrier.create d in
+      (* Exploration state: fresh, or rebuilt from the snapshot. In a
+         snapshot all expanded states form the prefix [0, n_expanded) of
+         the id order and the pending frontier is the rest. *)
+      let init_states, init_orbits, init_succs =
+        match resumed with
+        | None -> ([| rep0 |], [| orbit0 |], [||])
+        | Some sp -> (sp.sp_states, sp.sp_orbits, sp.sp_succs)
+      in
       (* Shared per-generation structures. Plain refs: every write is
          published to the readers of the next phase by the barrier. *)
       let stop = ref false in
-      let frontier = ref [| rep0 |] in
+      let n_expanded = ref (Array.length init_succs) in
+      let frontier =
+        ref
+          (Array.sub init_states !n_expanded
+             (Array.length init_states - !n_expanded))
+      in
       let succ_lists : (label * state * string * int) list array ref =
         ref [||]
       in
@@ -276,17 +388,27 @@ module Make (P : Protocol.PROTOCOL) = struct
       (* cand_id.(k): final state id, or -1 when the budget dropped it. *)
       let cand_id = ref [||] in
       let trans : transition list array ref = ref [||] in
-      let n_states = ref 1 in
+      let n_states = ref (Array.length init_states) in
       let complete = ref true in
-      let states_chunks = ref [ [| rep0 |] ] in
-      let orbits_chunks = ref [ [| orbit0 |] ] in
-      let trans_chunks = ref [] in
+      let states_chunks = ref [ init_states ] in
+      let orbits_chunks = ref [ init_orbits ] in
+      let trans_chunks =
+        ref (if Array.length init_succs = 0 then [] else [ init_succs ])
+      in
       (* stats accumulators (worker 0 only) *)
-      let depth = ref 0 in
-      let depths_rev = ref [] in
-      let total_cand = ref 0 in
-      let total_dups = ref 0 in
-      let max_frontier = ref 1 in
+      let depth = ref (match resumed with Some sp -> sp.sp_depth | None -> 0) in
+      let depths_rev =
+        ref (match resumed with Some sp -> sp.sp_depths_rev | None -> [])
+      in
+      let total_cand =
+        ref (match resumed with Some sp -> sp.sp_candidates | None -> 0)
+      in
+      let total_dups =
+        ref (match resumed with Some sp -> sp.sp_dedup | None -> 0)
+      in
+      let max_frontier =
+        ref (match resumed with Some sp -> sp.sp_max_frontier | None -> 1)
+      in
       let failure = ref None in
       let fail_mutex = Mutex.create () in
       let guard f =
@@ -296,19 +418,95 @@ module Make (P : Protocol.PROTOCOL) = struct
           (match !failure with None -> failure := Some e | Some _ -> ());
           Mutex.unlock fail_mutex
       in
-      orbit_sum := orbit0;
-      Hashtbl.add shard_tbl.(key_owner key0) key0 0;
+      orbit_sum :=
+        (match resumed with Some sp -> sp.sp_orbit_sum | None -> orbit0);
+      (* (Re)build the interning tables. The codec dump keeps re-encoded
+         keys consistent with the interrupted run's; shard ownership is
+         structural, so each state lands back in the shard it owned.
+         States in a snapshot are already canonical — no
+         re-canonicalization here. *)
+      Array.iteri
+        (fun id st ->
+          let key = Cd.encode codec st.mem st.locals in
+          Hashtbl.add shard_tbl.(state_owner st) key id)
+        init_states;
       (* Mode of the generation about to run; worker 0 decides the next
          one at every generation end. *)
-      let seq_gen = ref (d = 1 || 1 < par_threshold) in
+      let seq_gen = ref (d = 1 || Array.length !frontier < par_threshold) in
       if not !seq_gen then begin
-        succ_lists := Array.make 1 [];
-        trans := Array.make 1 []
+        succ_lists := Array.make (Array.length !frontier) [];
+        trans := Array.make (Array.length !frontier) []
       end;
+      (* Batch-carry: under memory pressure a generation's frontier is
+         split into prefix batches of at most [batch_cap] states. Graph
+         and id order stay bit-identical (expansion still proceeds in id
+         order); only the per-depth sample granularity degrades. *)
+      let pending_carry = ref [||] in
+      let batch_cap = ref max_int in
+      let min_batch = 16 in
+      let soft_limit_bytes =
+        match mem_soft_limit_mb with
+        | Some mb -> Some (mb * 1024 * 1024)
+        | None -> None
+      in
+      let heap_bytes () =
+        let s = Gc.quick_stat () in
+        s.Gc.heap_words * (Sys.word_size / 8)
+      in
+      let capture_boundary () =
+        {
+          b_states = !states_chunks;
+          b_orbits = !orbits_chunks;
+          b_trans = !trans_chunks;
+          b_n_states = !n_states;
+          b_n_expanded = !n_expanded;
+          b_depth = !depth;
+          b_depths_rev = !depths_rev;
+          b_cand = !total_cand;
+          b_dups = !total_dups;
+          b_max_frontier = !max_frontier;
+          b_orbit_sum = !orbit_sum;
+          b_cutover = !cutover;
+        }
+      in
+      (* The newest boundary at which the run was still exact; when the
+         budget truncates or a signal stops us, this is what gets flushed
+         to disk so a resumed run can replay the suffix bit-identically. *)
+      let last_boundary = ref (capture_boundary ()) in
+      let last_snapshot_states = ref !n_states in
+      let snapshot_gap =
+        match snapshot_every with
+        | Some e -> max 1 e
+        | None -> default_snapshot_every
+      in
+      let write_boundary path bd =
+        let payload =
+          {
+            sp_states = Array.concat (List.rev bd.b_states);
+            sp_orbits = Array.concat (List.rev bd.b_orbits);
+            sp_succs = Array.concat (List.rev bd.b_trans);
+            sp_depth = bd.b_depth;
+            sp_depths_rev = bd.b_depths_rev;
+            sp_candidates = bd.b_cand;
+            sp_dedup = bd.b_dups;
+            sp_max_frontier = bd.b_max_frontier;
+            sp_orbit_sum = bd.b_orbit_sum;
+            sp_cutover = bd.b_cutover;
+            sp_elapsed = Checker_stats.now () -. t0;
+            sp_codec = Cd.dump codec;
+            sp_rng = None;
+          }
+        in
+        let digest, descr = Lazy.force fp in
+        Snapshot.write ~path ~fingerprint:digest ~descr
+          (Marshal.to_string payload [])
+      in
       (* Close out a generation: record its transitions and stats, append
-         the fresh states (already in id order) and pick the next mode. *)
+         the fresh states (already in id order), stash the resume boundary
+         and pick the next mode. *)
       let finish_gen ~tr ~fresh ~orbs ~ncand ~dups ~discovered =
         trans_chunks := tr :: !trans_chunks;
+        n_expanded := !n_expanded + Array.length tr;
         depths_rev :=
           {
             Checker_stats.depth = !depth;
@@ -321,17 +519,62 @@ module Make (P : Protocol.PROTOCOL) = struct
         total_cand := !total_cand + ncand;
         total_dups := !total_dups + dups;
         let nf = Array.length fresh in
-        if nf = 0 || !failure <> None then stop := true
-        else begin
+        if nf > 0 then begin
           states_chunks := fresh :: !states_chunks;
-          orbits_chunks := orbs :: !orbits_chunks;
-          frontier := fresh;
-          if nf > !max_frontier then max_frontier := nf;
+          orbits_chunks := orbs :: !orbits_chunks
+        end;
+        let next =
+          if Array.length !pending_carry = 0 then fresh
+          else Array.append !pending_carry fresh
+        in
+        let nn = Array.length next in
+        if nn = 0 || !failure <> None then stop := true
+        else begin
+          if nn > !max_frontier then max_frontier := nn;
+          (* graceful degradation: past the soft memory watermark, halve
+             the expansion batch (floor [min_batch]) and checkpoint now
+             rather than running into [Out_of_memory] with nothing saved *)
+          let pressured =
+            match soft_limit_bytes with
+            | Some limit -> heap_bytes () > limit
+            | None -> false
+          in
+          if pressured then
+            batch_cap :=
+              if !batch_cap = max_int then max min_batch (nn / 2)
+              else max min_batch (!batch_cap / 2);
+          let head, carry =
+            if nn > !batch_cap then
+              ( Array.sub next 0 !batch_cap,
+                Array.sub next !batch_cap (nn - !batch_cap) )
+            else (next, [||])
+          in
+          pending_carry := carry;
+          frontier := head;
           incr depth;
-          seq_gen := d = 1 || nf < par_threshold;
+          seq_gen := d = 1 || Array.length head < par_threshold;
           if not !seq_gen then begin
-            succ_lists := Array.make nf [];
-            trans := Array.make nf []
+            succ_lists := Array.make (Array.length head) [];
+            trans := Array.make (Array.length head) []
+          end;
+          (* the run is exact up to this boundary: stash it (O(1)) and
+             service periodic durable snapshots *)
+          if !complete then begin
+            last_boundary := capture_boundary ();
+            match snapshot_to with
+            | Some path
+              when pressured
+                   || !n_states - !last_snapshot_states >= snapshot_gap ->
+              write_boundary path !last_boundary;
+              last_snapshot_states := !n_states
+            | _ -> ()
+          end;
+          if pressured then Gc.compact ();
+          (* SIGINT/SIGTERM (or a programmatic stop request): stop at this
+             boundary; the final snapshot is flushed on the way out *)
+          if Snapshot.stop_requested () then begin
+            complete := false;
+            stop := true
           end
         end
       in
@@ -352,7 +595,7 @@ module Make (P : Protocol.PROTOCOL) = struct
                 incr ncand;
                 let rep, orbit = canonize syms st' in
                 let key = Cd.encode codec rep.mem rep.locals in
-                let tbl = shard_tbl.(key_owner key) in
+                let tbl = shard_tbl.(state_owner rep) in
                 match Hashtbl.find_opt tbl key with
                 | Some dst ->
                   incr dups;
@@ -418,7 +661,7 @@ module Make (P : Protocol.PROTOCOL) = struct
               cs.(offs.(i) + j) <- st';
               ck.(offs.(i) + j) <- key;
               co.(offs.(i) + j) <- orbit;
-              ow.(offs.(i) + j) <- key_owner key)
+              ow.(offs.(i) + j) <- state_owner st')
             sl.(i)
         done;
         offsets := offs;
@@ -530,9 +773,19 @@ module Make (P : Protocol.PROTOCOL) = struct
         let running = ref true in
         while !running do
           Parallel.Barrier.wait b;
-          (* generation inputs published *)
-          if !stop then running := false
-          else if !seq_gen then begin
+          (* generation inputs published; snapshot the mode into locals
+             NOW, then hold a decision barrier. Without it, worker 0 of a
+             sequential-mode generation would run the whole generation —
+             rewriting [stop]/[seq_gen] at its end — racing the other
+             workers' branch reads, so two workers could pick different
+             branches (different barrier counts) and wedge the crew. The
+             second barrier guarantees every worker has read the decision
+             before worker 0 may mutate it again. *)
+          let stop_now = !stop and seq_now = !seq_gen in
+          Parallel.Barrier.wait b;
+          (* decision taken by all workers *)
+          if stop_now then running := false
+          else if seq_now then begin
             if me = 0 then expand_seq_guarded ()
             (* other workers loop straight to the next start barrier *)
           end
@@ -551,6 +804,9 @@ module Make (P : Protocol.PROTOCOL) = struct
           end
         done
       in
+      (* A snapshot of a finished exploration resumes to an empty
+         frontier: nothing to do, return the restored graph as-is. *)
+      if Array.length !frontier = 0 then stop := true;
       if d = 1 then
         while not !stop do
           expand_seq_guarded ()
@@ -562,7 +818,8 @@ module Make (P : Protocol.PROTOCOL) = struct
           expand_seq_guarded ()
         done;
         if not !stop then begin
-          cutover := Some !depth;
+          (* a resumed run keeps the original run's recorded cutover *)
+          if !cutover = None then cutover := Some !depth;
           let workers =
             Array.init (d - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
           in
@@ -570,35 +827,70 @@ module Make (P : Protocol.PROTOCOL) = struct
           Array.iter Domain.join workers
         end
       end;
-      (match !failure with Some e -> raise e | None -> ());
-      let states = Array.concat (List.rev !states_chunks) in
-      let orbits = Array.concat (List.rev !orbits_chunks) in
-      let succs = Array.concat (List.rev !trans_chunks) in
-      assert (Array.length states = !n_states);
-      assert (Array.length orbits = !n_states);
-      assert (Array.length succs = !n_states);
-      let n_transitions =
-        Array.fold_left (fun acc ts -> acc + List.length ts) 0 succs
+      (* Build the result from a boundary image. When the boundary has
+         unexpanded frontier states (stopped by a signal, or degraded out
+         of an [Out_of_memory]), their transition lists are empty in the
+         returned graph — the snapshot, not this graph, is the resume
+         artifact. *)
+      let result_of bd ~complete =
+        let states = Array.concat (List.rev bd.b_states) in
+        let orbits = Array.concat (List.rev bd.b_orbits) in
+        let expanded = Array.concat (List.rev bd.b_trans) in
+        assert (Array.length states = bd.b_n_states);
+        assert (Array.length orbits = bd.b_n_states);
+        assert (Array.length expanded = bd.b_n_expanded);
+        let succs =
+          if bd.b_n_expanded = bd.b_n_states then expanded
+          else begin
+            assert (not complete);
+            Array.init bd.b_n_states (fun i ->
+                if i < bd.b_n_expanded then expanded.(i) else [])
+          end
+        in
+        let n_transitions =
+          Array.fold_left (fun acc ts -> acc + List.length ts) 0 succs
+        in
+        orbit_sum := bd.b_orbit_sum;
+        cutover := bd.b_cutover;
+        let g = { cfg; states; orbits; succs; complete } in
+        let stats =
+          stats_base ~n_states:bd.b_n_states ~n_transitions
+            ~max_depth:bd.b_depth ~max_frontier:bd.b_max_frontier
+            ~candidates:bd.b_cand ~dedup_hits:bd.b_dups
+            ~shard_load:(Array.map Hashtbl.length shard_tbl)
+            ~complete ~depths:(List.rev bd.b_depths_rev)
+        in
+        (g, stats)
       in
-      let g = { cfg; states; orbits; succs; complete = !complete } in
-      let stats =
-        stats_base ~n_states:!n_states ~n_transitions ~max_depth:!depth
-          ~max_frontier:!max_frontier ~candidates:!total_cand
-          ~dedup_hits:!total_dups
-          ~shard_load:(Array.map Hashtbl.length shard_tbl)
-          ~complete:!complete
-          ~depths:(List.rev !depths_rev)
-      in
-      (g, stats)
+      match !failure with
+      | Some Out_of_memory when snapshot_to <> None ->
+        (* last-ditch degradation: flush the newest exact boundary and
+           hand back a truncated result instead of dying with nothing *)
+        (match snapshot_to with
+        | Some path -> (
+          try write_boundary path !last_boundary with Snapshot.Error _ -> ())
+        | None -> ());
+        result_of !last_boundary ~complete:false
+      | Some e -> raise e
+      | None ->
+        (* a truncated (budget or signal) run leaves its newest exact
+           boundary on disk so it can be resumed later *)
+        (match snapshot_to with
+        | Some path when not !complete -> write_boundary path !last_boundary
+        | _ -> ());
+        result_of (capture_boundary ()) ~complete:!complete
     end
 
-  let explore_with_stats ?(max_states = 2_000_000) ?(reduction = Full) cfg =
-    explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction cfg
+  let explore_with_stats ?(max_states = 2_000_000) ?(reduction = Full)
+      ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb cfg =
+    explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg
 
   let default_par_threshold ~domains = 1024 * (domains - 1)
 
   let explore_par ?(max_states = 2_000_000) ?domains ?par_threshold
-      ?(reduction = Full) cfg =
+      ?(reduction = Full) ?snapshot_every ?snapshot_to ?resume_from
+      ?mem_soft_limit_mb cfg =
     let domains =
       match domains with
       | Some d -> max 1 d (* explicit override, even past the host count *)
@@ -609,7 +901,21 @@ module Make (P : Protocol.PROTOCOL) = struct
       | Some t -> max 0 t
       | None -> default_par_threshold ~domains
     in
-    explore_impl ~max_states ~domains ~par_threshold ~reduction cfg
+    explore_impl ~max_states ~domains ~par_threshold ~reduction
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg
+
+  let explore ?(max_states = 2_000_000) ?(reduction = Full) ?snapshot_every
+      ?snapshot_to ?resume_from cfg =
+    match (snapshot_every, snapshot_to, resume_from) with
+    | None, None, None -> explore_basic ~max_states ~reduction cfg
+    | _ ->
+      (* Checkpointing lives in the generation-boundary machinery; its
+         single-domain graph is bit-identical to the plain loop (the test
+         suite cross-checks this on every in-tree protocol). *)
+      fst
+        (explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
+           ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb:None
+           cfg)
 
   let solo_run cfg st ~proc ~max_steps =
     let rec go st steps =

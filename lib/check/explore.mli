@@ -56,25 +56,69 @@ module Make (P : Protocol.PROTOCOL) : sig
   (** All one-step extensions (every non-decided process; both coin
       outcomes). *)
 
-  val explore : ?max_states:int -> ?reduction:reduction -> config -> graph
+  val fingerprint : reduction:reduction -> config -> Digest.t * string
+  (** Configuration fingerprint for durable snapshots: an MD5 digest over
+      the protocol name, ids, inputs, namings and reduction, plus a
+      human-readable description ("protocol=… n=… m=… reduction=…").
+      Budget and parallelism knobs ([max_states], [domains],
+      [par_threshold], snapshot cadence) are deliberately {e not} part of
+      the fingerprint — they don't change the graph being explored, so a
+      snapshot may be resumed with a bigger budget or different domain
+      count. *)
+
+  val explore :
+    ?max_states:int ->
+    ?reduction:reduction ->
+    ?snapshot_every:int ->
+    ?snapshot_to:string ->
+    ?resume_from:string ->
+    config ->
+    graph
   (** Breadth-first reachability from {!initial} (default reduction
       {!Full}; default budget 2,000,000 states). States are interned by
       their packed {!Codec} key. This is the sequential reference
       explorer; the parallel explorers below are cross-validated against
-      it. *)
+      it.
+
+      Checkpointing (all explorers): with [~snapshot_to:FILE] the
+      exploration writes a durable {!Snapshot} of its newest exact
+      generation boundary every [~snapshot_every] newly interned states
+      (default 500,000), plus a final one whenever the run ends truncated
+      (budget exhausted, or stopped by {!Snapshot.request_stop} /
+      an installed signal handler). With [~resume_from:FILE] it restores
+      that boundary — after checking the file's integrity and
+      {!fingerprint} — and continues as if never interrupted: the final
+      graph and statistics (modulo wall-clock) are bit-identical to an
+      uninterrupted run with the same budget. Raises {!Snapshot.Error} on
+      a corrupt or mismatched snapshot. *)
 
   val explore_with_stats :
-    ?max_states:int -> ?reduction:reduction -> config ->
+    ?max_states:int ->
+    ?reduction:reduction ->
+    ?snapshot_every:int ->
+    ?snapshot_to:string ->
+    ?resume_from:string ->
+    ?mem_soft_limit_mb:int ->
+    config ->
     graph * Checker_stats.t
   (** {!explore} semantics (bit-identical graph) with observability:
       per-depth frontier profile, throughput, dedup hit-rate, reduction
-      factor. Runs in-process on the calling domain. *)
+      factor. Runs in-process on the calling domain. Checkpoint options
+      as in {!explore}; additionally [~mem_soft_limit_mb] arms the
+      memory watermark: past it, expansion batches halve (floor 16),
+      a snapshot is forced and the heap is compacted — the graph stays
+      bit-identical, only per-depth sample granularity degrades
+      (DESIGN.md §10). *)
 
   val explore_par :
     ?max_states:int ->
     ?domains:int ->
     ?par_threshold:int ->
     ?reduction:reduction ->
+    ?snapshot_every:int ->
+    ?snapshot_to:string ->
+    ?resume_from:string ->
+    ?mem_soft_limit_mb:int ->
     config ->
     graph * Checker_stats.t
   (** Frontier-parallel breadth-first exploration over [domains] worker
@@ -94,7 +138,13 @@ module Make (P : Protocol.PROTOCOL) : sig
       (that depth is reported as [cutover] in the stats; [None] means the
       whole run stayed sequential) and a draining frontier drops back to
       one barrier per generation. [domains = 1] always runs inline
-      without spawning. *)
+      without spawning.
+
+      Checkpoint options as in {!explore_with_stats}. A snapshot taken by
+      any explorer can be resumed by any other ([domains] is not part of
+      the fingerprint); the graph is bit-identical either way, and the
+      statistics are bit-identical (modulo wall-clock) when the
+      interrupted and resuming runs use the same explorer settings. *)
 
   val solo_run :
     config ->

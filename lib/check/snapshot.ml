@@ -1,0 +1,168 @@
+type error =
+  | Io of string
+  | Bad_magic of { path : string }
+  | Bad_version of { path : string; found : int; expected : int }
+  | Corrupt of { path : string; detail : string }
+  | Config_mismatch of { path : string; snapshot : string; current : string }
+
+exception Error of error
+
+let error_message = function
+  | Io msg -> Printf.sprintf "snapshot I/O error: %s" msg
+  | Bad_magic { path } -> Printf.sprintf "%s is not a snapshot file" path
+  | Bad_version { path; found; expected } ->
+    Printf.sprintf "%s: snapshot format v%d, this build reads v%d" path found
+      expected
+  | Corrupt { path; detail } ->
+    Printf.sprintf "%s: snapshot is corrupt (%s); refusing to resume" path
+      detail
+  | Config_mismatch { path; snapshot; current } ->
+    Printf.sprintf
+      "%s: snapshot belongs to a different exploration:\n\
+      \  snapshot: %s\n\
+      \  current:  %s"
+      path snapshot current
+
+let magic = "COORDSNAP"
+let version = 1
+
+(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Marshal has no
+   integrity check of its own: feeding it a truncated or bit-flipped
+   payload is undefined behavior, so the CRC is what stands between a
+   damaged file and a garbage graph. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor t.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+type meta = { version : int; fingerprint : Digest.t; descr : string }
+
+let write ~path ~fingerprint ~descr payload =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc magic;
+       output_byte oc version;
+       output_string oc fingerprint;
+       let b = Bytes.create 2 in
+       Bytes.set_uint16_be b 0 (String.length descr);
+       output_bytes oc b;
+       output_string oc descr;
+       let b = Bytes.create 8 in
+       Bytes.set_int64_be b 0 (Int64.of_int (String.length payload));
+       output_bytes oc b;
+       let b = Bytes.create 4 in
+       Bytes.set_int32_be b 0 (crc32 payload);
+       output_bytes oc b;
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path
+  with Sys_error msg -> raise (Error (Io msg))
+
+let input_exact ~path ic len what =
+  let b = Bytes.create len in
+  (try really_input ic b 0 len
+   with End_of_file ->
+     raise (Error (Corrupt { path; detail = "truncated " ^ what })));
+  b
+
+let with_in ~path f =
+  let ic =
+    try open_in_bin path with Sys_error msg -> raise (Error (Io msg))
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let read_header ~path ic =
+  let m =
+    Bytes.to_string (input_exact ~path ic (String.length magic) "header")
+  in
+  if m <> magic then raise (Error (Bad_magic { path }));
+  let v =
+    try input_byte ic
+    with End_of_file ->
+      raise (Error (Corrupt { path; detail = "truncated header" }))
+  in
+  if v <> version then
+    raise (Error (Bad_version { path; found = v; expected = version }));
+  let fingerprint = Bytes.to_string (input_exact ~path ic 16 "fingerprint") in
+  let dlen = Bytes.get_uint16_be (input_exact ~path ic 2 "header") 0 in
+  let descr = Bytes.to_string (input_exact ~path ic dlen "description") in
+  { version = v; fingerprint; descr }
+
+let read_meta ~path = with_in ~path (fun ic -> read_header ~path ic)
+
+let read ~path =
+  with_in ~path (fun ic ->
+      let meta = read_header ~path ic in
+      let plen =
+        Int64.to_int (Bytes.get_int64_be (input_exact ~path ic 8 "header") 0)
+      in
+      if plen < 0 || plen > Sys.max_string_length then
+        raise (Error (Corrupt { path; detail = "nonsensical payload length" }));
+      let crc = Bytes.get_int32_be (input_exact ~path ic 4 "header") 0 in
+      let payload = Bytes.to_string (input_exact ~path ic plen "payload") in
+      let found = crc32 payload in
+      if found <> crc then
+        raise
+          (Error
+             (Corrupt
+                {
+                  path;
+                  detail =
+                    Printf.sprintf "CRC mismatch: stored %08lx, computed %08lx"
+                      crc found;
+                }));
+      (meta, payload))
+
+let check_fingerprint ~path meta ~fingerprint ~descr =
+  if not (String.equal meta.fingerprint fingerprint) then
+    raise
+      (Error
+         (Config_mismatch { path; snapshot = meta.descr; current = descr }))
+
+(* -------------------------------------------------------------------- *)
+(* cooperative interruption                                             *)
+(* -------------------------------------------------------------------- *)
+
+let stop_flag = Atomic.make false
+let signals_seen = Atomic.make 0
+
+let request_stop () = Atomic.set stop_flag true
+let stop_requested () = Atomic.get stop_flag
+
+let reset_stop () =
+  Atomic.set stop_flag false;
+  Atomic.set signals_seen 0
+
+let install_signal_handlers () =
+  let handle exit_code _signo =
+    if Atomic.fetch_and_add signals_seen 1 = 0 then Atomic.set stop_flag true
+    else exit exit_code
+    (* second signal: the operator means it *)
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (handle 143));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (handle 130))

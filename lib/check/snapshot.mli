@@ -1,0 +1,86 @@
+(** Durable on-disk checkpoints for long explorations.
+
+    This module owns the {e envelope}: a versioned, CRC-checksummed file
+    format with a config fingerprint, so a resumed run can prove it is
+    continuing the same exploration it left off — never silently explore
+    the wrong protocol. The payload itself is opaque here (the explorers
+    marshal their own typed resume state, see {!Explore.Make.explore});
+    everything that can go wrong with the {e file} is detected at this
+    layer and reported as a typed {!error}.
+
+    Layout (all integers big-endian):
+    {v
+    "COORDSNAP"  9-byte magic
+    u8           format version (currently 1)
+    16 bytes     MD5 fingerprint of the exploration config
+    u16 + bytes  human-readable config description (for diagnostics)
+    u64          payload length
+    u32          CRC-32 (IEEE) of the payload
+    payload
+    v}
+
+    Writes go to [path ^ ".tmp"] and are renamed into place, so a crash
+    mid-write never leaves a half-written snapshot under the real name —
+    at worst the previous complete snapshot survives.
+
+    The module also hosts the process-wide cooperative stop flag behind
+    graceful SIGINT/SIGTERM handling: handlers (installed by the CLI)
+    only set the flag; explorers poll it at generation boundaries, flush
+    a final snapshot and return a truncated ([complete = false]) result
+    instead of dying with every interned state lost. *)
+
+(** Everything that can be wrong with a snapshot file. *)
+type error =
+  | Io of string  (** open/read/write/rename failure; the system message *)
+  | Bad_magic of { path : string }
+      (** the file is not a snapshot at all *)
+  | Bad_version of { path : string; found : int; expected : int }
+      (** written by an incompatible format version *)
+  | Corrupt of { path : string; detail : string }
+      (** truncated file or CRC mismatch — the payload cannot be trusted *)
+  | Config_mismatch of { path : string; snapshot : string; current : string }
+      (** valid snapshot of a {e different} exploration; both sides'
+          descriptions are carried for the diagnostic *)
+
+exception Error of error
+
+val error_message : error -> string
+(** One-line human-readable diagnostic, naming the mismatch. *)
+
+type meta = { version : int; fingerprint : Digest.t; descr : string }
+
+val write : path:string -> fingerprint:Digest.t -> descr:string -> string -> unit
+(** [write ~path ~fingerprint ~descr payload] durably replaces [path]
+    (tmp file + atomic rename). Raises {!Error} ([Io _]) on failure. *)
+
+val read : path:string -> meta * string
+(** Read and fully validate (magic, version, CRC) a snapshot file.
+    Raises {!Error}. Fingerprint checking is the caller's job (it knows
+    the current config): see {!check_fingerprint}. *)
+
+val read_meta : path:string -> meta
+(** Header only — cheap existence/compatibility probe that skips the
+    payload CRC. Raises {!Error}. *)
+
+val check_fingerprint : path:string -> meta -> fingerprint:Digest.t -> descr:string -> unit
+(** Raises {!Error} ([Config_mismatch _]) unless the snapshot's
+    fingerprint equals the current run's. *)
+
+(** {2 Cooperative interruption} *)
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to the stop flag: the first signal requests
+    a graceful stop (explorers flush a snapshot and return truncated);
+    a second signal exits immediately with the conventional [128 + signo]
+    code. Installed by the CLI only when snapshotting is enabled, so
+    default signal behavior is preserved otherwise. *)
+
+val request_stop : unit -> unit
+(** What the handlers call; exposed so tests can simulate a signal. *)
+
+val stop_requested : unit -> bool
+(** Polled by the explorers at generation boundaries. *)
+
+val reset_stop : unit -> unit
+(** Clear the flag (tests; or a driver starting a fresh exploration
+    after a graceful stop). *)

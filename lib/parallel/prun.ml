@@ -23,6 +23,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     cs_entries : int;
     crashed : bool;
     timed_out : bool;
+    stall_retries : int;
   }
 
   type outcome = {
@@ -32,7 +33,8 @@ module Make (P : Protocol.PROTOCOL) = struct
     memory : P.Value.t array;
   }
 
-  let run ?watchdog_s ?faults ~step_budget ~stop_when cfg =
+  let run ?watchdog_s ?(max_stall_retries = 2) ?faults ~step_budget
+      ~stop_when cfg =
     let n = Array.length cfg.ids in
     if n = 0 then invalid_arg "Prun: no processes";
     if Array.length cfg.inputs <> n || Array.length cfg.namings <> n then
@@ -121,6 +123,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             cs_entries = !cs_entries;
             crashed = !crashed;
             timed_out = false;
+            stall_retries = 0;
           }
         with _exn ->
           Atomic.set stop true;
@@ -130,6 +133,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             cs_entries = !cs_entries;
             crashed = true;
             timed_out = false;
+            stall_retries = 0;
           }
       in
       (* never leave the occupancy counter skewed if we stop inside the CS *)
@@ -140,6 +144,12 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     let domains = Array.init n (fun proc -> Domain.spawn (body proc)) in
     let fired = ref false in
+    (* retry bookkeeping: [retries] is the consecutive-stall escalation
+       level (cleared when the heartbeat resumes), [retries_total] the
+       per-process count of retries granted over the whole run, surfaced
+       as [stall_retries] in the results. *)
+    let retries = Array.make n 0 in
+    let retries_total = Array.make n 0 in
     (match watchdog_s with
     | None -> Array.iter Domain.join domains
     | Some patience ->
@@ -162,12 +172,27 @@ module Make (P : Protocol.PROTOCOL) = struct
               if beat <> last_beat.(i) || Atomic.get mailbox.(i) <> None
               then begin
                 last_beat.(i) <- beat;
-                last_change.(i) <- t
+                last_change.(i) <- t;
+                retries.(i) <- 0
               end
-              else if t -. last_change.(i) > patience then begin
-                fired := true;
-                Atomic.set stop true
-              end)
+              else
+                (* retry with backoff before giving up: the stall must
+                   outlive patience * 2^r before escalating from level r,
+                   so a merely slow step gets patience + 2*patience + ...
+                   of total grace while a dead one still fires boundedly *)
+                let threshold =
+                  patience *. float_of_int (1 lsl retries.(i))
+                in
+                if t -. last_change.(i) > threshold then begin
+                  if retries.(i) < max_stall_retries then begin
+                    retries.(i) <- retries.(i) + 1;
+                    retries_total.(i) <- retries_total.(i) + 1
+                  end
+                  else begin
+                    fired := true;
+                    Atomic.set stop true
+                  end
+                end)
             heartbeats;
           match !grace_deadline with
           | None -> if !fired then grace_deadline := Some (t +. patience)
@@ -183,7 +208,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     let results =
       Array.init n (fun i ->
           match Atomic.get mailbox.(i) with
-          | Some r -> r
+          | Some r -> { r with stall_retries = retries_total.(i) }
           | None ->
             {
               output = None;
@@ -191,6 +216,7 @@ module Make (P : Protocol.PROTOCOL) = struct
               cs_entries = 0;
               crashed = false;
               timed_out = true;
+              stall_retries = retries_total.(i);
             })
     in
     {
@@ -200,14 +226,15 @@ module Make (P : Protocol.PROTOCOL) = struct
       memory = Mem.snapshot mem;
     }
 
-  let run_decide ?watchdog_s ?faults ?(step_budget = 2_000_000) cfg =
-    run ?watchdog_s ?faults ~step_budget
+  let run_decide ?watchdog_s ?max_stall_retries ?faults
+      ?(step_budget = 2_000_000) cfg =
+    run ?watchdog_s ?max_stall_retries ?faults ~step_budget
       ~stop_when:(fun ~status ~cs_completed:_ -> Protocol.is_decided status)
       cfg
 
-  let run_sessions ?watchdog_s ?faults ?(step_budget = 2_000_000) ~sessions
-      cfg =
-    run ?watchdog_s ?faults ~step_budget
+  let run_sessions ?watchdog_s ?max_stall_retries ?faults
+      ?(step_budget = 2_000_000) ~sessions cfg =
+    run ?watchdog_s ?max_stall_retries ?faults ~step_budget
       ~stop_when:(fun ~status ~cs_completed ->
         cs_completed >= sessions && status = Protocol.Remainder)
       cfg

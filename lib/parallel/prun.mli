@@ -22,9 +22,16 @@
     shared stop flag so its peers — possibly blocked on a lock the corpse
     still holds — exit their loops instead of spinning out their budgets.
     Passing [?watchdog_s] arms a monitor that detects domains whose
-    heartbeat has stalled (a protocol step that never returns), stops the
-    rest, and returns a {e partial} outcome in which the stuck domain's
-    slot is synthesised with [timed_out] set. A {!fault_plan} injects
+    heartbeat has stalled (a protocol step that never returns). Before
+    giving up, the monitor retries with exponential backoff: a stalled
+    domain is granted up to [max_stall_retries] (default 2) escalations,
+    each doubling the patience window, so a step that is merely slow — a
+    GC pause, an unlucky preemption — recovers instead of killing the
+    run; retries granted are reported per process as
+    {!proc_result.stall_retries}. Only when the backoff budget is
+    exhausted does the watchdog fire: it stops the rest and returns a
+    {e partial} outcome in which the stuck domain's slot is synthesised
+    with [timed_out] set. A {!fault_plan} injects
     crash-stops ([crash_at]) and random scheduling pauses ([pause_prob])
     to probe crash tolerance under real preemption; an injected crash
     does {e not} raise the stop flag — survivors keep running, which is
@@ -65,6 +72,10 @@ module Make (P : Protocol.PROTOCOL) : sig
     timed_out : bool;
         (** the watchdog gave up on this domain; [steps] is then its last
             observed heartbeat, and the domain itself is leaked *)
+    stall_retries : int;
+        (** how many doubled-patience retries the watchdog granted this
+            domain before it either resumed beating or was abandoned;
+            always 0 when [watchdog_s] is off *)
   }
 
   type outcome = {
@@ -77,15 +88,24 @@ module Make (P : Protocol.PROTOCOL) : sig
   }
 
   val run_decide :
-    ?watchdog_s:float -> ?faults:fault_plan -> ?step_budget:int -> config ->
+    ?watchdog_s:float ->
+    ?max_stall_retries:int ->
+    ?faults:fault_plan ->
+    ?step_budget:int ->
+    config ->
     outcome
   (** Each domain steps its process until it decides or exhausts the budget
       (default 2,000,000 steps). [watchdog_s] (off by default) bounds how
       long a single protocol step may stall before the run is abandoned
-      with a partial outcome. *)
+      with a partial outcome; [max_stall_retries] (default 2) is how many
+      doubled-patience grace extensions a stalled domain gets first —
+      pass [0] to fire on the first missed patience window. *)
 
   val run_sessions :
-    ?watchdog_s:float -> ?faults:fault_plan -> ?step_budget:int ->
+    ?watchdog_s:float ->
+    ?max_stall_retries:int ->
+    ?faults:fault_plan ->
+    ?step_budget:int ->
     sessions:int -> config -> outcome
   (** Mutex workload: each domain keeps entering and leaving its critical
       section until it has completed [sessions] of them (counted at exit

@@ -75,9 +75,18 @@ val e19_crash_tolerance : speed -> Table.t list
     executable face of Thm 6.2), plus multicore crash-stops and the
     hung-domain watchdog. *)
 
+val e20_symmetry_reduction : speed -> Table.t list
+(** Symmetry-quotient reduction factors, with orbit-sum soundness
+    checks (DESIGN.md §9). *)
+
+val e21_snapshot_overhead : speed -> Table.t list
+(** Checkpoint/resume layer: throughput cost of periodic snapshots and a
+    kill-at-half-budget resume whose final graph and statistics must be
+    bit-identical to an uninterrupted run (DESIGN.md §10). *)
+
 val all : speed -> Table.t list
 (** Every experiment, in order. *)
 
 val by_id : string -> (speed -> Table.t list) option
-(** Look up an experiment by its identifier ("E1" .. "E19", case
+(** Look up an experiment by its identifier ("E1" .. "E21", case
     insensitive). *)

@@ -11,6 +11,7 @@ let () =
       ("fault", Test_fault.suite);
       ("hunt", Test_hunt.suite);
       ("explore_par", Test_explore_par.suite);
+      ("snapshot", Test_snapshot.suite);
       ("canon", Test_canon.suite);
       ("props", Test_props.suite);
       ("trace", Test_trace.suite);

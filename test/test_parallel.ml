@@ -241,7 +241,7 @@ let test_watchdog_returns_partial_outcome () =
       seed = 1;
     }
   in
-  let o = PHang.run_decide ~watchdog_s:0.2 ~step_budget:1_000 cfg in
+  let o = PHang.run_decide ~watchdog_s:0.2 ~max_stall_retries:0 ~step_budget:1_000 cfg in
   (* run_decide returned at all: this call deadlocked in Domain.join
      before the watchdog existed. Release the leaked domain so it
      terminates before the test binary exits. *)
@@ -256,6 +256,63 @@ let test_watchdog_returns_partial_outcome () =
        0 o.results);
   Alcotest.(check bool) "peers still decided" true
     (o.results.(1).PHang.output = Some 0 && o.results.(2).PHang.output = Some 0)
+
+let test_stall_retry_recovers () =
+  (* a step that stalls well past the patience window but resumes before
+     the backoff budget runs out: the watchdog must NOT fire — the stall
+     is absorbed by doubled-patience retries and the run completes *)
+  Atomic.set hang_release false;
+  let releaser =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.45;
+        Atomic.set hang_release true)
+  in
+  let cfg : PHang.config =
+    {
+      ids = [| 1; 2; 3 |];
+      inputs = [| (); (); () |];
+      namings = Array.init 3 (fun _ -> Naming.identity 1);
+      seed = 1;
+    }
+  in
+  (* patience 0.2s, default 2 retries: abandonment needs a >0.8s stall *)
+  let o = PHang.run_decide ~watchdog_s:0.2 ~step_budget:1_000 cfg in
+  Domain.join releaser;
+  Alcotest.(check bool) "watchdog did not fire" false o.watchdog_fired;
+  Alcotest.(check bool) "no domain abandoned" true
+    (Array.for_all (fun r -> not r.PHang.timed_out) o.results);
+  Alcotest.(check (option int)) "stalled domain recovered and decided"
+    (Some 0) o.results.(0).PHang.output;
+  Alcotest.(check bool) "the stall consumed retries" true
+    (o.results.(0).PHang.stall_retries >= 1);
+  Alcotest.(check bool) "healthy peers consumed none" true
+    (o.results.(1).PHang.stall_retries = 0
+    && o.results.(2).PHang.stall_retries = 0)
+
+let test_stall_retries_bounded () =
+  (* a genuinely dead step exhausts the bounded retry budget and still
+     ends in the watchdog's partial-outcome path *)
+  Atomic.set hang_release false;
+  let cfg : PHang.config =
+    {
+      ids = [| 1; 2; 3 |];
+      inputs = [| (); (); () |];
+      namings = Array.init 3 (fun _ -> Naming.identity 1);
+      seed = 1;
+    }
+  in
+  let o =
+    PHang.run_decide ~watchdog_s:0.1 ~max_stall_retries:1 ~step_budget:1_000
+      cfg
+  in
+  Atomic.set hang_release true;
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "watchdog fired after bounded retries" true
+    o.watchdog_fired;
+  Alcotest.(check bool) "dead domain abandoned" true
+    o.results.(0).PHang.timed_out;
+  Alcotest.(check int) "exactly the granted retries recorded" 1
+    o.results.(0).PHang.stall_retries
 
 let test_injected_crash_survivors_decide () =
   let rng = Rng.create 11 in
@@ -298,6 +355,10 @@ let suite =
       test_escaped_exception_degrades_gracefully;
     Alcotest.test_case "watchdog returns a partial outcome" `Slow
       test_watchdog_returns_partial_outcome;
+    Alcotest.test_case "stalled step recovers via backoff retries" `Slow
+      test_stall_retry_recovers;
+    Alcotest.test_case "retry budget is bounded" `Slow
+      test_stall_retries_bounded;
     Alcotest.test_case "injected crash: survivors decide" `Slow
       test_injected_crash_survivors_decide;
   ]
