@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build test check chaos bench bench-checker bench-quick tables \
-        resume-smoke clean-snapshots clean
+        resume-smoke fuzz-smoke fuzz clean-snapshots clean
 
 all: build
 
@@ -19,12 +19,39 @@ check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
 	$(MAKE) bench-quick
 	$(MAKE) resume-smoke
+	$(MAKE) fuzz-smoke
 
 # End-to-end snapshot/resume smoke: truncate + resume vs oracle,
 # SIGTERM mid-exploration, and the `check` exit-code contract
 # (0 clean / 1 violation / 3 truncated / 4 rejected snapshot).
 resume-smoke: build
 	timeout 120 scripts/resume_smoke.sh _build/default/bin/coordctl.exe
+
+# Sub-30s fuzzing smoke: replay the committed regression corpus, run a
+# 1000-instance differential sweep (seq/par explorers, property checkers,
+# runtime probes, baseline twins must all agree), and require the broken
+# even-m mutex to be caught, shrunk and replayable end to end.
+fuzz-smoke: build
+	timeout 60 scripts/fuzz_smoke.sh _build/default/bin/coordctl.exe
+
+# Long-running fuzz campaign: every protocol family, generous budgets,
+# shrunk witnesses dropped in _fuzz/ for triage. Deterministic by SEED.
+FUZZ_SECONDS ?= 60
+SEED ?= 1
+fuzz: build
+	mkdir -p _fuzz
+	-dune exec -- coordctl fuzz mutex --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
+	-dune exec -- coordctl fuzz cmp-mutex --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
+	-dune exec -- coordctl fuzz consensus --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
+	-dune exec -- coordctl fuzz election --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
+	-dune exec -- coordctl fuzz renaming --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
+	-dune exec -- coordctl fuzz ccp --seconds $(FUZZ_SECONDS) \
+	  --attempts 100000 --seed $(SEED) --shrink --corpus _fuzz
 
 # Remove checkpoint files left behind by interrupted explorations.
 clean-snapshots:

@@ -5,7 +5,9 @@
      coordctl check PROTO [-n N] [-m M]     exhaustively model-check
      coordctl chaos PROTO [--crash P@K] ... crash-inject and check survivors
      coordctl symmetry [-n N] [-m M]        run the Thm 3.4 lock-step attack
-     coordctl covering PROTO [-m M] ...     run the §6 covering adversary *)
+     coordctl covering PROTO [-m M] ...     run the §6 covering adversary
+     coordctl fuzz PROTO [--shrink] ...     differential fuzzing sweep
+     coordctl shrink BUNDLE [--replay]      minimize / re-run a witness *)
 
 open Anonmem
 
@@ -739,6 +741,414 @@ let chaos proto n m seed attempts prefix_steps crashes crash_cs rejoins =
   end
 
 (* ------------------------------------------------------------------ *)
+(* fuzz / shrink                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes: 0 no violation, 1 violation found (witness optionally
+   shrunk and written to the corpus), 5 engine disagreement — the
+   explorers, the property checkers, the runtime and the baseline twin
+   cross-validate each other, so 5 means a checker bug, not a protocol
+   bug. *)
+module Fz (P : Protocol.PROTOCOL) = struct
+  module F = Check.Fuzz.Make (P)
+
+  (* The shrinker's property for a named fuzz property: safety predicates
+     are replayed directly; liveness witnesses are lassos. *)
+  let sprop ~properties ~inputs name =
+    match
+      List.find_opt (fun (p : F.property) -> p.F.name = name) properties
+    with
+    | Some { F.rt_check = Some pred; _ } -> Some (F.S.Safety (pred inputs))
+    | Some { F.rt_check = None; _ } -> Some F.S.Lasso
+    | None -> None
+
+  let write_bundle ~proto_name ~pname ~input_to_string ~path b =
+    Check.Shrink.write_raw path
+      (F.S.to_raw ~protocol:proto_name ~property_name:pname ~input_to_string b);
+    Format.printf "wrote %s@." path
+
+  let fuzz ~proto_name ~properties ~gen_inputs ~input_to_string ~deterministic
+      ?twin ~n ~m ~attempts ~seconds ~seed ~max_states ~probes ~do_shrink
+      ~corpus () =
+    let report =
+      F.run ~seed ~attempts ?time_budget:seconds ~max_states ~probes
+        ~fixed:(n, m) ~deterministic ?twin ~properties ~gen_inputs ()
+    in
+    Format.printf "%a@." F.pp_report report;
+    match report.F.disagreement with
+    | Some _ ->
+      Format.printf "RESULT: engines disagree (checker bug).@.";
+      Ok 5
+    | None ->
+      if report.F.violations = 0 then begin
+        Format.printf "RESULT: no violation in %d generated instance(s).@."
+          report.F.attempts;
+        Ok 0
+      end
+      else begin
+        (match report.F.first_witness with
+        | None -> ()
+        | Some (pname, b0) ->
+          let b =
+            if do_shrink then begin
+              match sprop ~properties ~inputs:b0.F.S.inputs pname with
+              | Some sp -> (
+                match F.S.shrink sp b0 with
+                | b, stats ->
+                  Format.printf "shrunk %s witness: %a@." pname F.S.pp_stats
+                    stats;
+                  b
+                | exception Invalid_argument msg ->
+                  Format.eprintf "cannot shrink: %s@." msg;
+                  b0)
+              | None -> b0
+            end
+            else b0
+          in
+          match corpus with
+          | None -> ()
+          | Some dir ->
+            ensure_dir dir;
+            let path =
+              Filename.concat dir
+                (str "%s-%s-seed%d.fuzz" proto_name pname seed)
+            in
+            write_bundle ~proto_name ~pname ~input_to_string ~path b);
+        Format.printf "RESULT: violations found.@.";
+        Ok 1
+      end
+
+  let shrink_file ~proto_name ~properties ~input_of_string ~input_to_string
+      ~(raw : Check.Shrink.raw) ~replay_only ~out ~show_trace ~max_rounds path
+      =
+    let b = F.S.of_raw ~input_of_string raw in
+    match sprop ~properties ~inputs:b.F.S.inputs raw.Check.Shrink.property with
+    | None ->
+      Format.eprintf "coordctl: unknown property %S for protocol %s@."
+        raw.Check.Shrink.property proto_name;
+      Ok 2
+    | Some sp ->
+      let hit, trace = F.S.replay sp b in
+      if show_trace then
+        Format.printf "%a@."
+          (Trace.pp ~pp_value:P.Value.pp ~pp_output:P.pp_output)
+          trace;
+      if replay_only then begin
+        Format.printf "replayed %d step(s): violation %s@."
+          (Trace.length trace)
+          (if hit then "reproduced" else "NOT reproduced");
+        Ok (if hit then 0 else 1)
+      end
+      else if not hit then begin
+        Format.eprintf
+          "coordctl: bundle does not reproduce its violation; refusing to \
+           shrink@.";
+        Ok 1
+      end
+      else begin
+        let b', stats = F.S.shrink ?max_rounds sp b in
+        Format.printf "%a@." F.S.pp_stats stats;
+        let out = Option.value out ~default:(path ^ ".min") in
+        write_bundle ~proto_name ~pname:raw.Check.Shrink.property
+          ~input_to_string ~path:out b';
+        Ok 0
+      end
+end
+
+(* Known-good baseline twins: the same property code must call them clean;
+   a complaint is a checker bug (reported as a disagreement). *)
+
+let peterson_twin : Check.Gen.params -> unit array -> string option =
+  let verdict =
+    lazy
+      (let module FB = Check.Fuzz.Make (Baseline.Peterson.P) in
+       let cfg : FB.E.config =
+         {
+           ids = [| 1; 2 |];
+           inputs = [| (); () |];
+           namings = Array.init 2 (fun _ -> Naming.identity 3);
+         }
+       in
+       let g = FB.E.explore cfg in
+       let flat = FB.E.to_flat g in
+       if not g.FB.E.complete then None
+       else if FB.mutex_me.FB.check g flat <> None then
+         Some "checker claims Peterson violates mutual exclusion"
+       else if FB.mutex_df.FB.check g flat <> None then
+         Some "checker claims Peterson violates deadlock freedom"
+       else None)
+  in
+  fun _ _ -> Lazy.force verdict
+
+let ca_consensus_twin : Check.Gen.params -> int array -> string option =
+  let memo = Hashtbl.create 8 in
+  fun pars inputs ->
+    let n = pars.Check.Gen.n in
+    let key = (n, Array.to_list inputs) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let r =
+        let module FB = Check.Fuzz.Make (Baseline.Ca_consensus.P) in
+        let m = Baseline.Ca_consensus.P.registers_for ~n ~rounds:2 in
+        let cfg : FB.E.config =
+          {
+            ids = Array.init n (fun i -> i + 1);
+            inputs;
+            namings = Array.init n (fun _ -> Naming.identity m);
+          }
+        in
+        let g = FB.E.explore ~max_states:50_000 cfg in
+        let flat = FB.E.to_flat g in
+        let agree = FB.agreement ~equal:Int.equal in
+        let valid =
+          FB.validity ~allowed:(fun ins v -> Array.exists (( = ) v) ins)
+        in
+        if not g.FB.E.complete then None (* budget: inconclusive, not a bug *)
+        else if agree.FB.check g flat <> None then
+          Some "checker claims CA consensus violates agreement"
+        else if valid.FB.check g flat <> None then
+          Some "checker claims CA consensus violates validity"
+        else None
+      in
+      Hashtbl.add memo key r;
+      r
+
+let chain_renaming_twin : Check.Gen.params -> unit array -> string option =
+  let memo = Hashtbl.create 4 in
+  fun pars _inputs ->
+    let n = pars.Check.Gen.n in
+    match Hashtbl.find_opt memo n with
+    | Some r -> r
+    | None ->
+      let r =
+        let module FB = Check.Fuzz.Make (Baseline.Chain_renaming.P) in
+        let m = (n - 1) * ((2 * n) - 1) in
+        let cfg : FB.E.config =
+          {
+            ids = Array.init n (fun i -> ((i + 1) * 17) + 1);
+            inputs = Array.make n ();
+            namings = Array.init n (fun _ -> Naming.identity m);
+          }
+        in
+        let g = FB.E.explore ~max_states:50_000 cfg in
+        let flat = FB.E.to_flat g in
+        let uniq = FB.distinct_outputs ~equal:Int.equal in
+        if not g.FB.E.complete then None
+        else if uniq.FB.check g flat <> None then
+          Some "checker claims chain renaming violates uniqueness"
+        else None
+      in
+      Hashtbl.add memo n r;
+      r
+
+(* Per-protocol fuzz property suites. Election's leader-participates and
+   ccp's same-register need instance data (the ids, the namings) on both
+   the graph and the runtime side, so they are built here rather than in
+   Check.Fuzz. *)
+
+module Fuzz_mutex = Fz (Coord.Amutex.P)
+module Fuzz_cmp_mutex = Fz (Coord.Cmp_mutex.P)
+module Fuzz_consensus = Fz (Coord.Consensus.P)
+module Fuzz_election = Fz (Coord.Election.P)
+module Fuzz_renaming = Fz (Coord.Renaming.P)
+module Fuzz_ccp = Fz (Coord.Ccp.P)
+
+let mutex_properties = [ Fuzz_mutex.F.mutex_me; Fuzz_mutex.F.mutex_df ]
+
+let cmp_mutex_properties =
+  [ Fuzz_cmp_mutex.F.mutex_me; Fuzz_cmp_mutex.F.mutex_df ]
+
+let consensus_properties =
+  [
+    Fuzz_consensus.F.agreement ~equal:Int.equal;
+    Fuzz_consensus.F.validity ~allowed:(fun inputs v ->
+        Array.exists (( = ) v) inputs);
+  ]
+
+let election_properties =
+  let module D = Fuzz_election in
+  [
+    { (D.F.agreement ~equal:Int.equal) with D.F.name = "one-leader" };
+    {
+      D.F.name = "leader-participates";
+      check =
+        (fun g _ ->
+          Option.map
+            (fun (d : int Check.Props.decided) ->
+              D.F.State d.Check.Props.state)
+            (Check.Props.validity
+               ~allowed:(fun v -> Array.exists (( = ) v) g.D.F.E.cfg.ids)
+               ~statuses:D.F.E.statuses g.D.F.E.states));
+      rt_check =
+        Some
+          (fun _ rt ->
+            let ds = D.F.S.R.decisions rt in
+            let ids =
+              Array.init (Array.length ds) (fun i -> D.F.S.R.id_of rt i)
+            in
+            Array.exists
+              (function
+                | Some v -> not (Array.exists (( = ) v) ids)
+                | None -> false)
+              ds);
+    };
+  ]
+
+let renaming_properties =
+  let module D = Fuzz_renaming in
+  [
+    {
+      (D.F.distinct_outputs ~equal:Int.equal) with
+      D.F.name = "uniqueness";
+    };
+  ]
+
+(* ccp decides a local register index; correctness is that all decisions
+   resolve to the same physical register through each process's naming. *)
+let ccp_properties =
+  let module D = Fuzz_ccp in
+  [
+    {
+      D.F.name = "same-register";
+      check =
+        (fun g _ ->
+          let bad = ref None in
+          Array.iteri
+            (fun si st ->
+              if !bad = None then begin
+                let phys =
+                  List.filter_map Fun.id
+                    (Array.to_list
+                       (Array.mapi
+                          (fun p status ->
+                            match status with
+                            | Protocol.Decided loc ->
+                              Some (Naming.apply g.D.F.E.cfg.namings.(p) loc)
+                            | _ -> None)
+                          (D.F.E.statuses st)))
+                in
+                match phys with
+                | a :: rest when List.exists (( <> ) a) rest ->
+                  bad := Some (D.F.State si)
+                | _ -> ()
+              end)
+            g.D.F.E.states;
+          !bad);
+      rt_check =
+        Some
+          (fun _ rt ->
+            let n = D.F.S.R.n rt in
+            let phys =
+              List.filter_map
+                (fun i ->
+                  match D.F.S.R.status rt i with
+                  | Protocol.Decided loc ->
+                    Some (Naming.apply (D.F.S.R.naming_of rt i) loc)
+                  | _ -> None)
+                (List.init n Fun.id)
+            in
+            match phys with
+            | a :: rest -> List.exists (( <> ) a) rest
+            | [] -> false);
+    };
+  ]
+
+let consensus_gen_inputs rng ~n =
+  Array.init n (fun _ -> 100 * (1 + Rng.int rng n))
+
+let unit_inputs _rng ~n = Array.make n ()
+
+let fuzz proto n m attempts seconds seed max_states probes do_shrink corpus =
+  let common d = (d ~n ~m ~attempts ~seconds ~seed ~max_states ~probes
+                    ~do_shrink ~corpus) () in
+  match proto with
+  | Mutex ->
+    common
+      (Fuzz_mutex.fuzz ~proto_name:"mutex" ~properties:mutex_properties
+         ~gen_inputs:unit_inputs
+         ~input_to_string:(fun () -> "-")
+         ~deterministic:true ~twin:peterson_twin)
+  | Cmp_mutex ->
+    common
+      (Fuzz_cmp_mutex.fuzz ~proto_name:"cmp-mutex"
+         ~properties:cmp_mutex_properties ~gen_inputs:unit_inputs
+         ~input_to_string:(fun () -> "-")
+         ~deterministic:true ?twin:None)
+  | Consensus ->
+    common
+      (Fuzz_consensus.fuzz ~proto_name:"consensus"
+         ~properties:consensus_properties ~gen_inputs:consensus_gen_inputs
+         ~input_to_string:string_of_int ~deterministic:true
+         ~twin:ca_consensus_twin)
+  | Election ->
+    common
+      (Fuzz_election.fuzz ~proto_name:"election"
+         ~properties:election_properties ~gen_inputs:unit_inputs
+         ~input_to_string:(fun () -> "-")
+         ~deterministic:true ?twin:None)
+  | Renaming ->
+    common
+      (Fuzz_renaming.fuzz ~proto_name:"renaming"
+         ~properties:renaming_properties ~gen_inputs:unit_inputs
+         ~input_to_string:(fun () -> "-")
+         ~deterministic:true ~twin:chain_renaming_twin)
+  | Ccp ->
+    common
+      (Fuzz_ccp.fuzz ~proto_name:"ccp" ~properties:ccp_properties
+         ~gen_inputs:unit_inputs
+         ~input_to_string:(fun () -> "-")
+         ~deterministic:false ?twin:None)
+
+let unit_of_string = function
+  | "-" -> ()
+  | s -> failwith (str "expected unit input \"-\", got %S" s)
+
+let shrink path replay_only out show_trace max_rounds =
+  match Check.Shrink.read_raw path with
+  | Error msg ->
+    Format.eprintf "coordctl: %s@." msg;
+    Ok 2
+  | Ok raw -> (
+    let common d =
+      d ~raw ~replay_only ~out ~show_trace ~max_rounds path
+    in
+    match raw.Check.Shrink.protocol with
+    | "mutex" ->
+      common
+        (Fuzz_mutex.shrink_file ~proto_name:"mutex"
+           ~properties:mutex_properties ~input_of_string:unit_of_string
+           ~input_to_string:(fun () -> "-"))
+    | "cmp-mutex" ->
+      common
+        (Fuzz_cmp_mutex.shrink_file ~proto_name:"cmp-mutex"
+           ~properties:cmp_mutex_properties ~input_of_string:unit_of_string
+           ~input_to_string:(fun () -> "-"))
+    | "consensus" ->
+      common
+        (Fuzz_consensus.shrink_file ~proto_name:"consensus"
+           ~properties:consensus_properties ~input_of_string:int_of_string
+           ~input_to_string:string_of_int)
+    | "election" ->
+      common
+        (Fuzz_election.shrink_file ~proto_name:"election"
+           ~properties:election_properties ~input_of_string:unit_of_string
+           ~input_to_string:(fun () -> "-"))
+    | "renaming" ->
+      common
+        (Fuzz_renaming.shrink_file ~proto_name:"renaming"
+           ~properties:renaming_properties ~input_of_string:unit_of_string
+           ~input_to_string:(fun () -> "-"))
+    | "ccp" ->
+      common
+        (Fuzz_ccp.shrink_file ~proto_name:"ccp" ~properties:ccp_properties
+           ~input_of_string:unit_of_string
+           ~input_to_string:(fun () -> "-"))
+    | p ->
+      Format.eprintf "coordctl: unknown protocol %S in %s@." p path;
+      Ok 2)
+
+(* ------------------------------------------------------------------ *)
 (* graph export                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1248,6 +1658,123 @@ let chaos_cmd =
         (const chaos $ proto_arg $ n_arg $ m_arg $ seed_arg $ attempts
        $ prefix_steps $ crashes $ crash_cs $ rejoins))
 
+let fuzz_exits =
+  Cmd.Exit.info 0 ~doc:"no violation in the generated instances."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "a property violation was found (the first witness is shrunk with \
+          $(b,--shrink) and written with $(b,--corpus))."
+  :: Cmd.Exit.info 5
+       ~doc:
+         "engine disagreement: the sequential and parallel explorers, the \
+          graph-level property checkers, the runtime replay/probes or the \
+          baseline twin contradicted each other — a checker bug."
+  :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+
+let fuzz_cmd =
+  let doc =
+    "property-based differential fuzzing over generated instances"
+  in
+  let n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Pin the process count (default: drawn from 2..3).")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 200
+      & info [ "attempts" ] ~docv:"A" ~doc:"Generated instances to run.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~docv:"S"
+          ~doc:"Stop after roughly $(i,S) seconds even if attempts remain.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-states" ] ~docv:"B"
+          ~doc:
+            "State budget per exploration; truncated instances count as \
+             undecided unless a probe finds a violation.")
+  in
+  let probes =
+    Arg.(
+      value & opt int 4
+      & info [ "probes" ] ~docv:"K"
+          ~doc:"Randomized runtime schedules per instance.")
+  in
+  let do_shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize the first witness before reporting/writing it.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write the first witness bundle into $(i,DIR) (created if \
+             missing) for `coordctl shrink` and the regression corpus.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~exits:fuzz_exits)
+    Term.(
+      term_result
+        (const fuzz $ proto_arg $ n $ m_arg $ attempts $ seconds $ seed_arg
+       $ max_states $ probes $ do_shrink $ corpus))
+
+let shrink_cmd =
+  let doc = "replay or minimize a fuzz witness bundle" in
+  let bundle =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"Witness bundle file (COORDFUZZ format).")
+  in
+  let replay_only =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Only replay: exit 0 if the violation reproduces, 1 if not. \
+             This is what `make fuzz-smoke` runs over test/corpus/.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk bundle (default BUNDLE.min).")
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the replayed trace.")
+  in
+  let max_rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rounds" ] ~docv:"R"
+          ~doc:"Cap the shrinker's fixpoint rounds (default 8).")
+  in
+  let shrink_exits =
+    Cmd.Exit.info 0 ~doc:"replay reproduced the violation / shrink succeeded."
+    :: Cmd.Exit.info 1 ~doc:"the bundle does not reproduce its violation."
+    :: Cmd.Exit.info 2 ~doc:"the bundle file is malformed."
+    :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "shrink" ~doc ~exits:shrink_exits)
+    Term.(
+      term_result
+        (const shrink $ bundle $ replay_only $ out $ show_trace $ max_rounds))
+
 let graph_cmd =
   let doc = "export the reachable state graph as Graphviz DOT" in
   let output =
@@ -1282,6 +1809,8 @@ let () =
             explore_cmd;
             bench_cmd;
             chaos_cmd;
+            fuzz_cmd;
+            shrink_cmd;
             symmetry_cmd;
             covering_cmd;
             graph_cmd;

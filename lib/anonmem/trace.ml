@@ -16,6 +16,20 @@ type ('value, 'output) entry = {
 
 type ('value, 'output) t = ('value, 'output) entry list
 
+let length = List.length
+
+let procs t = List.map (fun e -> e.proc) t
+
+let slice ~lo ~hi t =
+  List.filteri (fun i _ -> i >= lo && i < hi) t
+
+let first_index p t =
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if p e then Some i else go (i + 1) rest
+  in
+  go 0 t
+
 let enters_critical e =
   match (e.status_before, e.status_after) with
   | (Protocol.Remainder | Trying | Exiting), Protocol.Critical -> true

@@ -26,6 +26,20 @@ type ('value, 'output) entry = {
 type ('value, 'output) t = ('value, 'output) entry list
 (** Oldest entry first. *)
 
+val length : ('v, 'o) t -> int
+
+val procs : ('v, 'o) t -> int list
+(** The process index of each step, oldest first — exactly the schedule
+    script ({!Schedule.script}) that reproduces the trace on a runtime
+    whose non-schedule nondeterminism (coins) is replayed identically.
+    The fuzzing shrinker starts from this slice of a witness trace. *)
+
+val slice : lo:int -> hi:int -> ('v, 'o) t -> ('v, 'o) t
+(** Entries at positions [lo <= i < hi] (positions, not [time] fields). *)
+
+val first_index : (('v, 'o) entry -> bool) -> ('v, 'o) t -> int option
+(** Position of the first entry satisfying the predicate. *)
+
 val enters_critical : ('v, 'o) entry -> bool
 (** Did this step move the process into its critical section? *)
 

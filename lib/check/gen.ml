@@ -1,0 +1,108 @@
+open Anonmem
+
+type params = {
+  n : int;
+  m : int;
+  ids : int array;
+  namings : int array array;
+}
+
+type profile = { n_min : int; n_max : int; m_min : int; m_max : int }
+
+let default_profile = { n_min = 2; n_max = 3; m_min = 2; m_max = 5 }
+let smoke_profile = { n_min = 2; n_max = 2; m_min = 2; m_max = 5 }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let boundary_label ~n ~m =
+  if m mod 2 = 0 then "m-even"
+  else if
+    List.exists (fun l -> gcd m l <> 1) (List.init (n - 1) (fun i -> i + 2))
+  then "shared-divisor"
+  else "coprime"
+
+let in_range rng lo hi = lo + Rng.int rng (hi - lo + 1)
+
+let ids rng ~n =
+  (* distinct positive ids from a small pool, shuffled *)
+  let pool = Array.init (max (2 * n) 8) (fun i -> i + 1) in
+  Rng.shuffle_in_place rng pool;
+  Array.sub pool 0 n
+
+let namings rng ~n ~m =
+  let identity () = Array.init m Fun.id in
+  let rotation d = Array.init m (fun j -> (j + d) mod m) in
+  let divisors =
+    List.filter (fun d -> m mod d = 0) (List.init (n - 1) (fun i -> i + 2))
+  in
+  match Rng.int rng 10 with
+  | 0 | 1 -> Array.init n (fun _ -> identity ())
+  | 2 | 3 -> Array.init n (fun k -> rotation k)
+  | (4 | 5 | 6) when divisors <> [] ->
+    (* Theorem 3.4 witness: d processes with rotations spaced m/d apart *)
+    let d = Rng.pick rng (Array.of_list divisors) in
+    Array.init n (fun k -> rotation (k mod d * (m / d)))
+  | _ -> Array.init n (fun _ -> Naming.to_array (Naming.random rng m))
+
+(* The feasibility boundaries are thin slices of the (n, m) rectangle; draw
+   a target category first, then rejection-sample (n, m) into it, falling
+   back to a plain draw when the profile's ranges make the category empty. *)
+let params ?(profile = default_profile) rng =
+  let draw () =
+    ( in_range rng profile.n_min profile.n_max,
+      in_range rng profile.m_min profile.m_max )
+  in
+  let rec sample tries target =
+    if tries = 0 then draw ()
+    else
+      let n, m = draw () in
+      if boundary_label ~n ~m = target then (n, m) else sample (tries - 1) target
+  in
+  let n, m =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> sample 16 "m-even"
+    | 3 | 4 | 5 -> sample 16 "shared-divisor"
+    | 6 | 7 | 8 -> sample 16 "coprime"
+    | _ -> draw ()
+  in
+  let ids = ids rng ~n in
+  let namings = namings rng ~n ~m in
+  { n; m; ids; namings }
+
+let steps rng ~n ~len = Array.init len (fun _ -> Rng.int rng n)
+
+let burst_steps rng ~n ~len =
+  let out = Array.make len 0 in
+  let current = ref 0 in
+  let left = ref 0 in
+  for i = 0 to len - 1 do
+    if !left <= 0 then begin
+      current := Rng.int rng n;
+      left := 1 + Rng.int rng (if Rng.bool rng then 4 else 60)
+    end;
+    decr left;
+    out.(i) <- !current
+  done;
+  out
+
+let crashes rng ~n ~horizon ~max_crashes =
+  let k = min (Rng.int rng (max_crashes + 1)) (n - 1) in
+  (* distinct clocks and distinct processes keep replay unambiguous *)
+  let clocks = Hashtbl.create 8 in
+  let events = ref [] in
+  let made = ref 0 in
+  let guard = ref (8 * max 1 k) in
+  while !made < k && !guard > 0 do
+    decr guard;
+    let clock = Rng.int rng (max 1 horizon) in
+    let proc = Rng.int rng n in
+    if
+      (not (Hashtbl.mem clocks clock))
+      && not (List.exists (fun (_, p) -> p = proc) !events)
+    then begin
+      Hashtbl.add clocks clock ();
+      events := (clock, proc) :: !events;
+      incr made
+    end
+  done;
+  Array.of_list (List.sort compare !events)

@@ -1,0 +1,76 @@
+(** Seeded instance generators for property-based differential fuzzing.
+
+    Everything here is a deterministic function of an {!Anonmem.Rng.t}
+    stream, so a fuzzing run is reproducible from one integer seed and any
+    drawn instance can be re-derived exactly. The generators are
+    protocol-agnostic: they produce the adversary's choices — how many
+    processes, how many registers, which identifiers, which register
+    namings, which schedule, which crashes — and the driver adds the
+    protocol's inputs.
+
+    The distributions are deliberately biased toward the paper's
+    feasibility boundaries rather than uniform: Theorem 3.1 hinges on [m]
+    odd, Theorem 3.4 on [m] relatively prime to every group size
+    [l <= n], and the symmetry attacks need rotation namings spaced
+    [m/d] apart for a shared divisor [d]. A uniform sweep would hit these
+    thin boundaries rarely; the biased one lands on them constantly. *)
+
+open Anonmem
+
+(** An instance skeleton: everything but the protocol inputs. *)
+type params = {
+  n : int;
+  m : int;
+  ids : int array;  (** distinct positive identifiers *)
+  namings : int array array;
+      (** one permutation of [0..m-1] per process, as plain data
+          ([Naming.of_array] turns them into live namings) *)
+}
+
+(** Ranges the parameter generator draws from. *)
+type profile = {
+  n_min : int;
+  n_max : int;
+  m_min : int;
+  m_max : int;
+}
+
+val default_profile : profile
+(** n in [2..3], m in [2..5]: every instance is exhaustively explorable. *)
+
+val smoke_profile : profile
+(** n = 2, m in [2..5]: the sub-30s smoke sweep (n = 3 graphs cost
+    seconds each; n = 2 graphs cost milliseconds). *)
+
+val params : ?profile:profile -> Rng.t -> params
+(** Draw one boundary-biased instance skeleton: the (n, m) pair favors
+    even [m], [gcd (m, l) <> 1] for some [l <= n], and the coprime
+    (feasible) side in roughly equal measure; namings come from
+    {!namings}; ids from {!ids}. *)
+
+val boundary_label : n:int -> m:int -> string
+(** Which side of the feasibility boundary (n, m) sits on: ["m-even"],
+    ["shared-divisor"] (odd [m] with [gcd (m, l) <> 1] for some
+    [2 <= l <= n]) or ["coprime"]. For logs and bias tests. *)
+
+val ids : Rng.t -> n:int -> int array
+(** [n] distinct identifiers, biased small (the protocols only compare
+    them for equality, but small ids keep bundles readable). *)
+
+val namings : Rng.t -> n:int -> m:int -> int array array
+(** One naming per process, drawn from a mix: all-identity, the rotation
+    tuple, {e attack} rotations spaced [m/d] apart for a divisor [d] of
+    [m] with [d <= n] (the Theorem 3.4 witness namings, when one exists),
+    and independent uniform permutations. *)
+
+val steps : Rng.t -> n:int -> len:int -> int array
+(** A uniform schedule script of [len] process indices. *)
+
+val burst_steps : Rng.t -> n:int -> len:int -> int array
+(** A bursty script: one process runs 1–60 consecutive steps, then the
+    scheduler switches — the sleep/wake texture covering arguments need. *)
+
+val crashes : Rng.t -> n:int -> horizon:int -> max_crashes:int -> (int * int) array
+(** Up to [max_crashes] crash events [(clock, proc)], at distinct clocks
+    in [0, horizon), sorted by clock, never naming every process (at
+    least one process survives). May be empty. *)

@@ -1,0 +1,560 @@
+open Anonmem
+
+type raw = {
+  protocol : string;
+  property : string;
+  seed : int;
+  m : int;
+  ids : int array;
+  inputs : string array;
+  namings : int array array;
+  crashes : (int * int) array;
+  steps : int array;
+  loop : int array;
+}
+
+let magic = "COORDFUZZ 1"
+
+let write_raw path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let pr fmt = Printf.fprintf oc fmt in
+      let ints a =
+        String.concat " " (Array.to_list (Array.map string_of_int a))
+      in
+      pr "%s\n" magic;
+      pr "protocol %s\n" r.protocol;
+      pr "property %s\n" r.property;
+      pr "seed %d\n" r.seed;
+      pr "m %d\n" r.m;
+      pr "ids %s\n" (ints r.ids);
+      pr "inputs %s\n" (String.concat " " (Array.to_list r.inputs));
+      Array.iter (fun a -> pr "naming %s\n" (ints a)) r.namings;
+      if Array.length r.crashes > 0 then
+        pr "crashes %s\n"
+          (String.concat " "
+             (Array.to_list
+                (Array.map (fun (c, p) -> Printf.sprintf "%d@%d" c p) r.crashes)));
+      pr "steps %s\n" (ints r.steps);
+      if Array.length r.loop > 0 then pr "loop %s\n" (ints r.loop))
+
+let read_raw path =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | exception Sys_error msg -> Error msg
+  | [] -> fail "%s: empty file" path
+  | header :: rest ->
+    if String.trim header <> magic then
+      fail "%s: bad header %S (expected %S)" path header magic
+    else begin
+      let protocol = ref None
+      and property = ref None
+      and seed = ref 0
+      and m = ref None
+      and ids = ref None
+      and inputs = ref None
+      and namings = ref []
+      and crashes = ref [||]
+      and steps = ref None
+      and loop = ref [||]
+      and err = ref None in
+      let set_err fmt = Printf.ksprintf (fun s -> err := Some s) fmt in
+      let split s =
+        String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+      in
+      let ints toks =
+        Array.of_list
+          (List.map
+             (fun t ->
+               match int_of_string_opt t with
+               | Some v -> v
+               | None ->
+                 set_err "bad integer %S" t;
+                 0)
+             toks)
+      in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then ()
+          else
+            match split line with
+            | "protocol" :: [ p ] -> protocol := Some p
+            | "property" :: [ p ] -> property := Some p
+            | "seed" :: [ s ] -> seed := int_of_string_opt s |> Option.value ~default:0
+            | "m" :: [ s ] -> (
+              match int_of_string_opt s with
+              | Some v -> m := Some v
+              | None -> set_err "bad m %S" s)
+            | "ids" :: toks -> ids := Some (ints toks)
+            | "inputs" :: toks -> inputs := Some (Array.of_list toks)
+            | "naming" :: toks -> namings := ints toks :: !namings
+            | "crashes" :: toks ->
+              crashes :=
+                Array.of_list
+                  (List.map
+                     (fun t ->
+                       match String.index_opt t '@' with
+                       | Some i -> (
+                         let c = String.sub t 0 i
+                         and p =
+                           String.sub t (i + 1) (String.length t - i - 1)
+                         in
+                         match (int_of_string_opt c, int_of_string_opt p) with
+                         | Some c, Some p -> (c, p)
+                         | _ ->
+                           set_err "bad crash event %S" t;
+                           (0, 0))
+                       | None ->
+                         set_err "bad crash event %S (expected CLOCK@PROC)" t;
+                         (0, 0))
+                     toks)
+            | "steps" :: toks -> steps := Some (ints toks)
+            | "loop" :: toks -> loop := ints toks
+            | key :: _ -> set_err "unknown field %S" key
+            | [] -> ())
+        rest;
+      match !err with
+      | Some msg -> fail "%s: %s" path msg
+      | None -> (
+        match (!protocol, !property, !m, !ids, !steps) with
+        | None, _, _, _, _ -> fail "%s: missing protocol" path
+        | _, None, _, _, _ -> fail "%s: missing property" path
+        | _, _, None, _, _ -> fail "%s: missing m" path
+        | _, _, _, None, _ -> fail "%s: missing ids" path
+        | _, _, _, _, None -> fail "%s: missing steps" path
+        | Some protocol, Some property, Some m, Some ids, Some steps ->
+          let n = Array.length ids in
+          let namings = Array.of_list (List.rev !namings) in
+          let inputs =
+            match !inputs with
+            | Some a -> a
+            | None -> Array.make n "-"
+          in
+          if Array.length namings <> n then
+            fail "%s: %d naming lines for %d ids" path (Array.length namings) n
+          else if Array.length inputs <> n then
+            fail "%s: %d inputs for %d ids" path (Array.length inputs) n
+          else
+            Ok
+              {
+                protocol;
+                property;
+                seed = !seed;
+                m;
+                ids;
+                inputs;
+                namings;
+                crashes = !crashes;
+                steps;
+                loop = !loop;
+              })
+    end
+
+module Make (P : Protocol.PROTOCOL) = struct
+  module R = Runtime.Make (P)
+
+  type bundle = {
+    m : int;
+    ids : int array;
+    inputs : P.input array;
+    namings : int array array;
+    crashes : (int * int) array;
+    steps : int array;
+    loop : int array;
+    seed : int;
+  }
+
+  let n_procs b = Array.length b.ids
+
+  type property = Safety of (R.t -> bool) | Lasso
+
+  let make_runtime b ~record_trace =
+    let cfg : R.config =
+      {
+        ids = b.ids;
+        inputs = b.inputs;
+        namings = Array.map Naming.of_array b.namings;
+        rng = Some (Rng.create b.seed);
+        record_trace;
+      }
+    in
+    R.create cfg
+
+  (* Fire every crash event whose clock has arrived. Crashes on processes
+     that already decided are dropped (shrinking a schedule can move a
+     decision before a crash that used to preempt it). *)
+  let fire_crashes rt crashes next =
+    let nc = Array.length crashes in
+    while !next < nc && fst crashes.(!next) <= R.clock rt do
+      let _, p = crashes.(!next) in
+      incr next;
+      if Schedule.runnable (R.kind rt p) then R.crash rt p
+    done
+
+  exception Hit
+
+  let run_script rt ~crashes ~steps ~check =
+    let next = ref 0 in
+    try
+      Array.iter
+        (fun p ->
+          fire_crashes rt crashes next;
+          if p >= 0 && p < R.n rt && Schedule.runnable (R.kind rt p) then begin
+            ignore (R.step rt p);
+            if check rt then raise Hit
+          end)
+        steps;
+      false
+    with Hit -> true
+
+  (* A lasso state: physical memory plus every local state. Crashed
+     processes keep their last local state, which is fine — a crashed
+     process never steps, so equality of the live data is what recurrence
+     needs. *)
+  let capture rt =
+    (R.Mem.contents (R.memory rt), Array.init (R.n rt) (R.local rt))
+
+  let same_state (m1, l1) (m2, l2) =
+    Array.length m1 = Array.length m2
+    && Array.for_all2 (fun a b -> P.Value.compare a b = 0) m1 m2
+    && Array.for_all2 (fun a b -> P.compare_local a b = 0) l1 l2
+
+  let active_kind = function
+    | Schedule.Working | Crit | Exitg -> true
+    | Idle | Finished | Crashed -> false
+
+  let replay_lasso b rt =
+    if Array.length b.loop = 0 then false
+    else begin
+      let n = R.n rt in
+      ignore (run_script rt ~crashes:b.crashes ~steps:b.steps ~check:(fun _ -> false));
+      let start = capture rt in
+      let trying =
+        List.exists
+          (fun i -> R.status rt i = Protocol.Trying)
+          (List.init n Fun.id)
+      in
+      let stepped = Array.make n false in
+      let active = Array.make n false in
+      let note_active () =
+        for i = 0 to n - 1 do
+          if active_kind (R.kind rt i) then active.(i) <- true
+        done
+      in
+      note_active ();
+      let enters_cs = ref false in
+      let ok =
+        Array.for_all
+          (fun p ->
+            if p < 0 || p >= n || not (Schedule.runnable (R.kind rt p)) then
+              false
+            else begin
+              let e = R.step rt p in
+              stepped.(p) <- true;
+              if Trace.enters_critical e then enters_cs := true;
+              note_active ();
+              true
+            end)
+          b.loop
+      in
+      let fair =
+        Array.for_all2 (fun a s -> (not a) || s) active stepped
+      in
+      ok && trying && (not !enters_cs) && fair && same_state start (capture rt)
+    end
+
+  let replay_internal prop b ~record_trace =
+    let rt = make_runtime b ~record_trace in
+    let hit =
+      match prop with
+      | Safety violation ->
+        run_script rt ~crashes:b.crashes ~steps:b.steps ~check:violation
+      | Lasso -> replay_lasso b rt
+    in
+    (hit, rt)
+
+  let replay prop b =
+    let hit, rt = replay_internal prop b ~record_trace:true in
+    (hit, R.trace rt)
+
+  let hits prop b = fst (replay_internal prop b ~record_trace:false)
+
+  type stats = {
+    rounds : int;
+    candidates : int;
+    accepted : int;
+    steps_before : int;
+    steps_after : int;
+  }
+
+  let pp_stats ppf s =
+    Format.fprintf ppf
+      "steps %d -> %d in %d round%s (%d candidates, %d accepted)"
+      s.steps_before s.steps_after s.rounds
+      (if s.rounds = 1 then "" else "s")
+      s.candidates s.accepted
+
+  (* Remove chunks of [arr], halving the chunk size down to 1; [test]
+     decides whether a candidate still reproduces. One full sweep — the
+     outer shrink loop re-runs it until fixpoint, which yields
+     1-minimality. *)
+  let ddmin ~test arr0 =
+    let arr = ref arr0 in
+    let chunk = ref (max 1 (Array.length arr0 / 2)) in
+    while !chunk >= 1 do
+      let i = ref 0 in
+      while !i < Array.length !arr do
+        let a = !arr in
+        let len = Array.length a in
+        let hi = min len (!i + !chunk) in
+        let cand = Array.append (Array.sub a 0 !i) (Array.sub a hi (len - hi)) in
+        if test cand then arr := cand else i := !i + !chunk
+      done;
+      chunk := (if !chunk = 1 then 0 else max 1 (!chunk / 2))
+    done;
+    !arr
+
+  (* Chunk deletion cannot see a wandering schedule's dead weight: deleting
+     a detour shifts the suffix onto different states and the violation is
+     usually lost. The trajectory itself says where the detours are —
+     whenever the run revisits an exact state, the steps between the two
+     visits did nothing. Excise every such loop in one forward pass, jumping
+     from each visited state to its last occurrence; for safety bundles the
+     pass also truncates the schedule at the violation step. The candidate
+     is re-validated by replay like every other move (crash clocks and coin
+     streams shift under excision, so acceptance is never assumed). *)
+  let excise_revisits prop b =
+    let rt = make_runtime b ~record_trace:false in
+    let check = match prop with Safety v -> v | Lasso -> fun _ -> false in
+    let nextc = ref 0 in
+    let caps = ref [ (capture rt, -1) ] in
+    (try
+       Array.iteri
+         (fun i p ->
+           fire_crashes rt b.crashes nextc;
+           if p >= 0 && p < R.n rt && Schedule.runnable (R.kind rt p) then begin
+             ignore (R.step rt p);
+             caps := (capture rt, i) :: !caps;
+             if check rt then raise Hit
+           end)
+         b.steps
+     with Hit -> ());
+    let caps = Array.of_list (List.rev !caps) in
+    let last = Array.length caps - 1 in
+    let kept = ref [] in
+    let k = ref 0 in
+    while !k < last do
+      let j = ref !k in
+      for t = !k + 1 to last do
+        if same_state (fst caps.(t)) (fst caps.(!k)) then j := t
+      done;
+      if !j >= last then k := last
+      else begin
+        kept := snd caps.(!j + 1) :: !kept;
+        k := !j + 1
+      end
+    done;
+    let steps = Array.of_list (List.rev_map (fun i -> b.steps.(i)) !kept) in
+    if Array.length steps < Array.length b.steps then Some { b with steps }
+    else None
+
+  let remap_steps ~drop steps =
+    Array.of_seq
+      (Seq.filter_map
+         (fun p -> if p = drop then None else Some (if p > drop then p - 1 else p))
+         (Array.to_seq steps))
+
+  let remove_proc b p =
+    let n = n_procs b in
+    if n <= 1 then None
+    else
+      let del a = Array.init (n - 1) (fun i -> a.(if i < p then i else i + 1)) in
+      Some
+        {
+          b with
+          ids = del b.ids;
+          inputs = del b.inputs;
+          namings = del b.namings;
+          steps = remap_steps ~drop:p b.steps;
+          loop = remap_steps ~drop:p b.loop;
+          crashes =
+            Array.of_seq
+              (Seq.filter_map
+                 (fun (c, q) ->
+                   if q = p then None
+                   else Some (c, if q > p then q - 1 else q))
+                 (Array.to_seq b.crashes));
+        }
+
+  (* Deleting physical register [r]: each process loses the local index
+     that maps to [r]; remaining local indices keep their order and
+     physical targets above [r] shift down. Only sound when the protocol
+     never addresses the lost local index on the surviving run — the
+     replay check decides that. *)
+  let remove_register b r =
+    if b.m <= 1 then None
+    else
+      let namings =
+        Array.map
+          (fun a ->
+            Array.of_seq
+              (Seq.filter_map
+                 (fun v -> if v = r then None else Some (if v > r then v - 1 else v))
+                 (Array.to_seq a)))
+          b.namings
+      in
+      Some { b with m = b.m - 1; namings }
+
+  let canonical_ids b =
+    let ids = Array.init (n_procs b) (fun i -> i + 1) in
+    if ids = b.ids then None else Some { b with ids }
+
+  let shrink ?(max_rounds = 8) prop b0 =
+    if not (hits prop b0) then
+      invalid_arg "Shrink.shrink: bundle does not reproduce its violation";
+    let candidates = ref 0 and accepted = ref 0 in
+    let test cand =
+      incr candidates;
+      let ok = hits prop cand in
+      if ok then incr accepted;
+      ok
+    in
+    let b = ref b0 in
+    let rounds = ref 0 in
+    let changed = ref true in
+    while !changed && !rounds < max_rounds do
+      incr rounds;
+      changed := false;
+      let try_bundle cand =
+        if test cand then begin
+          b := cand;
+          changed := true;
+          true
+        end
+        else false
+      in
+      (* 0. state-revisit excision: cut the loops ddmin cannot reach *)
+      (match excise_revisits prop !b with
+      | Some cand -> ignore (try_bundle cand)
+      | None -> ());
+      (* 1. schedule steps *)
+      let steps' = ddmin ~test:(fun s -> test { !b with steps = s }) !b.steps in
+      if Array.length steps' <> Array.length !b.steps then begin
+        b := { !b with steps = steps' };
+        changed := true
+      end;
+      (* 2. lasso loop steps *)
+      if Array.length !b.loop > 0 then begin
+        let loop' = ddmin ~test:(fun l -> test { !b with loop = l }) !b.loop in
+        if Array.length loop' <> Array.length !b.loop then begin
+          b := { !b with loop = loop' };
+          changed := true
+        end
+      end;
+      (* 3. crash events *)
+      let ci = ref 0 in
+      while !ci < Array.length !b.crashes do
+        let cur = !b in
+        let crashes =
+          Array.of_list
+            (List.filteri
+               (fun i _ -> i <> !ci)
+               (Array.to_list cur.crashes))
+        in
+        if not (try_bundle { cur with crashes }) then incr ci
+      done;
+      (* 4. whole processes, highest index first *)
+      let p = ref (n_procs !b - 1) in
+      while !p >= 0 do
+        (match remove_proc !b !p with
+        | Some cand -> ignore (try_bundle cand)
+        | None -> ());
+        decr p
+      done;
+      (* 5. physical registers, highest first *)
+      let r = ref (!b.m - 1) in
+      while !r >= 0 do
+        (match remove_register !b !r with
+        | Some cand -> ignore (try_bundle cand)
+        | None -> ());
+        decr r
+      done;
+      (* 6. identifier canonicalization (1..n) *)
+      (match canonical_ids !b with
+      | Some cand -> ignore (try_bundle cand)
+      | None -> ())
+    done;
+    ( !b,
+      {
+        rounds = !rounds;
+        candidates = !candidates;
+        accepted = !accepted;
+        steps_before = Array.length b0.steps;
+        steps_after = Array.length !b.steps;
+      } )
+
+  let to_raw ~protocol ~property_name ~input_to_string b =
+    {
+      protocol;
+      property = property_name;
+      seed = b.seed;
+      m = b.m;
+      ids = b.ids;
+      inputs = Array.map input_to_string b.inputs;
+      namings = b.namings;
+      crashes = b.crashes;
+      steps = b.steps;
+      loop = b.loop;
+    }
+
+  let of_raw ~input_of_string (r : raw) =
+    let n = Array.length r.ids in
+    Array.iter
+      (fun a ->
+        if Array.length a <> r.m then
+          failwith
+            (Printf.sprintf "naming has %d entries but m = %d" (Array.length a)
+               r.m);
+        let seen = Array.make r.m false in
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= r.m || seen.(v) then
+              failwith
+                (Printf.sprintf "naming is not a permutation of 0..%d"
+                   (r.m - 1));
+            seen.(v) <- true)
+          a)
+      r.namings;
+    let check_proc what p =
+      if p < 0 || p >= n then
+        failwith (Printf.sprintf "%s names process %d but n = %d" what p n)
+    in
+    Array.iter (check_proc "steps") r.steps;
+    Array.iter (check_proc "loop") r.loop;
+    Array.iter (fun (_, p) -> check_proc "crashes" p) r.crashes;
+    {
+      m = r.m;
+      ids = r.ids;
+      inputs = Array.map input_of_string r.inputs;
+      namings = r.namings;
+      crashes = r.crashes;
+      steps = r.steps;
+      loop = r.loop;
+      seed = r.seed;
+    }
+end

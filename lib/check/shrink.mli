@@ -1,0 +1,119 @@
+(** Counterexample minimization: delta-debugging over replayable witness
+    bundles.
+
+    A {e bundle} is a violating run as plain data: the instance (m, ids,
+    inputs, register namings), a schedule script, optional crash events,
+    and — for liveness witnesses — a lasso loop. Replaying a bundle is
+    deterministic (coins draw from the bundle's pinned seed), so a bundle
+    is both a regression-corpus entry and the unit the shrinker works on:
+    every shrink candidate is re-validated by replay, and only candidates
+    that still exhibit the violation are kept.
+
+    Two witness shapes are supported, matching the two ways the paper's
+    properties fail:
+
+    - {b Safety} (mutual exclusion, agreement, uniqueness, validity): the
+      schedule drives the runtime into a state satisfying a violation
+      predicate. The witness is the step prefix up to that state.
+    - {b Lasso} (deadlock/livelock, Theorem 3.1's even-[m] failure): a
+      prefix reaches a state from which the [loop] steps return to the
+      {e exact same} state without any critical-section entry, while some
+      process is trying and every process active on the loop takes a step
+      in it — a replayable fair non-progress cycle.
+
+    The shrink lattice: state-revisit excision (whenever the replay
+    revisits an exact runtime state, the steps between the two visits are
+    cut, and a safety schedule is truncated at its violation step),
+    schedule-step deletion (ddmin chunks down to single steps), loop-step
+    deletion, crash-event deletion, process removal (with step remapping),
+    physical-register removal (namings are collapsed around the deleted
+    register), and identifier canonicalization. The result is locally
+    minimal: no single remaining step, crash, process or register can be
+    removed without losing the violation. *)
+
+open Anonmem
+
+(** A protocol-agnostic bundle image: inputs as strings, ready for the
+    one-line-per-field text format under [test/corpus/]. *)
+type raw = {
+  protocol : string;  (** coordctl protocol name, e.g. ["mutex"] *)
+  property : string;  (** property name, e.g. ["deadlock-freedom"] *)
+  seed : int;  (** runtime RNG seed (coins); irrelevant for coinless runs *)
+  m : int;
+  ids : int array;
+  inputs : string array;  (** ["-"] for unit inputs *)
+  namings : int array array;
+  crashes : (int * int) array;  (** (global clock, proc), sorted by clock *)
+  steps : int array;
+  loop : int array;  (** empty for safety witnesses *)
+}
+
+val write_raw : string -> raw -> unit
+(** Write the textual [COORDFUZZ 1] format (see DESIGN.md §11). *)
+
+val read_raw : string -> (raw, string) result
+(** Parse a bundle file; [Error] carries a human-readable reason. *)
+
+module Make (P : Protocol.PROTOCOL) : sig
+  module R : module type of Runtime.Make (P)
+
+  type bundle = {
+    m : int;
+    ids : int array;
+    inputs : P.input array;
+    namings : int array array;
+    crashes : (int * int) array;
+    steps : int array;
+    loop : int array;
+    seed : int;
+  }
+
+  val n_procs : bundle -> int
+
+  (** What the bundle claims to witness. *)
+  type property =
+    | Safety of (R.t -> bool)
+        (** predicate evaluated after every executed step; the bundle hits
+            if it fires anywhere along the script *)
+    | Lasso
+        (** the [loop] steps must return the runtime to the exact state
+            reached after [steps], enter no critical section, keep some
+            process trying, and step every process active on the loop *)
+
+  val replay : property -> bundle -> bool * (P.Value.t, P.output) Trace.t
+  (** Deterministically re-run the bundle with tracing on. Crash events
+      fire when the global clock reaches their time; script steps naming
+      a finished or crashed process are skipped, so a bundle stays
+      replayable under shrinking. *)
+
+  val hits : property -> bundle -> bool
+  (** {!replay} without trace recording — the shrinker's (and the fuzz
+      driver's) inner loop. *)
+
+  type stats = {
+    rounds : int;
+    candidates : int;  (** shrink candidates replayed *)
+    accepted : int;  (** candidates that kept the violation *)
+    steps_before : int;
+    steps_after : int;
+  }
+
+  val pp_stats : Format.formatter -> stats -> unit
+
+  val shrink : ?max_rounds:int -> property -> bundle -> bundle * stats
+  (** Greedy fixpoint over the shrink lattice (default [max_rounds] 8 —
+      in practice 2–3 rounds reach the fixpoint). Raises
+      [Invalid_argument] if the input bundle does not replay to its
+      violation in the first place. The returned bundle is 1-minimal in
+      its schedule steps and replays to the violation deterministically. *)
+
+  val to_raw :
+    protocol:string ->
+    property_name:string ->
+    input_to_string:(P.input -> string) ->
+    bundle ->
+    raw
+
+  val of_raw : input_of_string:(string -> P.input) -> raw -> bundle
+  (** Raises [Failure] on malformed namings / process indices. *)
+end

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Fuzzing smoke test: the property-based differential loop end to end
+# through the coordctl surface, inside the `make check` budget (<30s).
+#
+#   leg A  replay every committed regression bundle in test/corpus/ —
+#          each must still reproduce its violation (exit 0);
+#   leg B  a 1000-instance differential sweep over n=2 mutex instances:
+#          sequential explorer, parallel explorer, property checkers,
+#          runtime probes and the Peterson baseline twin must agree on
+#          every instance ("agreed 1000"); violations are expected
+#          (even-m instances are genuinely broken), disagreement is not;
+#   leg C  a consensus sweep cross-checked against the CA baseline twin;
+#   leg D  the broken-protocol contract: Figure 1 with m=4 must be caught,
+#          auto-shrunk, written out as a bundle, and that bundle must
+#          replay (the `fuzz`/`shrink` exit codes: fuzz 0 clean /
+#          1 violation / 5 disagreement; shrink 0 reproduced /
+#          1 not reproduced / 2 malformed).
+#
+# Usage: scripts/fuzz_smoke.sh [path-to-coordctl]
+set -eu
+
+COORD=${1:-_build/default/bin/coordctl.exe}
+if [ ! -x "$COORD" ]; then
+  echo "fuzz_smoke: $COORD not found (run dune build first)" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/fuzz_smoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+fail() {
+  echo "fuzz_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# --- leg A: the committed regression corpus still reproduces ------------
+
+found=0
+for f in test/corpus/*.fuzz; do
+  [ -f "$f" ] || continue
+  found=1
+  "$COORD" shrink "$f" --replay >"$tmp/replay.txt" 2>&1 \
+    || fail "$f no longer reproduces its violation ($(cat "$tmp/replay.txt"))"
+done
+[ "$found" -eq 1 ] || fail "no bundles under test/corpus/"
+
+# --- leg B: the 1000-instance mutex differential sweep ------------------
+
+"$COORD" fuzz mutex -n 2 --attempts 1000 --max-states 4000 --seed 42 \
+  >"$tmp/mutex.txt" 2>&1 && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 1 ] \
+  || fail "mutex sweep exited $rc (want 0 or 1; 5 means engines disagreed): \
+$(cat "$tmp/mutex.txt")"
+grep -q 'agreed 1000' "$tmp/mutex.txt" \
+  || fail "mutex sweep: engines did not agree on all 1000 instances: \
+$(cat "$tmp/mutex.txt")"
+
+# --- leg C: consensus vs the CA baseline twin ---------------------------
+
+"$COORD" fuzz consensus -n 2 --attempts 50 --seed 5 >"$tmp/cons.txt" 2>&1 \
+  && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || [ "$rc" -eq 1 ] \
+  || fail "consensus sweep exited $rc: $(cat "$tmp/cons.txt")"
+grep -q 'agreed 50' "$tmp/cons.txt" \
+  || fail "consensus sweep: engines disagreed: $(cat "$tmp/cons.txt")"
+
+# --- leg D: broken protocol caught, shrunk, bundle replays --------------
+
+"$COORD" fuzz mutex -n 2 -m 4 --attempts 5 --seed 7 --shrink \
+  --corpus "$tmp" >"$tmp/broken.txt" 2>&1 && rc=0 || rc=$?
+[ "$rc" -eq 1 ] || fail "even-m mutex fuzz exited $rc (want 1 = violation): \
+$(cat "$tmp/broken.txt")"
+grep -q 'violations 5' "$tmp/broken.txt" \
+  || fail "even-m instances not all caught: $(cat "$tmp/broken.txt")"
+bundle=$(ls "$tmp"/*.fuzz 2>/dev/null | head -n 1)
+[ -n "$bundle" ] || fail "no shrunk bundle written by --corpus"
+"$COORD" shrink "$bundle" --replay >/dev/null 2>&1 \
+  || fail "shrunk bundle $bundle does not replay"
+
+echo "fuzz_smoke: OK"

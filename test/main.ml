@@ -8,6 +8,13 @@ let () =
       ("runtime", Test_runtime.suite);
       ("stats", Test_stats.suite);
       ("check", Test_check.suite);
+      ("scc", Test_scc.suite);
+      ("dot", Test_dot.suite);
+      ("flatgraph", Test_flatgraph.suite);
+      ("codec", Test_codec.suite);
+      ("gen", Test_gen.suite);
+      ("shrink", Test_shrink.suite);
+      ("fuzz", Test_fuzz.suite);
       ("fault", Test_fault.suite);
       ("hunt", Test_hunt.suite);
       ("explore_par", Test_explore_par.suite);

@@ -1,51 +1,7 @@
 open Anonmem
 open Check
 
-(* --- Scc --- *)
-
-let scc_of edges n =
-  let succs = Array.make n [] in
-  List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) edges;
-  Check.Scc.compute ~n ~succs:(fun v -> succs.(v))
-
-let test_scc_cycle () =
-  let scc = scc_of [ (0, 1); (1, 2); (2, 0) ] 3 in
-  Alcotest.(check int) "one component" 1 scc.count
-
-let test_scc_chain () =
-  let scc = scc_of [ (0, 1); (1, 2) ] 3 in
-  Alcotest.(check int) "three singletons" 3 scc.count
-
-let test_scc_two_cycles () =
-  let scc = scc_of [ (0, 1); (1, 0); (2, 3); (3, 2); (1, 2) ] 4 in
-  Alcotest.(check int) "two components" 2 scc.count;
-  Alcotest.(check bool) "0 and 1 together" true
-    (scc.component.(0) = scc.component.(1));
-  Alcotest.(check bool) "2 and 3 together" true
-    (scc.component.(2) = scc.component.(3));
-  Alcotest.(check bool) "0 and 2 apart" true
-    (scc.component.(0) <> scc.component.(2));
-  (* sinks are numbered first: edge across components goes high -> low *)
-  Alcotest.(check bool) "topological numbering" true
-    (scc.component.(0) > scc.component.(2))
-
-let test_scc_self_loop () =
-  let scc = scc_of [ (0, 0) ] 2 in
-  Alcotest.(check int) "two components" 2 scc.count
-
-let test_scc_components_listing () =
-  let scc = scc_of [ (0, 1); (1, 0) ] 3 in
-  let comps = Check.Scc.components scc in
-  let sizes = Array.to_list comps |> List.map List.length |> List.sort compare in
-  Alcotest.(check (list int)) "sizes" [ 1; 2 ] sizes
-
-let test_scc_large_path () =
-  (* a long path must not blow the stack: 200k vertices *)
-  let n = 200_000 in
-  let scc =
-    Check.Scc.compute ~n ~succs:(fun v -> if v + 1 < n then [ v + 1 ] else [])
-  in
-  Alcotest.(check int) "all singletons" n scc.count
+(* Scc and Dot have their own suites now (test_scc.ml, test_dot.ml). *)
 
 (* --- Mutex_props on hand-built flat graphs --- *)
 
@@ -199,38 +155,8 @@ let test_of_check_toy () =
   Alcotest.(check bool) "toy is obstruction-free" true
     (E.check_obstruction_freedom g = None)
 
-let test_dot_export () =
-  let cfg = E.config ~ids:[ 5; 9 ] ~inputs:[ (); () ] () in
-  let g = E.explore cfg in
-  let flat = E.to_flat g in
-  let s = Format.asprintf "%a" (fun ppf () -> Dot.of_flat flat ppf ()) () in
-  let contains hay needle =
-    let nl = String.length needle and sl = String.length hay in
-    let rec go i =
-      i + nl <= sl && (String.sub hay i nl = needle || go (i + 1))
-    in
-    go 0
-  in
-  Alcotest.(check bool) "starts a digraph" true
-    (String.length s > 20 && String.sub s 0 14 = "digraph states");
-  Alcotest.(check bool) "has edges" true (contains s " -> ");
-  (* elision kicks in when the budget is small *)
-  let s' =
-    Format.asprintf "%a" (fun ppf () -> Dot.of_flat ~max_nodes:3 flat ppf ()) ()
-  in
-  Alcotest.(check bool) "elides beyond budget" true (contains s' "elided")
-
 let suite =
   [
-    Alcotest.test_case "dot export" `Quick test_dot_export;
-    Alcotest.test_case "scc: single cycle" `Quick test_scc_cycle;
-    Alcotest.test_case "scc: chain" `Quick test_scc_chain;
-    Alcotest.test_case "scc: two cycles" `Quick test_scc_two_cycles;
-    Alcotest.test_case "scc: self loop" `Quick test_scc_self_loop;
-    Alcotest.test_case "scc: components listing" `Quick
-      test_scc_components_listing;
-    Alcotest.test_case "scc: deep path (no stack overflow)" `Quick
-      test_scc_large_path;
     Alcotest.test_case "mutex: detects double critical" `Quick test_me_detects;
     Alcotest.test_case "mutex: accepts exclusive" `Quick test_me_ok;
     Alcotest.test_case "df: detects fair livelock" `Quick

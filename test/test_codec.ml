@@ -1,0 +1,112 @@
+(* Codec interning: dump/of_dump must restore codes exactly, so a resumed
+   exploration re-encodes every state to the same key bytes. Exercised on
+   adversarial interleavings of value and local interning. *)
+
+module C = Check.Codec.Make (Test_runtime.Toy)
+
+let test_encode_length () =
+  let c = C.create () in
+  let mem = [| 0; 7; 3 |] in
+  let locals = Test_runtime.Toy.[| Rem; Put |] in
+  Alcotest.(check int) "3 bytes per slot"
+    (3 * (3 + 2))
+    (String.length (C.encode c mem locals))
+
+let test_interning_is_stable () =
+  let c = C.create () in
+  let a = C.value_code c 41 in
+  let b = C.value_code c 17 in
+  Alcotest.(check bool) "distinct values, distinct codes" true (a <> b);
+  Alcotest.(check int) "re-interning 41 returns same code" a
+    (C.value_code c 41);
+  Alcotest.(check int) "re-interning 17 returns same code" b
+    (C.value_code c 17);
+  Alcotest.(check int) "two values interned" 2 (C.n_values c)
+
+let test_equal_states_equal_keys () =
+  let c = C.create () in
+  let k1 = C.encode c [| 1; 2 |] Test_runtime.Toy.[| Put; Get |] in
+  (* intern unrelated junk in between *)
+  ignore (C.value_code c 99);
+  ignore (C.local_code c (Test_runtime.Toy.Fin 5));
+  let k2 = C.encode c [| 1; 2 |] Test_runtime.Toy.[| Put; Get |] in
+  let k3 = C.encode c [| 2; 1 |] Test_runtime.Toy.[| Put; Get |] in
+  Alcotest.(check string) "same state, same key" k1 k2;
+  Alcotest.(check bool) "different state, different key" true (k1 <> k3)
+
+let test_dump_restores_codes () =
+  let c = C.create () in
+  (* adversarial interleaving: values and locals interned alternately,
+     including a re-intern that must not bump counters *)
+  let vals = [ 13; 0; -5; 13; 1000; 7 ] in
+  let locs =
+    Test_runtime.Toy.[ Get; Fin 0; Rem; Fin (-3); Get; Put ]
+  in
+  List.iter2
+    (fun v l ->
+      ignore (C.value_code c v);
+      ignore (C.local_code c l))
+    vals locs;
+  let key_before =
+    C.encode c [| 13; -5; 1000 |] Test_runtime.Toy.[| Fin 0; Put |]
+  in
+  let c' = C.of_dump (C.dump c) in
+  Alcotest.(check int) "values restored" (C.n_values c) (C.n_values c');
+  Alcotest.(check int) "locals restored" (C.n_locals c) (C.n_locals c');
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "code of value %d preserved" v)
+        (C.value_code c v) (C.value_code c' v))
+    vals;
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "code of local preserved" (C.local_code c l)
+        (C.local_code c' l))
+    locs;
+  Alcotest.(check string) "state key byte-identical after restore" key_before
+    (C.encode c' [| 13; -5; 1000 |] Test_runtime.Toy.[| Fin 0; Put |])
+
+let test_dump_of_empty () =
+  let c' = C.of_dump (C.dump (C.create ())) in
+  Alcotest.(check int) "no values" 0 (C.n_values c');
+  Alcotest.(check int) "no locals" 0 (C.n_locals c');
+  ignore (C.encode c' [| 4 |] [| Test_runtime.Toy.Rem |]);
+  Alcotest.(check int) "fresh interning works" 2 (C.n_values c' + C.n_locals c')
+
+let test_extension_after_restore () =
+  let c = C.create () in
+  ignore (C.value_code c 1);
+  ignore (C.value_code c 2);
+  let c' = C.of_dump (C.dump c) in
+  let fresh = C.value_code c' 3 in
+  Alcotest.(check bool) "fresh code extends old range" true
+    (fresh <> C.value_code c' 1 && fresh <> C.value_code c' 2);
+  Alcotest.(check int) "count extends" 3 (C.n_values c');
+  (* the donor context is untouched *)
+  Alcotest.(check int) "donor unchanged" 2 (C.n_values c)
+
+let test_encode_solo_distinguishes_proc () =
+  let c = C.create () in
+  let mem = [| 0; 0 |] in
+  let k0 = C.encode_solo c ~proc:0 Test_runtime.Toy.Put mem in
+  let k1 = C.encode_solo c ~proc:1 Test_runtime.Toy.Put mem in
+  Alcotest.(check bool) "same local+mem, different proc, different key" true
+    (k0 <> k1);
+  Alcotest.(check string) "solo key deterministic" k0
+    (C.encode_solo c ~proc:0 Test_runtime.Toy.Put mem)
+
+let suite =
+  [
+    Alcotest.test_case "encode length" `Quick test_encode_length;
+    Alcotest.test_case "interning stable" `Quick test_interning_is_stable;
+    Alcotest.test_case "equal states, equal keys" `Quick
+      test_equal_states_equal_keys;
+    Alcotest.test_case "dump/of_dump preserves codes" `Quick
+      test_dump_restores_codes;
+    Alcotest.test_case "dump of empty context" `Quick test_dump_of_empty;
+    Alcotest.test_case "interning extends after restore" `Quick
+      test_extension_after_restore;
+    Alcotest.test_case "encode_solo keyed by process" `Quick
+      test_encode_solo_distinguishes_proc;
+  ]

@@ -1,0 +1,108 @@
+open Anonmem
+open Check
+
+(* The differential driver: generated instances must come out with every
+   engine leg agreeing, violations must be real (cross-validated) ones, and
+   witnesses must replay. *)
+
+module FM = Fuzz.Make (Coord.Amutex.P)
+module FC = Fuzz.Make (Coord.Consensus.P)
+
+let unit_inputs _rng ~n = Array.make n ()
+
+let test_mutex_sweep_agrees () =
+  let r =
+    FM.run ~seed:42 ~attempts:50 ~max_states:4_000
+      ~profile:Gen.smoke_profile
+      ~properties:[ FM.mutex_me; FM.mutex_df ]
+      ~gen_inputs:unit_inputs ()
+  in
+  (match r.FM.disagreement with
+  | Some d -> Alcotest.fail ("engines disagreed: " ^ d.FM.detail)
+  | None -> ());
+  Alcotest.(check int) "all attempts ran" 50 r.FM.attempts;
+  Alcotest.(check int) "all attempts agreed" 50 r.FM.agreed;
+  Alcotest.(check bool) "boundary bias found even-m violations" true
+    (r.FM.violations > 0);
+  Alcotest.(check bool) "m-even class was drawn" true
+    (List.mem_assoc "m-even" r.FM.by_boundary);
+  Alcotest.(check bool) "coprime class was drawn" true
+    (List.mem_assoc "coprime" r.FM.by_boundary)
+
+let test_mutex_run_reproducible () =
+  let run () =
+    FM.run ~seed:9 ~attempts:20 ~max_states:4_000
+      ~profile:Gen.smoke_profile ~probes:2
+      ~properties:[ FM.mutex_me; FM.mutex_df ]
+      ~gen_inputs:unit_inputs ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "violations reproducible" a.FM.violations b.FM.violations;
+  Alcotest.(check int) "undecided reproducible" a.FM.undecided b.FM.undecided;
+  Alcotest.(check bool) "boundary histogram reproducible" true
+    (a.FM.by_boundary = b.FM.by_boundary)
+
+let test_fixed_even_m_yields_replayable_lasso () =
+  (* pin the broken instance class: n=2, m=4 cannot be deadlock-free
+     (Theorem 3.1) — the driver must find it and hand back a lasso bundle
+     whose replay reproduces the livelock *)
+  let r =
+    FM.run ~seed:7 ~attempts:10 ~max_states:20_000
+      ~fixed:(Some 2, Some 4)
+      ~properties:[ FM.mutex_df ]
+      ~gen_inputs:unit_inputs ()
+  in
+  (match r.FM.disagreement with
+  | Some d -> Alcotest.fail ("engines disagreed: " ^ d.FM.detail)
+  | None -> ());
+  Alcotest.(check bool) "violations found" true (r.FM.violations > 0);
+  match r.FM.first_witness with
+  | None -> Alcotest.fail "violation without a witness bundle"
+  | Some (name, b) ->
+    Alcotest.(check string) "the deadlock-freedom property failed"
+      "deadlock-freedom" name;
+    Alcotest.(check bool) "lasso witness has a loop" true
+      (Array.length b.FM.S.loop > 0);
+    Alcotest.(check bool) "bundle replays to the violation" true
+      (FM.S.hits FM.S.Lasso b)
+
+let test_consensus_sweep () =
+  let gen_inputs rng ~n = Array.init n (fun _ -> 100 * (1 + Rng.int rng n)) in
+  let r =
+    FC.run ~seed:3 ~attempts:30 ~max_states:8_000
+      ~profile:Gen.smoke_profile
+      ~properties:
+        [
+          FC.agreement ~equal:Int.equal;
+          FC.validity ~allowed:(fun inputs o -> Array.mem o inputs);
+        ]
+      ~gen_inputs ()
+  in
+  (match r.FC.disagreement with
+  | Some d -> Alcotest.fail ("engines disagreed: " ^ d.FC.detail)
+  | None -> ());
+  Alcotest.(check int) "all attempts agreed" r.FC.attempts r.FC.agreed
+
+let test_time_budget_stops_early () =
+  let r =
+    FM.run ~seed:1 ~attempts:1_000_000 ~time_budget:0.2 ~max_states:2_000
+      ~profile:Gen.smoke_profile ~probes:0
+      ~properties:[ FM.mutex_me ]
+      ~gen_inputs:unit_inputs ()
+  in
+  Alcotest.(check bool) "stopped well short of the attempt cap" true
+    (r.FM.attempts < 1_000_000 && r.FM.attempts > 0)
+
+let suite =
+  [
+    Alcotest.test_case "mutex sweep: engines agree, boundaries hit" `Quick
+      test_mutex_sweep_agrees;
+    Alcotest.test_case "report reproducible from seed" `Quick
+      test_mutex_run_reproducible;
+    Alcotest.test_case "fixed even-m finds a replayable lasso" `Quick
+      test_fixed_even_m_yields_replayable_lasso;
+    Alcotest.test_case "consensus sweep with validity" `Quick
+      test_consensus_sweep;
+    Alcotest.test_case "time budget stops early" `Quick
+      test_time_budget_stops_early;
+  ]

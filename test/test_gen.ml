@@ -1,0 +1,150 @@
+open Anonmem
+open Check
+
+(* The fuzzing generators: deterministic in the seed, well-formed, and
+   actually biased toward the paper's feasibility boundaries. *)
+
+let test_params_deterministic () =
+  let draw seed =
+    let rng = Rng.create seed in
+    List.init 20 (fun _ -> Gen.params rng)
+  in
+  Alcotest.(check bool) "same seed, same stream" true (draw 7 = draw 7);
+  Alcotest.(check bool) "different seed, different stream" true
+    (draw 7 <> draw 8)
+
+let test_params_ranges () =
+  List.iter
+    (fun profile ->
+      let rng = Rng.create 11 in
+      for _ = 1 to 200 do
+        let p = Gen.params ~profile rng in
+        Alcotest.(check bool) "n in range" true
+          (p.Gen.n >= profile.Gen.n_min && p.Gen.n <= profile.Gen.n_max);
+        Alcotest.(check bool) "m in range" true
+          (p.Gen.m >= profile.Gen.m_min && p.Gen.m <= profile.Gen.m_max);
+        Alcotest.(check int) "one id per proc" p.Gen.n
+          (Array.length p.Gen.ids);
+        Alcotest.(check int) "one naming per proc" p.Gen.n
+          (Array.length p.Gen.namings)
+      done)
+    [ Gen.default_profile; Gen.smoke_profile ]
+
+let test_ids_distinct_positive () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let n = 2 + Rng.int rng 4 in
+    let ids = Gen.ids rng ~n in
+    Alcotest.(check int) "n ids" n (Array.length ids);
+    let sorted = List.sort_uniq compare (Array.to_list ids) in
+    Alcotest.(check int) "all distinct" n (List.length sorted);
+    Array.iter
+      (fun id -> Alcotest.(check bool) "positive" true (id > 0))
+      ids
+  done
+
+let test_namings_are_permutations () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let n = 2 + Rng.int rng 2 in
+    let m = 2 + Rng.int rng 5 in
+    let nms = Gen.namings rng ~n ~m in
+    Alcotest.(check int) "one per proc" n (Array.length nms);
+    Array.iter
+      (fun a ->
+        (* Naming.of_array validates permutation-ness; raising fails the
+           test *)
+        ignore (Naming.of_array a);
+        Alcotest.(check int) "size m" m (Array.length a))
+      nms
+  done
+
+let test_boundary_label () =
+  Alcotest.(check string) "m even" "m-even" (Gen.boundary_label ~n:2 ~m:4);
+  Alcotest.(check string) "odd, shared divisor" "shared-divisor"
+    (Gen.boundary_label ~n:3 ~m:3);
+  Alcotest.(check string) "coprime" "coprime" (Gen.boundary_label ~n:2 ~m:3);
+  Alcotest.(check string) "coprime trivially" "coprime"
+    (Gen.boundary_label ~n:3 ~m:5)
+
+let test_boundary_bias () =
+  (* every boundary class must be hit often at n up to 3 *)
+  let rng = Rng.create 42 in
+  let counts = Hashtbl.create 4 in
+  let total = 600 in
+  for _ = 1 to total do
+    let p = Gen.params rng in
+    let l = Gen.boundary_label ~n:p.Gen.n ~m:p.Gen.m in
+    Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))
+  done;
+  List.iter
+    (fun label ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts label) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s hit at least 10%% of draws (%d/%d)" label c total)
+        true
+        (c * 10 >= total))
+    [ "m-even"; "shared-divisor"; "coprime" ]
+
+let test_steps_in_range () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun gen ->
+      let s = gen rng ~n:3 ~len:500 in
+      Alcotest.(check int) "length" 500 (Array.length s);
+      Array.iter
+        (fun p -> Alcotest.(check bool) "proc index" true (p >= 0 && p < 3))
+        s)
+    [ Gen.steps; Gen.burst_steps ]
+
+let test_burst_texture () =
+  (* bursts must actually produce runs of the same process *)
+  let rng = Rng.create 13 in
+  let s = Gen.burst_steps rng ~n:3 ~len:300 in
+  let longest = ref 0 and cur = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if i > 0 && s.(i - 1) = p then incr cur else cur := 1;
+      if !cur > !longest then longest := !cur)
+    s;
+  Alcotest.(check bool) "has a run of at least 5" true (!longest >= 5)
+
+let test_crashes_well_formed () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 300 do
+    let n = 2 + Rng.int rng 3 in
+    let cs = Gen.crashes rng ~n ~horizon:100 ~max_crashes:(n + 2) in
+    Alcotest.(check bool) "bounded count" true (Array.length cs <= n + 2);
+    let clocks = Array.to_list (Array.map fst cs) in
+    Alcotest.(check bool) "clocks sorted" true
+      (clocks = List.sort compare clocks);
+    Alcotest.(check int) "clocks distinct" (List.length clocks)
+      (List.length (List.sort_uniq compare clocks));
+    Array.iter
+      (fun (c, p) ->
+        Alcotest.(check bool) "clock in horizon" true (c >= 0 && c < 100);
+        Alcotest.(check bool) "proc in range" true (p >= 0 && p < n))
+      cs;
+    let crashed = List.sort_uniq compare (Array.to_list (Array.map snd cs)) in
+    Alcotest.(check bool) "at least one survivor" true
+      (List.length crashed < n)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "params deterministic in seed" `Quick
+      test_params_deterministic;
+    Alcotest.test_case "params respect profile ranges" `Quick
+      test_params_ranges;
+    Alcotest.test_case "ids distinct and positive" `Quick
+      test_ids_distinct_positive;
+    Alcotest.test_case "namings are permutations" `Quick
+      test_namings_are_permutations;
+    Alcotest.test_case "boundary labels" `Quick test_boundary_label;
+    Alcotest.test_case "boundary bias covers all classes" `Quick
+      test_boundary_bias;
+    Alcotest.test_case "schedule scripts in range" `Quick test_steps_in_range;
+    Alcotest.test_case "burst scripts have bursts" `Quick test_burst_texture;
+    Alcotest.test_case "crash plans well-formed" `Quick
+      test_crashes_well_formed;
+  ]

@@ -36,6 +36,40 @@ let test_replay_reproduces_witness () =
       (witness = t1);
     Alcotest.(check bool) "replays are identical" true (t1 = t2)
 
+let strategy_name = function
+  | Check.Hunt.Uniform -> "uniform"
+  | Check.Hunt.Bursts -> "bursts"
+  | Check.Hunt.Chaos -> "chaos"
+
+(* Every strategy's attempts are pure functions of the seed: hunting and
+   replaying with the same strategy must agree bit-for-bit, witness or no
+   witness. *)
+let test_strategy_replay_identical strategy () =
+  let name = strategy_name strategy in
+  let o, trace =
+    H.hunt ~strategy ~attempts:200 ~violation:H.mutex_violation ~ids ~inputs
+      ~m:5 ()
+  in
+  let rerun seed =
+    H.replay ~strategy ~violation:H.mutex_violation ~ids ~inputs ~m:5 seed
+  in
+  match (o.Check.Hunt.witness_seed, trace) with
+  | Some seed, Some witness ->
+    let hit1, t1 = rerun seed in
+    let hit2, t2 = rerun seed in
+    Alcotest.(check bool) (name ^ ": replay hits") true (hit1 && hit2);
+    Alcotest.(check bool)
+      (name ^ ": replay matches the hunt's witness trace")
+      true (witness = t1);
+    Alcotest.(check bool) (name ^ ": replays identical") true (t1 = t2)
+  | _ ->
+    (* no witness this time (uniform schedules rarely find one, E16) —
+       determinism must hold all the same on an arbitrary attempt seed *)
+    let hit1, t1 = rerun 17 in
+    let hit2, t2 = rerun 17 in
+    Alcotest.(check bool) (name ^ ": hits agree") hit1 hit2;
+    Alcotest.(check bool) (name ^ ": replays identical") true (t1 = t2)
+
 let test_chaos_strategy_deterministic () =
   (* consensus under the crash-injecting strategy: attempts stay pure
      functions of their seed even when the adversary downs processes *)
@@ -53,6 +87,12 @@ let suite =
   [
     Alcotest.test_case "witness seed replays to the identical trace" `Slow
       test_replay_reproduces_witness;
+    Alcotest.test_case "uniform strategy replays bit-identically" `Quick
+      (test_strategy_replay_identical Check.Hunt.Uniform);
+    Alcotest.test_case "bursts strategy replays bit-identically" `Quick
+      (test_strategy_replay_identical Check.Hunt.Bursts);
+    Alcotest.test_case "chaos strategy replays bit-identically" `Quick
+      (test_strategy_replay_identical Check.Hunt.Chaos);
     Alcotest.test_case "chaos attempts are deterministic in their seed" `Quick
       test_chaos_strategy_deterministic;
   ]

@@ -1,0 +1,312 @@
+open Anonmem
+open Check
+
+(* Counterexample shrinking: corpus format round-trips, replay is
+   deterministic, and the ddmin lattice actually minimizes the paper's
+   witnesses — the Figure-1 n=3 m=3 mutual-exclusion break must come out at
+   most a tenth of its original schedule, and even-m deadlock lassos must
+   shrink while still replaying. *)
+
+module F = Fuzz.Make (Coord.Amutex.P)
+
+let rot k m = Array.init m (fun i -> (i + k) mod m)
+
+let unit_inputs n = Array.make n ()
+
+(* ---- raw corpus format ---- *)
+
+let sample_raw =
+  {
+    Shrink.protocol = "mutex";
+    property = "deadlock-freedom";
+    seed = 42;
+    m = 4;
+    ids = [| 1; 2 |];
+    inputs = [| "-"; "-" |];
+    namings = [| rot 0 4; rot 2 4 |];
+    crashes = [| (3, 0); (10, 1) |];
+    steps = [| 0; 1; 1; 0; 1 |];
+    loop = [| 1; 0 |];
+  }
+
+let via_file raw =
+  let path = Filename.temp_file "corpus" ".fuzz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Shrink.write_raw path raw;
+      Shrink.read_raw path)
+
+let test_raw_roundtrip () =
+  match via_file sample_raw with
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+  | Ok raw' ->
+    Alcotest.(check bool) "raw record survives the text format" true
+      (sample_raw = raw')
+
+let test_raw_roundtrip_empty_sections () =
+  (* crashes and loop lines are omitted when empty; parsing must default *)
+  let raw = { sample_raw with crashes = [||]; loop = [||] } in
+  match via_file raw with
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+  | Ok raw' ->
+    Alcotest.(check bool) "empty crash/loop sections round-trip" true
+      (raw = raw')
+
+let test_read_raw_rejects_garbage () =
+  let path = Filename.temp_file "corpus" ".fuzz" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a bundle\n";
+      close_out oc;
+      match Shrink.read_raw path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted")
+
+let fails_of_raw raw =
+  match F.S.of_raw ~input_of_string:(fun _ -> ()) raw with
+  | exception Failure _ -> true
+  | _ -> false
+
+let test_of_raw_validates () =
+  Alcotest.(check bool) "well-formed raw accepted" false
+    (fails_of_raw sample_raw);
+  Alcotest.(check bool) "non-permutation naming rejected" true
+    (fails_of_raw { sample_raw with namings = [| [| 0; 0; 1; 2 |]; rot 0 4 |] });
+  Alcotest.(check bool) "out-of-range step rejected" true
+    (fails_of_raw { sample_raw with steps = [| 0; 5 |] });
+  Alcotest.(check bool) "out-of-range crash proc rejected" true
+    (fails_of_raw { sample_raw with crashes = [| (3, 9) |] })
+
+(* ---- replay determinism ---- *)
+
+let test_replay_deterministic () =
+  let b =
+    {
+      F.S.m = 3;
+      ids = [| 7; 13 |];
+      inputs = unit_inputs 2;
+      namings = [| rot 0 3; rot 1 3 |];
+      crashes = [| (20, 1) |];
+      steps = Array.init 80 (fun i -> i mod 2);
+      loop = [||];
+      seed = 5;
+    }
+  in
+  let prop = F.S.Safety (fun _ -> false) in
+  let hit1, t1 = F.S.replay prop b in
+  let hit2, t2 = F.S.replay prop b in
+  Alcotest.(check bool) "never-true predicate never hits" false (hit1 || hit2);
+  Alcotest.(check bool) "replays are identical traces" true (t1 = t2)
+
+(* ---- acceptance: the Figure-1 n=3 m=3 mutual-exclusion witness ---- *)
+
+(* distance from every state TO [target] (reverse BFS) *)
+let rdist_to (succs : F.E.transition list array) target =
+  let n = Array.length succs in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun s ts ->
+      List.iter
+        (fun (t : F.E.transition) -> preds.(t.dst) <- s :: preds.(t.dst))
+        ts)
+    succs;
+  let dist = Array.make n max_int in
+  dist.(target) <- 0;
+  let q = Queue.create () in
+  Queue.add target q;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    List.iter
+      (fun p ->
+        if dist.(p) = max_int then begin
+          dist.(p) <- dist.(s) + 1;
+          Queue.add p q
+        end)
+      preds.(s)
+  done;
+  dist
+
+(* A deliberately long schedule reaching [target]: wander the region that
+   can still reach it with the bursty texture fuzz probes use (one process
+   runs 1-60 consecutive steps), then descend along shortest-path edges.
+   This is the shape a fuzzer's random witness has — lots of irrelevant
+   activity around a short core — and is what the shrinker must strip. *)
+let long_schedule rng (g : F.E.graph) target ~wander =
+  let rdist = rdist_to g.succs target in
+  Alcotest.(check bool) "witness reachable" true (rdist.(0) < max_int);
+  let nprocs = Array.length g.cfg.ids in
+  let steps = ref [] in
+  let cur = ref 0 in
+  let total = ref 0 in
+  while !total < wander do
+    let p = Rng.int rng nprocs in
+    let burst = 1 + Rng.int rng 60 in
+    let continue = ref true in
+    let k = ref 0 in
+    while !k < burst && !continue do
+      match
+        List.find_opt
+          (fun (t : F.E.transition) ->
+            t.label.proc = p && rdist.(t.dst) < max_int)
+          g.succs.(!cur)
+      with
+      | Some t ->
+        steps := p :: !steps;
+        cur := t.dst;
+        incr k;
+        incr total
+      | None -> continue := false
+    done
+  done;
+  while !cur <> target do
+    let t =
+      List.find
+        (fun (t : F.E.transition) -> rdist.(t.dst) = rdist.(!cur) - 1)
+        g.succs.(!cur)
+    in
+    steps := t.label.proc :: !steps;
+    cur := t.dst
+  done;
+  Array.of_list (List.rev !steps)
+
+let me_prop = F.S.Safety (fun rt -> F.S.R.critical_pair rt <> None)
+
+let test_shrink_me_witness () =
+  (* Theorem 3.4's attack instance: 3 processes, 3 registers, rotation
+     namings spaced m/d = 1 apart — mutual exclusion actually breaks. *)
+  let namings = [| rot 0 3; rot 1 3; rot 2 3 |] in
+  let cfg =
+    {
+      F.E.ids = [| 1; 2; 3 |];
+      inputs = unit_inputs 3;
+      namings = Array.map Naming.of_array namings;
+    }
+  in
+  let g = F.E.explore ~max_states:400_000 cfg in
+  Alcotest.(check bool) "graph complete" true g.F.E.complete;
+  let flat = F.E.to_flat g in
+  let target =
+    match Mutex_props.mutual_exclusion flat with
+    | Some v -> v.Mutex_props.state
+    | None -> Alcotest.fail "expected an ME violation (paper, Theorem 3.4)"
+  in
+  let rng = Rng.create 2718 in
+  let steps = long_schedule rng g target ~wander:3000 in
+  let bundle =
+    {
+      F.S.m = 3;
+      ids = [| 1; 2; 3 |];
+      inputs = unit_inputs 3;
+      namings;
+      crashes = [||];
+      steps;
+      loop = [||];
+      seed = 1;
+    }
+  in
+  Alcotest.(check bool) "original bundle hits" true (F.S.hits me_prop bundle);
+  let shrunk, stats = F.S.shrink me_prop bundle in
+  Alcotest.(check int) "steps_before is the original length"
+    (Array.length steps) stats.F.S.steps_before;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 10%% (%d -> %d steps)" stats.F.S.steps_before
+       stats.F.S.steps_after)
+    true
+    (stats.F.S.steps_after * 10 <= stats.F.S.steps_before);
+  (* deterministic replay of the minimized bundle *)
+  let h1, t1 = F.S.replay me_prop shrunk in
+  let h2, t2 = F.S.replay me_prop shrunk in
+  Alcotest.(check bool) "shrunk bundle still hits, twice" true (h1 && h2);
+  Alcotest.(check bool) "shrunk replays identical" true (t1 = t2);
+  (* 1-minimality spot check: no single remaining step is removable *)
+  let len = Array.length shrunk.F.S.steps in
+  for i = 0 to min 4 (len - 1) do
+    let without =
+      Array.init (len - 1) (fun j ->
+          if j < i then shrunk.F.S.steps.(j) else shrunk.F.S.steps.(j + 1))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d is load-bearing" i)
+      false
+      (F.S.hits me_prop { shrunk with F.S.steps = without })
+  done;
+  (* ids come out canonicalized *)
+  Alcotest.(check bool) "ids canonicalized to 1..n" true
+    (Array.to_list shrunk.F.S.ids
+    = List.init (F.S.n_procs shrunk) (fun i -> i + 1))
+
+(* ---- lasso shrinking: Theorem 3.1's even-m deadlock ---- *)
+
+let test_shrink_df_lasso () =
+  (* two processes on 4 registers, namings rotated m/d = 2 apart: mutual
+     exclusion holds but the adversary can livelock them forever *)
+  let namings = [| rot 0 4; rot 2 4 |] in
+  let cfg =
+    {
+      F.E.ids = [| 1; 2 |];
+      inputs = unit_inputs 2;
+      namings = Array.map Naming.of_array namings;
+    }
+  in
+  let g = F.E.explore ~max_states:50_000 cfg in
+  Alcotest.(check bool) "graph complete" true g.F.E.complete;
+  let flat = F.E.to_flat g in
+  let v =
+    match Mutex_props.deadlock_freedom flat with
+    | Some v -> v
+    | None -> Alcotest.fail "expected a DF violation (paper, Theorem 3.1)"
+  in
+  let bundle =
+    match F.witness_bundle ~seed:1 g (F.Cycle v.Mutex_props.states) with
+    | Some b -> b
+    | None -> Alcotest.fail "lasso construction failed on the graph witness"
+  in
+  Alcotest.(check bool) "lasso bundle replays" true (F.S.hits F.S.Lasso bundle);
+  let shrunk, stats = F.S.shrink F.S.Lasso bundle in
+  Alcotest.(check bool) "minimized lasso still replays" true
+    (F.S.hits F.S.Lasso shrunk);
+  Alcotest.(check bool) "loop survives minimization" true
+    (Array.length shrunk.F.S.loop > 0);
+  Alcotest.(check bool) "schedule did not grow" true
+    (stats.F.S.steps_after <= stats.F.S.steps_before);
+  (* shrinking is a fixpoint: a second pass accepts nothing *)
+  let _, stats2 = F.S.shrink F.S.Lasso shrunk in
+  Alcotest.(check int) "second shrink pass accepts nothing" 0
+    stats2.F.S.accepted
+
+let test_shrink_rejects_non_reproducing () =
+  let b =
+    {
+      F.S.m = 3;
+      ids = [| 1; 2 |];
+      inputs = unit_inputs 2;
+      namings = [| rot 0 3; rot 0 3 |];
+      crashes = [||];
+      steps = [| 0; 1 |];
+      loop = [||];
+      seed = 1;
+    }
+  in
+  match F.S.shrink me_prop b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shrink accepted a bundle that does not reproduce"
+
+let suite =
+  [
+    Alcotest.test_case "raw bundle round-trips" `Quick test_raw_roundtrip;
+    Alcotest.test_case "empty sections round-trip" `Quick
+      test_raw_roundtrip_empty_sections;
+    Alcotest.test_case "read_raw rejects garbage" `Quick
+      test_read_raw_rejects_garbage;
+    Alcotest.test_case "of_raw validates" `Quick test_of_raw_validates;
+    Alcotest.test_case "replay deterministic" `Quick test_replay_deterministic;
+    Alcotest.test_case "Fig-1 n=3 m=3 ME witness shrinks to <= 10%" `Slow
+      test_shrink_me_witness;
+    Alcotest.test_case "even-m deadlock lasso shrinks and replays" `Quick
+      test_shrink_df_lasso;
+    Alcotest.test_case "shrink rejects non-reproducing bundles" `Quick
+      test_shrink_rejects_non_reproducing;
+  ]
