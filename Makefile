@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check chaos bench bench-checker bench-quick tables \
-        resume-smoke fuzz-smoke fuzz clean-snapshots clean
+.PHONY: all build test check chaos bench bench-checker bench-quick \
+        bench-canon tables resume-smoke fuzz-smoke fuzz clean-snapshots clean
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 CHECK_TIMEOUT ?= 600
 check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
-	$(MAKE) bench-quick
+	$(MAKE) bench-canon
 	$(MAKE) resume-smoke
 	$(MAKE) fuzz-smoke
 
@@ -80,11 +80,19 @@ bench:
 bench-checker:
 	dune exec bench/check_throughput.exe -- $(DOMAINS) $(if $(FORCE),--force)
 
-# Sub-30s smoke benchmark (1 rep, small workloads); part of `make check`
-# so throughput regressions and quotient-soundness cross-checks surface
-# with the tests. Appends to BENCH_checker.json like the full sweep.
+# Sub-30s smoke benchmark (1 rep, small workloads). Appends to
+# BENCH_checker.json like the full sweep.
 bench-quick:
 	timeout 60 dune exec bench/check_throughput.exe -- --quick $(if $(FORCE),--force)
+
+# The canon wall-clock gate, part of `make check`: the quick workloads at
+# 3 reps (min-of-reps tames ms-scale noise on the small graphs), failing
+# if any complete quotient run is slower than 0.9x its full exploration.
+# Quotient-soundness and dedup-accounting cross-checks ride along, and
+# the run is appended to BENCH_checker.json like any other.
+bench-canon:
+	timeout 60 dune exec bench/check_throughput.exe -- --quick --reps 3 \
+	  --gate-canon 0.9 $(if $(FORCE),--force)
 
 tables:
 	dune exec -- coordctl tables

@@ -20,10 +20,23 @@
      the quotient (S_3, order 6) completes — the quotient's [orbit_sum]
      still reports the exact full-graph size. Skipped under --quick.
 
+   Every timed run is also audited for the dedup-accounting invariant
+   (complete runs: candidates = states + dedup_hits) — a broken counter
+   fails the bench rather than recording silently-wrong rows.
+
    Runs APPEND to BENCH_checker.json (a JSON array of timestamped run
    objects), so the file accumulates a history across hosts and commits.
 
-     dune exec bench/check_throughput.exe [-- [DOMAINS] [--quick] [--force]]
+     dune exec bench/check_throughput.exe \
+       [-- [DOMAINS] [--quick] [--force] [--reps N] [--gate-canon RATIO]]
+
+   --reps N overrides the mandatory repetition count (default 3; --quick
+   defaults to 1); ms-scale workloads additionally repeat until 0.25 s of
+   cumulative measurement (capped at 50 reps) so noise cannot set the
+   min. --gate-canon RATIO turns the run into a CI gate: after the
+   rows are appended, exit non-zero if any reduced-vs-full workload
+   whose full exploration completed has wall-clock speedup below RATIO
+   (`make bench-canon` wires this into `make check` at 0.9).
 
    DOMAINS defaults to Domain.recommended_domain_count (), and asking for
    MORE than that count is refused (oversubscribed domains on this runtime
@@ -46,15 +59,33 @@ type entry = {
   speedup : float;  (* elapsed(a) / elapsed(b) *)
   reduction_factor : float;
   peak_table : int;  (* largest interning-table population of the entry *)
+  full_complete : bool;
+      (* the baseline ("a") run completed — only such reduced-vs-full
+         entries are eligible for the --gate-canon wall-clock gate (a
+         truncated full run makes the ratio meaningless) *)
   note : string option;
 }
 
 let reps = ref 3
 
+(* Min-of-reps wall clock, with a measurement-time floor: after the
+   mandatory [reps] repetitions, ms-scale workloads keep repeating (up
+   to [time_rep_cap] total) until the cumulative measured time reaches
+   [time_floor_s]. A single scheduler hiccup on a 2 ms graph can no
+   longer set the min; workloads already past the floor stop at [reps]
+   as before. *)
+let time_floor_s = 0.25
+let time_rep_cap = 50
+
 let time_best f =
   let best = ref None in
-  for _ = 1 to max 1 !reps do
+  let total = ref 0. in
+  let n = ref 0 in
+  let mandatory = max 1 !reps in
+  while !n < mandatory || (!total < time_floor_s && !n < time_rep_cap) do
     let r, s = f () in
+    incr n;
+    total := !total +. s.Check.Checker_stats.elapsed_s;
     match !best with
     | Some (_, s0) when s0.Check.Checker_stats.elapsed_s <= s.Check.Checker_stats.elapsed_s
       -> ()
@@ -68,11 +99,32 @@ module Sweep (P : Protocol.PROTOCOL) = struct
   let same (a : E.graph) (b : E.graph) =
     a.states = b.states && a.succs = b.succs && a.complete = b.complete
 
+  (* Complete runs must balance their books exactly; truncated runs drop
+     over-budget candidates on the floor, so only the inequality holds. *)
+  let check_accounting ~label ~which (s : Check.Checker_stats.t) =
+    let cand = s.Check.Checker_stats.candidates in
+    let resolved =
+      s.Check.Checker_stats.n_states + s.Check.Checker_stats.dedup_hits
+    in
+    let broken =
+      if s.Check.Checker_stats.complete then cand <> resolved
+      else cand < resolved
+    in
+    if broken then
+      failwith
+        (str
+           "%s (%s): dedup accounting broken: %d candidates vs %d states + \
+            %d dedup hits"
+           label which cand s.Check.Checker_stats.n_states
+           s.Check.Checker_stats.dedup_hits)
+
   let par_vs_seq ~label ~domains ?max_states (cfg : E.config) =
     let gs, ss = time_best (fun () -> E.explore_with_stats ?max_states cfg) in
     let gp, sp = time_best (fun () -> E.explore_par ~domains ?max_states cfg) in
     if not (same gs gp) then
       failwith (str "%s: parallel explorer diverged from sequential" label);
+    check_accounting ~label ~which:"seq" ss;
+    check_accounting ~label ~which:"par" sp;
     let speedup =
       ss.Check.Checker_stats.elapsed_s /. sp.Check.Checker_stats.elapsed_s
     in
@@ -100,6 +152,7 @@ module Sweep (P : Protocol.PROTOCOL) = struct
       speedup;
       reduction_factor = 1.0;
       peak_table = max ss.Check.Checker_stats.n_states sp.Check.Checker_stats.n_states;
+      full_complete = ss.Check.Checker_stats.complete;
       note;
     }
 
@@ -112,6 +165,8 @@ module Sweep (P : Protocol.PROTOCOL) = struct
     let gp, _ = E.explore_par ~domains ~reduction:Check.Explore.Canon ?max_states cfg in
     if not (same gr gp && gr.orbits = gp.orbits) then
       failwith (str "%s: parallel quotient diverged from sequential" label);
+    check_accounting ~label ~which:"full" sf;
+    check_accounting ~label ~which:"reduced" sr;
     if
       Array.length gr.states >= Array.length gf.states
       && sr.Check.Checker_stats.group_order > 1
@@ -147,6 +202,7 @@ module Sweep (P : Protocol.PROTOCOL) = struct
       speedup;
       reduction_factor = Check.Checker_stats.reduction_factor sr;
       peak_table = max sf.Check.Checker_stats.n_states sr.Check.Checker_stats.n_states;
+      full_complete = gf.complete;
       note;
     }
 end
@@ -213,20 +269,41 @@ let append_run ~file run_json =
 
 let () =
   let quick = ref false and force = ref false and domains_arg = ref None in
-  Array.iteri
-    (fun i a ->
-      if i > 0 then
-        match a with
-        | "--quick" -> quick := true
-        | "--force" -> force := true
-        | a -> (
-          match int_of_string_opt a with
-          | Some d when d >= 1 -> domains_arg := Some d
-          | _ ->
-            prerr_endline
-              "usage: check_throughput [DOMAINS] [--quick] [--force]";
-            exit 2))
-    Sys.argv;
+  let reps_arg = ref None and gate = ref None in
+  let usage () =
+    prerr_endline
+      "usage: check_throughput [DOMAINS] [--quick] [--force] [--reps N] \
+       [--gate-canon RATIO]";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--force" :: rest ->
+      force := true;
+      parse rest
+    | "--reps" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        reps_arg := Some n;
+        parse rest
+      | _ -> usage ())
+    | "--gate-canon" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some r when r > 0. ->
+        gate := Some r;
+        parse rest
+      | _ -> usage ())
+    | a :: rest -> (
+      match int_of_string_opt a with
+      | Some d when d >= 1 ->
+        domains_arg := Some d;
+        parse rest
+      | _ -> usage ())
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let recommended = Domain.recommended_domain_count () in
   let domains = match !domains_arg with Some d -> d | None -> recommended in
   if domains > recommended && not !force then begin
@@ -239,9 +316,11 @@ let () =
       domains recommended;
     exit 1
   end;
-  if !quick then reps := 1;
-  Format.printf "host cores (recommended domains): %d; using %d domain(s)%s@.@."
-    recommended domains
+  reps :=
+    (match !reps_arg with Some n -> n | None -> if !quick then 1 else 3);
+  Format.printf
+    "host cores (recommended domains): %d; using %d domain(s), %d rep(s)%s@.@."
+    recommended domains !reps
     (if !quick then " [quick]" else "");
   let rot2 m = [| Naming.identity m; Naming.rotation m 1 |] in
   let sym n m = Array.init n (fun _ -> Naming.identity m) in
@@ -310,4 +389,29 @@ let () =
     entries;
   Buffer.add_string buf "    ]\n  }";
   append_run ~file:"BENCH_checker.json" (Buffer.contents buf);
-  Format.printf "appended run to BENCH_checker.json@."
+  Format.printf "appended run to BENCH_checker.json@.";
+  (* the gate runs AFTER the append: a failing run still leaves its
+     evidence in the history *)
+  match !gate with
+  | None -> ()
+  | Some ratio ->
+    let eligible =
+      List.filter
+        (fun e -> e.kind = "reduced-vs-full" && e.full_complete)
+        entries
+    in
+    let failures = List.filter (fun e -> e.speedup < ratio) eligible in
+    if failures <> [] then begin
+      List.iter
+        (fun e ->
+          Printf.eprintf
+            "gate: %s: canon wall-clock %.3fx the full exploration, below \
+             the %.2fx gate\n"
+            e.label e.speedup ratio)
+        failures;
+      exit 1
+    end
+    else
+      Format.printf
+        "gate: all %d quotient workloads at or above %.2fx full wall-clock@."
+        (List.length eligible) ratio

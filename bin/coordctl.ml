@@ -185,6 +185,12 @@ module Chk (P : Protocol.PROTOCOL) = struct
      belongs to some other configuration and we refuse
      (Snapshot.Config_mismatch, exit 4). *)
   let explore_all ?(opts = default_chk_opts) ~n ~m ~inputs ~report () =
+    if opts.reduction = Check.Explore.Canon && E.canon_degraded ~n then
+      Format.printf
+        "note: --canon degraded to the identity group (%s): exploring the \
+         full graph, reduction factor 1.0.@."
+        (if not P.symmetric then P.name ^ " is not a symmetric protocol"
+         else str "n = %d exceeds the group-enumeration bound 7" n);
     let resume_meta =
       Option.map
         (fun path -> (path, Check.Snapshot.read_meta ~path))
@@ -1289,6 +1295,12 @@ module Xpl (P : Protocol.PROTOCOL) = struct
 
   let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths
       ~snapshot_to ~snapshot_every ~resume_from =
+    if reduction = Check.Explore.Canon && E.canon_degraded ~n then
+      Format.printf
+        "note: --canon degraded to the identity group (%s): exploring the \
+         full graph, reduction factor 1.0.@."
+        (if not P.symmetric then P.name ^ " is not a symmetric protocol"
+         else str "n = %d exceeds the group-enumeration bound 7" n);
     let cfg = config ~n ~m ~rot ~inputs in
     let g, st =
       if par then

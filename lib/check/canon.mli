@@ -16,21 +16,48 @@
     yields the cyclic group of order [m]; generic namings yield only the
     identity. Protocols that compare identifiers for more than equality
     declare [symmetric = false] and always get the identity group — the
-    reduction soundly degrades to no reduction. *)
+    reduction soundly degrades to no reduction (see {!Make.degraded}).
+
+    Two canonizers are provided. {!Make.canonize} is the reference
+    implementation: it materializes every orbit image and sorts. The
+    {!Make.ctx} family is the incremental path the explorers use: the
+    lex-min search runs in the interned code space of the exploration's
+    {!Codec}, memoizes per-automorphism images of every interned value,
+    and rejects most automorphisms at their first differing slot without
+    allocating an image. Both choose the same representative — the
+    structural lex-min — and report the same orbit size; the test suite
+    cross-checks them state by state. *)
 
 module Make (P : Anonmem.Protocol.PROTOCOL) : sig
   type sym = {
     sigma : int array;
         (** process permutation: [q] plays the role of [sigma.(q)] *)
+    sigma_inv : int array;  (** inverse of [sigma] *)
     pi : int array;  (** induced physical-register permutation *)
+    pi_inv : int array;  (** inverse of [pi] *)
     rho : (int * int) array;
         (** identifier relabeling as (old, new) pairs; ids not listed are
             fixed, in particular the reserved empty value [0] *)
+    rho_map : int -> int;
+        (** [rho] as a precomputed constant-time function *)
   }
 
   val identity : n:int -> m:int -> sym
 
   val is_identity : sym -> bool
+  (** Early-exits at the first displaced process. *)
+
+  val max_procs : int
+  (** Group enumeration guard: configurations with more processes get the
+      identity group (the [n!] filter would be prohibitive). *)
+
+  val degraded : n:int -> bool
+  (** [true] iff [group] falls back to the identity group for an
+      [n]-process configuration — because [P.symmetric] is [false] or
+      [n > max_procs] — i.e. [~reduction:Canon] would silently explore
+      the full graph. Callers are expected to surface this
+      ({!Checker_stats.t.degraded}, the [coordctl] [--canon] notice)
+      rather than let the degradation pass unannounced. *)
 
   val group :
     ids:int array ->
@@ -38,8 +65,7 @@ module Make (P : Anonmem.Protocol.PROTOCOL) : sig
     namings:Anonmem.Naming.t array ->
     sym list
   (** All automorphisms of the configuration. Always contains the
-      identity; is exactly [[identity]] when [P.symmetric] is [false] or
-      [n > 7]. *)
+      identity; is exactly [[identity]] when {!degraded}. *)
 
   val apply : sym -> P.Value.t array -> P.local array -> P.Value.t array * P.local array
   (** The image of a global state: fresh arrays with
@@ -53,5 +79,56 @@ module Make (P : Anonmem.Protocol.PROTOCOL) : sig
       under [syms] (by [Value.compare] on memory, then [compare_local] on
       locals) together with the orbit size (number of distinct images).
       With a trivial group the state is returned unchanged with orbit
-      size 1. *)
+      size 1. Reference implementation — materializes the whole orbit;
+      the explorers use the incremental path below. *)
+
+  (** {2 Incremental canonicalization} *)
+
+  type ctx
+  (** Reusable canonicalization context: the group as an array, scratch
+      buffers sized to the configuration, and per-automorphism memo
+      tables of value/local images indexed by interned code. One ctx per
+      worker domain; a ctx must not be shared across domains (the codec
+      behind the code closures may be — it is CAS-safe). Reconstructible
+      from the configuration at any time and never serialized. *)
+
+  val make_ctx :
+    syms:sym list ->
+    value_code:(P.Value.t -> int) ->
+    local_code:(P.local -> int) ->
+    pack:(int array -> int array -> string) ->
+    init:(P.Value.t array * P.local array) ->
+    ctx
+  (** [make_ctx ~syms ~value_code ~local_code ~pack ~init] builds a ctx
+      for the group [syms]. [value_code]/[local_code] intern values into
+      dense codes that are equality-faithful for [P.Value.compare] /
+      [P.compare_local] (codes need not be order-faithful — the search
+      only ever compares codes for equality, and decides direction with
+      one structural comparison at the first differing slot). [pack]
+      turns a (value-code vector, local-code vector) pair into the
+      explorer's table key ({!Codec.key_of_codes}). [init] is any state
+      of the configuration, used for buffer sizes and witnesses. *)
+
+  val state_key : ctx -> P.Value.t array -> P.local array -> string
+  (** Intern the state's codes into the ctx scratch and return the packed
+      key of the state {e as is} (pre-canonicalization) — the key the
+      explorers' raw-successor cache is indexed by. Must be followed by
+      {!canonize_keyed} on the same state before the ctx is reused. *)
+
+  val canonize_keyed :
+    ctx -> raw:string -> P.Value.t array -> P.local array ->
+    P.Value.t array * P.local array * string * int
+  (** [canonize_keyed ctx ~raw mem locals] is the lex-least orbit element
+      of the state whose codes the preceding {!state_key} call loaded,
+      together with its packed key and the orbit size. [raw] is the key
+      that {!state_key} call returned; it is handed back as the key when
+      the state is already canonical, so the common case packs exactly
+      once. Agrees with {!canonize} on representative and orbit. Returns
+      the input arrays themselves when the state is already canonical,
+      fresh copies otherwise. *)
+
+  val pruned : ctx -> int
+  (** Automorphisms rejected at their first differing slot without an
+      image being materialized, cumulative over the ctx's lifetime (the
+      "signature-pruned triples" statistic). *)
 end

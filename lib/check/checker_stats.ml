@@ -21,8 +21,11 @@ type t = {
   elapsed_s : float;
   complete : bool;
   canon : bool;
+  degraded : bool;
   group_order : int;
   orbit_sum : int;
+  sig_pruned : int;
+  canon_hits : int;
   cutover : int option;
   depths : depth_sample list;
 }
@@ -41,7 +44,11 @@ let reduction_factor t =
   else float_of_int t.orbit_sum /. float_of_int t.n_states
 
 let equal_ignoring_time a b =
-  { a with elapsed_s = 0. } = { b with elapsed_s = 0. }
+  (* [sig_pruned]/[canon_hits] are cache-effectiveness counters, not graph
+     facts: they vary with domain count and with where a resume restarted
+     its (cold) caches, so the bit-identity relation must ignore them. *)
+  let scrub t = { t with elapsed_s = 0.; sig_pruned = 0; canon_hits = 0 } in
+  scrub a = scrub b
 
 let shard_imbalance t =
   (* max over mean shard population: 1.0 is a perfect split *)
@@ -67,10 +74,17 @@ let pp ppf t =
     (100. *. dedup_rate t)
     (String.concat "; " (Array.to_list (Array.map string_of_int t.shard_load)))
     (shard_imbalance t);
-  if t.canon then
+  if t.canon then begin
     Format.fprintf ppf
-      "@,symmetry: group order %d, orbit sum %d (%.2fx reduction)"
-      t.group_order t.orbit_sum (reduction_factor t);
+      "@,symmetry: group order %d, orbit sum %d (%.2fx reduction), %d \
+       automorphisms pruned, %d cache hits"
+      t.group_order t.orbit_sum (reduction_factor t) t.sig_pruned
+      t.canon_hits;
+    if t.degraded then
+      Format.fprintf ppf
+        "@,symmetry: DEGRADED — identity group only (protocol not \
+         symmetric, or n > 7); the full graph was explored"
+  end;
   (match t.cutover with
   | Some dep -> Format.fprintf ppf "@,parallel cutover at depth %d" dep
   | None -> ());
@@ -112,8 +126,11 @@ let to_json t =
   field "elapsed_s" (Printf.sprintf "%.6f" t.elapsed_s);
   field "states_per_sec" (Printf.sprintf "%.1f" (states_per_sec t));
   field "canon" (string_of_bool t.canon);
+  field "degraded" (string_of_bool t.degraded);
   field "group_order" (string_of_int t.group_order);
   field "orbit_sum" (string_of_int t.orbit_sum);
+  field "sig_pruned" (string_of_int t.sig_pruned);
+  field "canon_cache_hits" (string_of_int t.canon_hits);
   field "reduction_factor" (Printf.sprintf "%.4f" (reduction_factor t));
   (match t.cutover with
   | Some dep -> field "cutover" (string_of_int dep)

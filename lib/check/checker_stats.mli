@@ -24,17 +24,30 @@ type t = {
   n_transitions : int;
   max_depth : int;
   max_frontier : int;
-  candidates : int;  (** total successor states generated *)
+  candidates : int;
+      (** states examined for interning: the initial state plus every
+          generated successor. On a complete run
+          [candidates = n_states + dedup_hits]. *)
   dedup_hits : int;  (** total candidates that were already known *)
   shard_load : int array;  (** states owned per shard; [|n_states|] when
                                sequential *)
   elapsed_s : float;
   complete : bool;
   canon : bool;  (** explored the symmetry quotient, not the full graph *)
+  degraded : bool;
+      (** [canon] was requested but the group silently fell back to the
+          identity ([symmetric = false] protocol, or [n > 7]): the full
+          graph was explored despite the Canon reduction being on *)
   group_order : int;  (** automorphism group order (1 = no reduction) *)
   orbit_sum : int;
       (** sum of orbit sizes over stored states = size of the full graph
           the quotient stands for; equals [n_states] when not [canon] *)
+  sig_pruned : int;
+      (** automorphisms rejected at their first differing slot by the
+          incremental canonizer, without an image being materialized *)
+  canon_hits : int;
+      (** raw successors whose canonical form was served from the
+          per-domain memo instead of a group walk *)
   cutover : int option;
       (** BFS depth at which the explorer switched from its sequential
           warm-up to barrier-parallel generations; [None] when the whole
@@ -48,7 +61,8 @@ val now : unit -> float
 val states_per_sec : t -> float
 
 val dedup_rate : t -> float
-(** Fraction of candidate successors that were already interned. *)
+(** Fraction of candidates (initial state included) that were already
+    interned. *)
 
 val reduction_factor : t -> float
 (** [orbit_sum / n_states]: how many full-graph states each stored
@@ -59,10 +73,13 @@ val shard_imbalance : t -> float
 
 val equal_ignoring_time : t -> t -> bool
 (** Structural equality of every field except [elapsed_s] (wall-clock can
-    never reproduce). This is the "bit-identical statistics" relation the
-    checkpoint/resume tests assert: a truncated-then-resumed exploration
-    must match an uninterrupted one on everything the clock doesn't
-    touch — counts, depth profile, shard loads, orbit sums, cutover. *)
+    never reproduce) and the cache-effectiveness counters [sig_pruned] and
+    [canon_hits] (which depend on domain count and on where a resume
+    restarted its cold caches). This is the "bit-identical statistics"
+    relation the checkpoint/resume tests assert: a truncated-then-resumed
+    exploration must match an uninterrupted one on everything the clock
+    and the caches don't touch — counts, depth profile, shard loads,
+    orbit sums, cutover. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human summary. *)

@@ -104,6 +104,20 @@ module Make (P : Protocol.PROTOCOL) = struct
     done;
     Bytes.unsafe_to_string b
 
+  (* Same layout as [encode], from code vectors someone already interned —
+     the incremental canonizer holds codes, not values, and must produce
+     keys byte-identical to [encode]'s for the same state. *)
+  let key_of_codes vcodes lcodes =
+    let m = Array.length vcodes and n = Array.length lcodes in
+    let b = Bytes.create (width * (m + n)) in
+    for k = 0 to m - 1 do
+      put b k vcodes.(k)
+    done;
+    for q = 0 to n - 1 do
+      put b (m + q) lcodes.(q)
+    done;
+    Bytes.unsafe_to_string b
+
   let encode_solo t ~proc local mem =
     let m = Array.length mem in
     let b = Bytes.create (width * (m + 2)) in

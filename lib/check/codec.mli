@@ -27,6 +27,12 @@ module Make (P : Anonmem.Protocol.PROTOCOL) : sig
   (** [encode t mem locals] is the packed key of a global state. Length
       is [3 * (m + n)] bytes. *)
 
+  val key_of_codes : int array -> int array -> string
+  (** [key_of_codes vcodes lcodes] packs already-interned code vectors
+      into a key, byte-identical to what [encode] produces for the state
+      they were interned from. Used by the incremental canonizer, which
+      works on codes and never re-touches the values. *)
+
   val encode_solo : t -> proc:int -> P.local -> P.Value.t array -> string
   (** Key for a (process, local state, memory) triple — the full input of
       a deterministic solo run, used to memoize obstruction-freedom

@@ -104,12 +104,62 @@ module Make (P : Protocol.PROTOCOL) = struct
     | Full -> []
     | Canon -> Cn.group ~ids:cfg.ids ~inputs:cfg.inputs ~namings:cfg.namings
 
-  let canonize syms st =
-    match syms with
-    | [] | [ _ ] -> (st, 1)
-    | syms ->
-      let mem, locals, orbit = Cn.canonize syms st.mem st.locals in
-      ({ mem; locals }, orbit)
+  let canon_degraded ~n = Cn.degraded ~n
+
+  (* Per-domain reduction context: the incremental canonizer plus a memo
+     of raw successors already canonized. Reconstructible from the
+     configuration alone — never serialized into snapshots; a resumed run
+     starts with cold caches and produces the same graph bit for bit. *)
+  type canon_cache = {
+    inc : Cn.ctx option;  (* [Some] iff the group is non-trivial *)
+    memo : (string, state * string * int) Hashtbl.t;
+    mutable hits : int;
+  }
+
+  (* Drop the raw-successor memo rather than grow it without bound; the
+     cap is far above every in-tree workload's distinct-raw-state count. *)
+  let canon_memo_cap = 1 lsl 20
+
+  let make_canon_cache codec syms st0 =
+    let inc =
+      match syms with
+      | [] | [ _ ] -> None
+      | syms ->
+        Some
+          (Cn.make_ctx ~syms
+             ~value_code:(Cd.value_code codec)
+             ~local_code:(Cd.local_code codec)
+             ~pack:Cd.key_of_codes
+             ~init:(st0.mem, st0.locals))
+    in
+    {
+      inc;
+      memo = Hashtbl.create (match inc with None -> 1 | Some _ -> 4096);
+      hits = 0;
+    }
+
+  (* Canonical representative, its packed key and orbit size — the
+     Canon-path replacement for [Cn.canonize] + [Cd.encode]. Memoized on
+     the raw successor's own key: in a quotiented BFS each raw state
+     recurs through graph diamonds, and those recurrences skip the group
+     walk entirely. *)
+  let canonize_cached cc codec st =
+    match cc.inc with
+    | None -> (st, Cd.encode codec st.mem st.locals, 1)
+    | Some inc -> (
+      let raw = Cn.state_key inc st.mem st.locals in
+      match Hashtbl.find_opt cc.memo raw with
+      | Some hit ->
+        cc.hits <- cc.hits + 1;
+        hit
+      | None ->
+        let mem, locals, key, orbit =
+          Cn.canonize_keyed inc ~raw st.mem st.locals
+        in
+        let rep = if mem == st.mem then st else { mem; locals } in
+        if Hashtbl.length cc.memo >= canon_memo_cap then Hashtbl.reset cc.memo;
+        Hashtbl.add cc.memo raw (rep, key, orbit);
+        (rep, key, orbit))
 
   (* ---------------------------------------------------------------- *)
   (* durable checkpoints                                               *)
@@ -184,6 +234,7 @@ module Make (P : Protocol.PROTOCOL) = struct
   let explore_basic ~max_states ~reduction cfg =
     let codec = Cd.create () in
     let syms = syms_of ~reduction cfg in
+    let cc = make_canon_cache codec syms (initial cfg) in
     let table : (string, int) Hashtbl.t = Hashtbl.create 4096 in
     let states_rev = ref [] in
     let orbits_rev = ref [] in
@@ -191,8 +242,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     let pending = Queue.create () in
     let complete = ref true in
     let intern st =
-      let rep, orbit = canonize syms st in
-      let key = Cd.encode codec rep.mem rep.locals in
+      let rep, key, orbit = canonize_cached cc codec st in
       match Hashtbl.find_opt table key with
       | Some id -> Some id
       | None ->
@@ -306,6 +356,19 @@ module Make (P : Protocol.PROTOCOL) = struct
     let syms = syms_of ~reduction cfg in
     let group_order = max 1 (List.length syms) in
     let canon = reduction = Canon in
+    let degraded = canon && Cn.degraded ~n:n_procs in
+    (* one reduction context per worker domain: ctxs are single-threaded,
+       the codec behind them is shared (and CAS-safe) *)
+    let ccs =
+      Array.init d (fun _ -> make_canon_cache codec syms (initial cfg))
+    in
+    let sig_pruned () =
+      Array.fold_left
+        (fun acc cc ->
+          acc + match cc.inc with Some i -> Cn.pruned i | None -> 0)
+        0 ccs
+    in
+    let canon_hits () = Array.fold_left (fun acc cc -> acc + cc.hits) 0 ccs in
     let cutover =
       ref (match resumed with Some sp -> sp.sp_cutover | None -> None)
     in
@@ -327,8 +390,11 @@ module Make (P : Protocol.PROTOCOL) = struct
         elapsed_s = Checker_stats.now () -. t0;
         complete;
         canon;
+        degraded;
         group_order;
         orbit_sum = !orbit_sum;
+        sig_pruned = sig_pruned ();
+        canon_hits = canon_hits ();
         cutover = !cutover;
         depths;
       }
@@ -339,7 +405,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           ~candidates:0 ~dedup_hits:0 ~shard_load:(Array.make d 0)
           ~complete:false ~depths:[] )
     else begin
-      let rep0, orbit0 = canonize syms (initial cfg) in
+      let rep0, _, orbit0 = canonize_cached ccs.(0) codec (initial cfg) in
       (* Shard s owns every state whose structural hash is s mod d. The
          hash is over the canonical state, NOT the packed codec key:
          codec codes are assigned in racy first-encode order during the
@@ -400,8 +466,13 @@ module Make (P : Protocol.PROTOCOL) = struct
       let depths_rev =
         ref (match resumed with Some sp -> sp.sp_depths_rev | None -> [])
       in
+      (* The initial state is a candidate too — it is interned exactly like
+         any successor — so fresh runs start at 1, keeping the invariant
+         [candidates = n_states + dedup_hits] on complete runs. (Snapshots
+         carry the running total; the format version gates out pre-fix
+         snapshots whose totals were one short.) *)
       let total_cand =
-        ref (match resumed with Some sp -> sp.sp_candidates | None -> 0)
+        ref (match resumed with Some sp -> sp.sp_candidates | None -> 1)
       in
       let total_dups =
         ref (match resumed with Some sp -> sp.sp_dedup | None -> 0)
@@ -593,8 +664,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             List.filter_map
               (fun (label, st') ->
                 incr ncand;
-                let rep, orbit = canonize syms st' in
-                let key = Cd.encode codec rep.mem rep.locals in
+                let rep, key, orbit = canonize_cached ccs.(0) codec st' in
                 let tbl = shard_tbl.(state_owner rep) in
                 match Hashtbl.find_opt tbl key with
                 | Some dst ->
@@ -634,8 +704,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           sl.(!i) <-
             List.map
               (fun (label, st') ->
-                let rep, orbit = canonize syms st' in
-                let key = Cd.encode codec rep.mem rep.locals in
+                let rep, key, orbit = canonize_cached ccs.(me) codec st' in
                 (label, rep, key, orbit))
               (successors cfg fr.(!i));
           i := !i + d

@@ -66,6 +66,13 @@ module Make (P : Protocol.PROTOCOL) : sig
       snapshot may be resumed with a bigger budget or different domain
       count. *)
 
+  val canon_degraded : n:int -> bool
+  (** [true] when [~reduction:Canon] would degrade to the identity group
+      for an [n]-process configuration (the protocol declares
+      [symmetric = false], or [n] exceeds {!Canon.Make.max_procs}) — the
+      quotient silently coincides with the full graph. Surfaced in
+      {!Checker_stats.t.degraded} and by [coordctl]'s [--canon] notice. *)
+
   val explore :
     ?max_states:int ->
     ?reduction:reduction ->

@@ -24,7 +24,11 @@ let error_message = function
       path snapshot current
 
 let magic = "COORDSNAP"
-let version = 1
+
+(* v2: [sp_candidates] now counts the initial state too (the dedup
+   accounting fix). A v1 snapshot resumed under v2 code would restore a
+   running total that is one short, so the version gates it out. *)
+let version = 2
 
 (* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Marshal has no
    integrity check of its own: feeding it a truncated or bit-flipped

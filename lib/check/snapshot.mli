@@ -11,7 +11,7 @@
     Layout (all integers big-endian):
     {v
     "COORDSNAP"  9-byte magic
-    u8           format version (currently 1)
+    u8           format version (currently 2)
     16 bytes     MD5 fingerprint of the exploration config
     u16 + bytes  human-readable config description (for diagnostics)
     u64          payload length

@@ -339,6 +339,125 @@ let test_burns () =
   QBurns.run ~expect:1
     (QBurns.E.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ())
 
+(* --- property: canonical representatives across discovery orders ---
+
+   On Gen-drawn instances (seeded, boundary-biased), the quotient's
+   stored representatives must be fixed points of the reference
+   materialize-and-sort canonizer with matching orbit sizes (old path =
+   new incremental path), identical across seq and par explorers at
+   domains 1/2/4 on both scheduling paths, identical across a
+   snapshot/resume boundary, and the incremental ctx must agree with the
+   reference on every raw orbit element — not just the canonical ones
+   the explorer happens to store. *)
+
+module CdMutex = Codec.Make (Coord.Amutex.P)
+
+let test_gen_canonical_invariance () =
+  let rng = Rng.create 0xCA70 in
+  for _ = 1 to 4 do
+    let p = Gen.params ~profile:Gen.smoke_profile rng in
+    let cfg =
+      {
+        QMutex.E.ids = p.Gen.ids;
+        inputs = Array.make p.Gen.n ();
+        namings = Array.map Naming.of_array p.Gen.namings;
+      }
+    in
+    let tag what =
+      Printf.sprintf "gen n=%d m=%d ids=[%s]: %s" p.Gen.n p.Gen.m
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int p.Gen.ids)))
+        what
+    in
+    let syms =
+      QMutex.C.group ~ids:cfg.ids ~inputs:cfg.inputs ~namings:cfg.namings
+    in
+    let red, rstats = QMutex.E.explore_with_stats ~reduction:Canon cfg in
+    let fixed = ref true and orbits_ok = ref true in
+    Array.iteri
+      (fun i (st : QMutex.E.state) ->
+        let mem, locals, orbit = QMutex.C.canonize syms st.mem st.locals in
+        if not (mem = st.mem && locals = st.locals) then fixed := false;
+        if orbit <> red.orbits.(i) then orbits_ok := false)
+      red.states;
+    Alcotest.(check bool)
+      (tag "stored reps are reference fixed points")
+      true !fixed;
+    Alcotest.(check bool)
+      (tag "stored orbits match the reference")
+      true !orbits_ok;
+    (* direct old-vs-new on raw states: a private incremental ctx must
+       agree with the reference canonizer on every orbit element *)
+    (match syms with
+    | [] | [ _ ] -> ()
+    | _ ->
+      let codec = CdMutex.create () in
+      let init = QMutex.E.initial cfg in
+      let ctx =
+        QMutex.C.make_ctx ~syms
+          ~value_code:(CdMutex.value_code codec)
+          ~local_code:(CdMutex.local_code codec)
+          ~pack:CdMutex.key_of_codes
+          ~init:(init.mem, init.locals)
+      in
+      let agree = ref true in
+      Array.iter
+        (fun (st : QMutex.E.state) ->
+          List.iter
+            (fun sym ->
+              let rmem, rloc = QMutex.C.apply sym st.mem st.locals in
+              let cmem, cloc, corb = QMutex.C.canonize syms rmem rloc in
+              let raw = QMutex.C.state_key ctx rmem rloc in
+              let imem, iloc, _key, iorb =
+                QMutex.C.canonize_keyed ctx ~raw rmem rloc
+              in
+              if not (imem = cmem && iloc = cloc && iorb = corb) then
+                agree := false)
+            syms)
+        red.states;
+      Alcotest.(check bool)
+        (tag "incremental = reference on every orbit element")
+        true !agree);
+    (* identical quotient across domain counts, through both the barrier
+       phases (threshold 0) and the adaptive sequential path *)
+    List.iter
+      (fun d ->
+        List.iter
+          (fun threshold ->
+            let par, _ =
+              QMutex.E.explore_par ~domains:d ?par_threshold:threshold
+                ~reduction:Canon cfg
+            in
+            Alcotest.(check bool)
+              (tag (Printf.sprintf "par(%d domains) = seq quotient" d))
+              true
+              (par.states = red.states && par.succs = red.succs
+             && par.orbits = red.orbits && par.complete = red.complete))
+          [ None; Some 0 ])
+      [ 1; 2; 4 ];
+    (* the representative choice survives a snapshot/resume boundary *)
+    let snap = Filename.temp_file "canon-gen" ".snap" in
+    let budget = max 2 (Array.length red.states / 2) in
+    let trunc, _ =
+      QMutex.E.explore_with_stats ~reduction:Canon ~max_states:budget
+        ~snapshot_to:snap cfg
+    in
+    Alcotest.(check bool) (tag "budget truncated") false trunc.complete;
+    let res, res_stats =
+      QMutex.E.explore_with_stats ~reduction:Canon ~resume_from:snap cfg
+    in
+    Sys.remove snap;
+    Alcotest.(check bool)
+      (tag "resumed quotient = uninterrupted quotient")
+      true
+      (res.states = red.states && res.succs = red.succs
+     && res.orbits = red.orbits && res.complete = red.complete);
+    Alcotest.(check bool)
+      (tag "resumed stats = uninterrupted stats")
+      true
+      (Checker_stats.equal_ignoring_time res_stats rstats)
+  done
+
 (* --- obstruction-freedom memoization parity --- *)
 
 let test_of_memo () =
@@ -372,5 +491,7 @@ let suite =
       test_amutex_invariance;
     Alcotest.test_case "anonymity invariance: renaming" `Quick
       test_renaming_invariance;
+    Alcotest.test_case "canonical invariance on random instances" `Quick
+      test_gen_canonical_invariance;
     Alcotest.test_case "obstruction-freedom memo parity" `Quick test_of_memo;
   ]

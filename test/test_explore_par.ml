@@ -57,6 +57,20 @@ module Parity (P : Protocol.PROTOCOL) = struct
                 true
                 (stats.Checker_stats.cutover = Some 0)
             | _ -> ());
+            (* dedup accounting: on a complete run every candidate either
+               became a state or deduplicated; truncation drops candidates
+               on the floor, so only the inequality survives *)
+            if stats.Checker_stats.complete then
+              Alcotest.(check int)
+                (tag "candidates = states + dedup_hits")
+                (stats.Checker_stats.n_states + stats.Checker_stats.dedup_hits)
+                stats.Checker_stats.candidates
+            else
+              Alcotest.(check bool)
+                (tag "candidates >= states + dedup_hits")
+                true
+                (stats.Checker_stats.candidates
+                >= stats.Checker_stats.n_states + stats.Checker_stats.dedup_hits);
             Alcotest.(check int)
               (tag "shard loads sum to states")
               n_seq
@@ -150,10 +164,12 @@ let test_stats_coherent () =
   Alcotest.(check bool) "complete" true s.Checker_stats.complete;
   Alcotest.(check int) "transitions" s.Checker_stats.n_transitions
     (Array.fold_left (fun acc ts -> acc + List.length ts) 0 g.succs);
-  (* every state but the initial one was discovered as a candidate; the
-     rest of the candidates deduplicated away *)
-  Alcotest.(check int) "candidate accounting" s.Checker_stats.candidates
-    (s.Checker_stats.dedup_hits + n - 1);
+  (* every state — the initial one included — was interned off a
+     candidate; the rest of the candidates deduplicated away. This is the
+     regression test for the old off-by-one where the initial state was
+     never counted as a candidate. *)
+  Alcotest.(check int) "candidate accounting" (s.Checker_stats.dedup_hits + n)
+    s.Checker_stats.candidates;
   let sum f = List.fold_left (fun acc d -> acc + f d) 0 s.Checker_stats.depths in
   Alcotest.(check int) "frontiers partition the states" n
     (sum (fun d -> d.Checker_stats.frontier));
