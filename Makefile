@@ -1,7 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build test check chaos bench bench-checker bench-quick \
-        bench-canon tables resume-smoke fuzz-smoke fuzz clean-snapshots clean
+        bench-canon tables resume-smoke resilience-smoke fuzz-smoke fuzz \
+        clean-snapshots clean
 
 all: build
 
@@ -19,6 +20,7 @@ check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
 	$(MAKE) bench-canon
 	$(MAKE) resume-smoke
+	$(MAKE) resilience-smoke
 	$(MAKE) fuzz-smoke
 
 # End-to-end snapshot/resume smoke: truncate + resume vs oracle,
@@ -26,6 +28,14 @@ check:
 # (0 clean / 1 violation / 3 truncated / 4 rejected snapshot).
 resume-smoke: build
 	timeout 120 scripts/resume_smoke.sh _build/default/bin/coordctl.exe
+
+# Seeded infrastructure-fault campaign: worker kills, stalls, torn and
+# bit-flipped snapshot writes, allocation failure, deadline stop — the
+# faulted sweeps must reach the fault-free oracle's verdict and state
+# counts and exit by the documented contract (0/1/3/4/6). The campaign
+# prints its fault-plan seed; replay with RESILIENCE_SEED=N.
+resilience-smoke: build
+	timeout 60 scripts/resilience_smoke.sh _build/default/bin/coordctl.exe
 
 # Sub-30s fuzzing smoke: replay the committed regression corpus, run a
 # 1000-instance differential sweep (seq/par explorers, property checkers,

@@ -117,7 +117,9 @@ let simulate proto n m seed steps show_trace =
    [--canon] (sound for every protocol: verdicts coincide with the full
    graph's, see DESIGN.md §9). [--max-states] truncates; [--snapshot-dir]
    checkpoints each naming's exploration so a truncated or interrupted
-   sweep can be resumed with [--resume] (see DESIGN.md §10). *)
+   sweep can be resumed with [--resume] (see DESIGN.md §10). [--deadline]
+   bounds wall clock; [--salvage]/[--supervise]/[--inject-faults] are the
+   self-healing surface (see DESIGN.md §12). *)
 type chk_opts = {
   par : bool;
   domains : int option;
@@ -127,6 +129,13 @@ type chk_opts = {
   snapshot_dir : string option;
   snapshot_every : int option;
   resume : string option;
+  deadline_s : float option;
+  salvage : bool;
+  supervise : bool option;
+  recover : bool;  (** wrap explorations in [with_recovery] (fault campaigns) *)
+  saw_deadline : bool ref;
+      (** set when any exploration in the sweep stopped on the deadline,
+          so the driver can exit 6 rather than the generic truncated 3 *)
 }
 
 let default_chk_opts =
@@ -139,6 +148,11 @@ let default_chk_opts =
     snapshot_dir = None;
     snapshot_every = None;
     resume = None;
+    deadline_s = None;
+    salvage = false;
+    supervise = None;
+    recover = false;
+    saw_deadline = ref false;
   }
 
 let ensure_dir dir =
@@ -156,28 +170,33 @@ module Chk (P : Protocol.PROTOCOL) = struct
       [ Array.init n (fun k -> Naming.rotation m k) ]
 
   let explore_one ?snapshot_to ?resume_from opts cfg =
-    if opts.par then begin
-      let g, st =
+    let run ~resume_from ~snapshot_to =
+      if opts.par then
         E.explore_par ?max_states:opts.max_states ?domains:opts.domains
           ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
-          ~reduction:opts.reduction cfg
-      in
-      if opts.stats then Format.printf "%a@." Check.Checker_stats.pp st;
-      g
-    end
-    else if opts.stats then begin
-      let g, st =
+          ?deadline_s:opts.deadline_s ~salvage:opts.salvage
+          ?supervise:opts.supervise ~reduction:opts.reduction cfg
+      else
         E.explore_with_stats ?max_states:opts.max_states
           ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
+          ?deadline_s:opts.deadline_s ~salvage:opts.salvage
           ~reduction:opts.reduction cfg
-      in
-      Format.printf "%a@." Check.Checker_stats.pp st;
-      g
-    end
-    else
-      E.explore ?max_states:opts.max_states
-        ?snapshot_every:opts.snapshot_every ?snapshot_to ?resume_from
-        ~reduction:opts.reduction cfg
+    in
+    let g, st =
+      match (opts.recover, snapshot_to) with
+      | true, Some snap ->
+        (* fault campaign: transient infrastructure failures (killed
+           supervisor, allocation failure, corrupt checkpoint) retry from
+           the newest salvageable snapshot instead of failing the sweep *)
+        E.with_recovery ?resume_from ~snapshot_to:snap
+          (fun ~resume_from ~snapshot_to ->
+            run ~resume_from ~snapshot_to:(Some snapshot_to))
+      | _ -> run ~resume_from ~snapshot_to
+    in
+    if st.Check.Checker_stats.stop = Check.Checker_stats.Deadline then
+      opts.saw_deadline := true;
+    if opts.stats then Format.printf "%a@." Check.Checker_stats.pp st;
+    g
 
   (* Returns [true] if any exploration in the sweep was truncated. A
      [--resume] snapshot is matched to its naming assignment by config
@@ -315,10 +334,36 @@ let reduction_of_flags ~canon ~no_canon =
    hold on a complete exploration; 1 a violation was found; 3 no violation
    but some exploration was truncated (the verdict covers only the explored
    prefix); 4 a --resume snapshot was rejected (corrupt, wrong version, or
-   fingerprint mismatch with every swept configuration). *)
+   fingerprint mismatch with every swept configuration); 6 the --deadline
+   expired (graceful stop at a generation boundary, snapshot flushed). *)
 let check proto n m par domains stats canon no_canon max_states snapshot_dir
-    snapshot_every resume =
+    snapshot_every resume deadline salvage supervise inject =
   let reduction = reduction_of_flags ~canon ~no_canon in
+  (* --inject-faults SEED arms a deterministic infrastructure-fault plan
+     and implies the rest of the self-healing stack: snapshot salvage,
+     supervised workers (auto-enabled by the armed domain faults),
+     with_recovery retries, and somewhere to recover from — a private
+     snapshot dir is synthesized when none was given. The plan seed is
+     printed so the whole campaign can be replayed. *)
+  let snapshot_dir =
+    match (inject, snapshot_dir) with
+    | Some _, None ->
+      Some
+        (Filename.concat
+           (Filename.get_temp_dir_name ())
+           (str "coordctl-inject-%d" (Unix.getpid ())))
+    | _ -> snapshot_dir
+  in
+  let snapshot_every =
+    (* tight checkpoint cadence so recovery has boundaries to resume from *)
+    if inject <> None && snapshot_every = None then Some 1 else snapshot_every
+  in
+  (match inject with
+  | Some seed ->
+    let plan = Resilience.plan_of_seed ?domains seed in
+    Resilience.arm plan;
+    Format.printf "fault plan: %a@." Resilience.pp_plan plan
+  | None -> ());
   let opts =
     {
       par;
@@ -329,9 +374,13 @@ let check proto n m par domains stats canon no_canon max_states snapshot_dir
       snapshot_dir;
       snapshot_every;
       resume;
+      deadline_s = deadline;
+      salvage = salvage || inject <> None;
+      supervise = (if supervise then Some true else None);
+      recover = inject <> None;
+      saw_deadline = ref false;
     }
   in
-  if snapshot_dir <> None then Check.Snapshot.install_signal_handlers ();
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -340,8 +389,9 @@ let check proto n m par domains stats canon no_canon max_states snapshot_dir
     | None, (Consensus | Election | Renaming) -> (2 * n) - 1
     | None, Ccp -> 2
   in
-  match
-    match proto with
+  let body () =
+    match
+      match proto with
     | Mutex -> check_mutex ~opts ~n ~m
     | Cmp_mutex -> check_cmp_mutex ~opts ~n ~m
     | Consensus ->
@@ -433,11 +483,16 @@ let check proto n m par domains stats canon no_canon max_states snapshot_dir
   | bad, truncated ->
     if truncated then
       Format.eprintf
-        "WARNING: exploration truncated (state budget or interrupt); \
-         verdicts cover only the explored prefix.@.";
+        "WARNING: exploration truncated (state budget, interrupt or \
+         deadline); verdicts cover only the explored prefix.@.";
     if bad then begin
       Format.printf "RESULT: violations found.@.";
       Ok 1
+    end
+    else if !(opts.saw_deadline) then begin
+      Format.printf "RESULT: no violation before the deadline \
+                     (incomplete; snapshot flushed for --resume).@.";
+      Ok 6
     end
     else if truncated then begin
       Format.printf "RESULT: no violation in the explored prefix \
@@ -448,6 +503,13 @@ let check proto n m par domains stats canon no_canon max_states snapshot_dir
       Format.printf "RESULT: all properties hold.@.";
       Ok 0
     end
+  in
+  Fun.protect ~finally:Resilience.disarm (fun () ->
+      if opts.snapshot_dir <> None then
+        (* scoped, not leaked: previous SIGINT/SIGTERM dispositions are
+           restored when the check returns (or raises) *)
+        Check.Snapshot.with_signal_handlers body
+      else body ())
 
 (* ------------------------------------------------------------------ *)
 (* adversaries                                                         *)
@@ -1065,7 +1127,16 @@ let consensus_gen_inputs rng ~n =
 
 let unit_inputs _rng ~n = Array.make n ()
 
-let fuzz proto n m attempts seconds seed max_states probes do_shrink corpus =
+let fuzz proto n m attempts seconds seed max_states probes do_shrink corpus
+    deadline =
+  (* --deadline is the cross-command wall-clock bound; for fuzz it maps
+     onto the existing per-campaign seconds budget (tighter of the two) *)
+  let seconds =
+    match (seconds, deadline) with
+    | Some s, Some d -> Some (Float.min s d)
+    | None, d -> d
+    | s, None -> s
+  in
   let common d = (d ~n ~m ~attempts ~seconds ~seed ~max_states ~probes
                     ~do_shrink ~corpus) () in
   match proto with
@@ -1294,7 +1365,8 @@ module Xpl (P : Protocol.PROTOCOL) = struct
     }
 
   let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths
-      ~snapshot_to ~snapshot_every ~resume_from =
+      ~snapshot_to ~snapshot_every ~resume_from ~deadline_s ~salvage
+      ~supervise =
     if reduction = Check.Explore.Canon && E.canon_degraded ~n then
       Format.printf
         "note: --canon degraded to the identity group (%s): exploring the \
@@ -1305,14 +1377,17 @@ module Xpl (P : Protocol.PROTOCOL) = struct
     let g, st =
       if par then
         E.explore_par ?max_states ?domains ?snapshot_every
-          ?snapshot_to ?resume_from ~reduction cfg
+          ?snapshot_to ?resume_from ?deadline_s ~salvage
+          ?supervise:(if supervise then Some true else None)
+          ~reduction cfg
       else
         E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
-          ?resume_from ~reduction cfg
+          ?resume_from ?deadline_s ~salvage ~reduction cfg
     in
     ignore g;
     Format.printf "%a@." Check.Checker_stats.pp st;
-    if depths then Format.printf "%a@." Check.Checker_stats.pp_depths st
+    if depths then Format.printf "%a@." Check.Checker_stats.pp_depths st;
+    st
 
   (* One benchmark line: the full graph, then (unless [--no-canon]) the
      symmetry quotient of the same configuration, with the quotient's
@@ -1339,9 +1414,8 @@ module Xpl (P : Protocol.PROTOCOL) = struct
 end
 
 let explore proto n m rot par domains canon no_canon max_states depths
-    snapshot_to snapshot_every resume_from =
+    snapshot_to snapshot_every resume_from deadline_s salvage supervise =
   let reduction = reduction_of_flags ~canon ~no_canon in
-  if snapshot_to <> None then Check.Snapshot.install_signal_handlers ();
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -1350,40 +1424,52 @@ let explore proto n m rot par domains canon no_canon max_states depths
     | None, (Consensus | Election | Renaming) -> (2 * n) - 1
     | None, Ccp -> 2
   in
-  match
-    match proto with
+  let body () =
+    match
+      match proto with
     | Mutex ->
       let module X = Xpl (Coord.Amutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
     | Cmp_mutex ->
       let module X = Xpl (Coord.Cmp_mutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
     | Consensus ->
       let module X = Xpl (Coord.Consensus.P) in
       (* equal inputs keep the configuration symmetric; `check` still sweeps
          distinct inputs *)
       X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
     | Election ->
       let module X = Xpl (Coord.Election.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
     | Renaming ->
       let module X = Xpl (Coord.Renaming.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
     | Ccp ->
       let module X = Xpl (Coord.Ccp.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
+        ~deadline_s ~salvage ~supervise
   with
   | exception Check.Snapshot.Error e ->
     Format.eprintf "coordctl: snapshot rejected: %s@."
       (Check.Snapshot.error_message e);
     Ok 4
-  | () -> Ok 0
+  | st ->
+    if st.Check.Checker_stats.stop = Check.Checker_stats.Deadline then Ok 6
+    else Ok 0
+  in
+  if snapshot_to <> None then Check.Snapshot.with_signal_handlers body
+  else body ()
 
 let bench n canon no_canon max_states =
   let reduction =
@@ -1530,6 +1616,54 @@ let resume_arg =
            one matching none of the checked configurations is rejected \
            with exit status 4.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget: after $(i,S) seconds the explorer stops \
+           gracefully at the next generation boundary, flushes a snapshot \
+           (when snapshotting is on) and the command exits with status 6, \
+           so a scheduled run never overruns its slot. Continue with \
+           $(b,--resume).")
+
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "When a $(b,--resume) snapshot has a damaged tail (torn append, \
+           flipped byte, truncation), roll back to its newest intact \
+           checkpoint chunk instead of rejecting the file with exit 4; \
+           what was dropped is reported on stderr.")
+
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "With $(b,--par), run worker domains under a supervisor that \
+           detects dead workers, requeues their work units onto survivors \
+           and respawns them (bounded restarts with backoff) instead of \
+           hanging. Results stay bit-identical to the unsupervised \
+           explorer. Enabled automatically by $(b,--inject-faults).")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject-faults" ] ~docv:"SEED"
+        ~doc:
+          "Arm the deterministic infrastructure-fault plan derived from \
+           $(i,SEED): worker-domain kills and stalls, torn or bit-flipped \
+           snapshot writes, an allocation failure (DESIGN.md §12). \
+           Implies $(b,--salvage), supervision and crash-recovery — \
+           explorations retry from the newest salvageable snapshot, and a \
+           private snapshot dir is synthesized when $(b,--snapshot-dir) \
+           is absent. The plan is printed so the whole campaign replays \
+           from the seed.")
+
 let check_exits =
   Cmd.Exit.info 0 ~doc:"all checked properties hold (complete exploration)."
   :: Cmd.Exit.info 1 ~doc:"a property violation was found."
@@ -1542,7 +1676,14 @@ let check_exits =
        ~doc:
          "a $(b,--resume) snapshot was rejected: corrupt, wrong format \
           version, or its fingerprint matches none of the checked \
-          configurations."
+          configurations (with $(b,--salvage), only snapshots with no \
+          intact chunk at all are still rejected)."
+  :: Cmd.Exit.info 6
+       ~doc:
+         "the $(b,--deadline) expired: the exploration stopped gracefully \
+          at a generation boundary with no violation found so far, and \
+          (when snapshotting is on) flushed a checkpoint to continue \
+          from with $(b,--resume)."
   :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
 
 let check_cmd =
@@ -1553,7 +1694,8 @@ let check_cmd =
       term_result
         (const check $ proto_arg $ n_arg $ m_arg $ par_arg $ domains_arg
        $ stats_arg $ canon_arg $ no_canon_arg $ max_states_arg
-       $ snapshot_dir_arg $ snapshot_every_arg $ resume_arg))
+       $ snapshot_dir_arg $ snapshot_every_arg $ resume_arg $ deadline_arg
+       $ salvage_arg $ supervise_arg $ inject_arg))
 
 let explore_cmd =
   let doc = "explore one configuration and print checker statistics" in
@@ -1592,7 +1734,8 @@ let explore_cmd =
       term_result
         (const explore $ proto_arg $ n_arg $ m_arg $ rot $ par_arg
        $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths
-       $ snapshot $ snapshot_every_arg $ resume_arg))
+       $ snapshot $ snapshot_every_arg $ resume_arg $ deadline_arg
+       $ salvage_arg $ supervise_arg))
 
 let bench_cmd =
   let doc = "quick in-process checker benchmark (full vs quotient)" in
@@ -1740,7 +1883,7 @@ let fuzz_cmd =
     Term.(
       term_result
         (const fuzz $ proto_arg $ n $ m_arg $ attempts $ seconds $ seed_arg
-       $ max_states $ probes $ do_shrink $ corpus))
+       $ max_states $ probes $ do_shrink $ corpus $ deadline_arg))
 
 let shrink_cmd =
   let doc = "replay or minimize a fuzz witness bundle" in

@@ -6,6 +6,22 @@ type depth_sample = {
   duplicates : int;
 }
 
+type stop_reason =
+  | Completed
+  | Budget
+  | Interrupted
+  | Deadline
+  | Oom
+  | Fault
+
+let stop_reason_tag = function
+  | Completed -> "completed"
+  | Budget -> "budget"
+  | Interrupted -> "interrupted"
+  | Deadline -> "deadline"
+  | Oom -> "oom"
+  | Fault -> "fault"
+
 type t = {
   protocol : string;
   n_procs : int;
@@ -20,6 +36,8 @@ type t = {
   shard_load : int array;
   elapsed_s : float;
   complete : bool;
+  stop : stop_reason;
+  restarts : int;
   canon : bool;
   degraded : bool;
   group_order : int;
@@ -46,8 +64,12 @@ let reduction_factor t =
 let equal_ignoring_time a b =
   (* [sig_pruned]/[canon_hits] are cache-effectiveness counters, not graph
      facts: they vary with domain count and with where a resume restarted
-     its (cold) caches, so the bit-identity relation must ignore them. *)
-  let scrub t = { t with elapsed_s = 0.; sig_pruned = 0; canon_hits = 0 } in
+     its (cold) caches, so the bit-identity relation must ignore them.
+     [restarts] likewise counts infrastructure weather (how many worker
+     domains died and were respawned), not anything about the graph. *)
+  let scrub t =
+    { t with elapsed_s = 0.; sig_pruned = 0; canon_hits = 0; restarts = 0 }
+  in
   scrub a = scrub b
 
 let shard_imbalance t =
@@ -68,7 +90,8 @@ let pp ppf t =
     t.protocol t.n_procs t.n_registers t.domains
     (if t.domains = 1 then "" else "s")
     t.n_states
-    (if t.complete then "complete" else "TRUNCATED")
+    (if t.complete then "complete"
+     else "TRUNCATED: " ^ stop_reason_tag t.stop)
     t.n_transitions t.max_depth t.max_frontier (states_per_sec t) t.elapsed_s
     t.dedup_hits t.candidates
     (100. *. dedup_rate t)
@@ -88,6 +111,9 @@ let pp ppf t =
   (match t.cutover with
   | Some dep -> Format.fprintf ppf "@,parallel cutover at depth %d" dep
   | None -> ());
+  if t.restarts > 0 then
+    Format.fprintf ppf "@,supervision: %d worker domain restart%s" t.restarts
+      (if t.restarts = 1 then "" else "s");
   Format.fprintf ppf "@]"
 
 let pp_depths ppf t =
@@ -135,6 +161,8 @@ let to_json t =
   (match t.cutover with
   | Some dep -> field "cutover" (string_of_int dep)
   | None -> field "cutover" "null");
+  field "stop" (Printf.sprintf "%S" (stop_reason_tag t.stop));
+  field "restarts" (string_of_int t.restarts);
   field ~last:true "complete" (string_of_bool t.complete);
   Buffer.add_string buf "}";
   Buffer.contents buf

@@ -15,6 +15,25 @@ type depth_sample = {
   duplicates : int;  (** candidates that deduplicated away *)
 }
 
+(** Why an exploration stopped. [Completed] iff [complete = true]; every
+    other reason describes what truncated the run. Deterministic for
+    identical settings (unlike wall-clock), so it participates in
+    {!equal_ignoring_time}. *)
+type stop_reason =
+  | Completed  (** the reachable graph was exhausted *)
+  | Budget  (** [max_states] truncated the search *)
+  | Interrupted  (** SIGINT/SIGTERM or {!Snapshot.request_stop} *)
+  | Deadline  (** the [~deadline_s] wall-clock budget elapsed *)
+  | Oom
+      (** [Out_of_memory] was degraded into a flushed boundary instead of
+          a crash *)
+  | Fault
+      (** the supervised parallel engine gave up (a stalled domain
+          outlived its patience budget) and salvaged the last boundary *)
+
+val stop_reason_tag : stop_reason -> string
+(** Lower-case tag, as rendered in {!to_json}. *)
+
 type t = {
   protocol : string;
   n_procs : int;
@@ -33,6 +52,10 @@ type t = {
                                sequential *)
   elapsed_s : float;
   complete : bool;
+  stop : stop_reason;  (** {!Completed} iff [complete] *)
+  restarts : int;
+      (** worker domains the supervised parallel engine detected dead and
+          respawned; 0 outside supervised mode *)
   canon : bool;  (** explored the symmetry quotient, not the full graph *)
   degraded : bool;
       (** [canon] was requested but the group silently fell back to the
@@ -73,9 +96,10 @@ val shard_imbalance : t -> float
 
 val equal_ignoring_time : t -> t -> bool
 (** Structural equality of every field except [elapsed_s] (wall-clock can
-    never reproduce) and the cache-effectiveness counters [sig_pruned] and
+    never reproduce), the cache-effectiveness counters [sig_pruned] and
     [canon_hits] (which depend on domain count and on where a resume
-    restarted its cold caches). This is the "bit-identical statistics"
+    restarted its cold caches), and [restarts] (infrastructure weather,
+    not a graph fact). This is the "bit-identical statistics"
     relation the checkpoint/resume tests assert: a truncated-then-resumed
     exploration must match an uninterrupted one on everything the clock
     and the caches don't touch — counts, depth profile, shard loads,

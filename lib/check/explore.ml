@@ -327,8 +327,19 @@ module Make (P : Protocol.PROTOCOL) = struct
      input and every mode schedule, which the test suite cross-checks for
      every in-tree protocol. *)
 
+  (* Supervised-engine work epoch. Published as ONE atomic record so a
+     worker can never pair one epoch's unit table with another epoch's
+     work function. Unit cells: 0 unclaimed, [slot + 1] claimed by that
+     crew slot, -1 done. *)
+  type epoch = {
+    ep_id : int;
+    ep_units : int Atomic.t array;
+    ep_fn : int -> int -> unit;  (** slot -> unit index *)
+  }
+
   let explore_impl ~max_states ~domains ~par_threshold ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg =
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
+      ~salvage ~supervise cfg =
     let d = max 1 domains in
     let n_procs = Array.length cfg.ids in
     let n_registers = Naming.size cfg.namings.(0) in
@@ -337,11 +348,37 @@ module Make (P : Protocol.PROTOCOL) = struct
       match resume_from with
       | None -> None
       | Some path ->
-        let meta, payload = Snapshot.read ~path in
+        let meta, payload =
+          if salvage then begin
+            let meta, payload, salv = Snapshot.read_salvaged ~path in
+            (match salv with
+            | Some s ->
+              (* the resume is exact from an OLDER boundary; worth a
+                 visible note since work after that boundary is redone *)
+              Format.eprintf
+                "snapshot salvage: %s: %s; rolled back to chunk %d@." path
+                s.Snapshot.detail s.Snapshot.kept_chunks
+            | None -> ());
+            (meta, payload)
+          end
+          else Snapshot.read ~path
+        in
         let digest, descr = Lazy.force fp in
         Snapshot.check_fingerprint ~path meta ~fingerprint:digest ~descr;
         Some (Marshal.from_string payload 0)
     in
+    (* The wall-clock deadline is invocation-local: a resumed run gets a
+       fresh [deadline_s] from now, while [t0] below is back-dated for the
+       cumulative [elapsed_s] stat. *)
+    let deadline_at =
+      Option.map (fun s -> Checker_stats.now () +. s) deadline_s
+    in
+    (* Why the run stopped; first truncation cause wins. *)
+    let stopped = ref Checker_stats.Completed in
+    let set_stop r =
+      if !stopped = Checker_stats.Completed then stopped := r
+    in
+    let restarts_total = ref 0 in
     (* Elapsed time accumulates across resumes: back-date [t0] by the
        snapshot's recorded wall-clock. *)
     let t0 =
@@ -389,6 +426,8 @@ module Make (P : Protocol.PROTOCOL) = struct
         shard_load;
         elapsed_s = Checker_stats.now () -. t0;
         complete;
+        stop = (if complete then Checker_stats.Completed else !stopped);
+        restarts = !restarts_total;
         canon;
         degraded;
         group_order;
@@ -399,11 +438,13 @@ module Make (P : Protocol.PROTOCOL) = struct
         depths;
       }
     in
-    if max_states < 1 then
+    if max_states < 1 then begin
+      set_stop Checker_stats.Budget;
       ( { cfg; states = [||]; orbits = [||]; succs = [||]; complete = false },
         stats_base ~n_states:0 ~n_transitions:0 ~max_depth:0 ~max_frontier:0
           ~candidates:0 ~dedup_hits:0 ~shard_load:(Array.make d 0)
           ~complete:false ~depths:[] )
+    end
     else begin
       let rep0, _, orbit0 = canonize_cached ccs.(0) codec (initial cfg) in
       (* Shard s owns every state whose structural hash is s mod d. The
@@ -569,13 +610,19 @@ module Make (P : Protocol.PROTOCOL) = struct
           }
         in
         let digest, descr = Lazy.force fp in
-        Snapshot.write ~path ~fingerprint:digest ~descr
+        (* durable O(new data) append; the snapshot layer compacts the
+           file back to one chunk every [Snapshot.max_chunks] boundaries *)
+        Snapshot.append ~path ~fingerprint:digest ~descr
           (Marshal.to_string payload [])
       in
       (* Close out a generation: record its transitions and stats, append
          the fresh states (already in id order), stash the resume boundary
          and pick the next mode. *)
       let finish_gen ~tr ~fresh ~orbs ~ncand ~dups ~discovered =
+        (* fault seam: a matured Alloc_fail raises [Out_of_memory] here,
+           before this generation is committed, exercising the same
+           degradation path a real allocation failure would *)
+        Resilience.boundary_tick ();
         trans_chunks := tr :: !trans_chunks;
         n_expanded := !n_expanded + Array.length tr;
         depths_rev :=
@@ -645,8 +692,17 @@ module Make (P : Protocol.PROTOCOL) = struct
              boundary; the final snapshot is flushed on the way out *)
           if Snapshot.stop_requested () then begin
             complete := false;
+            set_stop Checker_stats.Interrupted;
             stop := true
-          end
+          end;
+          (* wall-clock deadline: same graceful stop, distinct reason so
+             the CLI can map it to its own exit code *)
+          (match deadline_at with
+          | Some td when Checker_stats.now () >= td ->
+            complete := false;
+            set_stop Checker_stats.Deadline;
+            stop := true
+          | _ -> ())
         end
       in
       (* One whole generation, sequentially (worker 0 / warm-up). Interns
@@ -660,6 +716,8 @@ module Make (P : Protocol.PROTOCOL) = struct
         let orb_rev = ref [] in
         let ncand = ref 0 and dups = ref 0 and discovered = ref 0 in
         for i = 0 to nf - 1 do
+          (* fault seam: a matured kill/stall for domain 0 fires here *)
+          Resilience.worker_tick ~domain:0;
           tr.(i) <-
             List.filter_map
               (fun (label, st') ->
@@ -673,6 +731,7 @@ module Make (P : Protocol.PROTOCOL) = struct
                 | None ->
                   if !n_states >= max_states then begin
                     complete := false;
+                    set_stop Checker_stats.Budget;
                     None
                   end
                   else begin
@@ -701,6 +760,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         let nf = Array.length fr in
         let i = ref me in
         while !i < nf do
+          Resilience.worker_tick ~domain:me;
           sl.(!i) <-
             List.map
               (fun (label, st') ->
@@ -779,6 +839,7 @@ module Make (P : Protocol.PROTOCOL) = struct
             end
             else begin
               complete := false;
+              set_stop Checker_stats.Budget;
               ci.(k) <- -1
             end
           | r when r >= 0 ->
@@ -788,7 +849,11 @@ module Make (P : Protocol.PROTOCOL) = struct
             (* duplicate of candidate [-2 - r], already resolved above *)
             let k0 = -2 - r in
             ci.(k) <- ci.(k0);
-            if ci.(k0) >= 0 then incr dups else complete := false
+            if ci.(k0) >= 0 then incr dups
+            else begin
+              complete := false;
+              set_stop Checker_stats.Budget
+            end
         done;
         gen_cand := ncand;
         gen_dups := !dups;
@@ -873,6 +938,283 @@ module Make (P : Protocol.PROTOCOL) = struct
           end
         done
       in
+      (* -------- supervised engine (self-healing alternative crew) -----
+         Same five phases and the same sequential decision points
+         ([flatten], [assign_ids], [collect] stay on this thread, exactly
+         as worker 0 ran them in the barrier engine — which is what keeps
+         the two engines bit-identical). The difference is choreography:
+         instead of barriers, each parallel phase becomes an {e epoch}
+         whose work units are claimed by compare-and-set from a shared
+         table. Units are idempotent — phase B resets its scratch before
+         resolving, phase C1 inserts with [replace], phases A/C2 write
+         disjoint array slots — so when a worker domain dies the units it
+         had claimed are simply requeued for the survivors and the domain
+         is respawned with bounded, jittered backoff. A domain that is
+         still alive but stops heartbeating mid-unit can NOT be requeued
+         safely (it may yet mutate its shard), so after an escalating
+         patience budget the whole attempt is abandoned with
+         {!Resilience.Stalled}; {!with_recovery} then resumes from the
+         last durable snapshot. *)
+      let supervised_drive () =
+        let chunk = 32 in
+        let cur =
+          Atomic.make { ep_id = 0; ep_units = [||]; ep_fn = (fun _ _ -> ()) }
+        in
+        let quit = Atomic.make false in
+        let alive = Array.init d (fun _ -> Atomic.make false) in
+        let hb = Array.init d (fun _ -> Atomic.make 0) in
+        let abandoned = Array.make d false in
+        let doms : unit Domain.t option array = Array.make d None in
+        let restart_count = Array.make d 0 in
+        let respawn_at = Array.make d infinity in
+        let epoch_no = ref 0 in
+        (* jitter desynchronizes respawns; the values never influence the
+           explored graph, so a fixed seed keeps campaigns replayable *)
+        let jrng = Rng.create 0x7E57 in
+        let max_domain_restarts = 3 in
+        let patience_base = 0.1 in
+        let max_patience_levels = 3 in
+        let work ep slot =
+          let us = ep.ep_units in
+          for u = 0 to Array.length us - 1 do
+            if
+              Atomic.get us.(u) = 0
+              && Atomic.compare_and_set us.(u) 0 (slot + 1)
+            then begin
+              Atomic.incr hb.(slot);
+              Resilience.worker_tick ~domain:slot;
+              ep.ep_fn slot u;
+              Atomic.set us.(u) (-1)
+            end
+          done
+        in
+        let worker slot () =
+          (try
+             let idle = ref 0 in
+             while not (Atomic.get quit) do
+               let ep = Atomic.get cur in
+               if Array.length ep.ep_units > 0 then work ep slot;
+               incr idle;
+               (* heartbeat + fault poll while idle, so a kill aimed at a
+                  domain between epochs still fires *)
+               if !idle land 1023 = 0 then begin
+                 Atomic.incr hb.(slot);
+                 Resilience.worker_tick ~domain:slot
+               end;
+               Domain.cpu_relax ()
+             done
+           with _ -> ());
+          Atomic.set alive.(slot) false
+        in
+        let spawn slot =
+          (match doms.(slot) with
+          | Some dh -> Domain.join dh (* already exited: reap promptly *)
+          | None -> ());
+          Atomic.set alive.(slot) true;
+          doms.(slot) <- Some (Domain.spawn (worker slot))
+        in
+        let shutdown () =
+          Atomic.set quit true;
+          Array.iteri
+            (fun w dh ->
+              match dh with
+              | Some dh when not abandoned.(w) ->
+                Domain.join dh;
+                doms.(w) <- None
+              | _ ->
+                (* an abandoned (wedged) domain is leaked on purpose:
+                   joining it would wedge the supervisor too; if it ever
+                   wakes it sees [quit] and exits on its own *)
+                ())
+            doms
+        in
+        let run_epoch ~n_units fn =
+          incr epoch_no;
+          let ep =
+            {
+              ep_id = !epoch_no;
+              ep_units = Array.init n_units (fun _ -> Atomic.make 0);
+              ep_fn = fn;
+            }
+          in
+          Atomic.set cur ep;
+          let us = ep.ep_units in
+          let all_done () = Array.for_all (fun u -> Atomic.get u = -1) us in
+          let last_hb = Array.map Atomic.get hb in
+          let t_mark = Array.make d (Checker_stats.now ()) in
+          let level = Array.make d 0 in
+          let spins = ref 0 in
+          (* the supervisor is also slot 0 of the crew *)
+          work ep 0;
+          while not (all_done ()) do
+            (* requeued units are claimable again: take what is left *)
+            work ep 0;
+            if not (all_done ()) then begin
+              incr spins;
+              if !spins land 255 = 0 then Unix.sleepf 0.0002
+              else Domain.cpu_relax ();
+              let t = Checker_stats.now () in
+              for w = 1 to d - 1 do
+                if doms.(w) <> None && not abandoned.(w) then
+                  if not (Atomic.get alive.(w)) then begin
+                    (* dead: its claimed units go back to the pool *)
+                    Array.iter
+                      (fun u -> ignore (Atomic.compare_and_set u (w + 1) 0))
+                      us;
+                    if respawn_at.(w) = infinity then begin
+                      if restart_count.(w) < max_domain_restarts then begin
+                        let backoff =
+                          0.001
+                          *. float_of_int (1 lsl restart_count.(w))
+                          *. (1. +. Rng.float jrng)
+                        in
+                        restart_count.(w) <- restart_count.(w) + 1;
+                        incr restarts_total;
+                        respawn_at.(w) <- t +. backoff
+                      end
+                      else begin
+                        (* restart budget exhausted: reap the corpse and
+                           carry on with a smaller crew *)
+                        (match doms.(w) with
+                        | Some dh -> Domain.join dh
+                        | None -> ());
+                        doms.(w) <- None
+                      end
+                    end
+                    else if t >= respawn_at.(w) then begin
+                      respawn_at.(w) <- infinity;
+                      spawn w;
+                      (* a fresh worker starts with a fresh stall clock *)
+                      last_hb.(w) <- Atomic.get hb.(w);
+                      t_mark.(w) <- t;
+                      level.(w) <- 0
+                    end
+                  end
+                  else begin
+                    let beat = Atomic.get hb.(w) in
+                    if beat <> last_hb.(w) then begin
+                      last_hb.(w) <- beat;
+                      t_mark.(w) <- t;
+                      level.(w) <- 0
+                    end
+                    else if Array.exists (fun u -> Atomic.get u = w + 1) us
+                    then begin
+                      let threshold =
+                        patience_base *. float_of_int (1 lsl level.(w))
+                      in
+                      if t -. t_mark.(w) > threshold then
+                        if level.(w) < max_patience_levels then begin
+                          level.(w) <- level.(w) + 1;
+                          t_mark.(w) <- t
+                        end
+                        else begin
+                          abandoned.(w) <- true;
+                          raise
+                            (Resilience.Stalled
+                               {
+                                 domain = w;
+                                 waited_s =
+                                   patience_base
+                                   *. float_of_int
+                                        ((1 lsl (max_patience_levels + 1)) - 1);
+                               })
+                        end
+                    end
+                  end
+              done
+            end
+          done
+        in
+        let run_parallel_gen () =
+          let nf = Array.length !frontier in
+          let nc = (nf + chunk - 1) / chunk in
+          (* A: expand + canonize, in frontier chunks *)
+          run_epoch ~n_units:nc (fun slot u ->
+              let fr = !frontier and sl = !succ_lists in
+              let lo = u * chunk in
+              let hi = min nf (lo + chunk) in
+              for i = lo to hi - 1 do
+                sl.(i) <-
+                  List.map
+                    (fun (label, st') ->
+                      let rep, key, orbit =
+                        canonize_cached ccs.(slot) codec st'
+                      in
+                      (label, rep, key, orbit))
+                    (successors cfg fr.(i))
+              done);
+          flatten ();
+          (* B: per-shard resolve; the reset makes a requeued redo start
+             from a clean slate (idempotence) *)
+          run_epoch ~n_units:d (fun _ s ->
+              Hashtbl.reset scratch.(s);
+              let ck = !cand_key and ow = !cand_owner and rs = !resolved in
+              let tbl = shard_tbl.(s) and scr = scratch.(s) in
+              Array.iteri
+                (fun k o ->
+                  if o = s then
+                    let key = ck.(k) in
+                    match Hashtbl.find_opt tbl key with
+                    | Some id -> rs.(k) <- id
+                    | None -> (
+                      match Hashtbl.find_opt scr key with
+                      | Some k0 -> rs.(k) <- -2 - k0
+                      | None ->
+                        Hashtbl.add scr key k;
+                        rs.(k) <- -1))
+                ow);
+          assign_ids ();
+          (* C1: per-shard insert; [replace] keeps a redo idempotent *)
+          run_epoch ~n_units:d (fun _ s ->
+              let ck = !cand_key
+              and ow = !cand_owner
+              and rs = !resolved
+              and ci = !cand_id in
+              let tbl = shard_tbl.(s) in
+              Array.iteri
+                (fun k o ->
+                  if o = s && rs.(k) = -1 && ci.(k) >= 0 then
+                    Hashtbl.replace tbl ck.(k) ci.(k))
+                ow;
+              Hashtbl.reset scratch.(s));
+          (* C2: transition lists, in frontier chunks (disjoint slots) *)
+          run_epoch ~n_units:nc (fun _ u ->
+              let sl = !succ_lists
+              and offs = !offsets
+              and ci = !cand_id
+              and tr = !trans in
+              let lo = u * chunk in
+              let hi = min nf (lo + chunk) in
+              for i = lo to hi - 1 do
+                let base = offs.(i) in
+                let j = ref (-1) in
+                tr.(i) <-
+                  List.filter_map
+                    (fun (label, _, _, _) ->
+                      incr j;
+                      let dst = ci.(base + !j) in
+                      if dst >= 0 then Some { dst; label } else None)
+                    sl.(i)
+              done);
+          collect ()
+        in
+        (* warm-up, as in the barrier engine; exceptions (a kill aimed at
+           domain 0, an injected allocation failure) propagate to the
+           outer guard *)
+        while (not !stop) && !seq_gen do
+          expand_seq ()
+        done;
+        if not !stop then begin
+          if !cutover = None then cutover := Some !depth;
+          for w = 1 to d - 1 do
+            spawn w
+          done;
+          Fun.protect ~finally:shutdown (fun () ->
+              while not !stop do
+                if !seq_gen then expand_seq () else run_parallel_gen ()
+              done)
+        end
+      in
       (* A snapshot of a finished exploration resumes to an empty
          frontier: nothing to do, return the restored graph as-is. *)
       if Array.length !frontier = 0 then stop := true;
@@ -880,6 +1222,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         while not !stop do
           expand_seq_guarded ()
         done
+      else if supervise then guard supervised_drive
       else begin
         (* warm-up: no domains, no barriers, until the frontier is wide
            enough — or exploration finishes first *)
@@ -932,9 +1275,14 @@ module Make (P : Protocol.PROTOCOL) = struct
         (g, stats)
       in
       match !failure with
-      | Some Out_of_memory when snapshot_to <> None ->
+      | Some ((Out_of_memory | Resilience.Stalled _) as e)
+        when snapshot_to <> None ->
         (* last-ditch degradation: flush the newest exact boundary and
            hand back a truncated result instead of dying with nothing *)
+        set_stop
+          (match e with
+          | Out_of_memory -> Checker_stats.Oom
+          | _ -> Checker_stats.Fault);
         (match snapshot_to with
         | Some path -> (
           try write_boundary path !last_boundary with Snapshot.Error _ -> ())
@@ -951,15 +1299,17 @@ module Make (P : Protocol.PROTOCOL) = struct
     end
 
   let explore_with_stats ?(max_states = 2_000_000) ?(reduction = Full)
-      ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb cfg =
+      ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb ?deadline_s
+      ?(salvage = false) cfg =
     explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
+      ~salvage ~supervise:false cfg
 
   let default_par_threshold ~domains = 1024 * (domains - 1)
 
   let explore_par ?(max_states = 2_000_000) ?domains ?par_threshold
       ?(reduction = Full) ?snapshot_every ?snapshot_to ?resume_from
-      ?mem_soft_limit_mb cfg =
+      ?mem_soft_limit_mb ?deadline_s ?(salvage = false) ?supervise cfg =
     let domains =
       match domains with
       | Some d -> max 1 d (* explicit override, even past the host count *)
@@ -970,13 +1320,22 @@ module Make (P : Protocol.PROTOCOL) = struct
       | Some t -> max 0 t
       | None -> default_par_threshold ~domains
     in
+    let supervise =
+      match supervise with
+      | Some s -> s
+      | None ->
+        (* domain faults armed means the caller wants them absorbed:
+           default the self-healing crew on so the campaign exercises it *)
+        Resilience.has_domain_faults ()
+    in
     explore_impl ~max_states ~domains ~par_threshold ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb cfg
+      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
+      ~salvage ~supervise cfg
 
   let explore ?(max_states = 2_000_000) ?(reduction = Full) ?snapshot_every
-      ?snapshot_to ?resume_from cfg =
-    match (snapshot_every, snapshot_to, resume_from) with
-    | None, None, None -> explore_basic ~max_states ~reduction cfg
+      ?snapshot_to ?resume_from ?deadline_s ?(salvage = false) cfg =
+    match (snapshot_every, snapshot_to, resume_from, deadline_s) with
+    | None, None, None, None -> explore_basic ~max_states ~reduction cfg
     | _ ->
       (* Checkpointing lives in the generation-boundary machinery; its
          single-domain graph is bit-identical to the plain loop (the test
@@ -984,7 +1343,41 @@ module Make (P : Protocol.PROTOCOL) = struct
       fst
         (explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
            ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb:None
-           cfg)
+           ~deadline_s ~salvage ~supervise:false cfg)
+
+  (* ---------------------------------------------------------------- *)
+  (* self-healing driver                                               *)
+  (* ---------------------------------------------------------------- *)
+
+  let with_recovery ?(max_retries = 3) ?resume_from ~snapshot_to run =
+    let transient = function
+      | Out_of_memory | Resilience.Killed _ | Resilience.Stalled _ -> true
+      | Snapshot.Error (Snapshot.Corrupt _) -> true
+      | _ -> false
+    in
+    (* Only hand the next attempt a resume point that will actually load;
+       with no usable snapshot on disk the retry restarts from scratch —
+       slower, never wrong. *)
+    let usable_snapshot () =
+      match Snapshot.read_salvaged ~path:snapshot_to with
+      | _ -> Some snapshot_to
+      | exception _ -> None
+    in
+    let rec go attempt resume =
+      match run ~resume_from:resume ~snapshot_to with
+      | (g, stats)
+        when (not g.complete)
+             && (stats.Checker_stats.stop = Checker_stats.Oom
+                || stats.Checker_stats.stop = Checker_stats.Fault)
+             && attempt < max_retries ->
+        (* the engine degraded out of an infrastructure failure after
+           flushing its newest boundary: pick it up and push on *)
+        go (attempt + 1) (usable_snapshot ())
+      | result -> result
+      | exception e when transient e && attempt < max_retries ->
+        go (attempt + 1) (usable_snapshot ())
+    in
+    go 0 resume_from
 
   let solo_run cfg st ~proc ~max_steps =
     let rec go st steps =

@@ -79,6 +79,8 @@ module Make (P : Protocol.PROTOCOL) : sig
     ?snapshot_every:int ->
     ?snapshot_to:string ->
     ?resume_from:string ->
+    ?deadline_s:float ->
+    ?salvage:bool ->
     config ->
     graph
   (** Breadth-first reachability from {!initial} (default reduction
@@ -97,7 +99,16 @@ module Make (P : Protocol.PROTOCOL) : sig
       {!fingerprint} — and continues as if never interrupted: the final
       graph and statistics (modulo wall-clock) are bit-identical to an
       uninterrupted run with the same budget. Raises {!Snapshot.Error} on
-      a corrupt or mismatched snapshot. *)
+      a corrupt or mismatched snapshot.
+
+      Robustness options (all explorers): [~deadline_s:S] stops the run
+      gracefully at the first generation boundary reached after [S]
+      wall-clock seconds {e of this invocation} (a resumed run gets a
+      fresh deadline), flushing a final snapshot and reporting
+      {!Checker_stats.Deadline}. [~salvage:true] makes the resume read
+      tolerate a damaged snapshot tail: it rolls back to the newest
+      intact chunk ({!Snapshot.read_salvaged}) instead of refusing to
+      start, warning on stderr about the rollback. *)
 
   val explore_with_stats :
     ?max_states:int ->
@@ -106,6 +117,8 @@ module Make (P : Protocol.PROTOCOL) : sig
     ?snapshot_to:string ->
     ?resume_from:string ->
     ?mem_soft_limit_mb:int ->
+    ?deadline_s:float ->
+    ?salvage:bool ->
     config ->
     graph * Checker_stats.t
   (** {!explore} semantics (bit-identical graph) with observability:
@@ -126,6 +139,9 @@ module Make (P : Protocol.PROTOCOL) : sig
     ?snapshot_to:string ->
     ?resume_from:string ->
     ?mem_soft_limit_mb:int ->
+    ?deadline_s:float ->
+    ?salvage:bool ->
+    ?supervise:bool ->
     config ->
     graph * Checker_stats.t
   (** Frontier-parallel breadth-first exploration over [domains] worker
@@ -151,7 +167,43 @@ module Make (P : Protocol.PROTOCOL) : sig
       any explorer can be resumed by any other ([domains] is not part of
       the fingerprint); the graph is bit-identical either way, and the
       statistics are bit-identical (modulo wall-clock) when the
-      interrupted and resuming runs use the same explorer settings. *)
+      interrupted and resuming runs use the same explorer settings.
+
+      [~supervise:true] (default: on exactly when a {!Resilience} plan
+      with domain faults is armed) swaps the barrier choreography for the
+      self-healing supervised engine (DESIGN.md §12): workers claim
+      idempotent work units by compare-and-set and report heartbeats; a
+      worker domain that dies has its claimed units requeued onto the
+      survivors and is respawned with bounded, jittered backoff (the
+      count lands in {!Checker_stats.t.restarts}); a worker that wedges
+      mid-unit past an escalating patience budget aborts the attempt with
+      {!Resilience.Stalled} — degraded into a flushed snapshot and a
+      {!Checker_stats.Fault}-truncated result when [~snapshot_to] is set,
+      so {!with_recovery} can resume it. The supervised engine produces
+      the same bit-identical graph and statistics as the barrier
+      engine. *)
+
+  val with_recovery :
+    ?max_retries:int ->
+    ?resume_from:string ->
+    snapshot_to:string ->
+    (resume_from:string option ->
+    snapshot_to:string ->
+    graph * Checker_stats.t) ->
+    graph * Checker_stats.t
+  (** [with_recovery ~snapshot_to run] drives [run] to a verdict across
+      transient infrastructure failures. [run] is invoked with the resume
+      point to use (initially [?resume_from]) and must checkpoint to
+      [snapshot_to]; when it raises a transient exception
+      ({!Resilience.Killed}, {!Resilience.Stalled}, [Out_of_memory], or a
+      corrupt-snapshot {!Snapshot.Error}) — or returns a result truncated
+      by {!Checker_stats.Oom}/{!Checker_stats.Fault} — the driver probes
+      [snapshot_to] with {!Snapshot.read_salvaged} and re-runs from the
+      newest loadable boundary (from scratch if none), at most
+      [max_retries] (default 3) times. Because resumption is exact, the
+      final result is bit-identical to a fault-free run. The [run]
+      callback should pass [~salvage:true] to its explorer so a damaged
+      snapshot tail rolls back rather than rejects. *)
 
   val solo_run :
     config ->

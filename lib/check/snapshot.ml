@@ -25,15 +25,17 @@ let error_message = function
 
 let magic = "COORDSNAP"
 
-(* v2: [sp_candidates] now counts the initial state too (the dedup
-   accounting fix). A v1 snapshot resumed under v2 code would restore a
-   running total that is one short, so the version gates it out. *)
-let version = 2
+(* v3: the single whole-payload CRC became a sequence of appended,
+   individually CRC'd chunks — each one a complete marshaled boundary —
+   so a damaged tail rolls back to the last intact checkpoint instead of
+   discarding the file ({!read_salvaged}). A v2 file has no chunk frames
+   at all, so the version gates it out. *)
+let version = 3
 
 (* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Marshal has no
    integrity check of its own: feeding it a truncated or bit-flipped
-   payload is undefined behavior, so the CRC is what stands between a
-   damaged file and a garbage graph. *)
+   payload is undefined behavior, so the per-chunk CRC is what stands
+   between a damaged file and a garbage graph. *)
 let crc_table =
   lazy
     (Array.init 256 (fun n ->
@@ -60,6 +62,54 @@ let crc32 s =
   Int32.logxor !c 0xFFFFFFFFl
 
 type meta = { version : int; fingerprint : Digest.t; descr : string }
+type salvage = { kept_chunks : int; detail : string }
+
+let chunk_marker = '\xC5'
+
+(* Rewrite (compact) a file once this many chunks have accumulated;
+   bounds file growth at [max_chunks] boundary payloads. *)
+let max_chunks = 4
+
+(* Chunks appended to each path by THIS process since its last full
+   rewrite. A path we never wrote (e.g. the snapshot a resumed run is
+   continuing) misses here and gets rewritten, which also discards any
+   damaged tail left by the previous owner's death. The explorers write
+   from a single thread, so no lock. *)
+let appended : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let chunk_bytes payload =
+  let b = Buffer.create (String.length payload + 13) in
+  Buffer.add_char b chunk_marker;
+  let l = Bytes.create 8 in
+  Bytes.set_int64_be l 0 (Int64.of_int (String.length payload));
+  Buffer.add_bytes b l;
+  let c = Bytes.create 4 in
+  Bytes.set_int32_be c 0 (crc32 payload);
+  Buffer.add_bytes b c;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* The fault-injection seam: a matured Torn_write/Flip_byte damages the
+   framed chunk exactly as a dying disk would. *)
+let framed payload =
+  let chunk = chunk_bytes payload in
+  match Resilience.mutate_write chunk with Some d -> d | None -> chunk
+
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* tmp+rename alone is not durable: after a crash the rename itself may
+   not have reached the journal, surfacing an old, empty or absent file.
+   Syncing the parent directory commits the name; best-effort because
+   some filesystems refuse fsync on directory fds. *)
+let fsync_dir path =
+  let dir = Filename.dirname path in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
 
 let write ~path ~fingerprint ~descr payload =
   let tmp = path ^ ".tmp" in
@@ -73,19 +123,36 @@ let write ~path ~fingerprint ~descr payload =
        Bytes.set_uint16_be b 0 (String.length descr);
        output_bytes oc b;
        output_string oc descr;
-       let b = Bytes.create 8 in
-       Bytes.set_int64_be b 0 (Int64.of_int (String.length payload));
-       output_bytes oc b;
-       let b = Bytes.create 4 in
-       Bytes.set_int32_be b 0 (crc32 payload);
-       output_bytes oc b;
-       output_string oc payload;
+       output_string oc (framed payload);
+       fsync_out oc;
        close_out oc
      with e ->
        close_out_noerr oc;
        raise e);
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    fsync_dir path;
+    Hashtbl.replace appended path 1
   with Sys_error msg -> raise (Error (Io msg))
+
+let append ~path ~fingerprint ~descr payload =
+  let n =
+    match Hashtbl.find_opt appended path with
+    | Some n when Sys.file_exists path -> n
+    | _ -> max_chunks
+  in
+  if n >= max_chunks then write ~path ~fingerprint ~descr payload
+  else
+    try
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      (try
+         output_string oc (framed payload);
+         fsync_out oc;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Hashtbl.replace appended path (n + 1)
+    with Sys_error msg -> raise (Error (Io msg))
 
 let input_exact ~path ic len what =
   let b = Bytes.create len in
@@ -119,28 +186,89 @@ let read_header ~path ic =
 
 let read_meta ~path = with_in ~path (fun ic -> read_header ~path ic)
 
+(* Scan the chunk sequence after the header. Never trusts a byte it has
+   not checked: any framing anomaly — wrong marker, nonsensical or
+   file-exceeding length, short payload, CRC mismatch — ends the scan
+   and is reported; everything before it is the intact prefix. *)
+let scan_chunks ic =
+  let total = in_channel_length ic in
+  let last = ref None in
+  let kept = ref 0 in
+  let anomaly = ref None in
+  let stop = ref false in
+  (try
+     while not !stop do
+       if pos_in ic >= total then stop := true (* clean end *)
+       else if input_char ic <> chunk_marker then begin
+         anomaly := Some "bad chunk marker";
+         stop := true
+       end
+       else if total - pos_in ic < 12 then begin
+         anomaly := Some "truncated chunk header";
+         stop := true
+       end
+       else begin
+         let b8 = Bytes.create 8 in
+         really_input ic b8 0 8;
+         let len64 = Bytes.get_int64_be b8 0 in
+         let b4 = Bytes.create 4 in
+         really_input ic b4 0 4;
+         let crc = Bytes.get_int32_be b4 0 in
+         if
+           Int64.compare len64 0L < 0
+           || Int64.compare len64 (Int64.of_int (total - pos_in ic)) > 0
+         then begin
+           anomaly := Some "truncated or nonsensical chunk length";
+           stop := true
+         end
+         else begin
+           let len = Int64.to_int len64 in
+           let p = Bytes.create len in
+           really_input ic p 0 len;
+           let p = Bytes.unsafe_to_string p in
+           let found = crc32 p in
+           if found <> crc then begin
+             anomaly :=
+               Some
+                 (Printf.sprintf
+                    "chunk %d CRC mismatch: stored %08lx, computed %08lx"
+                    (!kept + 1) crc found);
+             stop := true
+           end
+           else begin
+             last := Some p;
+             incr kept
+           end
+         end
+       end
+     done
+   with End_of_file -> anomaly := Some "truncated chunk");
+  (!kept, !last, !anomaly)
+
 let read ~path =
   with_in ~path (fun ic ->
       let meta = read_header ~path ic in
-      let plen =
-        Int64.to_int (Bytes.get_int64_be (input_exact ~path ic 8 "header") 0)
-      in
-      if plen < 0 || plen > Sys.max_string_length then
-        raise (Error (Corrupt { path; detail = "nonsensical payload length" }));
-      let crc = Bytes.get_int32_be (input_exact ~path ic 4 "header") 0 in
-      let payload = Bytes.to_string (input_exact ~path ic plen "payload") in
-      let found = crc32 payload in
-      if found <> crc then
-        raise
-          (Error
-             (Corrupt
-                {
-                  path;
-                  detail =
-                    Printf.sprintf "CRC mismatch: stored %08lx, computed %08lx"
-                      crc found;
-                }));
-      (meta, payload))
+      let _, last, anomaly = scan_chunks ic in
+      match (last, anomaly) with
+      | Some p, None -> (meta, p)
+      | _, Some detail -> raise (Error (Corrupt { path; detail }))
+      | None, None ->
+        raise (Error (Corrupt { path; detail = "no checkpoint chunk" })))
+
+let read_salvaged ~path =
+  with_in ~path (fun ic ->
+      let meta = read_header ~path ic in
+      let kept, last, anomaly = scan_chunks ic in
+      match last with
+      | None ->
+        let detail =
+          match anomaly with Some d -> d | None -> "no checkpoint chunk"
+        in
+        raise (Error (Corrupt { path; detail }))
+      | Some p ->
+        ( meta,
+          p,
+          Option.map (fun detail -> { kept_chunks = kept; detail }) anomaly ))
 
 let check_fingerprint ~path meta ~fingerprint ~descr =
   if not (String.equal meta.fingerprint fingerprint) then
@@ -162,11 +290,31 @@ let reset_stop () =
   Atomic.set stop_flag false;
   Atomic.set signals_seen 0
 
+(* Previous dispositions, saved by the OUTERMOST install only, so
+   install/restore pairs can nest without losing the real originals. *)
+let saved_handlers : (Sys.signal_behavior * Sys.signal_behavior) option ref =
+  ref None
+
 let install_signal_handlers () =
   let handle exit_code _signo =
     if Atomic.fetch_and_add signals_seen 1 = 0 then Atomic.set stop_flag true
     else exit exit_code
     (* second signal: the operator means it *)
   in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle (handle 143));
-  Sys.set_signal Sys.sigint (Sys.Signal_handle (handle 130))
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (handle 143)) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (handle 130)) in
+  match !saved_handlers with
+  | Some _ -> () (* already ours; keep the true originals *)
+  | None -> saved_handlers := Some (prev_term, prev_int)
+
+let restore_signal_handlers () =
+  match !saved_handlers with
+  | None -> ()
+  | Some (prev_term, prev_int) ->
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigint prev_int;
+    saved_handlers := None
+
+let with_signal_handlers f =
+  install_signal_handlers ();
+  Fun.protect ~finally:restore_signal_handlers f

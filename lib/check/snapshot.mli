@@ -1,27 +1,36 @@
 (** Durable on-disk checkpoints for long explorations.
 
-    This module owns the {e envelope}: a versioned, CRC-checksummed file
-    format with a config fingerprint, so a resumed run can prove it is
-    continuing the same exploration it left off — never silently explore
-    the wrong protocol. The payload itself is opaque here (the explorers
-    marshal their own typed resume state, see {!Explore.Make.explore});
-    everything that can go wrong with the {e file} is detected at this
-    layer and reported as a typed {!error}.
+    This module owns the {e envelope}: a versioned file format with a
+    config fingerprint and per-chunk CRCs, so a resumed run can prove it
+    is continuing the same exploration it left off — never silently
+    explore the wrong protocol, never feed [Marshal] damaged bytes. The
+    payload itself is opaque here (the explorers marshal their own typed
+    resume state, see {!Explore.Make.explore}); everything that can go
+    wrong with the {e file} is detected at this layer and reported as a
+    typed {!error}.
 
     Layout (all integers big-endian):
     {v
     "COORDSNAP"  9-byte magic
-    u8           format version (currently 2)
+    u8           format version (currently 3)
     16 bytes     MD5 fingerprint of the exploration config
     u16 + bytes  human-readable config description (for diagnostics)
-    u64          payload length
-    u32          CRC-32 (IEEE) of the payload
-    payload
+    then 1..max_chunks chunks, each:
+      u8         chunk marker (0xC5)
+      u64        payload length
+      u32        CRC-32 (IEEE) of the payload
+      payload    one complete marshaled resume boundary
     v}
 
-    Writes go to [path ^ ".tmp"] and are renamed into place, so a crash
-    mid-write never leaves a half-written snapshot under the real name —
-    at worst the previous complete snapshot survives.
+    {!write} replaces the file (tmp + fsync + atomic rename + directory
+    fsync, so a crash mid-write never leaves a half-written snapshot
+    under the real name and the rename itself is durable). {!append}
+    adds the new boundary as one more chunk — an O(new data) durable
+    append instead of an O(file) rewrite — compacting back to a single
+    chunk every {!max_chunks} appends. Because every chunk is a complete
+    checkpoint with its own CRC, a torn or bit-flipped tail costs only
+    the damaged suffix: {!read_salvaged} rolls back to the newest intact
+    chunk where {!read} would reject the whole file.
 
     The module also hosts the process-wide cooperative stop flag behind
     graceful SIGINT/SIGTERM handling: handlers (installed by the CLI)
@@ -37,7 +46,7 @@ type error =
   | Bad_version of { path : string; found : int; expected : int }
       (** written by an incompatible format version *)
   | Corrupt of { path : string; detail : string }
-      (** truncated file or CRC mismatch — the payload cannot be trusted *)
+      (** damaged file with no intact chunk — nothing can be trusted *)
   | Config_mismatch of { path : string; snapshot : string; current : string }
       (** valid snapshot of a {e different} exploration; both sides'
           descriptions are carried for the diagnostic *)
@@ -49,18 +58,44 @@ val error_message : error -> string
 
 type meta = { version : int; fingerprint : Digest.t; descr : string }
 
+type salvage = { kept_chunks : int; detail : string }
+(** What {!read_salvaged} had to do: the damaged tail was dropped and
+    the [kept_chunks]-th chunk (the newest intact one) was returned;
+    [detail] describes the first anomaly found. *)
+
+val max_chunks : int
+(** {!append} compacts the file back to one chunk once this many chunks
+    have accumulated, bounding file size at [max_chunks] boundaries. *)
+
 val write : path:string -> fingerprint:Digest.t -> descr:string -> string -> unit
 (** [write ~path ~fingerprint ~descr payload] durably replaces [path]
-    (tmp file + atomic rename). Raises {!Error} ([Io _]) on failure. *)
+    (tmp + file fsync + atomic rename + parent-directory fsync) with a
+    fresh single-chunk snapshot. Raises {!Error} ([Io _]) on failure. *)
+
+val append : path:string -> fingerprint:Digest.t -> descr:string -> string -> unit
+(** Add [payload] as one more chunk with a durable append, falling back
+    to {!write} when the file is missing, was not written by this
+    process, or already holds {!max_chunks} chunks. Raises {!Error}
+    ([Io _]) on failure. *)
 
 val read : path:string -> meta * string
-(** Read and fully validate (magic, version, CRC) a snapshot file.
-    Raises {!Error}. Fingerprint checking is the caller's job (it knows
-    the current config): see {!check_fingerprint}. *)
+(** Read and fully validate (magic, version, every chunk frame and CRC)
+    a snapshot file, returning the newest chunk's payload. Raises
+    {!Error} — including [Corrupt _] when {e any} chunk is damaged; use
+    {!read_salvaged} to roll back instead. Fingerprint checking is the
+    caller's job (it knows the current config): see {!check_fingerprint}. *)
+
+val read_salvaged : path:string -> meta * string * salvage option
+(** Like {!read}, but a damaged tail (torn append, flipped byte,
+    truncation) rolls back to the newest intact chunk instead of
+    rejecting the file: returns its payload plus [Some salvage]
+    describing what was dropped ([None] when the file was fully intact).
+    Still raises {!Error} when the header is damaged or no chunk
+    survives — a salvaged resume never trusts unverified bytes. *)
 
 val read_meta : path:string -> meta
 (** Header only — cheap existence/compatibility probe that skips the
-    payload CRC. Raises {!Error}. *)
+    chunks. Raises {!Error}. *)
 
 val check_fingerprint : path:string -> meta -> fingerprint:Digest.t -> descr:string -> unit
 (** Raises {!Error} ([Config_mismatch _]) unless the snapshot's
@@ -73,7 +108,18 @@ val install_signal_handlers : unit -> unit
     a graceful stop (explorers flush a snapshot and return truncated);
     a second signal exits immediately with the conventional [128 + signo]
     code. Installed by the CLI only when snapshotting is enabled, so
-    default signal behavior is preserved otherwise. *)
+    default signal behavior is preserved otherwise. The previous
+    dispositions are saved (outermost install wins) for
+    {!restore_signal_handlers}. *)
+
+val restore_signal_handlers : unit -> unit
+(** Put back the dispositions {!install_signal_handlers} displaced, so
+    library callers and tests regain their own Ctrl-C behavior after an
+    exploration returns. No-op if nothing was installed. *)
+
+val with_signal_handlers : (unit -> 'a) -> 'a
+(** [with_signal_handlers f] installs, runs [f], and restores (also on
+    exception). *)
 
 val request_stop : unit -> unit
 (** What the handlers call; exposed so tests can simulate a signal. *)

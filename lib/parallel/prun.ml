@@ -73,6 +73,10 @@ module Make (P : Protocol.PROTOCOL) = struct
             && not (Atomic.get stop)
           do
             Atomic.incr heartbeats.(proc);
+            (* infrastructure-fault seam: a matured Stall_domain for this
+               proc sleeps here (kills are the explorer's, not Prun's —
+               Prun already has its own crash_at plan for those) *)
+            Resilience.stall_tick ~domain:proc;
             (match crash_at with
             | Some k when !steps >= k ->
               crashed := true;
@@ -159,6 +163,15 @@ module Make (P : Protocol.PROTOCOL) = struct
       let last_beat = Array.map Atomic.get heartbeats in
       let now () = Unix.gettimeofday () in
       let last_change = Array.make n (now ()) in
+      (* Per-process jitter factor in [1.0, 1.5), redrawn at each
+         escalation: stalls induced by a shared cause (GC pause, noisy
+         host) would otherwise cross their thresholds in lockstep and
+         escalate as a thundering herd. Seeded from [cfg.seed], so runs
+         stay replayable; jitter only ever lengthens a threshold, never
+         shortens it, so every documented grace lower bound holds. *)
+      let jitter_rng = Rng.create (cfg.seed + 15485863) in
+      let draw_jitter () = 1.0 +. (0.5 *. Rng.float jitter_rng) in
+      let jitter = Array.init n (fun _ -> draw_jitter ()) in
       let grace_deadline = ref None in
       let continue = ref true in
       while !continue do
@@ -181,12 +194,13 @@ module Make (P : Protocol.PROTOCOL) = struct
                    so a merely slow step gets patience + 2*patience + ...
                    of total grace while a dead one still fires boundedly *)
                 let threshold =
-                  patience *. float_of_int (1 lsl retries.(i))
+                  patience *. float_of_int (1 lsl retries.(i)) *. jitter.(i)
                 in
                 if t -. last_change.(i) > threshold then begin
                   if retries.(i) < max_stall_retries then begin
                     retries.(i) <- retries.(i) + 1;
-                    retries_total.(i) <- retries_total.(i) + 1
+                    retries_total.(i) <- retries_total.(i) + 1;
+                    jitter.(i) <- draw_jitter ()
                   end
                   else begin
                     fired := true;

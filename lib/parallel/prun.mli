@@ -28,7 +28,11 @@
     each doubling the patience window, so a step that is merely slow — a
     GC pause, an unlucky preemption — recovers instead of killing the
     run; retries granted are reported per process as
-    {!proc_result.stall_retries}. Only when the backoff budget is
+    {!proc_result.stall_retries}. Each threshold is stretched by a
+    per-process jitter factor in [[1.0, 1.5)], redrawn at every
+    escalation and seeded from [config.seed] (replayable): stalls with a
+    shared cause would otherwise escalate in lockstep. Jitter only ever
+    lengthens a window, so the minimum-grace guarantees stand. Only when the backoff budget is
     exhausted does the watchdog fire: it stops the rest and returns a
     {e partial} outcome in which the stuck domain's slot is synthesised
     with [timed_out] set. A {!fault_plan} injects

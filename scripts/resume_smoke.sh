@@ -9,7 +9,10 @@
 #          exit with a resumable snapshot on disk (timing-tolerant: the
 #          run may legitimately finish before the signal lands);
 #   leg C  the `check` exit-code contract: 0 clean, 3 truncated,
-#          4 rejected snapshot.
+#          4 rejected snapshot;
+#   leg D  SIGKILL (kill -9) mid-write: whatever the snapshot file looks
+#          like after an uncatchable kill, a --salvage resume must accept
+#          it and complete (timing-tolerant like leg B).
 #
 # Usage: scripts/resume_smoke.sh [path-to-coordctl]
 set -eu
@@ -66,6 +69,23 @@ wait "$pid" || rc=$?
 "$COORD" explore mutex -n 3 -m 5 --max-states 200000 \
   --resume "$tmp/sig.snap" >"$tmp/sig_resumed.txt" 2>&1 \
   || fail "resume after SIGTERM exited $?"
+
+# --- leg D: SIGKILL mid-write, salvage resume ---------------------------
+# A tight checkpoint cadence keeps the snapshot file mid-append most of
+# the run, so kill -9 lands on a torn or half-flushed tail with fair
+# probability; the salvage layer must cope with every outcome.
+
+"$COORD" explore mutex -n 3 -m 5 --max-states 200000 \
+  --snapshot "$tmp/k9.snap" --snapshot-every 1 >"$tmp/k9.txt" 2>&1 &
+pid=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null || true      # may already have finished
+wait "$pid" 2>/dev/null || true
+if [ -f "$tmp/k9.snap" ]; then
+  "$COORD" explore mutex -n 3 -m 5 --max-states 200000 \
+    --resume "$tmp/k9.snap" --salvage >"$tmp/k9_resumed.txt" 2>&1 \
+    || fail "salvage resume after SIGKILL exited $?"
+fi
 
 # --- leg C: check's exit-code contract ----------------------------------
 

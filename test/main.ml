@@ -33,4 +33,5 @@ let () =
       ("lowerbound", Test_lowerbound.suite);
       ("report", Test_report.suite);
       ("parallel", Test_parallel.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -1,0 +1,351 @@
+open Check
+
+(* Self-healing exploration under injected infrastructure faults. The
+   contract: a seeded fault plan is deterministic and replayable; the
+   supervised parallel engine absorbs killed worker domains without
+   changing the explored graph by a bit; [with_recovery] drives a
+   checkpointing exploration through supervisor kills, allocation
+   failures and torn snapshot writes to the exact fault-free result. *)
+
+module P = Coord.Amutex.P
+module E = Explore.Make (P)
+
+let cfg () = E.config ~m:3 ~ids:[ 7; 13 ] ~inputs:[ (); () ] ()
+
+let tmp_snap name = Filename.temp_file ("coordres-" ^ name) ".snap"
+
+let with_plan plan f =
+  Resilience.arm plan;
+  Fun.protect ~finally:Resilience.disarm f
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let check_graph tag (a : E.graph) (b : E.graph) =
+  Alcotest.(check bool) (tag ^ ": same states") true (a.E.states = b.E.states);
+  Alcotest.(check bool) (tag ^ ": same orbits") true (a.E.orbits = b.E.orbits);
+  Alcotest.(check bool) (tag ^ ": same succs") true (a.E.succs = b.E.succs);
+  Alcotest.(check bool)
+    (tag ^ ": same completeness")
+    true
+    (a.E.complete = b.E.complete)
+
+let check_stats tag a b =
+  Alcotest.(check bool)
+    (tag ^ ": stats bit-identical (mod clock)")
+    true
+    (Checker_stats.equal_ignoring_time a b)
+
+(* ------------------------- plans are data ----------------------------- *)
+
+let test_plan_determinism () =
+  let p1 = Resilience.plan_of_seed ~domains:4 ~intensity:6 42 in
+  let p2 = Resilience.plan_of_seed ~domains:4 ~intensity:6 42 in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check int) "intensity honored" 6 (List.length p1.Resilience.faults);
+  let p3 = Resilience.plan_of_seed ~domains:4 ~intensity:6 43 in
+  Alcotest.(check bool) "different seed, different plan" false (p1 = p3);
+  let rendered = Format.asprintf "%a" Resilience.pp_plan p1 in
+  Alcotest.(check bool) "pp names the seed" true
+    (contains ~affix:"(seed 42)" rendered)
+
+(* ---------------------- injection-point semantics --------------------- *)
+
+let test_fire_accounting () =
+  Alcotest.(check bool) "disarmed" false (Resilience.armed ());
+  (* disarmed injection points are no-ops *)
+  Resilience.worker_tick ~domain:0;
+  Resilience.boundary_tick ();
+  Alcotest.(check bool) "no phantom writes" true
+    (Resilience.mutate_write "payload" = None);
+  let plan =
+    {
+      Resilience.seed = 0;
+      faults =
+        [
+          Resilience.Kill_domain { domain = 1; after_ticks = 2 };
+          Resilience.Alloc_fail { after_boundaries = 1 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      Alcotest.(check bool) "armed" true (Resilience.armed ());
+      Alcotest.(check bool) "domain faults pending" true
+        (Resilience.has_domain_faults ());
+      (* tick 1: not yet matured; other domains unaffected *)
+      Resilience.worker_tick ~domain:1;
+      Resilience.worker_tick ~domain:0;
+      Alcotest.(check int) "nothing fired yet" 0 (Resilience.fired ());
+      (match Resilience.worker_tick ~domain:1 with
+      | exception Resilience.Killed { domain = 1 } -> ()
+      | exception e ->
+        Alcotest.failf "expected Killed d1, got %s" (Printexc.to_string e)
+      | () -> Alcotest.fail "kill did not fire at its tick");
+      Alcotest.(check int) "kill fired once" 1 (Resilience.fired ());
+      (* faults fire at most once *)
+      Resilience.worker_tick ~domain:1;
+      Alcotest.(check bool) "kill consumed" false
+        (Resilience.has_domain_faults ());
+      (match Resilience.boundary_tick () with
+      | exception Out_of_memory -> ()
+      | () -> Alcotest.fail "alloc fault did not fire");
+      Alcotest.(check int) "both fired" 2 (Resilience.fired ());
+      Alcotest.(check bool) "nothing pending" true (Resilience.pending () = []));
+  Alcotest.(check bool) "disarmed again" false (Resilience.armed ())
+
+(* [stall_tick] is the kill-free seam Prun uses: it must serve stalls but
+   neither fire nor consume kill faults aimed at the explorer. *)
+let test_stall_tick_ignores_kills () =
+  let plan =
+    {
+      Resilience.seed = 0;
+      faults =
+        [
+          Resilience.Kill_domain { domain = 0; after_ticks = 1 };
+          Resilience.Stall_domain
+            { domain = 0; after_ticks = 1; for_s = 0.001 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      Resilience.stall_tick ~domain:0;
+      (* the stall fired (slept), the kill did not and is still pending *)
+      Alcotest.(check int) "stall fired" 1 (Resilience.fired ());
+      Alcotest.(check bool) "kill survives stall_tick" true
+        (List.exists
+           (function Resilience.Kill_domain _ -> true | _ -> false)
+           (Resilience.pending ())))
+
+let test_mutate_write () =
+  let payload = String.init 100 (fun i -> Char.chr (i land 0xff)) in
+  let plan =
+    {
+      Resilience.seed = 0;
+      faults =
+        [
+          Resilience.Torn_write { nth_write = 2; keep = 0.5 };
+          Resilience.Flip_byte { nth_write = 3; at = 0.5 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      Alcotest.(check bool) "write 1 unharmed" true
+        (Resilience.mutate_write payload = None);
+      (match Resilience.mutate_write payload with
+      | Some torn ->
+        Alcotest.(check int) "write 2 torn to half" 50 (String.length torn);
+        Alcotest.(check string) "torn prefix preserved"
+          (String.sub payload 0 50) torn
+      | None -> Alcotest.fail "torn write did not fire");
+      (match Resilience.mutate_write payload with
+      | Some flipped ->
+        Alcotest.(check int) "flip keeps length" 100 (String.length flipped);
+        let diffs = ref 0 in
+        String.iteri
+          (fun i c -> if c <> payload.[i] then incr diffs)
+          flipped;
+        Alcotest.(check int) "exactly one byte flipped" 1 !diffs
+      | None -> Alcotest.fail "flip did not fire");
+      Alcotest.(check bool) "write 4 unharmed" true
+        (Resilience.mutate_write payload = None))
+
+(* --------------------- supervised engine identity --------------------- *)
+
+(* With no faults armed, the supervised engine must be indistinguishable
+   from the barrier engine: same graph, same stats, both reductions. *)
+let test_supervised_bit_identity () =
+  List.iter
+    (fun (rname, reduction) ->
+      let c = cfg () in
+      let og, os = E.explore_par ~domains:3 ~par_threshold:2 ~reduction c in
+      let sg, ss =
+        E.explore_par ~domains:3 ~par_threshold:2 ~reduction ~supervise:true c
+      in
+      check_graph ("supervised/" ^ rname) og sg;
+      check_stats ("supervised/" ^ rname) os ss;
+      Alcotest.(check int)
+        (rname ^ ": no restarts without faults")
+        0 ss.Checker_stats.restarts)
+    [ ("full", Explore.Full); ("canon", Explore.Canon) ]
+
+(* Kill worker domains mid-generation: the supervision layer requeues
+   their units and respawns them; the result must not change by a bit. *)
+let test_supervised_absorbs_kills () =
+  let c = cfg () in
+  let og, os = E.explore_par ~domains:3 ~par_threshold:2 c in
+  let plan =
+    {
+      Resilience.seed = 1;
+      faults =
+        [
+          Resilience.Kill_domain { domain = 1; after_ticks = 1 };
+          Resilience.Kill_domain { domain = 2; after_ticks = 3 };
+          Resilience.Kill_domain { domain = 1; after_ticks = 9 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      (* supervision defaults on because domain faults are armed *)
+      let sg, ss = E.explore_par ~domains:3 ~par_threshold:2 c in
+      Alcotest.(check bool) "kills fired" true (Resilience.fired () >= 1);
+      check_graph "killed workers" og sg;
+      check_stats "killed workers" os ss)
+
+(* ------------------------- with_recovery ------------------------------ *)
+
+(* A kill aimed at domain 0 takes down the whole attempt (there is no
+   outer supervisor for the supervisor); with_recovery must pick the run
+   back up from its periodic snapshots and land on the oracle. *)
+let test_recovery_from_supervisor_kill () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let snap = tmp_snap "kill0" in
+  let plan =
+    {
+      Resilience.seed = 2;
+      faults = [ Resilience.Kill_domain { domain = 0; after_ticks = 6 } ];
+    }
+  in
+  with_plan plan (fun () ->
+      let rg, rs =
+        E.with_recovery ~snapshot_to:snap (fun ~resume_from ~snapshot_to ->
+            E.explore_with_stats ~snapshot_every:1 ~snapshot_to ?resume_from
+              ~salvage:true c)
+      in
+      Alcotest.(check int) "the kill fired" 1 (Resilience.fired ());
+      check_graph "recovered from supervisor kill" og rg;
+      check_stats "recovered from supervisor kill" os rs);
+  Sys.remove snap
+
+(* Injected allocation failure: the engine degrades to a flushed snapshot
+   and an Oom-truncated result; with_recovery resumes it to completion. *)
+let test_recovery_from_alloc_fail () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let snap = tmp_snap "alloc" in
+  let plan =
+    {
+      Resilience.seed = 3;
+      faults = [ Resilience.Alloc_fail { after_boundaries = 3 } ];
+    }
+  in
+  with_plan plan (fun () ->
+      (* first, watch the degradation itself *)
+      let tg, ts =
+        E.explore_with_stats ~snapshot_every:1 ~snapshot_to:snap c
+      in
+      Alcotest.(check bool) "degraded, not crashed" false tg.E.complete;
+      Alcotest.(check bool) "stop reason is oom" true
+        (ts.Checker_stats.stop = Checker_stats.Oom);
+      (* the fault is consumed; recovery resumes to the oracle *)
+      let rg, rs =
+        E.with_recovery ~resume_from:snap ~snapshot_to:snap
+          (fun ~resume_from ~snapshot_to ->
+            E.explore_with_stats ~snapshot_every:1 ~snapshot_to ?resume_from
+              ~salvage:true c)
+      in
+      check_graph "recovered from alloc failure" og rg;
+      check_stats "recovered from alloc failure" os rs);
+  Sys.remove snap
+
+(* with_recovery end to end under one plan: the Oom-truncated RESULT
+   (not exception) path must also trigger a retry. *)
+let test_recovery_retries_truncated_result () =
+  let c = cfg () in
+  let og, _ = E.explore_with_stats c in
+  let snap = tmp_snap "oomres" in
+  let plan =
+    {
+      Resilience.seed = 4;
+      faults = [ Resilience.Alloc_fail { after_boundaries = 2 } ];
+    }
+  in
+  with_plan plan (fun () ->
+      let attempts = ref 0 in
+      let rg, _ =
+        E.with_recovery ~snapshot_to:snap (fun ~resume_from ~snapshot_to ->
+            incr attempts;
+            E.explore_with_stats ~snapshot_every:1 ~snapshot_to ?resume_from
+              ~salvage:true c)
+      in
+      Alcotest.(check int) "one retry after the degradation" 2 !attempts;
+      check_graph "converged" og rg);
+  Sys.remove snap
+
+(* Torn snapshot write mid-campaign: the live run must not care (damage
+   goes to disk, not memory), and a salvaged resume of whatever the file
+   ended up as must still land on the oracle. *)
+let test_torn_write_salvage () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let total = os.Checker_stats.n_states in
+  let snap = tmp_snap "torn" in
+  let plan =
+    {
+      Resilience.seed = 5;
+      faults = [ Resilience.Torn_write { nth_write = 2; keep = 0.3 } ];
+    }
+  in
+  with_plan plan (fun () ->
+      let tg, _ =
+        E.explore_with_stats
+          ~max_states:(max 2 (total / 2))
+          ~snapshot_every:1 ~snapshot_to:snap c
+      in
+      Alcotest.(check bool) "live run unharmed by torn write" false
+        tg.E.complete;
+      Alcotest.(check int) "the tear fired" 1 (Resilience.fired ());
+      let rg, rs = E.explore_with_stats ~resume_from:snap ~salvage:true c in
+      check_graph "salvaged resume after torn write" og rg;
+      check_stats "salvaged resume after torn write" os rs);
+  Sys.remove snap
+
+(* --------------------------- deadlines -------------------------------- *)
+
+let test_deadline_stops_and_resumes () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let snap = tmp_snap "deadline" in
+  (* an already-expired deadline stops at the first generation boundary *)
+  let dg, ds = E.explore_with_stats ~deadline_s:0.0 ~snapshot_to:snap c in
+  Alcotest.(check bool) "deadline truncates" false dg.E.complete;
+  Alcotest.(check bool) "stop reason is deadline" true
+    (ds.Checker_stats.stop = Checker_stats.Deadline);
+  Alcotest.(check bool) "made some progress first" true
+    (ds.Checker_stats.n_states >= 1);
+  Alcotest.(check bool) "snapshot flushed" true (Sys.file_exists snap);
+  (* a resumed run with a fresh (generous) deadline completes *)
+  let rg, rs = E.explore_with_stats ~deadline_s:3600.0 ~resume_from:snap c in
+  check_graph "resume after deadline" og rg;
+  check_stats "resume after deadline" os rs;
+  (* json carries the reason for dashboards *)
+  Alcotest.(check bool) "stop tag in json" true
+    (contains ~affix:"\"deadline\"" (Checker_stats.to_json ds));
+  Sys.remove snap
+
+let suite =
+  [
+    Alcotest.test_case "fault plans are deterministic" `Quick
+      test_plan_determinism;
+    Alcotest.test_case "fire-once accounting" `Quick test_fire_accounting;
+    Alcotest.test_case "stall_tick leaves kills alone" `Quick
+      test_stall_tick_ignores_kills;
+    Alcotest.test_case "mutate_write damages the right write" `Quick
+      test_mutate_write;
+    Alcotest.test_case "supervised engine: bit-identical, no faults" `Slow
+      test_supervised_bit_identity;
+    Alcotest.test_case "supervised engine absorbs worker kills" `Slow
+      test_supervised_absorbs_kills;
+    Alcotest.test_case "with_recovery: supervisor kill" `Quick
+      test_recovery_from_supervisor_kill;
+    Alcotest.test_case "with_recovery: allocation failure" `Quick
+      test_recovery_from_alloc_fail;
+    Alcotest.test_case "with_recovery: retries truncated result" `Quick
+      test_recovery_retries_truncated_result;
+    Alcotest.test_case "torn snapshot write salvaged" `Quick
+      test_torn_write_salvage;
+    Alcotest.test_case "deadline stops gracefully, resume completes" `Quick
+      test_deadline_stops_and_resumes;
+  ]

@@ -30,14 +30,14 @@ let check_stats tag a b =
     (Checker_stats.equal_ignoring_time a b)
 
 (* [run ~par] is one explorer under one reduction with one option set. *)
-let run ~par ?max_states ?snapshot_every ?snapshot_to ?resume_from ~reduction
-    cfg =
+let run ~par ?max_states ?snapshot_every ?snapshot_to ?resume_from ?salvage
+    ~reduction cfg =
   if par then
     E.explore_par ~domains:2 ~par_threshold:2 ?max_states ?snapshot_every
-      ?snapshot_to ?resume_from ~reduction cfg
+      ?snapshot_to ?resume_from ?salvage ~reduction cfg
   else
     E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
-      ?resume_from ~reduction cfg
+      ?resume_from ?salvage ~reduction cfg
 
 let expect_error tag pred f =
   match f () with
@@ -58,7 +58,7 @@ let test_envelope_roundtrip () =
   let payload = "PAYLOAD \x00\x01\xff bytes" in
   Snapshot.write ~path ~fingerprint:fp ~descr:"protocol=x n=2" payload;
   let meta, got = Snapshot.read ~path in
-  Alcotest.(check int) "version" 2 meta.Snapshot.version;
+  Alcotest.(check int) "version" 3 meta.Snapshot.version;
   Alcotest.(check string) "fingerprint" fp meta.Snapshot.fingerprint;
   Alcotest.(check string) "descr" "protocol=x n=2" meta.Snapshot.descr;
   Alcotest.(check string) "payload" payload got;
@@ -73,6 +73,36 @@ let test_envelope_roundtrip () =
       Snapshot.check_fingerprint ~path meta
         ~fingerprint:(Digest.string "a different exploration")
         ~descr:"current");
+  Sys.remove path
+
+(* Chunked appends: each append is one more self-checked chunk, [read]
+   returns the newest, and the file compacts back to a single chunk after
+   [max_chunks] boundaries. *)
+let test_append_roundtrip () =
+  let path = tmp_snap "append" in
+  let fp = Digest.string "cfg" in
+  Snapshot.write ~path ~fingerprint:fp ~descr:"d" "boundary 0";
+  let size1 = (Unix.stat path).Unix.st_size in
+  Snapshot.append ~path ~fingerprint:fp ~descr:"d" "boundary 1";
+  Snapshot.append ~path ~fingerprint:fp ~descr:"d" "boundary 22";
+  let _, got = Snapshot.read ~path in
+  Alcotest.(check string) "read returns the newest chunk" "boundary 22" got;
+  Alcotest.(check bool) "appends grew the file" true
+    ((Unix.stat path).Unix.st_size > size1);
+  (* salvage on an intact file reports nothing to salvage *)
+  let _, got', salv = Snapshot.read_salvaged ~path in
+  Alcotest.(check string) "salvaged read agrees" "boundary 22" got';
+  Alcotest.(check bool) "no salvage needed" true (salv = None);
+  (* push past [max_chunks]: the file compacts (rewrites) and still
+     serves the newest boundary *)
+  for i = 3 to Snapshot.max_chunks + 2 do
+    Snapshot.append ~path ~fingerprint:fp ~descr:"d"
+      (Printf.sprintf "boundary %d" i)
+  done;
+  let _, last = Snapshot.read ~path in
+  Alcotest.(check string) "newest after compaction"
+    (Printf.sprintf "boundary %d" (Snapshot.max_chunks + 2))
+    last;
   Sys.remove path
 
 let rewrite path bytes =
@@ -122,6 +152,142 @@ let test_damage_rejected () =
   expect_error "missing file"
     (function Snapshot.Io _ -> true | _ -> false)
     (fun () -> Snapshot.read ~path)
+
+(* ------------------------- salvage matrix ---------------------------- *)
+
+(* Envelope-level salvage: build a 3-chunk file with known payloads and
+   damage it in every interesting place. Chunk frame = 1-byte marker +
+   8-byte length + 4-byte CRC = 13 bytes of framing per chunk. *)
+let test_salvage_matrix_envelope () =
+  let path = tmp_snap "salvage" in
+  let fp = Digest.string "cfg" in
+  let p1 = "alpha" and p2 = "bravo!" and p3 = "charlie!!" in
+  let header_len = 9 + 1 + 16 + 2 + 1 (* descr "d" *) in
+  let chunk_len p = 13 + String.length p in
+  let fresh () =
+    if Sys.file_exists path then Sys.remove path;
+    Snapshot.write ~path ~fingerprint:fp ~descr:"d" p1;
+    Snapshot.append ~path ~fingerprint:fp ~descr:"d" p2;
+    Snapshot.append ~path ~fingerprint:fp ~descr:"d" p3
+  in
+  fresh ();
+  let good = slurp path in
+  Alcotest.(check int) "layout arithmetic"
+    (header_len + chunk_len p1 + chunk_len p2 + chunk_len p3)
+    (Bytes.length good);
+  let damaged mutate =
+    let b = Bytes.copy good in
+    mutate b;
+    rewrite path b
+  in
+  let expect_salvage tag ~payload ~kept =
+    (match Snapshot.read ~path with
+    | exception Snapshot.Error (Snapshot.Corrupt _) -> ()
+    | exception e ->
+      Alcotest.failf "%s: strict read: expected Corrupt, got %s" tag
+        (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: strict read accepted damage" tag);
+    let _, got, salv = Snapshot.read_salvaged ~path in
+    Alcotest.(check string) (tag ^ ": salvaged payload") payload got;
+    match salv with
+    | Some s ->
+      Alcotest.(check int) (tag ^ ": kept chunks") kept s.Snapshot.kept_chunks
+    | None -> Alcotest.failf "%s: salvage went unreported" tag
+  in
+  (* flipped byte in the newest chunk's payload: roll back one chunk *)
+  damaged (fun b -> Bytes.set b (Bytes.length b - 1) 'X');
+  expect_salvage "tail bit-flip" ~payload:p2 ~kept:2;
+  (* torn append (truncated tail): roll back one chunk *)
+  damaged (fun _ -> ());
+  rewrite path (Bytes.sub good 0 (Bytes.length good - 5));
+  expect_salvage "torn tail" ~payload:p2 ~kept:2;
+  (* truncation reaching into chunk 2: only chunk 1 is left *)
+  rewrite path
+    (Bytes.sub good 0 (Bytes.length good - chunk_len p3 - 5));
+  expect_salvage "deep truncation" ~payload:p1 ~kept:1;
+  (* chunk 2's CRC bytes flipped: the scan must stop there — framing
+     after a damaged chunk is unverifiable — keeping only chunk 1 *)
+  damaged (fun b ->
+      let crc_off = header_len + chunk_len p1 + 9 in
+      Bytes.set b crc_off (Char.chr (Char.code (Bytes.get b crc_off) lxor 1)));
+  expect_salvage "mid-file CRC damage" ~payload:p1 ~kept:1;
+  (* a damaged header cannot be salvaged: nothing downstream is trusted *)
+  damaged (fun b -> Bytes.set b 0 'Z');
+  expect_error "salvage refuses bad magic"
+    (function Snapshot.Bad_magic _ -> true | _ -> false)
+    (fun () -> Snapshot.read_salvaged ~path);
+  (* every chunk damaged: salvage has nothing to offer *)
+  damaged (fun b ->
+      List.iter
+        (fun off -> Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 1)))
+        [
+          header_len + chunk_len p1 - 1;
+          header_len + chunk_len p1 + chunk_len p2 - 1;
+          Bytes.length good - 1;
+        ]);
+  expect_error "no intact chunk"
+    (function Snapshot.Corrupt _ -> true | _ -> false)
+    (fun () -> Snapshot.read_salvaged ~path);
+  Sys.remove path
+
+(* Explorer-level salvage: {seq, par} x {Full, Canon}. Truncate a run at
+   ~half the space with per-generation snapshots, damage the snapshot's
+   tail (bit-flip or torn write), and demand that a strict resume refuses
+   while a [~salvage:true] resume rolls back to an older boundary and
+   still lands bit-identically on the oracle. *)
+let test_salvage_matrix_explorers () =
+  List.iter
+    (fun (rname, reduction) ->
+      List.iter
+        (fun par ->
+          List.iter
+            (fun (dname, damage) ->
+              let tag =
+                Printf.sprintf "%s/%s/%s"
+                  (if par then "par" else "seq")
+                  rname dname
+              in
+              let cfg = cfg_m 3 in
+              let og, os = run ~par ~reduction cfg in
+              let cut = max 2 (os.Checker_stats.n_states / 2) in
+              let snap = tmp_snap "salvagex" in
+              let tg, _ =
+                run ~par ~max_states:cut ~snapshot_every:1 ~snapshot_to:snap
+                  ~reduction cfg
+              in
+              Alcotest.(check bool) (tag ^ ": truncated") false tg.E.complete;
+              (* double the newest boundary so at least two chunks exist
+                 no matter where compaction landed, then damage the tail *)
+              let meta = Snapshot.read_meta ~path:snap in
+              let _, newest = Snapshot.read ~path:snap in
+              Snapshot.append ~path:snap
+                ~fingerprint:meta.Snapshot.fingerprint
+                ~descr:meta.Snapshot.descr newest;
+              Snapshot.append ~path:snap
+                ~fingerprint:meta.Snapshot.fingerprint
+                ~descr:meta.Snapshot.descr newest;
+              let b = slurp snap in
+              damage snap b;
+              expect_error (tag ^ ": strict resume refused")
+                (function Snapshot.Corrupt _ -> true | _ -> false)
+                (fun () -> run ~par ~resume_from:snap ~reduction cfg);
+              let rg, rs =
+                run ~par ~salvage:true ~resume_from:snap ~reduction cfg
+              in
+              check_graph (tag ^ ": salvaged resume") og rg;
+              check_stats (tag ^ ": salvaged resume") os rs;
+              Sys.remove snap)
+            [
+              ( "flip",
+                fun snap b ->
+                  Bytes.set b (Bytes.length b - 1) '\xAA';
+                  rewrite snap b );
+              ( "torn",
+                fun snap b ->
+                  rewrite snap (Bytes.sub b 0 (Bytes.length b - 7)) );
+            ])
+        [ false; true ])
+    [ ("full", Explore.Full); ("canon", Explore.Canon) ]
 
 (* --------------------- kill-and-resume bit-identity ------------------ *)
 
@@ -327,7 +493,13 @@ let test_memory_watermark_keeps_graph () =
 let suite =
   [
     Alcotest.test_case "envelope roundtrip" `Quick test_envelope_roundtrip;
+    Alcotest.test_case "chunked appends roundtrip" `Quick
+      test_append_roundtrip;
     Alcotest.test_case "damaged files rejected" `Quick test_damage_rejected;
+    Alcotest.test_case "salvage matrix: envelope" `Quick
+      test_salvage_matrix_envelope;
+    Alcotest.test_case "salvage matrix: seq+par x Full+Canon" `Slow
+      test_salvage_matrix_explorers;
     Alcotest.test_case "kill and resume: seq+par x Full+Canon" `Slow
       test_kill_and_resume;
     Alcotest.test_case "chained double resume" `Quick test_chained_resume;
