@@ -1,8 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build test check chaos bench bench-checker bench-quick \
-        bench-canon tables resume-smoke resilience-smoke fuzz-smoke fuzz \
-        clean-snapshots clean
+        bench-canon bench-shard bench-disk disk-smoke tables resume-smoke \
+        resilience-smoke fuzz-smoke fuzz clean-snapshots clean
 
 all: build
 
@@ -19,9 +19,11 @@ CHECK_TIMEOUT ?= 600
 check:
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
 	$(MAKE) bench-canon
+	$(MAKE) bench-shard
 	$(MAKE) resume-smoke
 	$(MAKE) resilience-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) disk-smoke
 
 # End-to-end snapshot/resume smoke: truncate + resume vs oracle,
 # SIGTERM mid-exploration, and the `check` exit-code contract
@@ -103,6 +105,30 @@ bench-quick:
 bench-canon:
 	timeout 60 dune exec bench/check_throughput.exe -- --quick --reps 3 \
 	  --gate-canon 0.9 $(if $(FORCE),--force)
+
+# The sharded-engine wall-clock gate, part of `make check`: on hosts with
+# 2+ domains the sharded work-stealing explorer must be at least as fast
+# as the sequential reference on the >10^5-state scaling workload; on a
+# single-domain host the comparison is recorded as skipped and the gate
+# passes vacuously.
+bench-shard:
+	timeout 300 dune exec bench/check_throughput.exe -- --quick --reps 3 \
+	  --gate-shard 1.0 $(if $(FORCE),--force)
+
+# External-memory run of the full unreduced Figure 1 mutex (amutex m=5,
+# three lock-step processes, 8.4M states): the disk-backed visited set
+# must complete it and land exactly on the state count predicted by the
+# symmetry quotient's orbit mass. MEM_MB sets the spill watermark.
+MEM_MB ?= 512
+bench-disk:
+	dune exec bench/check_throughput.exe -- --disk --mem-mb $(MEM_MB)
+
+# Sub-60s external-memory smoke, part of `make check`: a graph explored
+# under an address-space ulimit that the in-RAM explorer could not even
+# start in comfortably; spill-and-probe stats must match the unlimited
+# in-RAM run exactly, and snapshot/resume must compose with spilling.
+disk-smoke: build
+	timeout 120 scripts/disk_smoke.sh _build/default/bin/coordctl.exe
 
 tables:
 	dune exec -- coordctl tables

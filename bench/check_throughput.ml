@@ -27,8 +27,27 @@
    Runs APPEND to BENCH_checker.json (a JSON array of timestamped run
    objects), so the file accumulates a history across hosts and commits.
 
+   Two further kinds of workload ride on the same harness:
+
+   - shard-vs-seq / barrier-vs-seq: a multi-domain scaling curve of both
+     parallel engines (the sharded work-stealing default and the barrier
+     reference) against the sequential explorer, one row per (engine,
+     domain count). --gate-shard RATIO turns the sharded rows into a CI
+     gate on graphs above 10^5 states (`make bench-shard` wires it in at
+     1.0); on a single-domain host every parallel comparison is recorded
+     as {"skipped": "single-domain host"} instead of a noise ratio.
+
+   - disk-vs-quotient (--disk): the external-memory explorer runs the
+     full UNREDUCED Figure 1 mutex (amutex on m = 5, three lock-step
+     processes, 8.4M states — the workload that blows the in-RAM 2M
+     budget) with the visited set spilling to disk, and must land
+     exactly on the state count predicted by the symmetry quotient's
+     orbit mass. --mem-mb N sets the spill watermark (default 512).
+     --disk runs only this workload.
+
      dune exec bench/check_throughput.exe \
-       [-- [DOMAINS] [--quick] [--force] [--reps N] [--gate-canon RATIO]]
+       [-- [DOMAINS] [--quick] [--force] [--reps N] [--gate-canon RATIO] \
+           [--gate-shard RATIO] [--disk] [--mem-mb N]]
 
    --reps N overrides the mandatory repetition count (default 3; --quick
    defaults to 1); ms-scale workloads additionally repeat until 0.25 s of
@@ -51,7 +70,9 @@ let str = Printf.sprintf
 
 type entry = {
   label : string;
-  kind : string;  (* "par-vs-seq" | "reduced-vs-full" *)
+  kind : string;
+      (* "par-vs-seq" | "reduced-vs-full" | "shard-vs-seq" |
+         "barrier-vs-seq" | "disk-vs-quotient" *)
   a_name : string;
   a_json : string;
   b_name : string;
@@ -64,7 +85,26 @@ type entry = {
          entries are eligible for the --gate-canon wall-clock gate (a
          truncated full run makes the ratio meaningless) *)
   note : string option;
+  skipped : string option;
+      (* the workload was not measured at all (e.g. a parallel comparison
+         on a single-domain host); such rows carry no stats objects *)
 }
+
+let skipped_entry ~label ~kind reason =
+  {
+    label;
+    kind;
+    a_name = "";
+    a_json = "";
+    b_name = "";
+    b_json = "";
+    speedup = 1.0;
+    reduction_factor = 1.0;
+    peak_table = 0;
+    full_complete = false;
+    note = None;
+    skipped = Some reason;
+  }
 
 let reps = ref 3
 
@@ -119,6 +159,13 @@ module Sweep (P : Protocol.PROTOCOL) = struct
            s.Check.Checker_stats.dedup_hits)
 
   let par_vs_seq ~label ~domains ?max_states (cfg : E.config) =
+    if domains < 2 then begin
+      (* a 1-domain "parallel" run measures nothing but the wrapper; the
+         row records why there is no number instead of a noise ratio *)
+      Format.printf "--- %s ---@.skipped: single-domain host@.@." label;
+      skipped_entry ~label ~kind:"par-vs-seq" "single-domain host"
+    end
+    else begin
     let gs, ss = time_best (fun () -> E.explore_with_stats ?max_states cfg) in
     let gp, sp = time_best (fun () -> E.explore_par ~domains ?max_states cfg) in
     if not (same gs gp) then
@@ -154,6 +201,126 @@ module Sweep (P : Protocol.PROTOCOL) = struct
       peak_table = max ss.Check.Checker_stats.n_states sp.Check.Checker_stats.n_states;
       full_complete = ss.Check.Checker_stats.complete;
       note;
+      skipped = None;
+    }
+    end
+
+  (* Multi-domain scaling curve: the sequential reference against both
+     parallel engines at each domain count up to [domains], recorded as
+     one row per (engine, d). The sharded rows are the ones the
+     --gate-shard CI gate reads. *)
+  let engine_curve ~label ~domains ?max_states (cfg : E.config) =
+    if domains < 2 then begin
+      Format.printf "--- %s scaling ---@.skipped: single-domain host@.@."
+        label;
+      [ skipped_entry ~label:(label ^ "-scaling") ~kind:"shard-vs-seq"
+          "single-domain host" ]
+    end
+    else begin
+      let gs, ss = time_best (fun () -> E.explore_with_stats ?max_states cfg) in
+      check_accounting ~label ~which:"seq" ss;
+      let curve =
+        List.sort_uniq compare
+          (domains :: List.filter (fun d -> d <= domains) [ 2; 4; 8; 16 ])
+      in
+      List.concat_map
+        (fun d ->
+          List.map
+            (fun engine ->
+              let tagname = Check.Explore.engine_tag engine in
+              let row_label = str "%s [%s d=%d]" label tagname d in
+              let gp, sp =
+                time_best (fun () ->
+                    E.explore_par ~domains:d ~engine ?max_states cfg)
+              in
+              if not (same gs gp) then
+                failwith
+                  (str "%s: %s engine diverged from sequential" row_label
+                     tagname);
+              check_accounting ~label:row_label ~which:tagname sp;
+              let speedup =
+                ss.Check.Checker_stats.elapsed_s
+                /. sp.Check.Checker_stats.elapsed_s
+              in
+              Format.printf "--- %s ---@.seq: %a@.%s: %a@.speedup: %.2fx@.@."
+                row_label Check.Checker_stats.pp ss tagname
+                Check.Checker_stats.pp sp speedup;
+              {
+                label = row_label;
+                kind =
+                  (match engine with
+                  | Check.Explore.Sharded -> "shard-vs-seq"
+                  | Check.Explore.Barrier -> "barrier-vs-seq");
+                a_name = "seq";
+                a_json = Check.Checker_stats.to_json ss;
+                b_name = tagname;
+                b_json = Check.Checker_stats.to_json sp;
+                speedup;
+                reduction_factor = 1.0;
+                peak_table = ss.Check.Checker_stats.n_states;
+                full_complete = ss.Check.Checker_stats.complete;
+                note = None;
+                skipped = None;
+              })
+            [ Check.Explore.Barrier; Check.Explore.Sharded ])
+        curve
+    end
+
+  (* External-memory run of a full (unreduced) graph too big for the
+     in-RAM budget, cross-checked against the symmetry quotient: the
+     quotient's orbit mass is the exact full-graph size, so the
+     disk-backed explorer must land on that number precisely. *)
+  let disk_vs_quotient ~label ~mem_mb ?(max_states = 20_000_000)
+      (cfg : E.config) =
+    let dir = Filename.temp_file "coord-disk" ".d" in
+    Sys.remove dir;
+    let _, sr = E.explore_with_stats ~reduction:Canon cfg in
+    check_accounting ~label ~which:"quotient" sr;
+    if not sr.Check.Checker_stats.complete then
+      failwith (str "%s: quotient reference did not complete" label);
+    let sx =
+      E.explore_external ~max_states ~mem_soft_limit_mb:mem_mb ~dir cfg
+    in
+    (* best-effort cleanup of the spilled runs *)
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir);
+       Sys.rmdir dir
+     with Sys_error _ -> ());
+    check_accounting ~label ~which:"external" sx;
+    if not sx.Check.Checker_stats.complete then
+      failwith (str "%s: external exploration did not complete" label);
+    if sx.Check.Checker_stats.n_states <> sr.Check.Checker_stats.orbit_sum then
+      failwith
+        (str
+           "%s: external explorer found %d states but the quotient's orbit \
+            mass says the full graph has %d"
+           label sx.Check.Checker_stats.n_states
+           sr.Check.Checker_stats.orbit_sum);
+    Format.printf
+      "--- %s ---@.quotient: %a@.external: %a@.full graph %d states \
+       confirmed; %d runs spilled, %d batched probes@.@."
+      label Check.Checker_stats.pp sr Check.Checker_stats.pp sx
+      sx.Check.Checker_stats.n_states sx.Check.Checker_stats.spilled_runs
+      sx.Check.Checker_stats.disk_probes;
+    {
+      label;
+      kind = "disk-vs-quotient";
+      a_name = "quotient";
+      a_json = Check.Checker_stats.to_json sr;
+      b_name = "external";
+      b_json = Check.Checker_stats.to_json sx;
+      speedup =
+        sr.Check.Checker_stats.elapsed_s /. sx.Check.Checker_stats.elapsed_s;
+      reduction_factor = Check.Checker_stats.reduction_factor sr;
+      peak_table = sx.Check.Checker_stats.n_states;
+      full_complete = sx.Check.Checker_stats.complete;
+      note =
+        Some
+          "external (disk-backed) full exploration; speedup column is \
+           quotient-time/external-time, expected well below 1";
+      skipped = None;
     }
 
   let reduced_vs_full ~label ~domains ?max_states (cfg : E.config) =
@@ -204,6 +371,7 @@ module Sweep (P : Protocol.PROTOCOL) = struct
       peak_table = max sf.Check.Checker_stats.n_states sr.Check.Checker_stats.n_states;
       full_complete = gf.complete;
       note;
+      skipped = None;
     }
 end
 
@@ -222,15 +390,22 @@ let entry_json e =
   let b = Buffer.create 1024 in
   Buffer.add_string b "    {\n";
   Buffer.add_string b (str "      \"workload\": %S,\n" e.label);
-  Buffer.add_string b (str "      \"kind\": %S,\n" e.kind);
-  Buffer.add_string b (str "      \"speedup\": %.3f,\n" e.speedup);
-  Buffer.add_string b (str "      \"reduction_factor\": %.3f,\n" e.reduction_factor);
-  Buffer.add_string b (str "      \"peak_table\": %d,\n" e.peak_table);
-  (match e.note with
-  | Some n -> Buffer.add_string b (str "      \"note\": %S,\n" n)
-  | None -> ());
-  Buffer.add_string b (str "      \"%s\":\n%s,\n" e.a_name (indent e.a_json));
-  Buffer.add_string b (str "      \"%s\":\n%s\n    }" e.b_name (indent e.b_json));
+  (match e.skipped with
+  | Some reason ->
+    Buffer.add_string b (str "      \"kind\": %S,\n" e.kind);
+    Buffer.add_string b (str "      \"skipped\": %S\n    }" reason)
+  | None ->
+    Buffer.add_string b (str "      \"kind\": %S,\n" e.kind);
+    Buffer.add_string b (str "      \"speedup\": %.3f,\n" e.speedup);
+    Buffer.add_string b
+      (str "      \"reduction_factor\": %.3f,\n" e.reduction_factor);
+    Buffer.add_string b (str "      \"peak_table\": %d,\n" e.peak_table);
+    (match e.note with
+    | Some n -> Buffer.add_string b (str "      \"note\": %S,\n" n)
+    | None -> ());
+    Buffer.add_string b (str "      \"%s\":\n%s,\n" e.a_name (indent e.a_json));
+    Buffer.add_string b
+      (str "      \"%s\":\n%s\n    }" e.b_name (indent e.b_json)));
   Buffer.contents b
 
 let utc_timestamp () =
@@ -270,10 +445,11 @@ let append_run ~file run_json =
 let () =
   let quick = ref false and force = ref false and domains_arg = ref None in
   let reps_arg = ref None and gate = ref None in
+  let gate_shard = ref None and disk = ref false and mem_mb = ref 512 in
   let usage () =
     prerr_endline
       "usage: check_throughput [DOMAINS] [--quick] [--force] [--reps N] \
-       [--gate-canon RATIO]";
+       [--gate-canon RATIO] [--gate-shard RATIO] [--disk] [--mem-mb N]";
     exit 2
   in
   let rec parse = function
@@ -284,6 +460,15 @@ let () =
     | "--force" :: rest ->
       force := true;
       parse rest
+    | "--disk" :: rest ->
+      disk := true;
+      parse rest
+    | "--mem-mb" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 16 ->
+        mem_mb := n;
+        parse rest
+      | _ -> usage ())
     | "--reps" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -294,6 +479,12 @@ let () =
       match float_of_string_opt r with
       | Some r when r > 0. ->
         gate := Some r;
+        parse rest
+      | _ -> usage ())
+    | "--gate-shard" :: r :: rest -> (
+      match float_of_string_opt r with
+      | Some r when r > 0. ->
+        gate_shard := Some r;
         parse rest
       | _ -> usage ())
     | a :: rest -> (
@@ -328,6 +519,15 @@ let () =
   let units n = Array.make n () in
   let entries = ref [] in
   let add e = entries := e :: !entries in
+  let add_all es = List.iter add es in
+  if !disk then
+    (* --disk runs only the external-memory workload: the full unreduced
+       Figure 1 mutex (8.4M states), disk-bounded instead of
+       budget-truncated, cross-checked against the quotient's orbit mass *)
+    add
+      (SMutex.disk_vs_quotient ~label:"amutex-m5-n3-disk" ~mem_mb:!mem_mb
+         { ids = ids 3; inputs = units 3; namings = sym 3 5 })
+  else begin
   (* --- reduced-vs-full: symmetric configurations --- *)
   if not !quick then
     (* Figure 1 on five registers, three lock-step processes: the full
@@ -354,6 +554,11 @@ let () =
   add
     (SMutex.par_vs_seq ~label:"amutex-m5" ~domains
        { ids = [| 7; 13 |]; inputs = [| (); () |]; namings = rot2 5 });
+  (* --- engine scaling: barrier vs sharded at 2..domains, on a full
+     graph big enough for the gate (227k states > the 10^5 floor) --- *)
+  add_all
+    (SMutex.engine_curve ~label:"amutex-m3-n3" ~domains
+       { ids = ids 3; inputs = units 3; namings = sym 3 3 });
   if not !quick then begin
     add
       (SMutex.par_vs_seq ~label:"amutex-m3" ~domains
@@ -370,6 +575,7 @@ let () =
     add
       (SBurns.par_vs_seq ~label:"burns-n3" ~domains
          (SBurns.E.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ()))
+  end;
   end;
   let entries = List.rev !entries in
   let buf = Buffer.create 4096 in
@@ -390,9 +596,9 @@ let () =
   Buffer.add_string buf "    ]\n  }";
   append_run ~file:"BENCH_checker.json" (Buffer.contents buf);
   Format.printf "appended run to BENCH_checker.json@.";
-  (* the gate runs AFTER the append: a failing run still leaves its
+  (* the gates run AFTER the append: a failing run still leaves its
      evidence in the history *)
-  match !gate with
+  (match !gate with
   | None -> ()
   | Some ratio ->
     let eligible =
@@ -414,4 +620,38 @@ let () =
     else
       Format.printf
         "gate: all %d quotient workloads at or above %.2fx full wall-clock@."
-        (List.length eligible) ratio
+        (List.length eligible) ratio);
+  match !gate_shard with
+  | None -> ()
+  | Some ratio ->
+    (* the sharded engine must beat sequential on graphs big enough to
+       amortize domain startup (> 10^5 states); single-domain hosts have
+       only skipped rows and pass vacuously *)
+    let eligible =
+      List.filter
+        (fun e ->
+          e.kind = "shard-vs-seq" && e.skipped = None && e.peak_table > 100_000)
+        entries
+    in
+    if eligible = [] then
+      Format.printf
+        "gate: no sharded workloads eligible on this host (single domain \
+         or all graphs under 10^5 states); vacuous pass@."
+    else begin
+      let failures = List.filter (fun e -> e.speedup < ratio) eligible in
+      if failures <> [] then begin
+        List.iter
+          (fun e ->
+            Printf.eprintf
+              "gate: %s: sharded wall-clock %.3fx sequential, below the \
+               %.2fx gate\n"
+              e.label e.speedup ratio)
+          failures;
+        exit 1
+      end
+      else
+        Format.printf
+          "gate: all %d sharded workloads at or above %.2fx sequential \
+           wall-clock@."
+          (List.length eligible) ratio
+    end

@@ -1366,7 +1366,7 @@ module Xpl (P : Protocol.PROTOCOL) = struct
 
   let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths
       ~snapshot_to ~snapshot_every ~resume_from ~deadline_s ~salvage
-      ~supervise =
+      ~supervise ~disk_visited ~disk_hot_cap =
     if reduction = Check.Explore.Canon && E.canon_degraded ~n then
       Format.printf
         "note: --canon degraded to the identity group (%s): exploring the \
@@ -1374,17 +1374,32 @@ module Xpl (P : Protocol.PROTOCOL) = struct
         (if not P.symmetric then P.name ^ " is not a symmetric protocol"
          else str "n = %d exceeds the group-enumeration bound 7" n);
     let cfg = config ~n ~m ~rot ~inputs in
-    let g, st =
-      if par then
-        E.explore_par ?max_states ?domains ?snapshot_every
-          ?snapshot_to ?resume_from ?deadline_s ~salvage
-          ?supervise:(if supervise then Some true else None)
-          ~reduction cfg
-      else
-        E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
-          ?resume_from ?deadline_s ~salvage ~reduction cfg
+    let st =
+      match disk_visited with
+      | Some dir ->
+        (* external-memory mode: the visited set spills to sorted runs
+           under [dir]; statistics-only (the graph never fits in RAM,
+           which is the point), sequential by construction *)
+        if par then
+          failwith "--disk-visited is a sequential external-memory mode; \
+                    drop --par";
+        E.explore_external ?max_states ?snapshot_every ?snapshot_to
+          ?resume_from ?deadline_s ?hot_cap:disk_hot_cap ~salvage ~reduction
+          ~dir cfg
+      | None ->
+        let g, st =
+          if par then
+            E.explore_par ?max_states ?domains ?snapshot_every
+              ?snapshot_to ?resume_from ?deadline_s ~salvage
+              ?supervise:(if supervise then Some true else None)
+              ~reduction cfg
+          else
+            E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
+              ?resume_from ?deadline_s ~salvage ~reduction cfg
+        in
+        ignore g;
+        st
     in
-    ignore g;
     Format.printf "%a@." Check.Checker_stats.pp st;
     if depths then Format.printf "%a@." Check.Checker_stats.pp_depths st;
     st
@@ -1414,7 +1429,8 @@ module Xpl (P : Protocol.PROTOCOL) = struct
 end
 
 let explore proto n m rot par domains canon no_canon max_states depths
-    snapshot_to snapshot_every resume_from deadline_s salvage supervise =
+    snapshot_to snapshot_every resume_from deadline_s salvage supervise
+    disk_visited disk_hot_cap =
   let reduction = reduction_of_flags ~canon ~no_canon in
   let m =
     match (m, proto) with
@@ -1431,34 +1447,34 @@ let explore proto n m rot par domains canon no_canon max_states depths
       let module X = Xpl (Coord.Amutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
     | Cmp_mutex ->
       let module X = Xpl (Coord.Cmp_mutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
     | Consensus ->
       let module X = Xpl (Coord.Consensus.P) in
       (* equal inputs keep the configuration symmetric; `check` still sweeps
          distinct inputs *)
       X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
     | Election ->
       let module X = Xpl (Coord.Election.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
     | Renaming ->
       let module X = Xpl (Coord.Renaming.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
     | Ccp ->
       let module X = Xpl (Coord.Ccp.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise
+        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
   with
   | exception Check.Snapshot.Error e ->
     Format.eprintf "coordctl: snapshot rejected: %s@."
@@ -1728,6 +1744,34 @@ let explore_cmd =
              truncation, and on SIGINT/SIGTERM) so it can be continued \
              with $(b,--resume).")
   in
+  let disk_visited =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "disk-visited" ] ~docv:"DIR"
+          ~doc:
+            "External-memory mode: keep only a bounded hot table in RAM \
+             and spill the visited set to sorted run files under \
+             $(i,DIR) (created if missing; stale runs are cleared), so \
+             graphs far beyond RAM explore disk-bounded instead of dying \
+             on the state budget. Statistics-only — the graph itself is \
+             never materialized — and bit-identical to the in-RAM \
+             explorer's accounting. Composes with $(b,--snapshot) / \
+             $(b,--resume) / $(b,--salvage); incompatible with \
+             $(b,--par).")
+  in
+  let disk_hot_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-hot-cap" ] ~docv:"N"
+          ~doc:
+            "With $(b,--disk-visited), spill the hot table once it holds \
+             $(i,N) keys (default ~1M) in addition to the memory \
+             watermark — a tuning and testing knob that forces spilling \
+             on graphs of any size. Never changes results, only where \
+             the visited set lives.")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
@@ -1735,7 +1779,7 @@ let explore_cmd =
         (const explore $ proto_arg $ n_arg $ m_arg $ rot $ par_arg
        $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths
        $ snapshot $ snapshot_every_arg $ resume_arg $ deadline_arg
-       $ salvage_arg $ supervise_arg))
+       $ salvage_arg $ supervise_arg $ disk_visited $ disk_hot_cap))
 
 let bench_cmd =
   let doc = "quick in-process checker benchmark (full vs quotient)" in

@@ -45,6 +45,10 @@ type t = {
   sig_pruned : int;
   canon_hits : int;
   cutover : int option;
+  steals : int;
+  handoffs : int;
+  spilled_runs : int;
+  disk_probes : int;
   depths : depth_sample list;
 }
 
@@ -66,9 +70,23 @@ let equal_ignoring_time a b =
      facts: they vary with domain count and with where a resume restarted
      its (cold) caches, so the bit-identity relation must ignore them.
      [restarts] likewise counts infrastructure weather (how many worker
-     domains died and were respawned), not anything about the graph. *)
+     domains died and were respawned), not anything about the graph —
+     as do [steals]/[handoffs] (scheduling luck in the sharded engine)
+     and [spilled_runs]/[disk_probes] (where the memory watermark
+     happened to trip, and how much of a resumed run's probing the
+     interrupted run had already paid for). *)
   let scrub t =
-    { t with elapsed_s = 0.; sig_pruned = 0; canon_hits = 0; restarts = 0 }
+    {
+      t with
+      elapsed_s = 0.;
+      sig_pruned = 0;
+      canon_hits = 0;
+      restarts = 0;
+      steals = 0;
+      handoffs = 0;
+      spilled_runs = 0;
+      disk_probes = 0;
+    }
   in
   scrub a = scrub b
 
@@ -114,6 +132,14 @@ let pp ppf t =
   if t.restarts > 0 then
     Format.fprintf ppf "@,supervision: %d worker domain restart%s" t.restarts
       (if t.restarts = 1 then "" else "s");
+  if t.steals > 0 || t.handoffs > 0 then
+    Format.fprintf ppf
+      "@,sharding: %d cross-shard handoff batches, %d frontier batches stolen"
+      t.handoffs t.steals;
+  if t.spilled_runs > 0 || t.disk_probes > 0 then
+    Format.fprintf ppf
+      "@,disk visited: %d sorted runs spilled, %d batched probes" t.spilled_runs
+      t.disk_probes;
   Format.fprintf ppf "@]"
 
 let pp_depths ppf t =
@@ -163,6 +189,10 @@ let to_json t =
   | None -> field "cutover" "null");
   field "stop" (Printf.sprintf "%S" (stop_reason_tag t.stop));
   field "restarts" (string_of_int t.restarts);
+  field "steals" (string_of_int t.steals);
+  field "handoffs" (string_of_int t.handoffs);
+  field "spilled_runs" (string_of_int t.spilled_runs);
+  field "disk_probes" (string_of_int t.disk_probes);
   field ~last:true "complete" (string_of_bool t.complete);
   Buffer.add_string buf "}";
   Buffer.contents buf

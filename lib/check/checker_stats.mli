@@ -73,8 +73,22 @@ type t = {
           per-domain memo instead of a group walk *)
   cutover : int option;
       (** BFS depth at which the explorer switched from its sequential
-          warm-up to barrier-parallel generations; [None] when the whole
-          run stayed sequential (small frontier or [domains = 1]) *)
+          warm-up to parallel generations; [None] when the whole run
+          stayed sequential (small frontier or [domains = 1]) *)
+  steals : int;
+      (** frontier batches an idle domain took from another shard's
+          worklist (sharded engine); scheduling weather, scrubbed by
+          {!equal_ignoring_time} *)
+  handoffs : int;
+      (** cross-shard candidate batches pushed over the SPSC mailboxes
+          (sharded engine); depends on batch size and timing, scrubbed by
+          {!equal_ignoring_time} *)
+  spilled_runs : int;
+      (** sorted immutable runs the disk-backed visited set wrote; 0 for
+          in-RAM explorations *)
+  disk_probes : int;
+      (** batched sorted-merge membership probes against the on-disk
+          runs; 0 for in-RAM explorations *)
   depths : depth_sample list;  (** oldest (depth 0) first *)
 }
 
@@ -98,8 +112,10 @@ val equal_ignoring_time : t -> t -> bool
 (** Structural equality of every field except [elapsed_s] (wall-clock can
     never reproduce), the cache-effectiveness counters [sig_pruned] and
     [canon_hits] (which depend on domain count and on where a resume
-    restarted its cold caches), and [restarts] (infrastructure weather,
-    not a graph fact). This is the "bit-identical statistics"
+    restarted its cold caches), and the infrastructure-weather counters
+    [restarts], [steals], [handoffs], [spilled_runs] and [disk_probes]
+    (scheduling luck and watermark timing, not graph facts). This is the
+    "bit-identical statistics"
     relation the checkpoint/resume tests assert: a truncated-then-resumed
     exploration must match an uninterrupted one on everything the clock
     and the caches don't touch — counts, depth profile, shard loads,

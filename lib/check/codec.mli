@@ -2,10 +2,10 @@
 
     Register values and local states are interned on the fly into dense
     integer codes, and a global state is packed into a short [string] key
-    (3 bytes per slot, little-endian): first the [m] register codes, then
-    the [n] local-state codes. Keys replace structural states in the
-    explorers' hash tables — hashing and equality on a short flat string
-    instead of a deep OCaml value.
+    (3 bytes per slot by default, little-endian): first the [m] register
+    codes, then the [n] local-state codes. Keys replace structural states
+    in the explorers' hash tables — hashing and equality on a short flat
+    string instead of a deep OCaml value.
 
     Interning is keyed by the protocol's own structural orders
     ([Value.compare], [compare_local]), so two states receive equal keys
@@ -17,26 +17,43 @@
     The tables are lock-free (persistent maps behind [Atomic.t] with
     CAS-extension) and safe to share across domains. *)
 
+exception Overflow of { kind : string; code : int; width : int }
+(** Raised when an interned code does not fit the context's key width
+    (code ≥ 2²⁴ at the default 3-byte width). Packing would otherwise
+    silently truncate the id and alias two distinct states — a missed
+    violation. Recover by re-running with [create ~wide:true] (4-byte
+    slots, max 2³² − 1 codes). [kind] names the overflowing table
+    ("value", "local" or "proc"). *)
+
 module Make (P : Anonmem.Protocol.PROTOCOL) : sig
   type t
   (** Mutable interning context for one exploration. *)
 
-  val create : unit -> t
+  val create : ?wide:bool -> unit -> t
+  (** [create ()] packs 3 bytes per slot; [create ~wide:true ()] packs 4,
+      for explorations whose intern tables may exceed 2²⁴ entries. Keys
+      from contexts of different widths are never comparable. *)
+
+  val width : t -> int
+  (** Bytes per packed slot: 3, or 4 under [~wide]. *)
 
   val encode : t -> P.Value.t array -> P.local array -> string
   (** [encode t mem locals] is the packed key of a global state. Length
-      is [3 * (m + n)] bytes. *)
+      is [width t * (m + n)] bytes.
+      @raise Overflow if an interned code exceeds the key width. *)
 
-  val key_of_codes : int array -> int array -> string
-  (** [key_of_codes vcodes lcodes] packs already-interned code vectors
+  val key_of_codes : t -> int array -> int array -> string
+  (** [key_of_codes t vcodes lcodes] packs already-interned code vectors
       into a key, byte-identical to what [encode] produces for the state
       they were interned from. Used by the incremental canonizer, which
-      works on codes and never re-touches the values. *)
+      works on codes and never re-touches the values.
+      @raise Overflow as for [encode]. *)
 
   val encode_solo : t -> proc:int -> P.local -> P.Value.t array -> string
   (** Key for a (process, local state, memory) triple — the full input of
       a deterministic solo run, used to memoize obstruction-freedom
-      checks. *)
+      checks.
+      @raise Overflow as for [encode]. *)
 
   val value_code : t -> P.Value.t -> int
   (** Dense code of one register value (interning it if new). *)
@@ -55,7 +72,8 @@ module Make (P : Anonmem.Protocol.PROTOCOL) : sig
       locals and ints only — safe to [Marshal]). Snapshots carry a dump so
       a resumed exploration re-encodes every state to the {e same} packed
       key bytes as the interrupted run, keeping shard assignment and
-      statistics bit-identical across the resume. *)
+      statistics bit-identical across the resume. The dump records the key
+      width, so a resume continues at the width of the interrupted run. *)
 
   val dump : t -> dump
 

@@ -1,0 +1,72 @@
+(** File-backed visited set for external-memory exploration.
+
+    Classic external BFS with delayed duplicate detection: an in-RAM hot
+    table absorbs newly interned keys; at a watermark the explorer spills
+    it as one {e sorted immutable run} on disk and starts the hot table
+    empty. Membership of a generation's candidates is then resolved in
+    one batch — sort the unknown keys once, stream every run once, and
+    advance two cursors — so the cost per generation is O(sorted probes +
+    run bytes), never a random disk access per candidate.
+
+    The invariant the explorer maintains (and the tests assert): a key
+    lives in {e at most one} place — the hot table or exactly one run —
+    because a key is only interned after probing proved it absent from
+    both, and spilling {e moves} the hot table to a run. Probes may
+    therefore stop at the first hit, and spilled sizes sum to the states
+    on disk.
+
+    Each run is a single-chunk {!Snapshot} envelope (the payload is the
+    raw concatenation of fixed-width {!Codec} keys in ascending order),
+    reusing its magic/version/fingerprint/CRC machinery. {!restore}
+    re-validates every run in full — CRC, fingerprint, length — so a
+    resumed exploration never trusts damaged bytes; per-generation
+    {!probe}s skip the CRC (the file was validated when written or
+    restored, and re-hashing tens of megabytes per BFS generation would
+    dominate the run). *)
+
+type t
+
+type manifest
+(** Plain marshalable image of the run set (file names, key counts,
+    next run number) — embedded in the explorer's snapshot payload so a
+    checkpoint names exactly the runs that existed when it was taken. *)
+
+val create : dir:string -> key_len:int -> t
+(** Fresh store in [dir] (created if missing) for keys of exactly
+    [key_len] bytes. Stale run files from an abandoned exploration in the
+    same directory are deleted. Raises {!Snapshot.Error} ([Io _]) when
+    the directory cannot be created. *)
+
+val spill :
+  t -> fingerprint:Digest.t -> descr:string -> string array -> unit
+(** [spill t ~fingerprint ~descr keys] durably writes [keys] — sorted
+    ascending, each [key_len] bytes, disjoint from every existing run —
+    as the next immutable run. Raises {!Snapshot.Error} on I/O failure. *)
+
+val probe : t -> string array -> bool array
+(** [probe t keys] resolves membership of [keys] (sorted ascending)
+    against every run by streaming sorted merges; [result.(i)] is true
+    iff [keys.(i)] is on disk. One call counts as one batched probe in
+    {!n_probes}. Raises {!Snapshot.Error} ([Corrupt _]) if a run file
+    has been damaged since it was validated. *)
+
+val manifest : t -> manifest
+
+val restore :
+  dir:string -> fingerprint:Digest.t -> descr:string -> manifest -> t
+(** Reopen the run set a [manifest] describes, fully re-validating every
+    listed run (envelope CRC, fingerprint, byte length against the
+    manifest's key count) — raises {!Snapshot.Error} if any check fails,
+    so a salvaging caller can fall back to an older checkpoint. Run
+    files in [dir] that the manifest does {e not} list are deleted: they
+    belong to a future this rollback abandons, and probing them would
+    wrongly suppress states the restored frontier still has to reach. *)
+
+val n_runs : t -> int
+(** Immutable runs currently on disk. *)
+
+val n_keys : t -> int
+(** Total keys across all runs (states resident on disk). *)
+
+val n_probes : t -> int
+(** Batched probes served since [create]/[restore]. *)

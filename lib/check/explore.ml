@@ -4,6 +4,10 @@ type reduction = Full | Canon
 
 let reduction_tag = function Full -> "full" | Canon -> "canon"
 
+type engine = Barrier | Sharded
+
+let engine_tag = function Barrier -> "barrier" | Sharded -> "sharded"
+
 module Make (P : Protocol.PROTOCOL) = struct
   module Cd = Codec.Make (P)
   module Cn = Canon.Make (P)
@@ -129,7 +133,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           (Cn.make_ctx ~syms
              ~value_code:(Cd.value_code codec)
              ~local_code:(Cd.local_code codec)
-             ~pack:Cd.key_of_codes
+             ~pack:(Cd.key_of_codes codec)
              ~init:(st0.mem, st0.locals))
     in
     {
@@ -337,10 +341,18 @@ module Make (P : Protocol.PROTOCOL) = struct
     ep_fn : int -> int -> unit;  (** slot -> unit index *)
   }
 
-  let explore_impl ~max_states ~domains ~par_threshold ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
-      ~salvage ~supervise cfg =
+  (* One cross-shard candidate in flight between two domains of the
+     sharded engine: the candidate key [h_ckey] fixes its place in the
+     sequential discovery order; the rest is what the owning shard needs
+     to resolve it without re-canonizing. *)
+  type handoff = { h_ckey : int; h_key : string; h_rep : state; h_orbit : int }
+
+  let explore_impl ~max_states ~domains ~par_threshold ~reduction ~engine
+      ~handoff_batch ~steal_batch ~snapshot_every ~snapshot_to ~resume_from
+      ~mem_soft_limit_mb ~deadline_s ~salvage ~supervise cfg =
     let d = max 1 domains in
+    let handoff_batch = max 1 handoff_batch in
+    let steal_batch = max 1 steal_batch in
     let n_procs = Array.length cfg.ids in
     let n_registers = Naming.size cfg.namings.(0) in
     let fp = lazy (fingerprint ~reduction cfg) in
@@ -410,6 +422,10 @@ module Make (P : Protocol.PROTOCOL) = struct
       ref (match resumed with Some sp -> sp.sp_cutover | None -> None)
     in
     let orbit_sum = ref 0 in
+    (* Sharded-engine weather counters, one slot per domain (disjoint
+       writes; read after the joins). Never part of bit-identity. *)
+    let steals_ctr = Array.make d 0 in
+    let handoffs_ctr = Array.make d 0 in
     let stats_base ~n_states ~n_transitions ~max_depth ~max_frontier
         ~candidates ~dedup_hits ~shard_load ~complete ~depths =
       {
@@ -435,6 +451,10 @@ module Make (P : Protocol.PROTOCOL) = struct
         sig_pruned = sig_pruned ();
         canon_hits = canon_hits ();
         cutover = !cutover;
+        steals = Array.fold_left ( + ) 0 steals_ctr;
+        handoffs = Array.fold_left ( + ) 0 handoffs_ctr;
+        spilled_runs = 0;
+        disk_probes = 0;
         depths;
       }
     in
@@ -464,6 +484,60 @@ module Make (P : Protocol.PROTOCOL) = struct
         Array.init d (fun _ -> Hashtbl.create 256)
       in
       let b = Parallel.Barrier.create d in
+      (* ---- sharded-engine plumbing (allocated only when it can run) --
+         One SPSC ring per ordered domain pair carries batched cross-shard
+         candidates; per-domain fixed buffers amortize the ring traffic.
+         Each owner keeps a private resolution log of
+         (candidate key, target) pairs — single-writer, merged by worker 0
+         at generation end in candidate-key order, which replays the
+         sequential id assignment exactly. *)
+      let sharded = engine = Sharded && d > 1 in
+      let sd = if sharded then d else 0 in
+      (* [kmax] bounds successors per state (each of the n processes
+         contributes at most two, via a coin), so
+         [ckey = frontier index * kmax + successor position] is globally
+         unique and sorts by (frontier index, position) — the sequential
+         discovery order. *)
+      let kmax = max 1 (2 * n_procs) in
+      let ring_cap = 64 in
+      let rings =
+        Array.init sd (fun _ ->
+            Array.init sd (fun _ -> Parallel.Spsc.create ~dummy:[||] ring_cap))
+      in
+      let dummy_handoff =
+        { h_ckey = 0; h_key = ""; h_rep = rep0; h_orbit = 0 }
+      in
+      let out_buf =
+        Array.init sd (fun _ ->
+            Array.init sd (fun _ -> Array.make handoff_batch dummy_handoff))
+      in
+      let out_len = Array.init sd (fun _ -> Array.make sd 0) in
+      (* owner-side, single-writer per slot: resolution log, fresh-slot
+         vectors (reversed; slot s = index s after the sort-phase rev) *)
+      let logs : (int * int) list ref array =
+        Array.init sd (fun _ -> ref [])
+      in
+      let sorted_logs : (int * int) array array = Array.make sd [||] in
+      let slot_cnt = Array.make sd 0 in
+      let slot_keys_rev : string list ref array =
+        Array.init sd (fun _ -> ref [])
+      in
+      let slot_reps_rev : state list ref array =
+        Array.init sd (fun _ -> ref [])
+      in
+      let slot_orbs_rev : int list ref array =
+        Array.init sd (fun _ -> ref [])
+      in
+      let slot_keys_arr : string array array = Array.make sd [||] in
+      let slot_reps_arr : state array array = Array.make sd [||] in
+      let slot_orbs_arr : int array array = Array.make sd [||] in
+      (* per-generation: successor labels in position order (disjoint slot
+         writes), per-shard frontier worklists + steal cursors, and the
+         termination counter (unexpanded states + in-flight candidates) *)
+      let gen_labels : label array array ref = ref [||] in
+      let wl : int array array ref = ref [||] in
+      let wl_cursor = Array.init sd (fun _ -> Atomic.make 0) in
+      let pending = Atomic.make 0 in
       (* Exploration state: fresh, or rebuilt from the snapshot. In a
          snapshot all expanded states form the prefix [0, n_expanded) of
          the id order and the pending frontier is the rest. *)
@@ -542,13 +616,55 @@ module Make (P : Protocol.PROTOCOL) = struct
           let key = Cd.encode codec st.mem st.locals in
           Hashtbl.add shard_tbl.(state_owner st) key id)
         init_states;
+      (* Per-engine setup of a wide (parallel-mode) generation, run by
+         the single worker that just closed the previous one. The
+         supervised crew always runs the phase-style choreography (its
+         epochs are built from the barrier engine's phases), whatever
+         engine was requested. *)
+      let prep_parallel_gen head =
+        let nf = Array.length head in
+        match (if supervise then Barrier else engine) with
+        | Barrier ->
+          succ_lists := Array.make nf [];
+          trans := Array.make nf []
+        | Sharded ->
+          gen_labels := Array.make nf [||];
+          let counts = Array.make d 0 in
+          Array.iter
+            (fun st ->
+              let s = state_owner st in
+              counts.(s) <- counts.(s) + 1)
+            head;
+          let wls = Array.init d (fun s -> Array.make counts.(s) 0) in
+          let fill = Array.make d 0 in
+          Array.iteri
+            (fun i st ->
+              let s = state_owner st in
+              wls.(s).(fill.(s)) <- i;
+              fill.(s) <- fill.(s) + 1)
+            head;
+          wl := wls;
+          for s = 0 to d - 1 do
+            Atomic.set wl_cursor.(s) 0;
+            logs.(s) := [];
+            slot_cnt.(s) <- 0;
+            slot_keys_rev.(s) := [];
+            slot_reps_rev.(s) := [];
+            slot_orbs_rev.(s) := [];
+            Hashtbl.reset scratch.(s)
+          done;
+          (* defensive: a previous generation that aborted on a failure
+             may have left batches in flight *)
+          Array.iter
+            (Array.iter (fun r ->
+                 while Parallel.Spsc.try_pop r <> None do () done))
+            rings;
+          Atomic.set pending nf
+      in
       (* Mode of the generation about to run; worker 0 decides the next
          one at every generation end. *)
       let seq_gen = ref (d = 1 || Array.length !frontier < par_threshold) in
-      if not !seq_gen then begin
-        succ_lists := Array.make (Array.length !frontier) [];
-        trans := Array.make (Array.length !frontier) []
-      end;
+      if not !seq_gen then prep_parallel_gen !frontier;
       (* Batch-carry: under memory pressure a generation's frontier is
          split into prefix batches of at most [batch_cap] states. Graph
          and id order stay bit-identical (expansion still proceeds in id
@@ -671,10 +787,7 @@ module Make (P : Protocol.PROTOCOL) = struct
           frontier := head;
           incr depth;
           seq_gen := d = 1 || Array.length head < par_threshold;
-          if not !seq_gen then begin
-            succ_lists := Array.make (Array.length head) [];
-            trans := Array.make (Array.length head) []
-          end;
+          if not !seq_gen then prep_parallel_gen head;
           (* the run is exact up to this boundary: stash it (O(1)) and
              service periodic durable snapshots *)
           if !complete then begin
@@ -754,6 +867,264 @@ module Make (P : Protocol.PROTOCOL) = struct
       let expand_seq_guarded () =
         guard expand_seq;
         if !failure <> None then stop := true
+      in
+      (* ---------------- sharded engine: one wide generation ----------
+         No per-phase barriers: every domain continuously expands frontier
+         states (its own shard's worklist first, stealing from the
+         heaviest shard when dry), resolves candidates its shard owns the
+         moment they arrive, and hands the rest over the mailboxes. The
+         only synchronization is the termination counter [pending] plus
+         two barriers at generation end (logs complete; logs sorted),
+         after which worker 0 merges the per-owner logs in candidate-key
+         order — replaying exactly the sequential id scan, so the result
+         is bit-identical to the barrier engine's and to [explore]'s. *)
+      let log_add o ckey target = logs.(o) := (ckey, target) :: !(logs.(o)) in
+      (* Owner-side resolution. Targets: [id >= 0] an already-interned
+         state; [-1 - slot] the [slot]-th distinct fresh key this shard
+         saw this generation. Which arrival creates the slot is a race,
+         but rep and orbit are functions of the key, and the id is
+         assigned at merge time to the occurrence that is first in
+         candidate-key order — so arrival order never shows. *)
+      let resolve_local me ~ckey ~key ~rep ~orbit =
+        match Hashtbl.find_opt shard_tbl.(me) key with
+        | Some id -> log_add me ckey id
+        | None -> (
+          match Hashtbl.find_opt scratch.(me) key with
+          | Some slot -> log_add me ckey (-1 - slot)
+          | None ->
+            let slot = slot_cnt.(me) in
+            slot_cnt.(me) <- slot + 1;
+            Hashtbl.add scratch.(me) key slot;
+            slot_keys_rev.(me) := key :: !(slot_keys_rev.(me));
+            slot_reps_rev.(me) := rep :: !(slot_reps_rev.(me));
+            slot_orbs_rev.(me) := orbit :: !(slot_orbs_rev.(me));
+            log_add me ckey (-1 - slot))
+      in
+      let drain_inbox me =
+        let got = ref false in
+        for p = 0 to d - 1 do
+          if p <> me then begin
+            let continue_ = ref true in
+            while !continue_ do
+              match Parallel.Spsc.try_pop rings.(p).(me) with
+              | Some batch ->
+                got := true;
+                Array.iter
+                  (fun h ->
+                    resolve_local me ~ckey:h.h_ckey ~key:h.h_key ~rep:h.h_rep
+                      ~orbit:h.h_orbit)
+                  batch;
+                ignore (Atomic.fetch_and_add pending (-Array.length batch))
+              | None -> continue_ := false
+            done
+          end
+        done;
+        !got
+      in
+      let rec flush_ring me o =
+        let len = out_len.(me).(o) in
+        if len > 0 then
+          if Parallel.Spsc.try_push rings.(me).(o) (Array.sub out_buf.(me).(o) 0 len)
+          then begin
+            out_len.(me).(o) <- 0;
+            handoffs_ctr.(me) <- handoffs_ctr.(me) + 1
+          end
+          else if !failure <> None then
+            (* the consumer may be dead; the generation is aborting *)
+            out_len.(me).(o) <- 0
+          else begin
+            (* full ring: draining our own inbox is the one productive,
+               deadlock-free thing to do while the owner catches up *)
+            ignore (drain_inbox me);
+            Domain.cpu_relax ();
+            flush_ring me o
+          end
+      in
+      let flush_all me =
+        for o = 0 to d - 1 do
+          if o <> me then flush_ring me o
+        done
+      in
+      let hand_off me o h =
+        if out_len.(me).(o) = handoff_batch then flush_ring me o;
+        out_buf.(me).(o).(out_len.(me).(o)) <- h;
+        out_len.(me).(o) <- out_len.(me).(o) + 1
+      in
+      let expand_one me i =
+        Resilience.worker_tick ~domain:me;
+        let succ = successors cfg !frontier.(i) in
+        !gen_labels.(i) <- Array.of_list (List.map fst succ);
+        let cross = ref 0 in
+        List.iteri
+          (fun pos (_, st') ->
+            let rep, key, orbit = canonize_cached ccs.(me) codec st' in
+            let o = state_owner rep in
+            let ckey = (i * kmax) + pos in
+            if o = me then resolve_local me ~ckey ~key ~rep ~orbit
+            else begin
+              incr cross;
+              hand_off me o
+                { h_ckey = ckey; h_key = key; h_rep = rep; h_orbit = orbit }
+            end)
+          succ;
+        (* retire the state token and charge the handed-off candidates in
+           one atomic step, so [pending] can never dip to 0 with work
+           still in flight *)
+        ignore (Atomic.fetch_and_add pending (!cross - 1))
+      in
+      (* Claim a batch of shard [s]'s frontier worklist for [me]. *)
+      let expand_from me s =
+        let ws = !wl.(s) in
+        let len = Array.length ws in
+        if Atomic.get wl_cursor.(s) >= len then 0
+        else begin
+          let c = Atomic.fetch_and_add wl_cursor.(s) steal_batch in
+          if c >= len then 0
+          else begin
+            let hi = min len (c + steal_batch) in
+            for x = c to hi - 1 do
+              expand_one me ws.(x)
+            done;
+            hi - c
+          end
+        end
+      in
+      let try_steal me =
+        let best = ref (-1) and best_rem = ref 0 in
+        for s = 0 to d - 1 do
+          if s <> me then begin
+            let rem = Array.length !wl.(s) - Atomic.get wl_cursor.(s) in
+            if rem > !best_rem then begin
+              best := s;
+              best_rem := rem
+            end
+          end
+        done;
+        !best >= 0
+        &&
+        let got = expand_from me !best in
+        if got > 0 then steals_ctr.(me) <- steals_ctr.(me) + 1;
+        got > 0
+      in
+      let work_loop me =
+        let idle = ref 0 in
+        let running = ref true in
+        while !running do
+          if !failure <> None then running := false
+          else begin
+            let did = drain_inbox me in
+            let did = expand_from me me > 0 || did in
+            let did =
+              did
+              ||
+              (* own shard is dry: publish whatever we buffered, then go
+                 help the heaviest shard *)
+              (flush_all me;
+               try_steal me)
+            in
+            if did then idle := 0
+            else if Atomic.get pending = 0 then running := false
+            else begin
+              incr idle;
+              (* oversubscribed hosts need a real yield, not just a
+                 pause, or a descheduled peer can starve behind us *)
+              if !idle land 63 = 0 then Unix.sleepf 0.0001
+              else Domain.cpu_relax ()
+            end
+          end
+        done
+      in
+      let sort_phase me =
+        let arr = Array.of_list !(logs.(me)) in
+        Array.sort (fun (a, _) (c, _) -> compare (a : int) c) arr;
+        sorted_logs.(me) <- arr;
+        slot_keys_arr.(me) <- Array.of_list (List.rev !(slot_keys_rev.(me)));
+        slot_reps_arr.(me) <- Array.of_list (List.rev !(slot_reps_rev.(me)));
+        slot_orbs_arr.(me) <- Array.of_list (List.rev !(slot_orbs_rev.(me)))
+      in
+      (* Worker 0, alone: d-way merge of the sorted logs in candidate-key
+         order — the same scan [assign_ids] does, with identical budget
+         semantics — building transitions and fresh states as it goes. *)
+      let merge_and_collect () =
+        let nf = Array.length !frontier in
+        let gl = !gen_labels in
+        let slot_ids = Array.init d (fun o -> Array.make slot_cnt.(o) (-2)) in
+        let idx = Array.make d 0 in
+        let tr = Array.make nf [] in
+        let fresh_rev = ref [] and orb_rev = ref [] in
+        let ncand = ref 0 and dups = ref 0 and discovered = ref 0 in
+        let cur_i = ref (-1) and buf = ref [] in
+        let commit () = if !cur_i >= 0 then tr.(!cur_i) <- List.rev !buf in
+        let more = ref true in
+        while !more do
+          let pick = ref (-1) and pick_ck = ref max_int in
+          for o = 0 to d - 1 do
+            if idx.(o) < Array.length sorted_logs.(o) then begin
+              let ck, _ = sorted_logs.(o).(idx.(o)) in
+              if ck < !pick_ck then begin
+                pick := o;
+                pick_ck := ck
+              end
+            end
+          done;
+          if !pick < 0 then more := false
+          else begin
+            let o = !pick in
+            let ckey, target = sorted_logs.(o).(idx.(o)) in
+            idx.(o) <- idx.(o) + 1;
+            incr ncand;
+            let i = ckey / kmax and pos = ckey mod kmax in
+            if i <> !cur_i then begin
+              commit ();
+              cur_i := i;
+              buf := []
+            end;
+            let dst =
+              if target >= 0 then begin
+                incr dups;
+                target
+              end
+              else begin
+                let s = -1 - target in
+                let sid = slot_ids.(o).(s) in
+                if sid = -2 then
+                  if !n_states < max_states then begin
+                    let id = !n_states in
+                    incr n_states;
+                    incr discovered;
+                    slot_ids.(o).(s) <- id;
+                    Hashtbl.add shard_tbl.(o) slot_keys_arr.(o).(s) id;
+                    orbit_sum := !orbit_sum + slot_orbs_arr.(o).(s);
+                    fresh_rev := slot_reps_arr.(o).(s) :: !fresh_rev;
+                    orb_rev := slot_orbs_arr.(o).(s) :: !orb_rev;
+                    id
+                  end
+                  else begin
+                    complete := false;
+                    set_stop Checker_stats.Budget;
+                    slot_ids.(o).(s) <- -1;
+                    -1
+                  end
+                else if sid >= 0 then begin
+                  incr dups;
+                  sid
+                end
+                else begin
+                  (* duplicate of a budget-dropped candidate *)
+                  complete := false;
+                  set_stop Checker_stats.Budget;
+                  -1
+                end
+              end
+            in
+            if dst >= 0 then buf := { dst; label = gl.(i).(pos) } :: !buf
+          end
+        done;
+        commit ();
+        finish_gen ~tr
+          ~fresh:(Array.of_list (List.rev !fresh_rev))
+          ~orbs:(Array.of_list (List.rev !orb_rev))
+          ~ncand:!ncand ~dups:!dups ~discovered:!discovered
       in
       let phase_a me =
         let fr = !frontier and sl = !succ_lists in
@@ -924,17 +1295,31 @@ module Make (P : Protocol.PROTOCOL) = struct
             (* other workers loop straight to the next start barrier *)
           end
           else begin
-            guard (fun () -> phase_a me);
-            Parallel.Barrier.wait b;
-            if me = 0 then guard flatten;
-            Parallel.Barrier.wait b;
-            guard (fun () -> phase_b me);
-            Parallel.Barrier.wait b;
-            if me = 0 then guard assign_ids;
-            Parallel.Barrier.wait b;
-            guard (fun () -> phase_c me);
-            Parallel.Barrier.wait b;
-            if me = 0 then guard collect
+            match engine with
+            | Barrier ->
+              guard (fun () -> phase_a me);
+              Parallel.Barrier.wait b;
+              if me = 0 then guard flatten;
+              Parallel.Barrier.wait b;
+              guard (fun () -> phase_b me);
+              Parallel.Barrier.wait b;
+              if me = 0 then guard assign_ids;
+              Parallel.Barrier.wait b;
+              guard (fun () -> phase_c me);
+              Parallel.Barrier.wait b;
+              if me = 0 then guard collect
+            | Sharded ->
+              guard (fun () -> work_loop me);
+              Parallel.Barrier.wait b;
+              (* all logs complete (or the generation is aborting) *)
+              guard (fun () -> sort_phase me);
+              Parallel.Barrier.wait b;
+              if me = 0 then begin
+                (* never merge a partial generation: a dead worker's
+                   claimed states are missing from the logs *)
+                if !failure = None then guard merge_and_collect;
+                if !failure <> None then stop := true
+              end
           end
         done
       in
@@ -1298,18 +1683,23 @@ module Make (P : Protocol.PROTOCOL) = struct
         result_of (capture_boundary ()) ~complete:!complete
     end
 
+  let default_handoff_batch = 64
+  let default_steal_batch = 32
+
   let explore_with_stats ?(max_states = 2_000_000) ?(reduction = Full)
       ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb ?deadline_s
       ?(salvage = false) cfg =
     explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
-      ~salvage ~supervise:false cfg
+      ~engine:Sharded ~handoff_batch:default_handoff_batch
+      ~steal_batch:default_steal_batch ~snapshot_every ~snapshot_to
+      ~resume_from ~mem_soft_limit_mb ~deadline_s ~salvage ~supervise:false cfg
 
   let default_par_threshold ~domains = 1024 * (domains - 1)
 
   let explore_par ?(max_states = 2_000_000) ?domains ?par_threshold
-      ?(reduction = Full) ?snapshot_every ?snapshot_to ?resume_from
-      ?mem_soft_limit_mb ?deadline_s ?(salvage = false) ?supervise cfg =
+      ?(reduction = Full) ?(engine = Sharded) ?handoff_batch ?steal_batch
+      ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb ?deadline_s
+      ?(salvage = false) ?supervise cfg =
     let domains =
       match domains with
       | Some d -> max 1 d (* explicit override, even past the host count *)
@@ -1328,9 +1718,15 @@ module Make (P : Protocol.PROTOCOL) = struct
            default the self-healing crew on so the campaign exercises it *)
         Resilience.has_domain_faults ()
     in
-    explore_impl ~max_states ~domains ~par_threshold ~reduction
-      ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb ~deadline_s
-      ~salvage ~supervise cfg
+    let handoff_batch =
+      match handoff_batch with Some v -> v | None -> default_handoff_batch
+    in
+    let steal_batch =
+      match steal_batch with Some v -> v | None -> default_steal_batch
+    in
+    explore_impl ~max_states ~domains ~par_threshold ~reduction ~engine
+      ~handoff_batch ~steal_batch ~snapshot_every ~snapshot_to ~resume_from
+      ~mem_soft_limit_mb ~deadline_s ~salvage ~supervise cfg
 
   let explore ?(max_states = 2_000_000) ?(reduction = Full) ?snapshot_every
       ?snapshot_to ?resume_from ?deadline_s ?(salvage = false) cfg =
@@ -1342,8 +1738,444 @@ module Make (P : Protocol.PROTOCOL) = struct
          suite cross-checks this on every in-tree protocol). *)
       fst
         (explore_impl ~max_states ~domains:1 ~par_threshold:0 ~reduction
-           ~snapshot_every ~snapshot_to ~resume_from ~mem_soft_limit_mb:None
-           ~deadline_s ~salvage ~supervise:false cfg)
+           ~engine:Sharded ~handoff_batch:default_handoff_batch
+           ~steal_batch:default_steal_batch ~snapshot_every ~snapshot_to
+           ~resume_from ~mem_soft_limit_mb:None ~deadline_s ~salvage
+           ~supervise:false cfg)
+
+  (* ---------------------------------------------------------------- *)
+  (* external-memory exploration (disk-backed visited set)             *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Checkpoint payload of the external-memory explorer. Stats-only — no
+     transition lists: the resume point is the pending frontier plus the
+     visited set, which lives partly here ([xp_hot]) and partly in the
+     immutable run files the manifest names. *)
+  type external_payload = {
+    xp_frontier : state array;
+    xp_depth : int;
+    xp_depths_rev : Checker_stats.depth_sample list;
+    xp_n_states : int;
+    xp_n_transitions : int;
+    xp_candidates : int;
+    xp_dedup : int;
+    xp_max_frontier : int;
+    xp_orbit_sum : int;
+    xp_elapsed : float;
+    xp_codec : Cd.dump;
+    xp_hot : string array;
+    xp_manifest : Disk_visited.manifest;
+  }
+
+  (* Distinct from the in-RAM fingerprint: an external checkpoint holds no
+     transition lists and references run files, so the two snapshot kinds
+     must never accept each other. *)
+  let external_fingerprint ~reduction cfg =
+    let digest, descr = fingerprint ~reduction cfg in
+    ( Digest.string (Marshal.to_string (digest, "external") []),
+      descr ^ " engine=external" )
+
+  let explore_external ?(max_states = 2_000_000) ?(reduction = Full)
+      ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb
+      ?(hot_cap = 1 lsl 20) ?deadline_s ?(salvage = false) ?(wide = false)
+      ~dir cfg =
+    let n_procs = Array.length cfg.ids in
+    let n_registers = Naming.size cfg.namings.(0) in
+    let digest, descr = external_fingerprint ~reduction cfg in
+    (* A checkpoint is only usable if every run file its manifest lists
+       still validates in full; under [~salvage] walk the intact chunks
+       newest first until one's manifest checks out. *)
+    let restore_checkpoint path =
+      if salvage then begin
+        let meta, chunks, salv = Snapshot.read_chunks ~path in
+        Snapshot.check_fingerprint ~path meta ~fingerprint:digest ~descr;
+        (match salv with
+        | Some s ->
+          Format.eprintf "snapshot salvage: %s: %s; rolled back to chunk %d@."
+            path s.Snapshot.detail s.Snapshot.kept_chunks
+        | None -> ());
+        let rec pick = function
+          | [] -> assert false (* read_chunks returns at least one chunk *)
+          | [ payload ] ->
+            let sp : external_payload = Marshal.from_string payload 0 in
+            ( sp,
+              Disk_visited.restore ~dir ~fingerprint:digest ~descr
+                sp.xp_manifest )
+          | payload :: older -> (
+            let sp : external_payload = Marshal.from_string payload 0 in
+            match
+              Disk_visited.restore ~dir ~fingerprint:digest ~descr
+                sp.xp_manifest
+            with
+            | dv -> (sp, dv)
+            | exception Snapshot.Error e ->
+              Format.eprintf
+                "snapshot salvage: %s; falling back to an older checkpoint@."
+                (Snapshot.error_message e);
+              pick older)
+        in
+        pick chunks
+      end
+      else begin
+        let meta, payload = Snapshot.read ~path in
+        Snapshot.check_fingerprint ~path meta ~fingerprint:digest ~descr;
+        let sp : external_payload = Marshal.from_string payload 0 in
+        ( sp,
+          Disk_visited.restore ~dir ~fingerprint:digest ~descr sp.xp_manifest
+        )
+      end
+    in
+    let resumed = Option.map restore_checkpoint resume_from in
+    let stopped = ref Checker_stats.Completed in
+    let set_stop r =
+      if !stopped = Checker_stats.Completed then stopped := r
+    in
+    let t0 =
+      Checker_stats.now ()
+      -. (match resumed with Some (sp, _) -> sp.xp_elapsed | None -> 0.)
+    in
+    let deadline_at =
+      Option.map (fun s -> Checker_stats.now () +. s) deadline_s
+    in
+    let codec =
+      match resumed with
+      | Some (sp, _) -> Cd.of_dump sp.xp_codec
+      | None -> Cd.create ~wide ()
+    in
+    let key_len = Cd.width codec * (n_registers + n_procs) in
+    let dv =
+      match resumed with
+      | Some (_, dv) -> dv
+      | None -> Disk_visited.create ~dir ~key_len
+    in
+    let syms = syms_of ~reduction cfg in
+    let group_order = max 1 (List.length syms) in
+    let canon = reduction = Canon in
+    let degraded = canon && Cn.degraded ~n:n_procs in
+    let cc = make_canon_cache codec syms (initial cfg) in
+    let sig_pruned () =
+      match cc.inc with Some i -> Cn.pruned i | None -> 0
+    in
+    (* Visited = hot ∪ runs, disjoint: a key is interned only after both
+       proved it absent, and a spill MOVES hot to a run. *)
+    let hot : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let n_states = ref 0 in
+    let n_transitions = ref 0 in
+    let depth = ref 0 in
+    let depths_rev : Checker_stats.depth_sample list ref = ref [] in
+    let total_cand = ref 1 in
+    let total_dups = ref 0 in
+    let max_frontier = ref 1 in
+    let orbit_sum = ref 0 in
+    let frontier = ref ([||] : state array) in
+    let complete = ref true in
+    (match resumed with
+    | Some (sp, _) ->
+      Array.iter (fun k -> Hashtbl.replace hot k ()) sp.xp_hot;
+      n_states := sp.xp_n_states;
+      n_transitions := sp.xp_n_transitions;
+      depth := sp.xp_depth;
+      depths_rev := sp.xp_depths_rev;
+      total_cand := sp.xp_candidates;
+      total_dups := sp.xp_dedup;
+      max_frontier := sp.xp_max_frontier;
+      orbit_sum := sp.xp_orbit_sum;
+      frontier := sp.xp_frontier
+    | None ->
+      if max_states >= 1 then begin
+        let rep0, key0, orbit0 = canonize_cached cc codec (initial cfg) in
+        Hashtbl.replace hot key0 ();
+        n_states := 1;
+        orbit_sum := orbit0;
+        frontier := [| rep0 |]
+      end
+      else begin
+        complete := false;
+        set_stop Checker_stats.Budget;
+        total_cand := 0;
+        max_frontier := 0
+      end);
+    let capture ~complete =
+      {
+        Checker_stats.protocol = P.name;
+        n_procs;
+        n_registers;
+        domains = 1;
+        n_states = !n_states;
+        n_transitions = !n_transitions;
+        max_depth = !depth;
+        max_frontier = !max_frontier;
+        candidates = !total_cand;
+        dedup_hits = !total_dups;
+        shard_load = [| !n_states |];
+        elapsed_s = Checker_stats.now () -. t0;
+        complete;
+        stop = (if complete then Checker_stats.Completed else !stopped);
+        restarts = 0;
+        canon;
+        degraded;
+        group_order;
+        orbit_sum = !orbit_sum;
+        sig_pruned = sig_pruned ();
+        canon_hits = cc.hits;
+        cutover = None;
+        steals = 0;
+        handoffs = 0;
+        spilled_runs = Disk_visited.n_runs dv;
+        disk_probes = Disk_visited.n_probes dv;
+        depths = List.rev !depths_rev;
+      }
+    in
+    let hot_keys () =
+      let a = Array.make (Hashtbl.length hot) "" in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun k () ->
+          a.(!i) <- k;
+          incr i)
+        hot;
+      a
+    in
+    let last_snapshot_states = ref !n_states in
+    let snapshot_gap =
+      match snapshot_every with
+      | Some e -> max 1 e
+      | None -> default_snapshot_every
+    in
+    let write_checkpoint path =
+      let payload =
+        {
+          xp_frontier = !frontier;
+          xp_depth = !depth;
+          xp_depths_rev = !depths_rev;
+          xp_n_states = !n_states;
+          xp_n_transitions = !n_transitions;
+          xp_candidates = !total_cand;
+          xp_dedup = !total_dups;
+          xp_max_frontier = !max_frontier;
+          xp_orbit_sum = !orbit_sum;
+          xp_elapsed = Checker_stats.now () -. t0;
+          xp_codec = Cd.dump codec;
+          xp_hot = hot_keys ();
+          xp_manifest = Disk_visited.manifest dv;
+        }
+      in
+      Snapshot.append ~path ~fingerprint:digest ~descr
+        (Marshal.to_string payload []);
+      last_snapshot_states := !n_states
+    in
+    let soft_limit_bytes =
+      Option.map (fun mb -> mb * 1024 * 1024) mem_soft_limit_mb
+    in
+    let heap_bytes () =
+      let s = Gc.quick_stat () in
+      s.Gc.heap_words * (Sys.word_size / 8)
+    in
+    let hot_cap = max 1 hot_cap in
+    (* At the watermark, MOVE the hot table to disk as one sorted
+       immutable run; spill-then-checkpoint ordering keeps every snapshot
+       chunk's manifest/hot/frontier mutually consistent. *)
+    let maybe_spill () =
+      let pressured =
+        match soft_limit_bytes with
+        | Some limit -> heap_bytes () > limit
+        | None -> false
+      in
+      if Hashtbl.length hot > 0 && (Hashtbl.length hot >= hot_cap || pressured)
+      then begin
+        let keys = hot_keys () in
+        Array.sort compare keys;
+        Disk_visited.spill dv ~fingerprint:digest ~descr keys;
+        Hashtbl.reset hot;
+        if pressured then Gc.compact ();
+        true
+      end
+      else false
+    in
+    let stop = ref false in
+    (* Scalars of the newest exact boundary, for the Out_of_memory
+       degradation path (mid-generation state is not exact). *)
+    let last_exact = ref (capture ~complete:!complete) in
+    if Array.length !frontier = 0 then stop := true;
+    let run_generation () =
+      let fr = !frontier in
+      let nf = Array.length fr in
+      (* expand + canonize every candidate, in frontier order *)
+      let cand_rev = ref [] in
+      let ncand = ref 0 in
+      for i = 0 to nf - 1 do
+        (* fault seam, as in the in-RAM engines *)
+        Resilience.worker_tick ~domain:0;
+        List.iter
+          (fun (_, st') ->
+            let rep, key, orbit = canonize_cached cc codec st' in
+            cand_rev := (key, rep, orbit) :: !cand_rev;
+            incr ncand)
+          (successors cfg fr.(i))
+      done;
+      let cands = Array.of_list (List.rev !cand_rev) in
+      cand_rev := [];
+      let ncand = !ncand in
+      (* classify: cls.(k) = -1 known in hot; -2 - k0 in-batch duplicate
+         of candidate k0; k itself = unknown first occurrence *)
+      let cls = Array.make ncand 0 in
+      let scratch : (string, int) Hashtbl.t = Hashtbl.create 256 in
+      let unknown_rev = ref [] in
+      Array.iteri
+        (fun k (key, _, _) ->
+          if Hashtbl.mem hot key then cls.(k) <- -1
+          else
+            match Hashtbl.find_opt scratch key with
+            | Some k0 -> cls.(k) <- -2 - k0
+            | None ->
+              Hashtbl.add scratch key k;
+              cls.(k) <- k;
+              unknown_rev := key :: !unknown_rev)
+        cands;
+      (* the budget may trip inside this generation: flush the (still
+         exact) pre-generation boundary first, so a budget-truncated run
+         resumes bit-identically from here *)
+      (match snapshot_to with
+      | Some path when !complete && !n_states + ncand > max_states ->
+        write_checkpoint path
+      | _ -> ());
+      (* delayed duplicate detection: sort the unknowns once, stream every
+         run once *)
+      let unknown = Array.of_list (List.rev !unknown_rev) in
+      Array.sort compare unknown;
+      let on_disk : (string, unit) Hashtbl.t =
+        Hashtbl.create (max 16 (Array.length unknown))
+      in
+      if Array.length unknown > 0 then begin
+        let found = Disk_visited.probe dv unknown in
+        Array.iteri
+          (fun i k -> if found.(i) then Hashtbl.replace on_disk k ())
+          unknown
+      end;
+      (* the id scan, in candidate order — identical budget semantics to
+         the in-RAM engines. fate of a first occurrence: 1 kept (known on
+         disk, or interned), 0 dropped by the budget. *)
+      let fresh_rev = ref [] in
+      let discovered = ref 0 and dups = ref 0 and kept = ref 0 in
+      let fate = Array.make ncand (-1) in
+      Array.iteri
+        (fun k (key, rep, orbit) ->
+          let c = cls.(k) in
+          if c = -1 then begin
+            incr dups;
+            incr kept
+          end
+          else if c >= 0 then begin
+            if Hashtbl.mem on_disk key then begin
+              (* a known state; deliberately NOT cached back into hot —
+                 that would break hot/runs disjointness. Recurring keys
+                 are re-probed, the classic DDD trade. *)
+              incr dups;
+              incr kept;
+              fate.(k) <- 1
+            end
+            else if !n_states < max_states then begin
+              incr n_states;
+              incr discovered;
+              incr kept;
+              Hashtbl.replace hot key ();
+              orbit_sum := !orbit_sum + orbit;
+              fresh_rev := rep :: !fresh_rev;
+              fate.(k) <- 1
+            end
+            else begin
+              complete := false;
+              set_stop Checker_stats.Budget;
+              fate.(k) <- 0
+            end
+          end
+          else begin
+            let k0 = -2 - c in
+            if fate.(k0) = 1 then begin
+              incr dups;
+              incr kept
+            end
+            else begin
+              (* duplicate of a budget-dropped candidate *)
+              complete := false;
+              set_stop Checker_stats.Budget
+            end
+          end)
+        cands;
+      (* fault seam: an injected allocation failure fires here, before the
+         generation is committed *)
+      Resilience.boundary_tick ();
+      depths_rev :=
+        {
+          Checker_stats.depth = !depth;
+          frontier = nf;
+          candidates = ncand;
+          discovered = !discovered;
+          duplicates = !dups;
+        }
+        :: !depths_rev;
+      total_cand := !total_cand + ncand;
+      total_dups := !total_dups + !dups;
+      n_transitions := !n_transitions + !kept;
+      let next = Array.of_list (List.rev !fresh_rev) in
+      let nn = Array.length next in
+      if nn = 0 then stop := true
+      else begin
+        if nn > !max_frontier then max_frontier := nn;
+        frontier := next;
+        incr depth;
+        let spilled = maybe_spill () in
+        if !complete then begin
+          last_exact := capture ~complete:true;
+          match snapshot_to with
+          | Some path
+            when spilled || !n_states - !last_snapshot_states >= snapshot_gap
+            ->
+            write_checkpoint path
+          | _ -> ()
+        end;
+        if Snapshot.stop_requested () then begin
+          complete := false;
+          set_stop Checker_stats.Interrupted;
+          stop := true
+        end;
+        match deadline_at with
+        | Some td when Checker_stats.now () >= td ->
+          complete := false;
+          set_stop Checker_stats.Deadline;
+          stop := true
+        | _ -> ()
+      end
+    in
+    try
+      while not !stop do
+        run_generation ()
+      done;
+      (* a signal- or deadline-stopped run ends at an exact boundary:
+         flush it so the run can be picked up later. (A budget-truncated
+         run already flushed its pre-trip boundary above.) *)
+      (match snapshot_to with
+      | Some path
+        when (not !complete)
+             && (!stopped = Checker_stats.Interrupted
+                || !stopped = Checker_stats.Deadline) ->
+        write_checkpoint path
+      | _ -> ());
+      capture ~complete:!complete
+    with Out_of_memory when snapshot_to <> None ->
+      (* disk-bounded degradation: the last periodic checkpoint is the
+         resume point — writing a new one here would both marshal a large
+         payload under memory pressure and capture inexact mid-generation
+         state *)
+      set_stop Checker_stats.Oom;
+      {
+        !last_exact with
+        Checker_stats.elapsed_s = Checker_stats.now () -. t0;
+        complete = false;
+        stop = Checker_stats.Oom;
+        spilled_runs = Disk_visited.n_runs dv;
+        disk_probes = Disk_visited.n_probes dv;
+      }
 
   (* ---------------------------------------------------------------- *)
   (* self-healing driver                                               *)

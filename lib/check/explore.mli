@@ -21,6 +21,27 @@ type reduction =
           graph-based property verdicts coincide with the full graph's
           (DESIGN.md §9; cross-checked by the test suite). *)
 
+(** Choreography of the wide (parallel-mode) generations of
+    {!Make.explore_par}. Both engines produce bit-identical graphs and
+    statistics; they differ only in how the work reaches the domains. *)
+type engine =
+  | Barrier
+      (** phase-per-barrier: expand, flatten, resolve, assign ids,
+          collect — five barriers per generation, every domain in
+          lock-step *)
+  | Sharded
+      (** continuous shard owners (the default): each domain owns a
+          hash-partitioned slice of the visited set, expands its own
+          shard's frontier worklist, resolves arriving candidates
+          immediately and hands cross-shard successors over batched SPSC
+          mailboxes; idle domains steal frontier batches from the
+          heaviest shard. Two barriers per generation (logs complete,
+          logs sorted), then one merge in candidate order replays the
+          sequential id assignment exactly (DESIGN.md §13). *)
+
+val engine_tag : engine -> string
+(** ["barrier"] / ["sharded"], as rendered by benches and the CLI. *)
+
 module Make (P : Protocol.PROTOCOL) : sig
   type config = {
     ids : int array;
@@ -135,6 +156,9 @@ module Make (P : Protocol.PROTOCOL) : sig
     ?domains:int ->
     ?par_threshold:int ->
     ?reduction:reduction ->
+    ?engine:engine ->
+    ?handoff_batch:int ->
+    ?steal_batch:int ->
     ?snapshot_every:int ->
     ?snapshot_to:string ->
     ?resume_from:string ->
@@ -148,12 +172,16 @@ module Make (P : Protocol.PROTOCOL) : sig
       domains (default [Domain.recommended_domain_count ()]; an explicit
       [~domains] is honored as given, even beyond the host's recommended
       count — benchmarks that oversubscribe must say so). The
-      state-interning table is sharded by packed-key hash with one shard
-      owned per domain; generations are barrier-synchronized and state
-      ids are assigned by a sequential scan in discovery order, so the
-      resulting graph — state numbering, transition lists, [complete]
-      flag — is bit-identical to {!explore} for every input, including
-      when [max_states] truncates the search.
+      state-interning table is sharded by structural-state hash with one
+      shard owned per domain; whichever [?engine] (default {!Sharded})
+      choreographs the wide generations, state ids are assigned by a
+      scan in discovery order, so the resulting graph — state numbering,
+      transition lists, [complete] flag — is bit-identical to {!explore}
+      for every input, including when [max_states] truncates the search.
+      [?handoff_batch] (default 64) sizes the sharded engine's cross-shard
+      mailbox batches; [?steal_batch] (default 32) sizes the frontier
+      batches a domain claims from a worklist. Both only shape scheduling,
+      never the result.
 
       Generations whose frontier is narrower than [par_threshold]
       (default [1024 * (domains - 1)]) run sequentially on worker 0: no
@@ -182,6 +210,59 @@ module Make (P : Protocol.PROTOCOL) : sig
       so {!with_recovery} can resume it. The supervised engine produces
       the same bit-identical graph and statistics as the barrier
       engine. *)
+
+  val external_fingerprint : reduction:reduction -> config -> Digest.t * string
+(** Fingerprint of the external-memory explorer's checkpoints and run
+      files. Deliberately distinct from {!fingerprint}: an external
+      checkpoint holds no transition lists and references run files, so
+      the two snapshot kinds must never accept each other. *)
+
+  val explore_external :
+    ?max_states:int ->
+    ?reduction:reduction ->
+    ?snapshot_every:int ->
+    ?snapshot_to:string ->
+    ?resume_from:string ->
+    ?mem_soft_limit_mb:int ->
+    ?hot_cap:int ->
+    ?deadline_s:float ->
+    ?salvage:bool ->
+    ?wide:bool ->
+    dir:string ->
+    config ->
+    Checker_stats.t
+  (** External-memory breadth-first exploration: the visited set is split
+      between an in-RAM hot table and sorted immutable run files under
+      [dir] ({!Disk_visited}), so state spaces far beyond RAM become
+      disk-bounded instead of [stop:"oom"]. Classic external BFS with
+      delayed duplicate detection: each generation's unknown candidate
+      keys are sorted once and resolved against every run in one
+      streaming merge — no random disk access per candidate. The hot
+      table spills as a new run when it reaches [hot_cap] keys (default
+      [2{^ 20}]) or, with [~mem_soft_limit_mb], when the heap passes the
+      watermark (followed by a heap compaction).
+
+      Stats-only: no graph is materialized (transition lists would defeat
+      the point), so properties cannot be checked on the result — this is
+      the state-counting / accounting-audit mode. The statistics are
+      bit-identical (in the {!Checker_stats.equal_ignoring_time} sense)
+      to {!explore_with_stats} on the same configuration and budget:
+      counts, depth profile, orbit sums, stop reason all match.
+
+      Checkpointing as in {!explore}, with two differences: the envelope
+      embeds the run-file manifest (and {!external_fingerprint}, not
+      {!fingerprint}), and a budget-threatened generation flushes the
+      still-exact {e pre-generation} boundary before assigning ids, so a
+      budget-truncated run resumes bit-identically. On [Out_of_memory]
+      (with [~snapshot_to]) the run degrades to a {!Checker_stats.Oom}
+      result whose resume point is the last periodic checkpoint. Under
+      [~salvage] a resume walks the intact snapshot chunks newest-first
+      until it finds one whose manifest's run files all re-validate —
+      a damaged newest run file costs a rollback, not the exploration.
+
+      [~wide:true] packs 4-byte {!Codec} key slots (for runs whose intern
+      tables may exceed 2{^ 24} codes); a resumed run always continues at
+      the interrupted run's width. *)
 
   val with_recovery :
     ?max_retries:int ->

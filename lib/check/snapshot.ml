@@ -29,8 +29,11 @@ let magic = "COORDSNAP"
    individually CRC'd chunks — each one a complete marshaled boundary —
    so a damaged tail rolls back to the last intact checkpoint instead of
    discarding the file ({!read_salvaged}). A v2 file has no chunk frames
-   at all, so the version gates it out. *)
-let version = 3
+   at all, so the version gates it out.
+   v4: the marshaled codec dump inside explorer payloads grew a key-width
+   field (wide 4-byte keys for disk-bounded runs). Unmarshaling a v3 dump
+   with the v4 layout is undefined behavior, so the version gates it. *)
+let version = 4
 
 (* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Marshal has no
    integrity check of its own: feeding it a truncated or bit-flipped
@@ -189,10 +192,11 @@ let read_meta ~path = with_in ~path (fun ic -> read_header ~path ic)
 (* Scan the chunk sequence after the header. Never trusts a byte it has
    not checked: any framing anomaly — wrong marker, nonsensical or
    file-exceeding length, short payload, CRC mismatch — ends the scan
-   and is reported; everything before it is the intact prefix. *)
+   and is reported; everything before it is the intact prefix. [all]
+   accumulates the intact payloads oldest-first. *)
 let scan_chunks ic =
   let total = in_channel_length ic in
-  let last = ref None in
+  let all = ref [] in
   let kept = ref 0 in
   let anomaly = ref None in
   let stop = ref false in
@@ -236,19 +240,20 @@ let scan_chunks ic =
              stop := true
            end
            else begin
-             last := Some p;
+             all := p :: !all;
              incr kept
            end
          end
        end
      done
    with End_of_file -> anomaly := Some "truncated chunk");
-  (!kept, !last, !anomaly)
+  let last = match !all with [] -> None | p :: _ -> Some p in
+  (!kept, last, !all, !anomaly)
 
 let read ~path =
   with_in ~path (fun ic ->
       let meta = read_header ~path ic in
-      let _, last, anomaly = scan_chunks ic in
+      let _, last, _, anomaly = scan_chunks ic in
       match (last, anomaly) with
       | Some p, None -> (meta, p)
       | _, Some detail -> raise (Error (Corrupt { path; detail }))
@@ -258,7 +263,7 @@ let read ~path =
 let read_salvaged ~path =
   with_in ~path (fun ic ->
       let meta = read_header ~path ic in
-      let kept, last, anomaly = scan_chunks ic in
+      let kept, last, _, anomaly = scan_chunks ic in
       match last with
       | None ->
         let detail =
@@ -268,6 +273,25 @@ let read_salvaged ~path =
       | Some p ->
         ( meta,
           p,
+          Option.map (fun detail -> { kept_chunks = kept; detail }) anomaly ))
+
+(* All intact checkpoints, newest first. The external-memory explorer
+   needs more than the newest chunk: a checkpoint is only usable if every
+   run file its manifest lists still validates, so resume walks backwards
+   through the intact chunks until one's manifest checks out. *)
+let read_chunks ~path =
+  with_in ~path (fun ic ->
+      let meta = read_header ~path ic in
+      let kept, _, all, anomaly = scan_chunks ic in
+      match all with
+      | [] ->
+        let detail =
+          match anomaly with Some d -> d | None -> "no checkpoint chunk"
+        in
+        raise (Error (Corrupt { path; detail }))
+      | newest_first ->
+        ( meta,
+          newest_first,
           Option.map (fun detail -> { kept_chunks = kept; detail }) anomaly ))
 
 let check_fingerprint ~path meta ~fingerprint ~descr =

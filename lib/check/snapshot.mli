@@ -12,7 +12,7 @@
     Layout (all integers big-endian):
     {v
     "COORDSNAP"  9-byte magic
-    u8           format version (currently 3)
+    u8           format version (currently 4)
     16 bytes     MD5 fingerprint of the exploration config
     u16 + bytes  human-readable config description (for diagnostics)
     then 1..max_chunks chunks, each:
@@ -92,6 +92,14 @@ val read_salvaged : path:string -> meta * string * salvage option
     describing what was dropped ([None] when the file was fully intact).
     Still raises {!Error} when the header is damaged or no chunk
     survives — a salvaged resume never trusts unverified bytes. *)
+
+val read_chunks : path:string -> meta * string list * salvage option
+(** Every intact chunk's payload, newest first (the head equals what
+    {!read_salvaged} returns). For checkpoints that reference external
+    files — the disk-backed visited set's run manifest — where the newest
+    chunk may be internally intact yet unusable (a listed run file is
+    damaged), so resume must fall back to older checkpoints. Raises
+    {!Error} as {!read_salvaged} does. *)
 
 val read_meta : path:string -> meta
 (** Header only — cheap existence/compatibility probe that skips the

@@ -1,0 +1,47 @@
+type 'a t = {
+  buf : 'a array;
+  cap : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; advanced by the producer *)
+}
+
+let create ~dummy cap =
+  if cap < 1 then invalid_arg "Spsc.create: capacity must be positive";
+  {
+    buf = Array.make cap dummy;
+    cap;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+(* head <= tail always; both only grow. The producer owns [tail] and may
+   read [head] conservatively (a stale head only under-reports free
+   space); symmetrically for the consumer. Indices are unmasked ints —
+   at one candidate batch per push they cannot wrap in any feasible
+   exploration. *)
+
+let try_push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head >= t.cap then false
+  else begin
+    t.buf.(tl mod t.cap) <- x;
+    (* release: the slot write above happens-before any consumer that
+       acquires this tail value *)
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let try_pop t =
+  let hd = Atomic.get t.head in
+  if Atomic.get t.tail - hd <= 0 then None
+  else begin
+    let i = hd mod t.cap in
+    let x = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    Atomic.set t.head (hd + 1);
+    Some x
+  end
+
+let is_empty t = Atomic.get t.tail - Atomic.get t.head <= 0

@@ -1,0 +1,29 @@
+(** Bounded single-producer/single-consumer ring.
+
+    The sharded explorer keeps one ring per ordered pair of worker
+    domains: domain [p] hands batches of successor candidates owned by
+    domain [o]'s shard over [rings.(p).(o)]. Exactly one domain pushes
+    and exactly one pops, which is what makes the lock-free publication
+    protocol sound: the producer writes the slot, then releases it with
+    an atomic store of [tail]; the consumer acquires [tail] before
+    reading the slot, so the OCaml memory model orders the plain slot
+    access on both sides.
+
+    Capacity is fixed at creation. [try_push] refuses instead of
+    blocking — a full ring is the producer's cue to drain its own inbox
+    (the one deadlock-free thing it can always do) and retry. *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy cap] is an empty ring holding at most [cap] elements.
+    [dummy] fills vacated slots so popped values are not retained. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only. [false] when the ring is full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side only. [None] when the ring is empty. *)
+
+val is_empty : 'a t -> bool
+(** Observation by either side; exact only quiescently. *)

@@ -1,0 +1,96 @@
+#!/bin/sh
+# External-memory smoke test: drive the disk-backed visited set through
+# the coordctl surface, the way an operator checking a graph bigger than
+# RAM would.
+#
+#   leg A  spill-and-probe parity: the same exploration with an
+#          adversarially small in-RAM footprint (MEM_MB watermark) must
+#          print statistics identical to the unlimited in-RAM run;
+#   leg B  the same parity under an address-space ulimit (when the shell
+#          supports one): the in-RAM-unfriendly cap must not change a
+#          single number — disk-bounded, not RAM-bounded;
+#   leg C  snapshot/resume composes with spilling: truncate with
+#          --max-states mid-spill, resume, and require output identical
+#          to the uninterrupted external run.
+#
+# Usage: scripts/disk_smoke.sh [path-to-coordctl]
+set -eu
+
+COORD=${1:-_build/default/bin/coordctl.exe}
+if [ ! -x "$COORD" ]; then
+  echo "disk_smoke: $COORD not found (run dune build first)" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/disk_smoke.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+fail() {
+  echo "disk_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# strip the nondeterministic / mode-dependent lines: wall-clock
+# throughput, and the spill/probe counters (which depend on the
+# hot-table cap the legs deliberately vary — every other number must
+# be identical)
+scrub() {
+  grep -v '^throughput' "$1" | grep -v '^disk visited'
+}
+
+# A ~21k-state graph: big enough to spill dozens of runs under a tiny
+# hot-table cap, small enough to finish in seconds.
+WORKLOAD="explore mutex -n 2 -m 5 --rot"
+HOT="--disk-hot-cap 2000"
+
+# --- leg A: spill-and-probe parity --------------------------------------
+
+"$COORD" $WORKLOAD >"$tmp/ram.txt" 2>&1 \
+  || fail "in-RAM oracle run exited $?"
+
+"$COORD" $WORKLOAD --disk-visited "$tmp/dv_a" $HOT >"$tmp/disk.txt" 2>&1 \
+  || fail "disk-visited run exited $?"
+
+scrub "$tmp/ram.txt" >"$tmp/ram.flat"
+scrub "$tmp/disk.txt" >"$tmp/disk.flat"
+diff -u "$tmp/ram.flat" "$tmp/disk.flat" >&2 \
+  || fail "disk-visited statistics differ from the in-RAM run"
+grep -q '^disk visited' "$tmp/disk.txt" \
+  || fail "hot-table cap produced no spilled runs (smoke exercised nothing)"
+
+# --- leg B: the same run under an address-space cap ---------------------
+# 512 MB of virtual address space is plenty for the bounded hot table
+# and the OCaml runtime, but a deliberately hostile ceiling for a
+# checker that kept every visited state in RAM as the graph grows. Some
+# shells/platforms refuse `ulimit -v`; skip the leg there rather than
+# fail the gate on an unrelated limitation.
+if (ulimit -v 524288) 2>/dev/null; then
+  (
+    ulimit -v 524288
+    exec "$COORD" $WORKLOAD --disk-visited "$tmp/dv_b" $HOT \
+      >"$tmp/capped.txt" 2>&1
+  ) || fail "ulimit-capped disk-visited run exited $?"
+  scrub "$tmp/capped.txt" >"$tmp/capped.flat"
+  diff -u "$tmp/ram.flat" "$tmp/capped.flat" >&2 \
+    || fail "ulimit-capped statistics differ from the in-RAM run"
+else
+  echo "disk_smoke: ulimit -v unsupported here; skipping the capped leg" >&2
+fi
+
+# --- leg C: snapshot/resume composes with spilling ----------------------
+
+"$COORD" $WORKLOAD --disk-visited "$tmp/dv_c" $HOT --max-states 3000 \
+  --snapshot "$tmp/cut.snap" >"$tmp/cut.txt" 2>&1 \
+  || fail "truncated disk-visited run exited $?"
+grep -qi 'truncated' "$tmp/cut.txt" || fail "budget run was not truncated"
+[ -f "$tmp/cut.snap" ] || fail "no snapshot flushed on truncation"
+
+"$COORD" $WORKLOAD --disk-visited "$tmp/dv_c" $HOT --resume "$tmp/cut.snap" \
+  >"$tmp/resumed.txt" 2>&1 \
+  || fail "resumed disk-visited run exited $?"
+
+scrub "$tmp/resumed.txt" >"$tmp/resumed.flat"
+diff -u "$tmp/ram.flat" "$tmp/resumed.flat" >&2 \
+  || fail "resumed disk-visited run differs from the in-RAM oracle"
+
+echo "disk_smoke: OK"

@@ -34,4 +34,5 @@ let () =
       ("report", Test_report.suite);
       ("parallel", Test_parallel.suite);
       ("resilience", Test_resilience.suite);
+      ("disk_visited", Test_disk_visited.suite);
     ]

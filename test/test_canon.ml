@@ -397,7 +397,7 @@ let test_gen_canonical_invariance () =
         QMutex.C.make_ctx ~syms
           ~value_code:(CdMutex.value_code codec)
           ~local_code:(CdMutex.local_code codec)
-          ~pack:CdMutex.key_of_codes
+          ~pack:(CdMutex.key_of_codes codec)
           ~init:(init.mem, init.locals)
       in
       let agree = ref true in

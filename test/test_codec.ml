@@ -96,9 +96,70 @@ let test_encode_solo_distinguishes_proc () =
   Alcotest.(check string) "solo key deterministic" k0
     (C.encode_solo c ~proc:0 Test_runtime.Toy.Put mem)
 
+(* --- key-width overflow: typed error, 4-byte widening ------------------
+   A code that does not fit the key width must raise the typed
+   [Codec.Overflow] instead of silently truncating (which would alias two
+   distinct states — a missed violation). [key_of_codes] packs
+   already-interned codes, so it can exercise the boundary directly
+   without interning 2^24 values. *)
+
+let test_overflow_typed () =
+  let c = C.create () in
+  Alcotest.(check int) "default width" 3 (C.width c);
+  (* largest representable code packs fine *)
+  ignore (C.key_of_codes c [| (1 lsl 24) - 1 |] [| 0 |]);
+  (match C.key_of_codes c [| 1 lsl 24 |] [| 0 |] with
+  | exception Check.Codec.Overflow { kind = "value"; code; width = 3 } ->
+    Alcotest.(check int) "overflowing code reported" (1 lsl 24) code
+  | exception e ->
+    Alcotest.failf "expected typed Overflow, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "24-bit overflow not detected");
+  (match C.key_of_codes c [| 0 |] [| 1 lsl 24 |] with
+  | exception Check.Codec.Overflow { kind = "local"; _ } -> ()
+  | exception e ->
+    Alcotest.failf "expected local Overflow, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "local-slot overflow not detected");
+  (* the registered printer names the recovery *)
+  let msg =
+    Printexc.to_string
+      (Check.Codec.Overflow { kind = "value"; code = 1 lsl 24; width = 3 })
+  in
+  let contains needle =
+    let nl = String.length needle and sl = String.length msg in
+    let rec go i = i + nl <= sl && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "printer suggests wide keys" true
+    (contains "wide keys")
+
+let test_wide_widening () =
+  let c = C.create ~wide:true () in
+  Alcotest.(check int) "wide width" 4 (C.width c);
+  Alcotest.(check int) "4 bytes per slot"
+    (4 * (3 + 2))
+    (String.length (C.encode c [| 0; 7; 3 |] Test_runtime.Toy.[| Rem; Put |]));
+  (* the code that overflowed 3-byte keys fits wide ones *)
+  ignore (C.key_of_codes c [| 1 lsl 24 |] [| 0 |]);
+  (* ... and wide keys still have a boundary of their own *)
+  (match C.key_of_codes c [| 1 lsl 32 |] [| 0 |] with
+  | exception Check.Codec.Overflow { width = 4; _ } -> ()
+  | exception e ->
+    Alcotest.failf "expected wide Overflow, got %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "32-bit overflow not detected");
+  (* width survives dump/of_dump, so a resumed run re-packs identically *)
+  ignore (C.value_code c 42);
+  let c' = C.of_dump (C.dump c) in
+  Alcotest.(check int) "width restored from dump" 4 (C.width c');
+  Alcotest.(check string) "wide key byte-identical after restore"
+    (C.encode c [| 42 |] [| Test_runtime.Toy.Rem |])
+    (C.encode c' [| 42 |] [| Test_runtime.Toy.Rem |])
+
 let suite =
   [
     Alcotest.test_case "encode length" `Quick test_encode_length;
+    Alcotest.test_case "overflow is a typed error" `Quick test_overflow_typed;
+    Alcotest.test_case "wide keys widen the boundary" `Quick
+      test_wide_widening;
     Alcotest.test_case "interning stable" `Quick test_interning_is_stable;
     Alcotest.test_case "equal states, equal keys" `Quick
       test_equal_states_equal_keys;

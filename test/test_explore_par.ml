@@ -155,6 +155,119 @@ module PBurns = Parity (Baseline.Burns.P)
 let test_burns () =
   PBurns.run (PBurns.E.config ~ids:[ 1; 2; 3 ] ~inputs:[ (); (); () ] ())
 
+(* --- engine matrix: sequential vs barrier vs sharded --------------------
+   The sharded work-stealing engine promises the same bit-identical graph
+   as the barrier engine, for every domain count and any mailbox/steal
+   batch size — batches shape scheduling, never the result. Batch size 1
+   is the adversarial case: every cross-shard candidate rides its own ring
+   slot, maximizing handoff traffic and full-ring backpressure. *)
+
+let engines = [ Explore.Barrier; Explore.Sharded ]
+
+let matrix_domains = [ 2; 4 ]
+
+let batch_configs = [ (Some 1, Some 1); (Some 3, Some 2); (None, None) ]
+
+module Matrix (P : Protocol.PROTOCOL) = struct
+  module E = Explore.Make (P)
+
+  let run ?max_states (cfg : E.config) =
+    let seq = E.explore ?max_states cfg in
+    List.iter
+      (fun domains ->
+        List.iter
+          (fun engine ->
+            List.iter
+              (fun (handoff_batch, steal_batch) ->
+                let par, stats =
+                  E.explore_par ?max_states ~domains ~par_threshold:0 ~engine
+                    ?handoff_batch ?steal_batch cfg
+                in
+                let tag what =
+                  Printf.sprintf "%s [%s d=%d hb=%s sb=%s]: %s" P.name
+                    (Explore.engine_tag engine)
+                    domains
+                    (match handoff_batch with
+                    | Some v -> string_of_int v
+                    | None -> "-")
+                    (match steal_batch with
+                    | Some v -> string_of_int v
+                    | None -> "-")
+                    what
+                in
+                Alcotest.(check bool)
+                  (tag "same states") true
+                  (seq.E.states = par.E.states);
+                Alcotest.(check bool)
+                  (tag "same transitions") true
+                  (seq.E.succs = par.E.succs);
+                Alcotest.(check bool)
+                  (tag "same completeness") true
+                  (seq.E.complete = par.E.complete);
+                if stats.Checker_stats.complete then
+                  Alcotest.(check int)
+                    (tag "candidates = states + dedup_hits")
+                    (stats.Checker_stats.n_states
+                   + stats.Checker_stats.dedup_hits)
+                    stats.Checker_stats.candidates;
+                Alcotest.(check int)
+                  (tag "shard loads sum to states")
+                  (Array.length seq.E.states)
+                  (Array.fold_left ( + ) 0 stats.Checker_stats.shard_load))
+              batch_configs)
+          engines)
+      matrix_domains
+end
+
+module MToy = Matrix (Test_runtime.Toy)
+module MMutex = Matrix (Coord.Amutex.P)
+
+let mutex_cfg =
+  {
+    MMutex.E.ids = [| 7; 13 |];
+    inputs = [| (); () |];
+    namings = [| Naming.identity 3; Naming.identity 3 |];
+  }
+
+let test_engine_matrix () =
+  MToy.run (MToy.E.config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ());
+  MMutex.run mutex_cfg
+
+let test_engine_matrix_truncated () =
+  (* the budget must cut the merge scan at the exact same candidate in
+     every engine, at every batch size *)
+  List.iter
+    (fun b ->
+      MToy.run ~max_states:b (MToy.E.config ~ids:[ 5; 9 ] ~inputs:[ (); () ] ()))
+    [ 1; 5; 17 ];
+  MMutex.run ~max_states:40 mutex_cfg
+
+(* A worker domain killed by a seeded fault plan mid-campaign: supervised
+   mode must absorb it (respawn, requeue) and still produce the exact
+   sequential graph, whatever engine was requested. *)
+let test_sharded_supervised_kill () =
+  let seq = MMutex.E.explore mutex_cfg in
+  let plan =
+    {
+      Resilience.seed = 11;
+      faults = [ Resilience.Kill_domain { domain = 1; after_ticks = 40 } ];
+    }
+  in
+  Resilience.arm plan;
+  Fun.protect ~finally:Resilience.disarm (fun () ->
+      let par, stats =
+        MMutex.E.explore_par ~domains:2 ~par_threshold:0
+          ~engine:Explore.Sharded ~supervise:true mutex_cfg
+      in
+      Alcotest.(check bool)
+        "killed worker absorbed: same states" true
+        (seq.MMutex.E.states = par.MMutex.E.states);
+      Alcotest.(check bool)
+        "killed worker absorbed: same transitions" true
+        (seq.MMutex.E.succs = par.MMutex.E.succs);
+      Alcotest.(check bool)
+        "run completed" true stats.Checker_stats.complete)
+
 (* --- statistics coherence on a complete exploration --- *)
 
 let test_stats_coherent () =
@@ -204,4 +317,10 @@ let suite =
     Alcotest.test_case "par = seq: peterson" `Quick test_peterson;
     Alcotest.test_case "par = seq: burns" `Quick test_burns;
     Alcotest.test_case "checker stats are coherent" `Quick test_stats_coherent;
+    Alcotest.test_case "engine matrix: barrier = sharded = seq" `Quick
+      test_engine_matrix;
+    Alcotest.test_case "engine matrix under budget" `Quick
+      test_engine_matrix_truncated;
+    Alcotest.test_case "sharded + supervise absorbs a seeded kill" `Quick
+      test_sharded_supervised_kill;
   ]

@@ -58,7 +58,7 @@ let test_envelope_roundtrip () =
   let payload = "PAYLOAD \x00\x01\xff bytes" in
   Snapshot.write ~path ~fingerprint:fp ~descr:"protocol=x n=2" payload;
   let meta, got = Snapshot.read ~path in
-  Alcotest.(check int) "version" 3 meta.Snapshot.version;
+  Alcotest.(check int) "version" 4 meta.Snapshot.version;
   Alcotest.(check string) "fingerprint" fp meta.Snapshot.fingerprint;
   Alcotest.(check string) "descr" "protocol=x n=2" meta.Snapshot.descr;
   Alcotest.(check string) "payload" payload got;
