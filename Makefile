@@ -2,7 +2,8 @@
 
 .PHONY: all build test check chaos bench bench-checker bench-quick \
         bench-canon bench-shard bench-disk disk-smoke tables resume-smoke \
-        resilience-smoke fuzz-smoke fuzz clean-snapshots clean
+        resilience-smoke chaos-soak-smoke fuzz-smoke fuzz clean-snapshots \
+        clean
 
 all: build
 
@@ -22,6 +23,7 @@ check:
 	$(MAKE) bench-shard
 	$(MAKE) resume-smoke
 	$(MAKE) resilience-smoke
+	$(MAKE) chaos-soak-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) disk-smoke
 
@@ -38,6 +40,15 @@ resume-smoke: build
 # prints its fault-plan seed; replay with RESILIENCE_SEED=N.
 resilience-smoke: build
 	timeout 60 scripts/resilience_smoke.sh _build/default/bin/coordctl.exe
+
+# Chaos soak: sweep the (engine x supervision x disk-visited x fault
+# plan) matrix through coordctl, requiring each cell to be bit-identical
+# to its fault-free oracle or an honestly reported degradation (disk
+# quota -> stop reason disk_full, checkpoint intact, resume exact).
+# Every cell runs under its own timeout; the campaign prints its seed
+# and replays with CHAOS_SEED=N.
+chaos-soak-smoke: build
+	timeout 60 scripts/chaos_soak.sh _build/default/bin/coordctl.exe
 
 # Sub-30s fuzzing smoke: replay the committed regression corpus, run a
 # 1000-instance differential sweep (seq/par explorers, property checkers,

@@ -390,6 +390,14 @@ let entry_json e =
   let b = Buffer.create 1024 in
   Buffer.add_string b "    {\n";
   Buffer.add_string b (str "      \"workload\": %S,\n" e.label);
+  (* every entry names the host it was measured on: comparisons read in
+     isolation (dashboards slice entries out of runs) must show whether
+     a parallel ratio comes from a single-domain host, where the
+     adaptive explorer never engages and speedups are vacuously 1.0 *)
+  let host_cores = Domain.recommended_domain_count () in
+  Buffer.add_string b (str "      \"host_cores\": %d,\n" host_cores);
+  Buffer.add_string b
+    (str "      \"single_domain\": %b,\n" (host_cores < 2));
   (match e.skipped with
   | Some reason ->
     Buffer.add_string b (str "      \"kind\": %S,\n" e.kind);

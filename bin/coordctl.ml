@@ -1366,7 +1366,7 @@ module Xpl (P : Protocol.PROTOCOL) = struct
 
   let explore ~n ~m ~rot ~inputs ~reduction ~par ~domains ~max_states ~depths
       ~snapshot_to ~snapshot_every ~resume_from ~deadline_s ~salvage
-      ~supervise ~disk_visited ~disk_hot_cap =
+      ~supervise ~engine ~disk_visited ~disk_hot_cap ~disk_quota ~recover =
     if reduction = Check.Explore.Canon && E.canon_degraded ~n then
       Format.printf
         "note: --canon degraded to the identity group (%s): exploring the \
@@ -1383,19 +1383,81 @@ module Xpl (P : Protocol.PROTOCOL) = struct
         if par then
           failwith "--disk-visited is a sequential external-memory mode; \
                     drop --par";
-        E.explore_external ?max_states ?snapshot_every ?snapshot_to
-          ?resume_from ?deadline_s ?hot_cap:disk_hot_cap ~salvage ~reduction
-          ~dir cfg
+        let run resume_from =
+          E.explore_external ?max_states ?snapshot_every ?snapshot_to
+            ?resume_from ?deadline_s ?hot_cap:disk_hot_cap
+            ?disk_quota_bytes:disk_quota ~salvage ~reduction ~dir cfg
+        in
+        if recover then
+          (* fault campaign: injected faults fire at most once, so a
+             retry from the newest checkpoint converges (DESIGN.md §14);
+             the retry count is stamped into the stats as [recoveries].
+             Budget one retry per armed fault (a whole plan can gang up
+             on this single run) on top of the usual three. *)
+          let retries = 3 + List.length (Resilience.pending ()) in
+          let rec go attempt resume =
+            match run resume with
+            (* an internally absorbed fault degrades to a truncated
+               RESULT, not an exception; that also earns a retry *)
+            | st
+              when (not st.Check.Checker_stats.complete)
+                   && (st.Check.Checker_stats.stop = Check.Checker_stats.Oom
+                      || st.Check.Checker_stats.stop
+                         = Check.Checker_stats.Fault)
+                   && attempt < retries ->
+              go (attempt + 1)
+                (match snapshot_to with
+                | Some p when Sys.file_exists p -> Some p
+                | _ -> None)
+            | st -> { st with Check.Checker_stats.recoveries = attempt }
+            | exception Check.Snapshot.Error (Check.Snapshot.Corrupt _)
+              when attempt < retries ->
+              (* either a run file was damaged in flight (spill's
+                 read-back) or the checkpoint itself is beyond salvage.
+                 Resume from the checkpoint when it still has an intact
+                 chunk — restore sweeps the damaged run as a stray —
+                 and start over otherwise; the fresh run rewrites the
+                 file. *)
+              let resume =
+                match snapshot_to with
+                | Some p when Sys.file_exists p -> (
+                  match Check.Snapshot.read_chunks ~path:p with
+                  | _ -> Some p
+                  | exception Check.Snapshot.Error _ -> None)
+                | _ -> None
+              in
+              go (attempt + 1) resume
+            | exception
+                ( Out_of_memory | Resilience.Killed _ | Resilience.Stalled _
+                | Resilience.Io_fault _ )
+              when attempt < retries ->
+              go (attempt + 1)
+                (match snapshot_to with
+                | Some p when Sys.file_exists p -> Some p
+                | _ -> None)
+          in
+          go 0 resume_from
+        else run resume_from
       | None ->
-        let g, st =
+        let run ~resume_from ~snapshot_to =
           if par then
-            E.explore_par ?max_states ?domains ?snapshot_every
+            E.explore_par ?max_states ?domains ?engine ?snapshot_every
               ?snapshot_to ?resume_from ?deadline_s ~salvage
               ?supervise:(if supervise then Some true else None)
               ~reduction cfg
           else
             E.explore_with_stats ?max_states ?snapshot_every ?snapshot_to
               ?resume_from ?deadline_s ~salvage ~reduction cfg
+        in
+        let g, st =
+          match (recover, snapshot_to) with
+          | true, Some snap ->
+            E.with_recovery
+              ~max_retries:(3 + List.length (Resilience.pending ()))
+              ?resume_from ~snapshot_to:snap
+              (fun ~resume_from ~snapshot_to ->
+                run ~resume_from ~snapshot_to:(Some snapshot_to))
+          | _ -> run ~resume_from ~snapshot_to
         in
         ignore g;
         st
@@ -1430,8 +1492,33 @@ end
 
 let explore proto n m rot par domains canon no_canon max_states depths
     snapshot_to snapshot_every resume_from deadline_s salvage supervise
-    disk_visited disk_hot_cap =
+    engine inject disk_faults disk_quota disk_visited disk_hot_cap =
   let reduction = reduction_of_flags ~canon ~no_canon in
+  (* --inject-faults on explore mirrors `check`: the plan is printed for
+     replay, a private checkpoint file is synthesized when none was given
+     (recovery needs somewhere to resume from), and the run is wrapped in
+     with_recovery. --disk-faults widens the plan pool with storage
+     faults (DESIGN.md §14). *)
+  let snapshot_to =
+    match (inject, snapshot_to) with
+    | Some _, None ->
+      Some
+        (Filename.concat
+           (Filename.get_temp_dir_name ())
+           (str "coordctl-inject-%d.snap" (Unix.getpid ())))
+    | _ -> snapshot_to
+  in
+  let snapshot_every =
+    if inject <> None && snapshot_every = None then Some 1 else snapshot_every
+  in
+  (match inject with
+  | Some seed ->
+    let plan = Resilience.plan_of_seed ?domains ~disk:disk_faults seed in
+    Resilience.arm plan;
+    Format.printf "fault plan: %a@." Resilience.pp_plan plan
+  | None -> ());
+  let salvage = salvage || inject <> None in
+  let recover = inject <> None in
   let m =
     match (m, proto) with
     | Some m, _ -> m
@@ -1447,34 +1534,40 @@ let explore proto n m rot par domains canon no_canon max_states depths
       let module X = Xpl (Coord.Amutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
     | Cmp_mutex ->
       let module X = Xpl (Coord.Cmp_mutex.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
     | Consensus ->
       let module X = Xpl (Coord.Consensus.P) in
       (* equal inputs keep the configuration symmetric; `check` still sweeps
          distinct inputs *)
       X.explore ~n ~m ~rot ~inputs:(Array.make n 42) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
     | Election ->
       let module X = Xpl (Coord.Election.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
     | Renaming ->
       let module X = Xpl (Coord.Renaming.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
     | Ccp ->
       let module X = Xpl (Coord.Ccp.P) in
       X.explore ~n ~m ~rot ~inputs:(Array.make n ()) ~reduction ~par ~domains
         ~max_states ~depths ~snapshot_to ~snapshot_every ~resume_from
-        ~deadline_s ~salvage ~supervise ~disk_visited ~disk_hot_cap
+        ~deadline_s ~salvage ~supervise ~engine ~disk_visited ~disk_hot_cap
+        ~disk_quota ~recover
   with
   | exception Check.Snapshot.Error e ->
     Format.eprintf "coordctl: snapshot rejected: %s@."
@@ -1665,6 +1758,26 @@ let supervise_arg =
            hanging. Results stay bit-identical to the unsupervised \
            explorer. Enabled automatically by $(b,--inject-faults).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("sharded", Check.Explore.Sharded);
+                ("barrier", Check.Explore.Barrier);
+              ]))
+        None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "With $(b,--par), choreography of the wide generations: \
+           $(b,sharded) (the default — continuous shard owners over SPSC \
+           mailboxes with work stealing) or $(b,barrier) (five lock-step \
+           phases per generation). Both produce bit-identical results; \
+           the knob exists for benchmarks and fault campaigns that must \
+           pin one down (DESIGN.md §13).")
+
 let inject_arg =
   Arg.(
     value
@@ -1772,6 +1885,29 @@ let explore_cmd =
              on graphs of any size. Never changes results, only where \
              the visited set lives.")
   in
+  let disk_faults =
+    Arg.(
+      value & flag
+      & info [ "disk-faults" ]
+          ~doc:
+            "With $(b,--inject-faults), widen the fault pool with storage \
+             faults: short writes, transient I/O errors, a cumulative \
+             disk-full and fsync failures (DESIGN.md §14). Off by \
+             default so older seeds replay the exact plans they were \
+             recorded with.")
+  in
+  let disk_quota =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "disk-quota" ] ~docv:"BYTES"
+          ~doc:
+            "With $(b,--disk-visited), cap the sorted-run bytes on disk. \
+             The exploration stops gracefully $(i,before) the spill that \
+             would breach the cap — stop reason $(b,disk_full), \
+             checkpoint flushed — and a $(b,--resume) with a larger (or \
+             no) quota completes bit-identically.")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
@@ -1779,7 +1915,8 @@ let explore_cmd =
         (const explore $ proto_arg $ n_arg $ m_arg $ rot $ par_arg
        $ domains_arg $ canon_arg $ no_canon_arg $ max_states $ depths
        $ snapshot $ snapshot_every_arg $ resume_arg $ deadline_arg
-       $ salvage_arg $ supervise_arg $ disk_visited $ disk_hot_cap))
+       $ salvage_arg $ supervise_arg $ engine_arg $ inject_arg $ disk_faults
+       $ disk_quota $ disk_visited $ disk_hot_cap))
 
 let bench_cmd =
   let doc = "quick in-process checker benchmark (full vs quotient)" in

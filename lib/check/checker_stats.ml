@@ -13,6 +13,7 @@ type stop_reason =
   | Deadline
   | Oom
   | Fault
+  | Disk_full
 
 let stop_reason_tag = function
   | Completed -> "completed"
@@ -21,6 +22,7 @@ let stop_reason_tag = function
   | Deadline -> "deadline"
   | Oom -> "oom"
   | Fault -> "fault"
+  | Disk_full -> "disk_full"
 
 type t = {
   protocol : string;
@@ -38,6 +40,7 @@ type t = {
   complete : bool;
   stop : stop_reason;
   restarts : int;
+  recoveries : int;
   canon : bool;
   degraded : bool;
   group_order : int;
@@ -71,7 +74,8 @@ let equal_ignoring_time a b =
      its (cold) caches, so the bit-identity relation must ignore them.
      [restarts] likewise counts infrastructure weather (how many worker
      domains died and were respawned), not anything about the graph —
-     as do [steals]/[handoffs] (scheduling luck in the sharded engine)
+     as do [recoveries] (whole attempts [with_recovery] retried),
+     [steals]/[handoffs] (scheduling luck in the sharded engine)
      and [spilled_runs]/[disk_probes] (where the memory watermark
      happened to trip, and how much of a resumed run's probing the
      interrupted run had already paid for). *)
@@ -82,6 +86,7 @@ let equal_ignoring_time a b =
       sig_pruned = 0;
       canon_hits = 0;
       restarts = 0;
+      recoveries = 0;
       steals = 0;
       handoffs = 0;
       spilled_runs = 0;
@@ -132,6 +137,11 @@ let pp ppf t =
   if t.restarts > 0 then
     Format.fprintf ppf "@,supervision: %d worker domain restart%s" t.restarts
       (if t.restarts = 1 then "" else "s");
+  if t.recoveries > 0 then
+    Format.fprintf ppf
+      "@,recovery: %d attempt%s retried from the newest salvageable state"
+      t.recoveries
+      (if t.recoveries = 1 then "" else "s");
   if t.steals > 0 || t.handoffs > 0 then
     Format.fprintf ppf
       "@,sharding: %d cross-shard handoff batches, %d frontier batches stolen"
@@ -189,6 +199,7 @@ let to_json t =
   | None -> field "cutover" "null");
   field "stop" (Printf.sprintf "%S" (stop_reason_tag t.stop));
   field "restarts" (string_of_int t.restarts);
+  field "recoveries" (string_of_int t.recoveries);
   field "steals" (string_of_int t.steals);
   field "handoffs" (string_of_int t.handoffs);
   field "spilled_runs" (string_of_int t.spilled_runs);

@@ -30,6 +30,10 @@ type stop_reason =
   | Fault
       (** the supervised parallel engine gave up (a stalled domain
           outlived its patience budget) and salvaged the last boundary *)
+  | Disk_full
+      (** the disk-backed visited set hit its byte quota: spilling
+          stopped and the run was cut at an exact boundary instead of
+          corrupting the run set *)
 
 val stop_reason_tag : stop_reason -> string
 (** Lower-case tag, as rendered in {!to_json}. *)
@@ -56,6 +60,12 @@ type t = {
   restarts : int;
       (** worker domains the supervised parallel engine detected dead and
           respawned; 0 outside supervised mode *)
+  recoveries : int;
+      (** whole exploration attempts {!Explore.Make.with_recovery}
+          retried after a transient infrastructure failure (killed
+          supervisor, stall abandonment, allocation failure, corrupt
+          snapshot, injected I/O fault); 0 outside the recovery driver.
+          Infrastructure weather, scrubbed by {!equal_ignoring_time}. *)
   canon : bool;  (** explored the symmetry quotient, not the full graph *)
   degraded : bool;
       (** [canon] was requested but the group silently fell back to the
@@ -113,7 +123,8 @@ val equal_ignoring_time : t -> t -> bool
     never reproduce), the cache-effectiveness counters [sig_pruned] and
     [canon_hits] (which depend on domain count and on where a resume
     restarted its cold caches), and the infrastructure-weather counters
-    [restarts], [steals], [handoffs], [spilled_runs] and [disk_probes]
+    [restarts], [recoveries], [steals], [handoffs], [spilled_runs] and
+    [disk_probes]
     (scheduling luck and watermark timing, not graph facts). This is the
     "bit-identical statistics"
     relation the checkpoint/resume tests assert: a truncated-then-resumed

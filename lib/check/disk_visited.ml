@@ -3,6 +3,8 @@ type run = { r_file : string; r_count : int }
 type t = {
   dir : string;
   key_len : int;
+  quota_bytes : int option;
+  mutable bytes : int;  (* payload bytes across all runs *)
   mutable runs : run list;  (* oldest first *)
   mutable next_run : int;
   mutable probes : int;
@@ -21,14 +23,23 @@ let is_run_file f =
   && String.sub f 0 4 = "run-"
   && Filename.check_suffix f ".run"
 
+(* A spill that died between opening its tmp file and the rename leaves
+   "run-NNNN.run.tmp" behind. No manifest ever references a tmp file, so
+   they are garbage by construction — but garbage that accumulates under
+   a fault campaign, so open and restore sweep them with the strays. *)
+let is_run_tmp f =
+  String.length f > 4
+  && String.sub f 0 4 = "run-"
+  && Filename.check_suffix f ".tmp"
+
 let remove_stray_runs ~dir ~keep =
   Array.iter
     (fun f ->
-      if is_run_file f && not (List.mem f keep) then
+      if (is_run_file f && not (List.mem f keep)) || is_run_tmp f then
         try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
     (try Sys.readdir dir with Sys_error _ -> [||])
 
-let create ~dir ~key_len =
+let create ?quota_bytes ~dir ~key_len () =
   (try
      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
      else if not (Sys.is_directory dir) then
@@ -40,21 +51,52 @@ let create ~dir ~key_len =
              (Printf.sprintf "cannot create %s: %s" dir
                 (Unix.error_message e)))));
   remove_stray_runs ~dir ~keep:[];
-  { dir; key_len; runs = []; next_run = 0; probes = 0 }
+  { dir; key_len; quota_bytes; bytes = 0; runs = []; next_run = 0; probes = 0 }
+
+let would_exceed_quota t ~adding =
+  match t.quota_bytes with
+  | None -> false
+  | Some q -> t.bytes + adding > q
 
 let spill t ~fingerprint ~descr keys =
   let file = run_file t.next_run in
-  let buf = Buffer.create (Array.length keys * t.key_len) in
+  let payload_bytes = Array.length keys * t.key_len in
+  (* defensive: the explorer checks [would_exceed_quota] BEFORE sorting
+     and spilling, and degrades gracefully; reaching this raise means a
+     caller ignored the quota, and refusing is better than exceeding it *)
+  if would_exceed_quota t ~adding:payload_bytes then
+    raise
+      (Snapshot.Error
+         (Snapshot.Io
+            (Printf.sprintf
+               "disk-visited byte quota exceeded: %d + %d > %d" t.bytes
+               payload_bytes
+               (Option.get t.quota_bytes))));
+  let buf = Buffer.create payload_bytes in
   Array.iter (Buffer.add_string buf) keys;
-  Snapshot.write
-    ~path:(Filename.concat t.dir file)
-    ~fingerprint ~descr (Buffer.contents buf);
+  let path = Filename.concat t.dir file in
+  Snapshot.write ~path ~fingerprint ~descr (Buffer.contents buf);
+  (* Verify after write. Probes trust run payloads without re-hashing
+     (see [run_payload]), so a write damaged in flight — torn, truncated
+     or bit-flipped on its way to the platter — would silently falsify
+     membership answers for the rest of the exploration: the one failure
+     mode an exhaustive checker can never accept. One read-back at spill
+     time pins the CRC (computed over the clean payload, before the
+     write could damage it) and surfaces damage as [Corrupt] while the
+     spill is still retryable. *)
+  (match Snapshot.read ~path with
+  | _, payload when String.length payload = payload_bytes -> ()
+  | _ ->
+    raise
+      (Snapshot.Error
+         (Snapshot.Corrupt { path; detail = "run damaged during write" })));
   t.next_run <- t.next_run + 1;
+  t.bytes <- t.bytes + payload_bytes;
   t.runs <- t.runs @ [ { r_file = file; r_count = Array.length keys } ]
 
 (* Raw payload of a run, skipping the CRC: runs are immutable and were
-   fully validated when written ([Snapshot.write] fsyncs) or restored, so
-   a per-generation re-hash would only burn throughput. The framing is
+   CRC-validated by the read-back in [spill] or by [restore], so a
+   per-generation re-hash would only burn throughput. The framing is
    still parsed defensively — a truncated file surfaces as [Corrupt], not
    as garbage keys. *)
 let run_payload ~path =
@@ -133,7 +175,7 @@ let manifest t =
     m_next_run = t.next_run;
   }
 
-let restore ~dir ~fingerprint ~descr m =
+let restore ?quota_bytes ~dir ~fingerprint ~descr m =
   List.iter
     (fun (file, count) ->
       let path = Filename.concat dir file in
@@ -156,6 +198,9 @@ let restore ~dir ~fingerprint ~descr m =
   {
     dir;
     key_len = m.m_key_len;
+    quota_bytes;
+    bytes =
+      List.fold_left (fun acc (_, c) -> acc + (c * m.m_key_len)) 0 m.m_runs;
     runs = List.map (fun (f, c) -> { r_file = f; r_count = c }) m.m_runs;
     next_run = m.m_next_run;
     probes = 0;
@@ -164,3 +209,4 @@ let restore ~dir ~fingerprint ~descr m =
 let n_runs t = List.length t.runs
 let n_keys t = List.fold_left (fun acc r -> acc + r.r_count) 0 t.runs
 let n_probes t = t.probes
+let n_bytes t = t.bytes

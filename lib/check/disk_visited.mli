@@ -31,17 +31,29 @@ type manifest
     next run number) — embedded in the explorer's snapshot payload so a
     checkpoint names exactly the runs that existed when it was taken. *)
 
-val create : dir:string -> key_len:int -> t
+val create : ?quota_bytes:int -> dir:string -> key_len:int -> unit -> t
 (** Fresh store in [dir] (created if missing) for keys of exactly
-    [key_len] bytes. Stale run files from an abandoned exploration in the
-    same directory are deleted. Raises {!Snapshot.Error} ([Io _]) when
-    the directory cannot be created. *)
+    [key_len] bytes. Stale run files — and [run-*.tmp] debris a torn
+    spill left behind — from an abandoned exploration in the same
+    directory are deleted. [quota_bytes] bounds the total payload bytes
+    the store may hold across all runs; the explorer consults
+    {!would_exceed_quota} before each spill and degrades gracefully
+    (stop spilling, flush an exact boundary, report
+    [stop_reason = disk_full]) instead of breaching it. Raises
+    {!Snapshot.Error} ([Io _]) when the directory cannot be created. *)
+
+val would_exceed_quota : t -> adding:int -> bool
+(** Whether spilling [adding] more payload bytes would push the store
+    past its byte quota. Always [false] without a quota. *)
 
 val spill :
   t -> fingerprint:Digest.t -> descr:string -> string array -> unit
 (** [spill t ~fingerprint ~descr keys] durably writes [keys] — sorted
     ascending, each [key_len] bytes, disjoint from every existing run —
-    as the next immutable run. Raises {!Snapshot.Error} on I/O failure. *)
+    as the next immutable run. Raises {!Snapshot.Error} on I/O failure,
+    or ([Io _]) if the spill would breach the byte quota (callers are
+    expected to check {!would_exceed_quota} first — the raise is a
+    last-ditch refusal, never silent breach). *)
 
 val probe : t -> string array -> bool array
 (** [probe t keys] resolves membership of [keys] (sorted ascending)
@@ -53,14 +65,21 @@ val probe : t -> string array -> bool array
 val manifest : t -> manifest
 
 val restore :
-  dir:string -> fingerprint:Digest.t -> descr:string -> manifest -> t
+  ?quota_bytes:int ->
+  dir:string ->
+  fingerprint:Digest.t ->
+  descr:string ->
+  manifest ->
+  t
 (** Reopen the run set a [manifest] describes, fully re-validating every
     listed run (envelope CRC, fingerprint, byte length against the
     manifest's key count) — raises {!Snapshot.Error} if any check fails,
     so a salvaging caller can fall back to an older checkpoint. Run
-    files in [dir] that the manifest does {e not} list are deleted: they
-    belong to a future this rollback abandons, and probing them would
-    wrongly suppress states the restored frontier still has to reach. *)
+    files in [dir] that the manifest does {e not} list are deleted
+    (along with any [run-*.tmp] debris): they belong to a future this
+    rollback abandons, and probing them would wrongly suppress states
+    the restored frontier still has to reach. The byte count behind
+    {!would_exceed_quota} is rebuilt from the manifest. *)
 
 val n_runs : t -> int
 (** Immutable runs currently on disk. *)
@@ -70,3 +89,6 @@ val n_keys : t -> int
 
 val n_probes : t -> int
 (** Batched probes served since [create]/[restore]. *)
+
+val n_bytes : t -> int
+(** Total payload bytes across all runs (what the quota bounds). *)

@@ -444,6 +444,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         complete;
         stop = (if complete then Checker_stats.Completed else !stopped);
         restarts = !restarts_total;
+        recoveries = 0;
         canon;
         degraded;
         group_order;
@@ -617,13 +618,13 @@ module Make (P : Protocol.PROTOCOL) = struct
           Hashtbl.add shard_tbl.(state_owner st) key id)
         init_states;
       (* Per-engine setup of a wide (parallel-mode) generation, run by
-         the single worker that just closed the previous one. The
-         supervised crew always runs the phase-style choreography (its
-         epochs are built from the barrier engine's phases), whatever
-         engine was requested. *)
+         the single worker that just closed the previous one — and again
+         by the supervisor when a failed sharded attempt is replayed (the
+         reset below is exactly what makes a retry start from a clean
+         slate). *)
       let prep_parallel_gen head =
         let nf = Array.length head in
-        match (if supervise then Barrier else engine) with
+        match engine with
         | Barrier ->
           succ_lists := Array.make nf [];
           trans := Array.make nf []
@@ -870,100 +871,126 @@ module Make (P : Protocol.PROTOCOL) = struct
       in
       (* ---------------- sharded engine: one wide generation ----------
          No per-phase barriers: every domain continuously expands frontier
-         states (its own shard's worklist first, stealing from the
-         heaviest shard when dry), resolves candidates its shard owns the
+         states (its own shards' worklists first, stealing from the
+         heaviest shard when dry), resolves candidates its shards own the
          moment they arrive, and hands the rest over the mailboxes. The
          only synchronization is the termination counter [pending] plus
          two barriers at generation end (logs complete; logs sorted),
          after which worker 0 merges the per-owner logs in candidate-key
          order — replaying exactly the sequential id scan, so the result
-         is bit-identical to the barrier engine's and to [explore]'s. *)
+         is bit-identical to the barrier engine's and to [explore]'s.
+
+         SLOTS and SHARDS are distinct notions throughout: a slot is a
+         crew member (a domain), a shard a partition of the state space.
+         The unsupervised crew pins slot [s] to shard [s] for the whole
+         run ([leased = ref [s]]); the supervised crew hands shards out
+         as LEASES a slot holds until the generation attempt ends, so a
+         crew smaller than [d] — a worker that exhausted its restart
+         budget — still serves every shard, and a dead owner's shard is
+         reassigned to a survivor by the same CAS claim that hands out
+         phase work. *)
       let log_add o ckey target = logs.(o) := (ckey, target) :: !(logs.(o)) in
-      (* Owner-side resolution. Targets: [id >= 0] an already-interned
-         state; [-1 - slot] the [slot]-th distinct fresh key this shard
-         saw this generation. Which arrival creates the slot is a race,
-         but rep and orbit are functions of the key, and the id is
-         assigned at merge time to the occurrence that is first in
-         candidate-key order — so arrival order never shows. *)
-      let resolve_local me ~ckey ~key ~rep ~orbit =
-        match Hashtbl.find_opt shard_tbl.(me) key with
-        | Some id -> log_add me ckey id
+      (* Owner-side resolution for [shard]; only its current lease holder
+         may call this. Targets: [id >= 0] an already-interned state;
+         [-1 - slot] the [slot]-th distinct fresh key this shard saw this
+         generation. Which arrival creates the slot is a race, but rep
+         and orbit are functions of the key, and the id is assigned at
+         merge time to the occurrence that is first in candidate-key
+         order — so arrival order never shows. *)
+      let resolve_local shard ~ckey ~key ~rep ~orbit =
+        match Hashtbl.find_opt shard_tbl.(shard) key with
+        | Some id -> log_add shard ckey id
         | None -> (
-          match Hashtbl.find_opt scratch.(me) key with
-          | Some slot -> log_add me ckey (-1 - slot)
+          match Hashtbl.find_opt scratch.(shard) key with
+          | Some slot -> log_add shard ckey (-1 - slot)
           | None ->
-            let slot = slot_cnt.(me) in
-            slot_cnt.(me) <- slot + 1;
-            Hashtbl.add scratch.(me) key slot;
-            slot_keys_rev.(me) := key :: !(slot_keys_rev.(me));
-            slot_reps_rev.(me) := rep :: !(slot_reps_rev.(me));
-            slot_orbs_rev.(me) := orbit :: !(slot_orbs_rev.(me));
-            log_add me ckey (-1 - slot))
+            let slot = slot_cnt.(shard) in
+            slot_cnt.(shard) <- slot + 1;
+            Hashtbl.add scratch.(shard) key slot;
+            slot_keys_rev.(shard) := key :: !(slot_keys_rev.(shard));
+            slot_reps_rev.(shard) := rep :: !(slot_reps_rev.(shard));
+            slot_orbs_rev.(shard) := orbit :: !(slot_orbs_rev.(shard));
+            log_add shard ckey (-1 - slot))
       in
-      let drain_inbox me =
+      (* Pop every producer's ring into [shard]'s resolution structures.
+         Single-consumer discipline: only the shard's current lease
+         holder calls this. A slot's own ring for a shard it leases can
+         only hold batches it pushed before acquiring the lease
+         mid-attempt, so popping it is same-thread and safe. *)
+      let drain_shard shard =
         let got = ref false in
         for p = 0 to d - 1 do
-          if p <> me then begin
-            let continue_ = ref true in
-            while !continue_ do
-              match Parallel.Spsc.try_pop rings.(p).(me) with
-              | Some batch ->
-                got := true;
-                Array.iter
-                  (fun h ->
-                    resolve_local me ~ckey:h.h_ckey ~key:h.h_key ~rep:h.h_rep
-                      ~orbit:h.h_orbit)
-                  batch;
-                ignore (Atomic.fetch_and_add pending (-Array.length batch))
-              | None -> continue_ := false
-            done
-          end
+          let continue_ = ref true in
+          while !continue_ do
+            match Parallel.Spsc.try_pop rings.(p).(shard) with
+            | Some batch ->
+              got := true;
+              Array.iter
+                (fun h ->
+                  resolve_local shard ~ckey:h.h_ckey ~key:h.h_key ~rep:h.h_rep
+                    ~orbit:h.h_orbit)
+                batch;
+              ignore (Atomic.fetch_and_add pending (-Array.length batch))
+            | None -> continue_ := false
+          done
         done;
         !got
       in
-      let rec flush_ring me o =
-        let len = out_len.(me).(o) in
+      let drain_leased leased =
+        List.fold_left
+          (fun acc s ->
+            let got = drain_shard s in
+            got || acc)
+          false !leased
+      in
+      let rec flush_ring ~abort slot ~leased o =
+        let len = out_len.(slot).(o) in
         if len > 0 then
-          if Parallel.Spsc.try_push rings.(me).(o) (Array.sub out_buf.(me).(o) 0 len)
+          if
+            Parallel.Spsc.try_push rings.(slot).(o)
+              (Array.sub out_buf.(slot).(o) 0 len)
           then begin
-            out_len.(me).(o) <- 0;
-            handoffs_ctr.(me) <- handoffs_ctr.(me) + 1
+            out_len.(slot).(o) <- 0;
+            handoffs_ctr.(slot) <- handoffs_ctr.(slot) + 1
           end
-          else if !failure <> None then
+          else if abort () then
             (* the consumer may be dead; the generation is aborting *)
-            out_len.(me).(o) <- 0
+            out_len.(slot).(o) <- 0
           else begin
-            (* full ring: draining our own inbox is the one productive,
+            (* full ring: draining our own inboxes is the one productive,
                deadlock-free thing to do while the owner catches up *)
-            ignore (drain_inbox me);
+            ignore (drain_leased leased);
             Domain.cpu_relax ();
-            flush_ring me o
+            flush_ring ~abort slot ~leased o
           end
       in
-      let flush_all me =
+      (* Every buffered batch, including batches for shards we lease
+         ourselves (buffered before a mid-attempt lease claim): those go
+         through our own ring and come back out in [drain_shard]. *)
+      let flush_all ~abort slot ~leased =
         for o = 0 to d - 1 do
-          if o <> me then flush_ring me o
+          flush_ring ~abort slot ~leased o
         done
       in
-      let hand_off me o h =
-        if out_len.(me).(o) = handoff_batch then flush_ring me o;
-        out_buf.(me).(o).(out_len.(me).(o)) <- h;
-        out_len.(me).(o) <- out_len.(me).(o) + 1
+      let hand_off ~abort slot ~leased o h =
+        if out_len.(slot).(o) = handoff_batch then flush_ring ~abort slot ~leased o;
+        out_buf.(slot).(o).(out_len.(slot).(o)) <- h;
+        out_len.(slot).(o) <- out_len.(slot).(o) + 1
       in
-      let expand_one me i =
-        Resilience.worker_tick ~domain:me;
+      let expand_one ~abort slot ~leased i =
+        Resilience.worker_tick ~domain:slot;
         let succ = successors cfg !frontier.(i) in
         !gen_labels.(i) <- Array.of_list (List.map fst succ);
         let cross = ref 0 in
         List.iteri
           (fun pos (_, st') ->
-            let rep, key, orbit = canonize_cached ccs.(me) codec st' in
+            let rep, key, orbit = canonize_cached ccs.(slot) codec st' in
             let o = state_owner rep in
             let ckey = (i * kmax) + pos in
-            if o = me then resolve_local me ~ckey ~key ~rep ~orbit
+            if List.mem o !leased then resolve_local o ~ckey ~key ~rep ~orbit
             else begin
               incr cross;
-              hand_off me o
+              hand_off ~abort slot ~leased o
                 { h_ckey = ckey; h_key = key; h_rep = rep; h_orbit = orbit }
             end)
           succ;
@@ -972,8 +999,8 @@ module Make (P : Protocol.PROTOCOL) = struct
            still in flight *)
         ignore (Atomic.fetch_and_add pending (!cross - 1))
       in
-      (* Claim a batch of shard [s]'s frontier worklist for [me]. *)
-      let expand_from me s =
+      (* Claim a batch of shard [s]'s frontier worklist for [slot]. *)
+      let expand_from ~abort slot ~leased s =
         let ws = !wl.(s) in
         let len = Array.length ws in
         if Atomic.get wl_cursor.(s) >= len then 0
@@ -983,16 +1010,16 @@ module Make (P : Protocol.PROTOCOL) = struct
           else begin
             let hi = min len (c + steal_batch) in
             for x = c to hi - 1 do
-              expand_one me ws.(x)
+              expand_one ~abort slot ~leased ws.(x)
             done;
             hi - c
           end
         end
       in
-      let try_steal me =
+      let try_steal ~abort slot ~leased =
         let best = ref (-1) and best_rem = ref 0 in
         for s = 0 to d - 1 do
-          if s <> me then begin
+          if not (List.mem s !leased) then begin
             let rem = Array.length !wl.(s) - Atomic.get wl_cursor.(s) in
             if rem > !best_rem then begin
               best := s;
@@ -1002,26 +1029,38 @@ module Make (P : Protocol.PROTOCOL) = struct
         done;
         !best >= 0
         &&
-        let got = expand_from me !best in
-        if got > 0 then steals_ctr.(me) <- steals_ctr.(me) + 1;
+        let got = expand_from ~abort slot ~leased !best in
+        if got > 0 then steals_ctr.(slot) <- steals_ctr.(slot) + 1;
         got > 0
       in
-      let work_loop me =
+      (* Serve the generation as [slot] until its work is drained or
+         [abort] fires: resolve candidates arriving for leased shards,
+         expand leased worklists (stealing from the heaviest other shard
+         when dry), and poll [claim] for orphaned shard leases while
+         there is nothing else to do. [beat] is the supervised crew's
+         heartbeat hook; the unsupervised crew passes no-ops for both. *)
+      let serve_loop ~abort ~claim ~beat slot leased =
         let idle = ref 0 in
         let running = ref true in
         while !running do
-          if !failure <> None then running := false
+          beat ();
+          if abort () then running := false
           else begin
-            let did = drain_inbox me in
-            let did = expand_from me me > 0 || did in
+            let did = drain_leased leased in
+            let did =
+              List.fold_left
+                (fun acc s -> expand_from ~abort slot ~leased s > 0 || acc)
+                did !leased
+            in
             let did =
               did
               ||
-              (* own shard is dry: publish whatever we buffered, then go
-                 help the heaviest shard *)
-              (flush_all me;
-               try_steal me)
+              (* leased shards are dry: publish whatever we buffered,
+                 then go help the heaviest shard *)
+              (flush_all ~abort slot ~leased;
+               try_steal ~abort slot ~leased)
             in
+            let did = claim () || did in
             if did then idle := 0
             else if Atomic.get pending = 0 then running := false
             else begin
@@ -1309,7 +1348,12 @@ module Make (P : Protocol.PROTOCOL) = struct
               Parallel.Barrier.wait b;
               if me = 0 then guard collect
             | Sharded ->
-              guard (fun () -> work_loop me);
+              guard (fun () ->
+                  serve_loop
+                    ~abort:(fun () -> !failure <> None)
+                    ~claim:(fun () -> false)
+                    ~beat:(fun () -> ())
+                    me (ref [ me ]));
               Parallel.Barrier.wait b;
               (* all logs complete (or the generation is aborting) *)
               guard (fun () -> sort_phase me);
@@ -1323,23 +1367,38 @@ module Make (P : Protocol.PROTOCOL) = struct
           end
         done
       in
-      (* -------- supervised engine (self-healing alternative crew) -----
-         Same five phases and the same sequential decision points
-         ([flatten], [assign_ids], [collect] stay on this thread, exactly
-         as worker 0 ran them in the barrier engine — which is what keeps
-         the two engines bit-identical). The difference is choreography:
-         instead of barriers, each parallel phase becomes an {e epoch}
-         whose work units are claimed by compare-and-set from a shared
-         table. Units are idempotent — phase B resets its scratch before
+      (* -------- supervised crew (self-healing choreography) -----------
+         Supervision wraps whichever engine was requested — it no longer
+         swaps the sharded engine for the barrier one. Coordination runs
+         through {e epochs}: work units claimed by compare-and-set from a
+         shared table published as one atomic record.
+
+         Barrier engine under supervision: each parallel phase is an
+         epoch of idempotent units — phase B resets its scratch before
          resolving, phase C1 inserts with [replace], phases A/C2 write
          disjoint array slots — so when a worker domain dies the units it
          had claimed are simply requeued for the survivors and the domain
-         is respawned with bounded, jittered backoff. A domain that is
-         still alive but stops heartbeating mid-unit can NOT be requeued
-         safely (it may yet mutate its shard), so after an escalating
-         patience budget the whole attempt is abandoned with
-         {!Resilience.Stalled}; {!with_recovery} then resumes from the
-         last durable snapshot. *)
+         is respawned with bounded, jittered backoff.
+
+         Sharded engine under supervision: the epoch's unit table is the
+         shard LEASE table — claiming unit [u] leases shard [u]'s
+         resolution structures until the generation attempt ends, and
+         idle slots keep claiming orphaned leases, so a shrunken crew
+         still serves every shard. A death mid-attempt is different from
+         the barrier case: the dead slot's worklist claims and buffered
+         handoffs are unrecoverable, so the whole attempt aborts —
+         survivors park, the supervisor drains the rings, re-preps the
+         generation and replays it from its (unmutated) inputs, and the
+         dead domain respawns under the same bounded backoff. Durable
+         state — shard tables, ids, chunk lists — is only touched by
+         [merge_and_collect] after a clean attempt, which is what makes
+         the replay safe and the merged result bit-identical.
+
+         Either way, a domain that is still alive but stops heartbeating
+         while holding work can NOT be requeued safely (it may yet mutate
+         its shard), so after an escalating patience budget the whole
+         attempt is abandoned with {!Resilience.Stalled};
+         {!with_recovery} then resumes from the last durable snapshot. *)
       let supervised_drive () =
         let chunk = 32 in
         let cur =
@@ -1413,6 +1472,81 @@ module Make (P : Protocol.PROTOCOL) = struct
                 ())
             doms
         in
+        (* One supervision pass over the crew, shared by every kind of
+           epoch. [us] is the unit (or lease) table — a cell at [w + 1]
+           means slot [w] holds work. Death is reported through
+           [on_death] (the barrier phases requeue the dead slot's units;
+           the sharded engine aborts the attempt) and the domain respawns
+           under bounded, jittered backoff; a live-but-silent holder gets
+           the escalating patience treatment and finally abandonment. *)
+        let monitor ~us ~last_hb ~t_mark ~level ~on_death =
+          let t = Checker_stats.now () in
+          for w = 1 to d - 1 do
+            if doms.(w) <> None && not abandoned.(w) then
+              if not (Atomic.get alive.(w)) then begin
+                on_death w;
+                if respawn_at.(w) = infinity then begin
+                  if restart_count.(w) < max_domain_restarts then begin
+                    let backoff =
+                      0.001
+                      *. float_of_int (1 lsl restart_count.(w))
+                      *. (1. +. Rng.float jrng)
+                    in
+                    restart_count.(w) <- restart_count.(w) + 1;
+                    incr restarts_total;
+                    respawn_at.(w) <- t +. backoff
+                  end
+                  else begin
+                    (* restart budget exhausted: reap the corpse and
+                       carry on with a smaller crew *)
+                    (match doms.(w) with
+                    | Some dh -> Domain.join dh
+                    | None -> ());
+                    doms.(w) <- None
+                  end
+                end
+                else if t >= respawn_at.(w) then begin
+                  respawn_at.(w) <- infinity;
+                  spawn w;
+                  (* a fresh worker starts with a fresh stall clock *)
+                  last_hb.(w) <- Atomic.get hb.(w);
+                  t_mark.(w) <- t;
+                  level.(w) <- 0
+                end
+              end
+              else begin
+                let beat = Atomic.get hb.(w) in
+                if beat <> last_hb.(w) then begin
+                  last_hb.(w) <- beat;
+                  t_mark.(w) <- t;
+                  level.(w) <- 0
+                end
+                else if Array.exists (fun u -> Atomic.get u = w + 1) us
+                then begin
+                  let threshold =
+                    patience_base *. float_of_int (1 lsl level.(w))
+                  in
+                  if t -. t_mark.(w) > threshold then
+                    if level.(w) < max_patience_levels then begin
+                      level.(w) <- level.(w) + 1;
+                      t_mark.(w) <- t
+                    end
+                    else begin
+                      abandoned.(w) <- true;
+                      raise
+                        (Resilience.Stalled
+                           {
+                             domain = w;
+                             waited_s =
+                               patience_base
+                               *. float_of_int
+                                    ((1 lsl (max_patience_levels + 1)) - 1);
+                           })
+                    end
+                end
+              end
+          done
+        in
         let run_epoch ~n_units fn =
           incr epoch_no;
           let ep =
@@ -1438,75 +1572,11 @@ module Make (P : Protocol.PROTOCOL) = struct
               incr spins;
               if !spins land 255 = 0 then Unix.sleepf 0.0002
               else Domain.cpu_relax ();
-              let t = Checker_stats.now () in
-              for w = 1 to d - 1 do
-                if doms.(w) <> None && not abandoned.(w) then
-                  if not (Atomic.get alive.(w)) then begin
-                    (* dead: its claimed units go back to the pool *)
-                    Array.iter
-                      (fun u -> ignore (Atomic.compare_and_set u (w + 1) 0))
-                      us;
-                    if respawn_at.(w) = infinity then begin
-                      if restart_count.(w) < max_domain_restarts then begin
-                        let backoff =
-                          0.001
-                          *. float_of_int (1 lsl restart_count.(w))
-                          *. (1. +. Rng.float jrng)
-                        in
-                        restart_count.(w) <- restart_count.(w) + 1;
-                        incr restarts_total;
-                        respawn_at.(w) <- t +. backoff
-                      end
-                      else begin
-                        (* restart budget exhausted: reap the corpse and
-                           carry on with a smaller crew *)
-                        (match doms.(w) with
-                        | Some dh -> Domain.join dh
-                        | None -> ());
-                        doms.(w) <- None
-                      end
-                    end
-                    else if t >= respawn_at.(w) then begin
-                      respawn_at.(w) <- infinity;
-                      spawn w;
-                      (* a fresh worker starts with a fresh stall clock *)
-                      last_hb.(w) <- Atomic.get hb.(w);
-                      t_mark.(w) <- t;
-                      level.(w) <- 0
-                    end
-                  end
-                  else begin
-                    let beat = Atomic.get hb.(w) in
-                    if beat <> last_hb.(w) then begin
-                      last_hb.(w) <- beat;
-                      t_mark.(w) <- t;
-                      level.(w) <- 0
-                    end
-                    else if Array.exists (fun u -> Atomic.get u = w + 1) us
-                    then begin
-                      let threshold =
-                        patience_base *. float_of_int (1 lsl level.(w))
-                      in
-                      if t -. t_mark.(w) > threshold then
-                        if level.(w) < max_patience_levels then begin
-                          level.(w) <- level.(w) + 1;
-                          t_mark.(w) <- t
-                        end
-                        else begin
-                          abandoned.(w) <- true;
-                          raise
-                            (Resilience.Stalled
-                               {
-                                 domain = w;
-                                 waited_s =
-                                   patience_base
-                                   *. float_of_int
-                                        ((1 lsl (max_patience_levels + 1)) - 1);
-                               })
-                        end
-                    end
-                  end
-              done
+              monitor ~us ~last_hb ~t_mark ~level ~on_death:(fun w ->
+                  (* dead: its claimed units go back to the pool *)
+                  Array.iter
+                    (fun u -> ignore (Atomic.compare_and_set u (w + 1) 0))
+                    us)
             end
           done
         in
@@ -1583,6 +1653,128 @@ module Make (P : Protocol.PROTOCOL) = struct
               done);
           collect ()
         in
+        (* ---- one supervised SHARDED generation -------------------------
+           The epoch's unit table doubles as the shard lease table:
+           claiming unit [u] (by the very CAS that claims phase work)
+           leases shard [u] to the claiming slot until the attempt ends.
+           A clean attempt drains [pending] to zero exactly like the
+           unsupervised crew; a death mid-attempt aborts and replays the
+           attempt from its unmutated inputs (see the section comment). *)
+        let run_sharded_gen () =
+          let attempts = ref 0 in
+          let again = ref true in
+          while !again do
+            again := false;
+            incr attempts;
+            let failed = Atomic.make false in
+            let death = ref None in
+            incr epoch_no;
+            let units = Array.init d (fun _ -> Atomic.make 0) in
+            let claim_for slot leased () =
+              let got = ref false in
+              for u = 0 to d - 1 do
+                if
+                  Atomic.get units.(u) = 0
+                  && Atomic.compare_and_set units.(u) 0 (slot + 1)
+                then begin
+                  leased := u :: !leased;
+                  got := true
+                end
+              done;
+              !got
+            in
+            let last_hb = Array.map Atomic.get hb in
+            let t_mark = Array.make d (Checker_stats.now ()) in
+            let level = Array.make d 0 in
+            let ticks = ref 0 in
+            (* rate-limited, and woven into the supervisor's [abort]
+               probe below so supervision keeps running even while the
+               supervisor is blocked pushing to a dead consumer's ring *)
+            let monitor0 () =
+              incr ticks;
+              if !ticks land 31 = 0 then
+                monitor ~us:units ~last_hb ~t_mark ~level ~on_death:(fun w ->
+                    if Atomic.compare_and_set failed false true then
+                      death := Some (Resilience.Killed { domain = w }))
+            in
+            let serve slot leased =
+              let abort =
+                if slot = 0 then fun () ->
+                  monitor0 ();
+                  Atomic.get failed
+                else fun () -> Atomic.get failed
+              in
+              serve_loop ~abort ~claim:(claim_for slot leased)
+                ~beat:(fun () -> Atomic.incr hb.(slot))
+                slot leased;
+              (* release every lease we hold — leases claimed mid-attempt
+                 would otherwise read as held forever *)
+              List.iter (fun u -> Atomic.set units.(u) (-1)) !leased
+            in
+            let ep =
+              {
+                ep_id = !epoch_no;
+                ep_units = units;
+                ep_fn = (fun slot u -> serve slot (ref [ u ]));
+              }
+            in
+            Atomic.set cur ep;
+            let leased0 = ref [] in
+            ignore (claim_for 0 leased0 ());
+            serve 0 leased0;
+            (* Fence, then settle. The fence makes any late-waking
+               participant exit before touching shared state — without
+               it a straggler could still be resolving while the
+               supervisor sorts, or while the next generation is being
+               prepped. Settling waits out units held by live slots,
+               absorbs unclaimed ones, and treats units held by the dead
+               as inert (a death AFTER the work drained does not abort:
+               the dying slot's writes are published by its last
+               [pending] decrement and its alive flag). *)
+            Atomic.set failed true;
+            let settled = ref false in
+            while not !settled do
+              settled := true;
+              Array.iter
+                (fun u ->
+                  match Atomic.get u with
+                  | -1 -> ()
+                  | 0 ->
+                    if not (Atomic.compare_and_set u 0 (-1)) then
+                      settled := false
+                  | v ->
+                    let w = v - 1 in
+                    if w > 0 && Atomic.get alive.(w) && not abandoned.(w)
+                    then settled := false)
+                units;
+              if not !settled then begin
+                Domain.cpu_relax ();
+                monitor0 ()
+              end
+            done;
+            match !death with
+            | Some e ->
+              (* Replay the attempt. Each retry needs a fresh death and
+                 deaths are bounded by the restart budgets, so this
+                 terminates under the injected model; the cap is a
+                 backstop against a crash loop outside it. *)
+              if !attempts > 1 + (d * (max_domain_restarts + 1)) then
+                raise e;
+              Array.iter
+                (Array.iter (fun r ->
+                     while Parallel.Spsc.try_pop r <> None do () done))
+                rings;
+              Array.iter (fun row -> Array.fill row 0 d 0) out_len;
+              prep_parallel_gen !frontier;
+              again := true
+            | None -> ()
+          done;
+          (* logs complete. The sort is idempotent, so it runs as an
+             ordinary requeue-on-death epoch; the merge replays the
+             sequential id scan on this thread, as always. *)
+          run_epoch ~n_units:d (fun _ s -> sort_phase s);
+          merge_and_collect ()
+        in
         (* warm-up, as in the barrier engine; exceptions (a kill aimed at
            domain 0, an injected allocation failure) propagate to the
            outer guard *)
@@ -1596,7 +1788,9 @@ module Make (P : Protocol.PROTOCOL) = struct
           done;
           Fun.protect ~finally:shutdown (fun () ->
               while not !stop do
-                if !seq_gen then expand_seq () else run_parallel_gen ()
+                if !seq_gen then expand_seq ()
+                else if engine = Sharded then run_sharded_gen ()
+                else run_parallel_gen ()
               done)
         end
       in
@@ -1777,8 +1971,8 @@ module Make (P : Protocol.PROTOCOL) = struct
 
   let explore_external ?(max_states = 2_000_000) ?(reduction = Full)
       ?snapshot_every ?snapshot_to ?resume_from ?mem_soft_limit_mb
-      ?(hot_cap = 1 lsl 20) ?deadline_s ?(salvage = false) ?(wide = false)
-      ~dir cfg =
+      ?(hot_cap = 1 lsl 20) ?disk_quota_bytes ?deadline_s ?(salvage = false)
+      ?(wide = false) ~dir cfg =
     let n_procs = Array.length cfg.ids in
     let n_registers = Naming.size cfg.namings.(0) in
     let digest, descr = external_fingerprint ~reduction cfg in
@@ -1795,19 +1989,24 @@ module Make (P : Protocol.PROTOCOL) = struct
             path s.Snapshot.detail s.Snapshot.kept_chunks
         | None -> ());
         let rec pick = function
-          | [] -> assert false (* read_chunks returns at least one chunk *)
-          | [ payload ] ->
-            let sp : external_payload = Marshal.from_string payload 0 in
-            ( sp,
-              Disk_visited.restore ~dir ~fingerprint:digest ~descr
-                sp.xp_manifest )
+          | [] ->
+            (* every intact chunk names a run set that no longer
+               validates (e.g. a short write silently damaged a spilled
+               run every surviving manifest lists). Starting over is
+               slower but never wrong — and [Disk_visited.create] below
+               sweeps the damaged runs away. *)
+            Format.eprintf
+              "snapshot salvage: no checkpoint of %s has a valid run \
+               set; restarting from scratch@."
+              path;
+            None
           | payload :: older -> (
             let sp : external_payload = Marshal.from_string payload 0 in
             match
-              Disk_visited.restore ~dir ~fingerprint:digest ~descr
-                sp.xp_manifest
+              Disk_visited.restore ?quota_bytes:disk_quota_bytes ~dir
+                ~fingerprint:digest ~descr sp.xp_manifest
             with
-            | dv -> (sp, dv)
+            | dv -> Some (sp, dv)
             | exception Snapshot.Error e ->
               Format.eprintf
                 "snapshot salvage: %s; falling back to an older checkpoint@."
@@ -1820,12 +2019,13 @@ module Make (P : Protocol.PROTOCOL) = struct
         let meta, payload = Snapshot.read ~path in
         Snapshot.check_fingerprint ~path meta ~fingerprint:digest ~descr;
         let sp : external_payload = Marshal.from_string payload 0 in
-        ( sp,
-          Disk_visited.restore ~dir ~fingerprint:digest ~descr sp.xp_manifest
-        )
+        Some
+          ( sp,
+            Disk_visited.restore ?quota_bytes:disk_quota_bytes ~dir
+              ~fingerprint:digest ~descr sp.xp_manifest )
       end
     in
-    let resumed = Option.map restore_checkpoint resume_from in
+    let resumed = Option.bind resume_from restore_checkpoint in
     let stopped = ref Checker_stats.Completed in
     let set_stop r =
       if !stopped = Checker_stats.Completed then stopped := r
@@ -1846,7 +2046,7 @@ module Make (P : Protocol.PROTOCOL) = struct
     let dv =
       match resumed with
       | Some (_, dv) -> dv
-      | None -> Disk_visited.create ~dir ~key_len
+      | None -> Disk_visited.create ?quota_bytes:disk_quota_bytes ~dir ~key_len ()
     in
     let syms = syms_of ~reduction cfg in
     let group_order = max 1 (List.length syms) in
@@ -1912,6 +2112,7 @@ module Make (P : Protocol.PROTOCOL) = struct
         complete;
         stop = (if complete then Checker_stats.Completed else !stopped);
         restarts = 0;
+        recoveries = 0;
         canon;
         degraded;
         group_order;
@@ -1974,7 +2175,10 @@ module Make (P : Protocol.PROTOCOL) = struct
     let hot_cap = max 1 hot_cap in
     (* At the watermark, MOVE the hot table to disk as one sorted
        immutable run; spill-then-checkpoint ordering keeps every snapshot
-       chunk's manifest/hot/frontier mutually consistent. *)
+       chunk's manifest/hot/frontier mutually consistent. A spill that
+       would breach the byte quota is refused BEFORE any byte is written
+       ([`Quota_hit]): the caller cuts the run at this exact boundary
+       instead of corrupting or over-filling the run set. *)
     let maybe_spill () =
       let pressured =
         match soft_limit_bytes with
@@ -1982,15 +2186,20 @@ module Make (P : Protocol.PROTOCOL) = struct
         | None -> false
       in
       if Hashtbl.length hot > 0 && (Hashtbl.length hot >= hot_cap || pressured)
-      then begin
-        let keys = hot_keys () in
-        Array.sort compare keys;
-        Disk_visited.spill dv ~fingerprint:digest ~descr keys;
-        Hashtbl.reset hot;
-        if pressured then Gc.compact ();
-        true
-      end
-      else false
+      then
+        if
+          Disk_visited.would_exceed_quota dv
+            ~adding:(Hashtbl.length hot * key_len)
+        then `Quota_hit
+        else begin
+          let keys = hot_keys () in
+          Array.sort compare keys;
+          Disk_visited.spill dv ~fingerprint:digest ~descr keys;
+          Hashtbl.reset hot;
+          if pressured then Gc.compact ();
+          `Spilled
+        end
+      else `No_spill
     in
     let stop = ref false in
     (* Scalars of the newest exact boundary, for the Out_of_memory
@@ -2124,13 +2333,26 @@ module Make (P : Protocol.PROTOCOL) = struct
         if nn > !max_frontier then max_frontier := nn;
         frontier := next;
         incr depth;
-        let spilled = maybe_spill () in
+        let outcome = maybe_spill () in
+        (match outcome with
+        | `Quota_hit ->
+          (* graceful disk-full degradation: this boundary is still
+             exact (the hot table simply was not moved to disk), so
+             flush it and stop with an honest reason — the run resumes
+             under a raised quota from exactly here *)
+          complete := false;
+          set_stop Checker_stats.Disk_full;
+          stop := true;
+          (match snapshot_to with
+          | Some path -> write_checkpoint path
+          | None -> ())
+        | `Spilled | `No_spill -> ());
         if !complete then begin
           last_exact := capture ~complete:true;
           match snapshot_to with
           | Some path
-            when spilled || !n_states - !last_snapshot_states >= snapshot_gap
-            ->
+            when outcome = `Spilled
+                 || !n_states - !last_snapshot_states >= snapshot_gap ->
             write_checkpoint path
           | _ -> ()
         end;
@@ -2184,6 +2406,9 @@ module Make (P : Protocol.PROTOCOL) = struct
   let with_recovery ?(max_retries = 3) ?resume_from ~snapshot_to run =
     let transient = function
       | Out_of_memory | Resilience.Killed _ | Resilience.Stalled _ -> true
+      (* injected disk faults fire at most once, so retrying through an
+         EIO/ENOSPC/failed-fsync converges just like a kill does *)
+      | Resilience.Io_fault _ -> true
       | Snapshot.Error (Snapshot.Corrupt _) -> true
       | _ -> false
     in
@@ -2195,6 +2420,10 @@ module Make (P : Protocol.PROTOCOL) = struct
       | _ -> Some snapshot_to
       | exception _ -> None
     in
+    (* [attempt] is ONE counter over every retry, whatever mix of fault
+       kinds forced them — an alternating kill/stall/EIO plan spends the
+       same bounded budget a single repeated fault would. The count is
+       stamped into the returned statistics as [recoveries]. *)
     let rec go attempt resume =
       match run ~resume_from:resume ~snapshot_to with
       | (g, stats)
@@ -2205,7 +2434,8 @@ module Make (P : Protocol.PROTOCOL) = struct
         (* the engine degraded out of an infrastructure failure after
            flushing its newest boundary: pick it up and push on *)
         go (attempt + 1) (usable_snapshot ())
-      | result -> result
+      | g, stats ->
+        (g, { stats with Checker_stats.recoveries = attempt })
       | exception e when transient e && attempt < max_retries ->
         go (attempt + 1) (usable_snapshot ())
     in

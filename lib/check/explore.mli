@@ -198,18 +198,24 @@ module Make (P : Protocol.PROTOCOL) : sig
       interrupted and resuming runs use the same explorer settings.
 
       [~supervise:true] (default: on exactly when a {!Resilience} plan
-      with domain faults is armed) swaps the barrier choreography for the
-      self-healing supervised engine (DESIGN.md §12): workers claim
-      idempotent work units by compare-and-set and report heartbeats; a
-      worker domain that dies has its claimed units requeued onto the
-      survivors and is respawned with bounded, jittered backoff (the
-      count lands in {!Checker_stats.t.restarts}); a worker that wedges
-      mid-unit past an escalating patience budget aborts the attempt with
-      {!Resilience.Stalled} — degraded into a flushed snapshot and a
-      {!Checker_stats.Fault}-truncated result when [~snapshot_to] is set,
-      so {!with_recovery} can resume it. The supervised engine produces
-      the same bit-identical graph and statistics as the barrier
-      engine. *)
+      with domain faults is armed) wraps whichever [?engine] was
+      requested in the self-healing supervised choreography (DESIGN.md
+      §12, §14): workers claim work by compare-and-set from epoch tables
+      and report heartbeats; a worker domain that dies is respawned with
+      bounded, jittered backoff (the count lands in
+      {!Checker_stats.t.restarts}). Under the {!Barrier} engine the dead
+      slot's idempotent phase units are requeued onto the survivors;
+      under the {!Sharded} engine the epoch table doubles as a shard
+      {e lease} table — a dead owner's shard is reassigned to a survivor
+      by the same CAS claim, the in-flight generation attempt is
+      replayed from its unmutated inputs (rings drained, worklists
+      re-prepped), and a crew that has permanently shrunk still serves
+      every shard. A worker that wedges past an escalating patience
+      budget aborts the attempt with {!Resilience.Stalled} — degraded
+      into a flushed snapshot and a {!Checker_stats.Fault}-truncated
+      result when [~snapshot_to] is set, so {!with_recovery} can resume
+      it. Supervision produces the same bit-identical graph and
+      statistics as the unsupervised engines. *)
 
   val external_fingerprint : reduction:reduction -> config -> Digest.t * string
 (** Fingerprint of the external-memory explorer's checkpoints and run
@@ -225,6 +231,7 @@ module Make (P : Protocol.PROTOCOL) : sig
     ?resume_from:string ->
     ?mem_soft_limit_mb:int ->
     ?hot_cap:int ->
+    ?disk_quota_bytes:int ->
     ?deadline_s:float ->
     ?salvage:bool ->
     ?wide:bool ->
@@ -262,7 +269,19 @@ module Make (P : Protocol.PROTOCOL) : sig
 
       [~wide:true] packs 4-byte {!Codec} key slots (for runs whose intern
       tables may exceed 2{^ 24} codes); a resumed run always continues at
-      the interrupted run's width. *)
+      the interrupted run's width.
+
+      [?disk_quota_bytes] bounds the total bytes the visited set may
+      spill to [dir]. The quota is checked {e before} each spill: when
+      the next spill would breach it the run degrades gracefully — stop
+      exploring, flush the exact pre-generation boundary to
+      [~snapshot_to] (when set), and report
+      [stop_reason = {!Checker_stats.Disk_full}] — rather than corrupt
+      or overrun the store. Resuming the checkpoint with a larger (or
+      no) quota continues the exploration bit-identically. Under
+      [~salvage], if {e no} intact checkpoint chunk has a fully valid
+      run set, the run restarts from scratch (with a printed note)
+      instead of failing. *)
 
   val with_recovery :
     ?max_retries:int ->
@@ -276,12 +295,17 @@ module Make (P : Protocol.PROTOCOL) : sig
       transient infrastructure failures. [run] is invoked with the resume
       point to use (initially [?resume_from]) and must checkpoint to
       [snapshot_to]; when it raises a transient exception
-      ({!Resilience.Killed}, {!Resilience.Stalled}, [Out_of_memory], or a
-      corrupt-snapshot {!Snapshot.Error}) — or returns a result truncated
-      by {!Checker_stats.Oom}/{!Checker_stats.Fault} — the driver probes
+      ({!Resilience.Killed}, {!Resilience.Stalled},
+      {!Resilience.Io_fault}, [Out_of_memory], or a corrupt-snapshot
+      {!Snapshot.Error}) — or returns a result truncated by
+      {!Checker_stats.Oom}/{!Checker_stats.Fault} — the driver probes
       [snapshot_to] with {!Snapshot.read_salvaged} and re-runs from the
-      newest loadable boundary (from scratch if none), at most
-      [max_retries] (default 3) times. Because resumption is exact, the
+      newest loadable boundary (from scratch if none). [max_retries]
+      (default 3) bounds the retries with ONE total counter, whatever
+      mix of fault kinds forced them — an alternating kill/stall/EIO
+      storm spends the same budget a single repeated fault would. The
+      retry count is stamped into the returned statistics as
+      {!Checker_stats.t.recoveries}. Because resumption is exact, the
       final result is bit-identical to a fault-free run. The [run]
       callback should pass [~salvage:true] to its explorer so a damaged
       snapshot tail rolls back rather than rejects. *)

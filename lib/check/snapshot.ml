@@ -92,13 +92,22 @@ let chunk_bytes payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
-(* The fault-injection seam: a matured Torn_write/Flip_byte damages the
-   framed chunk exactly as a dying disk would. *)
+(* The fault-injection seams. [mutate_write]: a matured
+   Torn_write/Flip_byte damages the framed chunk exactly as a dying disk
+   would. [io_write]: the chunk then passes the disk-fault layer, which
+   counts it as one I/O operation and can truncate it further
+   (Short_write) or refuse it outright (Io_error/Disk_full raise
+   {!Resilience.Io_fault}). *)
 let framed payload =
   let chunk = chunk_bytes payload in
-  match Resilience.mutate_write chunk with Some d -> d | None -> chunk
+  let chunk =
+    match Resilience.mutate_write chunk with Some d -> d | None -> chunk
+  in
+  Resilience.io_write chunk
 
 let fsync_out oc =
+  (* seam: a matured Fsync_fail refuses durability here *)
+  Resilience.io_sync ();
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 

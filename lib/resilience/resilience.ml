@@ -2,6 +2,7 @@ open Anonmem
 
 exception Killed of { domain : int }
 exception Stalled of { domain : int; waited_s : float }
+exception Io_fault of { op : string }
 
 type fault =
   | Kill_domain of { domain : int; after_ticks : int }
@@ -9,6 +10,10 @@ type fault =
   | Torn_write of { nth_write : int; keep : float }
   | Flip_byte of { nth_write : int; at : float }
   | Alloc_fail of { after_boundaries : int }
+  | Short_write of { nth_io : int; keep : float }
+  | Io_error of { nth_io : int }
+  | Disk_full of { after_bytes : int }
+  | Fsync_fail of { nth_sync : int }
 
 type plan = { seed : int; faults : fault list }
 
@@ -23,6 +28,12 @@ let pp_fault ppf = function
     Format.fprintf ppf "flip w%d@@%.0f%%" nth_write (100. *. at)
   | Alloc_fail { after_boundaries } ->
     Format.fprintf ppf "alloc g%d" after_boundaries
+  | Short_write { nth_io; keep } ->
+    Format.fprintf ppf "short io%d (keep %.0f%%)" nth_io (100. *. keep)
+  | Io_error { nth_io } -> Format.fprintf ppf "eio io%d" nth_io
+  | Disk_full { after_bytes } ->
+    Format.fprintf ppf "enospc b%d" after_bytes
+  | Fsync_fail { nth_sync } -> Format.fprintf ppf "efsync s%d" nth_sync
 
 let pp_plan ppf { seed; faults } =
   Format.fprintf ppf "%a (seed %d)"
@@ -31,14 +42,16 @@ let pp_plan ppf { seed; faults } =
        pp_fault)
     faults seed
 
-let plan_of_seed ?(domains = 4) ?(intensity = 4) seed =
+let plan_of_seed ?(domains = 4) ?(intensity = 4) ?(disk = false) seed =
   let rng = Rng.create (0x5EED + (seed * 2654435761)) in
   let domains = max 1 domains in
   let pick_domain () = Rng.int rng domains in
   let n = max 1 intensity in
+  (* [disk = false] keeps the draw sequence of older plans byte-for-byte,
+     so every seed recorded in CI logs replays the same faults it did. *)
   let faults =
     List.init n (fun _ ->
-        match Rng.int rng 5 with
+        match Rng.int rng (if disk then 9 else 5) with
         | 0 ->
           Kill_domain
             { domain = pick_domain (); after_ticks = 1 + Rng.int rng 24 }
@@ -53,7 +66,11 @@ let plan_of_seed ?(domains = 4) ?(intensity = 4) seed =
           Torn_write
             { nth_write = 1 + Rng.int rng 4; keep = Rng.float rng }
         | 3 -> Flip_byte { nth_write = 1 + Rng.int rng 4; at = Rng.float rng }
-        | _ -> Alloc_fail { after_boundaries = 1 + Rng.int rng 12 })
+        | 4 -> Alloc_fail { after_boundaries = 1 + Rng.int rng 12 }
+        | 5 -> Short_write { nth_io = 1 + Rng.int rng 6; keep = Rng.float rng }
+        | 6 -> Io_error { nth_io = 1 + Rng.int rng 6 }
+        | 7 -> Disk_full { after_bytes = 256 + Rng.int rng 16384 }
+        | _ -> Fsync_fail { nth_sync = 1 + Rng.int rng 6 })
   in
   { seed; faults }
 
@@ -67,6 +84,9 @@ type armed_state = {
   ticks : (int, int) Hashtbl.t;  (* per-domain tick counters *)
   mutable boundaries : int;
   mutable writes : int;
+  mutable ios : int;  (* disk write operations *)
+  mutable io_bytes : int;  (* cumulative bytes offered to the disk *)
+  mutable syncs : int;  (* fsync operations *)
   lock : Mutex.t;
 }
 
@@ -82,6 +102,9 @@ let arm plan =
          ticks = Hashtbl.create 8;
          boundaries = 0;
          writes = 0;
+         ios = 0;
+         io_bytes = 0;
+         syncs = 0;
          lock = Mutex.create ();
        })
 
@@ -106,6 +129,18 @@ let has_domain_faults () =
     with_state (fun s ->
         List.exists
           (function Kill_domain _ | Stall_domain _ -> true | _ -> false)
+          s.left)
+  with
+  | Some b -> b
+  | None -> false
+
+let has_disk_faults () =
+  match
+    with_state (fun s ->
+        List.exists
+          (function
+            | Short_write _ | Io_error _ | Disk_full _ | Fsync_fail _ -> true
+            | _ -> false)
           s.left)
   with
   | Some b -> b
@@ -196,3 +231,46 @@ let mutate_write payload =
           payload faults
       in
       Some damaged)
+
+let io_write payload =
+  match Atomic.get state with
+  | None -> payload
+  | Some _ -> (
+    match
+      with_state (fun s ->
+          s.ios <- s.ios + 1;
+          s.io_bytes <- s.io_bytes + String.length payload;
+          take s (function
+            | Short_write { nth_io; _ } | Io_error { nth_io } ->
+              nth_io = s.ios
+            | Disk_full { after_bytes } -> after_bytes <= s.io_bytes
+            | _ -> false))
+    with
+    | None | Some [] -> payload
+    | Some faults ->
+      if List.exists (function Io_error _ -> true | _ -> false) faults then
+        raise (Io_fault { op = "write: input/output error" });
+      if List.exists (function Disk_full _ -> true | _ -> false) faults then
+        raise (Io_fault { op = "write: no space left on device" });
+      List.fold_left
+        (fun p f ->
+          match f with
+          | Short_write { keep; _ } ->
+            String.sub p 0
+              (int_of_float (keep *. float_of_int (String.length p)))
+          | _ -> p)
+        payload faults)
+
+let io_sync () =
+  match Atomic.get state with
+  | None -> ()
+  | Some _ -> (
+    match
+      with_state (fun s ->
+          s.syncs <- s.syncs + 1;
+          take s (function
+            | Fsync_fail { nth_sync } -> nth_sync = s.syncs
+            | _ -> false))
+    with
+    | None | Some [] -> ()
+    | Some _ -> raise (Io_fault { op = "fsync: input/output error" }))

@@ -28,6 +28,13 @@ exception Stalled of { domain : int; waited_s : float }
     {!Check.Explore.Make.with_recovery} agree on what counts as a
     transient infrastructure failure. *)
 
+exception Io_fault of { op : string }
+(** Raised out of {!io_write}/{!io_sync} to simulate a failed disk
+    operation ([EIO], [ENOSPC], a refused fsync). Faults fire at most
+    once, so {!Check.Explore.Make.with_recovery} treats it as transient:
+    retrying from the newest salvageable state converges. Never raised
+    while disarmed. *)
+
 type fault =
   | Kill_domain of { domain : int; after_ticks : int }
       (** raise {!Killed} out of [domain]'s [after_ticks]-th tick *)
@@ -43,14 +50,33 @@ type fault =
   | Alloc_fail of { after_boundaries : int }
       (** raise [Out_of_memory] at the [after_boundaries]-th generation
           boundary *)
+  | Short_write of { nth_io : int; keep : float }
+      (** silently truncate the [nth_io]-th disk write to a [keep]
+          fraction of its bytes: a disk that acknowledged data it never
+          stored. Unlike [Torn_write] (counted per snapshot payload),
+          this fires at the raw I/O layer, where visited-set run spills
+          and snapshot chunks alike pass through *)
+  | Io_error of { nth_io : int }
+      (** raise {!Io_fault} ([EIO]) out of the [nth_io]-th disk write *)
+  | Disk_full of { after_bytes : int }
+      (** raise {!Io_fault} ([ENOSPC]) out of the first disk write that
+          pushes the cumulative bytes offered to the disk past
+          [after_bytes] *)
+  | Fsync_fail of { nth_sync : int }
+      (** raise {!Io_fault} out of the [nth_sync]-th fsync: the data may
+          be in the page cache, but durability was refused *)
 
 type plan = { seed : int; faults : fault list }
 
-val plan_of_seed : ?domains:int -> ?intensity:int -> int -> plan
+val plan_of_seed : ?domains:int -> ?intensity:int -> ?disk:bool -> int -> plan
 (** Derive a deterministic fault plan from [seed]: roughly [intensity]
     faults (default 4) mixing domain kills/stalls (victims drawn from
     [0, domains)], default 4), torn/bit-flipped snapshot writes and one
-    allocation failure. Equal arguments give equal plans. *)
+    allocation failure. With [~disk:true] the mix also draws storage
+    faults (short writes, I/O errors, disk-full, fsync failures);
+    [false] (the default) reproduces the exact plans older seeds gave,
+    keeping recorded campaign seeds replayable. Equal arguments give
+    equal plans. *)
 
 val pp_fault : Format.formatter -> fault -> unit
 
@@ -78,6 +104,10 @@ val has_domain_faults : unit -> bool
 (** The armed plan still holds an unfired [Kill_domain]/[Stall_domain] —
     what the explorer consults to auto-enable supervision. *)
 
+val has_disk_faults : unit -> bool
+(** The armed plan still holds an unfired storage fault
+    ([Short_write]/[Io_error]/[Disk_full]/[Fsync_fail]). *)
+
 (** {2 Injection points}
 
     Called by the instrumented infrastructure; all are single-atomic-load
@@ -102,3 +132,12 @@ val mutate_write : string -> string option
     [Torn_write]/[Flip_byte] fault matures on it, returns the damaged
     bytes the caller must put on disk instead; [None] means write the
     payload unharmed. *)
+
+val io_write : string -> string
+(** [io_write bytes] counts one disk write operation (and its bytes)
+    and serves matured storage faults: [Io_error] and [Disk_full] raise
+    {!Io_fault}; [Short_write] returns a truncated prefix the caller
+    must put on disk instead. Returns [bytes] unharmed otherwise. *)
+
+val io_sync : unit -> unit
+(** Counts one fsync; a matured [Fsync_fail] raises {!Io_fault}. *)

@@ -34,7 +34,7 @@ let descr = "unit test"
 
 let test_store_roundtrip () =
   let dir = tmp_dir "unit" in
-  let dv = Disk_visited.create ~dir ~key_len:3 in
+  let dv = Disk_visited.create ~dir ~key_len:3 () in
   Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb"; "ccc" |];
   Disk_visited.spill dv ~fingerprint:fp ~descr [| "abc"; "zzz" |];
   Alcotest.(check int) "two runs" 2 (Disk_visited.n_runs dv);
@@ -54,7 +54,7 @@ let test_store_roundtrip () =
 
 let test_restore_deletes_strays () =
   let dir = tmp_dir "stray" in
-  let dv = Disk_visited.create ~dir ~key_len:3 in
+  let dv = Disk_visited.create ~dir ~key_len:3 () in
   Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb" |];
   let m1 = Disk_visited.manifest dv in
   Disk_visited.spill dv ~fingerprint:fp ~descr [| "zzz" |];
@@ -70,7 +70,7 @@ let test_restore_deletes_strays () =
 
 let test_restore_refuses_damage () =
   let dir = tmp_dir "damage" in
-  let dv = Disk_visited.create ~dir ~key_len:3 in
+  let dv = Disk_visited.create ~dir ~key_len:3 () in
   Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb"; "ccc" |];
   let m = Disk_visited.manifest dv in
   let path = Filename.concat dir "run-0000.run" in
@@ -81,7 +81,7 @@ let test_restore_refuses_damage () =
   | exception Snapshot.Error _ -> ());
   (* a fingerprint mismatch is refused before any byte is trusted *)
   let dir2 = tmp_dir "fpmism" in
-  let dv2 = Disk_visited.create ~dir:dir2 ~key_len:3 in
+  let dv2 = Disk_visited.create ~dir:dir2 ~key_len:3 () in
   Disk_visited.spill dv2 ~fingerprint:fp ~descr [| "aaa" |];
   match
     Disk_visited.restore ~dir:dir2
@@ -90,6 +90,81 @@ let test_restore_refuses_damage () =
   with
   | _ -> Alcotest.fail "restore accepted a foreign fingerprint"
   | exception Snapshot.Error (Snapshot.Config_mismatch _) -> ()
+
+(* A spill that died between tmp file and rename leaves run-*.tmp debris
+   no manifest references; create and restore both sweep it. *)
+let test_tmp_debris_swept () =
+  let dir = tmp_dir "tmpdebris" in
+  let dv = Disk_visited.create ~dir ~key_len:3 () in
+  Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb" |];
+  let m = Disk_visited.manifest dv in
+  let plant name =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc "torn spill debris";
+    close_out oc
+  in
+  plant "run-0007.run.tmp";
+  plant "run-0001.run.tmp";
+  let dv' = Disk_visited.restore ~dir ~fingerprint:fp ~descr m in
+  Alcotest.(check bool) "restore swept the tmp debris" false
+    (Sys.file_exists (Filename.concat dir "run-0007.run.tmp")
+    || Sys.file_exists (Filename.concat dir "run-0001.run.tmp"));
+  Alcotest.(check int) "manifest runs untouched" 1 (Disk_visited.n_runs dv');
+  plant "run-0002.run.tmp";
+  let _ = Disk_visited.create ~dir ~key_len:3 () in
+  Alcotest.(check bool) "create swept the tmp debris" false
+    (Sys.file_exists (Filename.concat dir "run-0002.run.tmp"))
+
+(* Probes trust run payloads without re-hashing, so a spill damaged in
+   flight must be caught by the read-back at write time — the
+   alternative is an exhaustive checker that silently answers "not
+   visited" for a visited state. *)
+let test_spill_verifies_after_write () =
+  let dir = tmp_dir "flip" in
+  let dv = Disk_visited.create ~dir ~key_len:3 () in
+  Resilience.arm
+    {
+      Resilience.seed = 0;
+      faults = [ Resilience.Flip_byte { nth_write = 1; at = 0.9 } ];
+    };
+  Fun.protect ~finally:Resilience.disarm (fun () ->
+      (match Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb" |] with
+      | () -> Alcotest.fail "spill accepted a bit-flipped run"
+      | exception Snapshot.Error (Snapshot.Corrupt _) -> ());
+      Alcotest.(check int) "the flip fired" 1 (Resilience.fired ());
+      (* the damaged file is on disk but in no manifest; a clean retry
+         of the same spill succeeds and probes answer correctly *)
+      Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb" |];
+      Alcotest.(check (array bool))
+        "membership intact after retried spill"
+        [| true; true; false |]
+        (Disk_visited.probe dv [| "aaa"; "bbb"; "ccc" |]))
+
+(* Quota accounting at the store level: bytes tracked across spill and
+   restore, the explorer's pre-check, and the last-ditch refusal. *)
+let test_quota_accounting () =
+  let dir = tmp_dir "quota" in
+  let dv = Disk_visited.create ~quota_bytes:9 ~dir ~key_len:3 () in
+  Alcotest.(check bool) "room for two keys" false
+    (Disk_visited.would_exceed_quota dv ~adding:6);
+  Disk_visited.spill dv ~fingerprint:fp ~descr [| "aaa"; "bbb" |];
+  Alcotest.(check int) "bytes tracked" 6 (Disk_visited.n_bytes dv);
+  Alcotest.(check bool) "room for one more" false
+    (Disk_visited.would_exceed_quota dv ~adding:3);
+  Alcotest.(check bool) "no room for two more" true
+    (Disk_visited.would_exceed_quota dv ~adding:6);
+  (* the refusal is defensive: callers are expected to pre-check *)
+  (match Disk_visited.spill dv ~fingerprint:fp ~descr [| "ccc"; "ddd" |] with
+  | () -> Alcotest.fail "spill breached the quota"
+  | exception Snapshot.Error (Snapshot.Io _) -> ());
+  Alcotest.(check int) "refused spill wrote nothing" 1
+    (Disk_visited.n_runs dv);
+  (* restore rebuilds the byte count from the manifest *)
+  let dv' =
+    Disk_visited.restore ~quota_bytes:9 ~dir ~fingerprint:fp ~descr
+      (Disk_visited.manifest dv)
+  in
+  Alcotest.(check int) "bytes rebuilt on restore" 6 (Disk_visited.n_bytes dv')
 
 (* --------------- explorer parity: spill-and-probe -------------------- *)
 
@@ -226,6 +301,39 @@ let test_salvage_damaged_run () =
     Alcotest.(check bool) "rewritten, not the truncated original" true
       ((Unix.stat path).Unix.st_size <> sz / 2)
 
+(* A byte quota on the run store is an honest resource limit, not a
+   crash: the explorer stops before the spill that would breach it,
+   flushes a checkpoint, and reports [Disk_full]; resuming on a bigger
+   disk completes bit-identically. *)
+let test_quota_degrades_gracefully () =
+  let cfg = cfg () in
+  let dir = tmp_dir "quotax" in
+  let snap = tmp_snap "quotax" in
+  let t =
+    E.explore_external ~hot_cap:8 ~disk_quota_bytes:16 ~dir ~snapshot_to:snap
+      cfg
+  in
+  Alcotest.(check bool) "truncated, not crashed" false
+    t.Checker_stats.complete;
+  Alcotest.(check bool) "stop reason is disk_full" true
+    (t.Checker_stats.stop = Checker_stats.Disk_full);
+  Alcotest.(check int) "no run breached the quota" 0
+    t.Checker_stats.spilled_runs;
+  Alcotest.(check bool) "made some progress first" true
+    (t.Checker_stats.n_states >= 1);
+  Alcotest.(check bool) "checkpoint flushed" true (Sys.file_exists snap);
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "stop tag in json" true
+    (contains ~affix:"\"disk_full\"" (Checker_stats.to_json t));
+  (* same dir, quota lifted: the resume completes to the oracle *)
+  let r = E.explore_external ~resume_from:snap ~hot_cap:8 ~dir cfg in
+  check_stats "resume without quota = uninterrupted" (Lazy.force oracle) r;
+  Alcotest.(check bool) "resumed run complete" true r.Checker_stats.complete
+
 let suite =
   [
     Alcotest.test_case "run store round-trips" `Quick test_store_roundtrip;
@@ -233,6 +341,13 @@ let suite =
       test_restore_deletes_strays;
     Alcotest.test_case "restore refuses damage" `Quick
       test_restore_refuses_damage;
+    Alcotest.test_case "tmp spill debris swept" `Quick test_tmp_debris_swept;
+    Alcotest.test_case "spill verifies after write" `Quick
+      test_spill_verifies_after_write;
+    Alcotest.test_case "quota accounting in the run store" `Quick
+      test_quota_accounting;
+    Alcotest.test_case "quota degrades gracefully, resume completes" `Quick
+      test_quota_degrades_gracefully;
     Alcotest.test_case "spill-and-probe = in-RAM stats" `Quick
       test_external_parity;
     Alcotest.test_case "budget truncation parity" `Quick

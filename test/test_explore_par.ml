@@ -247,26 +247,36 @@ let test_engine_matrix_truncated () =
    sequential graph, whatever engine was requested. *)
 let test_sharded_supervised_kill () =
   let seq = MMutex.E.explore mutex_cfg in
-  let plan =
-    {
-      Resilience.seed = 11;
-      faults = [ Resilience.Kill_domain { domain = 1; after_ticks = 40 } ];
-    }
-  in
-  Resilience.arm plan;
-  Fun.protect ~finally:Resilience.disarm (fun () ->
-      let par, stats =
-        MMutex.E.explore_par ~domains:2 ~par_threshold:0
-          ~engine:Explore.Sharded ~supervise:true mutex_cfg
+  (* each crew width gets its own seeded kill: the victim's shard lease
+     must be reassigned (or the attempt replayed) without the engine
+     falling back to barrier phases, and the merged graph must still be
+     the sequential oracle's, bit for bit *)
+  List.iter
+    (fun domains ->
+      let plan =
+        {
+          Resilience.seed = 11;
+          faults = [ Resilience.Kill_domain { domain = 1; after_ticks = 40 } ];
+        }
       in
-      Alcotest.(check bool)
-        "killed worker absorbed: same states" true
-        (seq.MMutex.E.states = par.MMutex.E.states);
-      Alcotest.(check bool)
-        "killed worker absorbed: same transitions" true
-        (seq.MMutex.E.succs = par.MMutex.E.succs);
-      Alcotest.(check bool)
-        "run completed" true stats.Checker_stats.complete)
+      Resilience.arm plan;
+      Fun.protect ~finally:Resilience.disarm (fun () ->
+          let par, stats =
+            MMutex.E.explore_par ~domains ~par_threshold:0
+              ~engine:Explore.Sharded ~supervise:true mutex_cfg
+          in
+          let lbl msg = Printf.sprintf "d%d: %s" domains msg in
+          Alcotest.(check bool)
+            (lbl "killed worker absorbed: same states")
+            true
+            (seq.MMutex.E.states = par.MMutex.E.states);
+          Alcotest.(check bool)
+            (lbl "killed worker absorbed: same transitions")
+            true
+            (seq.MMutex.E.succs = par.MMutex.E.succs);
+          Alcotest.(check bool)
+            (lbl "run completed") true stats.Checker_stats.complete))
+    [ 2; 4 ]
 
 (* --- statistics coherence on a complete exploration --- *)
 

@@ -302,6 +302,139 @@ let test_torn_write_salvage () =
       check_stats "salvaged resume after torn write" os rs);
   Sys.remove snap
 
+(* ------------------------- disk faults -------------------------------- *)
+
+(* Disk faults join the plan pool only when asked for: old seeds replay
+   byte-for-byte, and [~disk:true] plans are deterministic in turn. *)
+let test_disk_plan_determinism () =
+  let is_disk = function
+    | Resilience.Short_write _ | Resilience.Io_error _
+    | Resilience.Disk_full _ | Resilience.Fsync_fail _ ->
+      true
+    | _ -> false
+  in
+  let p1 = Resilience.plan_of_seed ~intensity:12 42 in
+  Alcotest.(check bool) "default plans stay storage-free" false
+    (List.exists is_disk p1.Resilience.faults);
+  let d1 = Resilience.plan_of_seed ~intensity:12 ~disk:true 42 in
+  let d2 = Resilience.plan_of_seed ~intensity:12 ~disk:true 42 in
+  Alcotest.(check bool) "same seed, same disk plan" true (d1 = d2);
+  Alcotest.(check bool) "disk pool actually drawn from" true
+    (List.exists is_disk d1.Resilience.faults)
+
+(* Unit semantics of the storage injection points: short writes truncate,
+   EIO and ENOSPC raise typed faults, fsync failures raise, and each
+   fault fires exactly once at its scheduled operation. *)
+let test_disk_injection_points () =
+  let payload = String.make 64 'x' in
+  let plan =
+    {
+      Resilience.seed = 0;
+      faults =
+        [
+          Resilience.Short_write { nth_io = 1; keep = 0.25 };
+          Resilience.Io_error { nth_io = 2 };
+          Resilience.Fsync_fail { nth_sync = 2 };
+          Resilience.Disk_full { after_bytes = 200 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      Alcotest.(check bool) "disk faults pending" true
+        (Resilience.has_disk_faults ());
+      Alcotest.(check int) "io 1 truncated to a quarter" 16
+        (String.length (Resilience.io_write payload));
+      (match Resilience.io_write payload with
+      | exception Resilience.Io_fault { op } ->
+        Alcotest.(check bool) "EIO names the op" true
+          (contains ~affix:"input/output error" op)
+      | _ -> Alcotest.fail "EIO did not fire at io 2");
+      (* io 3: 192 bytes offered so far, quota 200 still holds *)
+      Alcotest.(check int) "io 3 unharmed" 64
+        (String.length (Resilience.io_write payload));
+      (* io 4 pushes cumulative bytes past 200: ENOSPC *)
+      (match Resilience.io_write payload with
+      | exception Resilience.Io_fault { op } ->
+        Alcotest.(check bool) "ENOSPC names the op" true
+          (contains ~affix:"no space left" op)
+      | _ -> Alcotest.fail "ENOSPC did not fire");
+      Resilience.io_sync ();
+      (match Resilience.io_sync () with
+      | exception Resilience.Io_fault { op } ->
+        Alcotest.(check bool) "fsync failure names the op" true
+          (contains ~affix:"fsync" op)
+      | () -> Alcotest.fail "fsync fault did not fire at sync 2");
+      Alcotest.(check int) "all four fired" 4 (Resilience.fired ());
+      Alcotest.(check bool) "nothing pending" false
+        (Resilience.has_disk_faults ());
+      (* consumed faults leave the seams transparent *)
+      Alcotest.(check int) "io 5 unharmed" 64
+        (String.length (Resilience.io_write payload));
+      Resilience.io_sync ())
+
+(* An EIO thrown mid-snapshot is transient (injected faults fire once);
+   with_recovery must retry through it to the oracle and stamp the
+   retry into [recoveries] for dashboards. *)
+let test_recovery_from_io_error () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let snap = tmp_snap "eio" in
+  let plan =
+    {
+      Resilience.seed = 6;
+      faults =
+        [
+          Resilience.Io_error { nth_io = 2 };
+          Resilience.Fsync_fail { nth_sync = 3 };
+        ];
+    }
+  in
+  with_plan plan (fun () ->
+      let rg, rs =
+        E.with_recovery ~snapshot_to:snap (fun ~resume_from ~snapshot_to ->
+            E.explore_with_stats ~snapshot_every:1 ~snapshot_to ?resume_from
+              ~salvage:true c)
+      in
+      Alcotest.(check bool) "io faults fired" true (Resilience.fired () >= 1);
+      check_graph "recovered from EIO" og rg;
+      Alcotest.(check bool)
+        "stats bit-identical (mod clock, mod recovery count)"
+        true
+        (Checker_stats.equal_ignoring_time os
+           { rs with Checker_stats.recoveries = 0 });
+      Alcotest.(check bool) "retries stamped as recoveries" true
+        (rs.Checker_stats.recoveries >= 1);
+      Alcotest.(check bool) "recoveries visible in json" true
+        (contains ~affix:"\"recoveries\"" (Checker_stats.to_json rs)));
+  Sys.remove snap
+
+(* A short write damages snapshot bytes without raising; the CRC layer
+   must flag the chunk and salvage must still land on the oracle. *)
+let test_short_write_salvage () =
+  let c = cfg () in
+  let og, os = E.explore_with_stats c in
+  let total = os.Checker_stats.n_states in
+  let snap = tmp_snap "shortw" in
+  let plan =
+    {
+      Resilience.seed = 7;
+      faults = [ Resilience.Short_write { nth_io = 2; keep = 0.4 } ];
+    }
+  in
+  with_plan plan (fun () ->
+      let tg, _ =
+        E.explore_with_stats
+          ~max_states:(max 2 (total / 2))
+          ~snapshot_every:1 ~snapshot_to:snap c
+      in
+      Alcotest.(check bool) "live run unharmed by short write" false
+        tg.E.complete;
+      Alcotest.(check int) "the short write fired" 1 (Resilience.fired ());
+      let rg, rs = E.explore_with_stats ~resume_from:snap ~salvage:true c in
+      check_graph "salvaged resume after short write" og rg;
+      check_stats "salvaged resume after short write" os rs);
+  Sys.remove snap
+
 (* --------------------------- deadlines -------------------------------- *)
 
 let test_deadline_stops_and_resumes () =
@@ -346,6 +479,14 @@ let suite =
       test_recovery_retries_truncated_result;
     Alcotest.test_case "torn snapshot write salvaged" `Quick
       test_torn_write_salvage;
+    Alcotest.test_case "disk plans are deterministic and opt-in" `Quick
+      test_disk_plan_determinism;
+    Alcotest.test_case "disk injection-point semantics" `Quick
+      test_disk_injection_points;
+    Alcotest.test_case "with_recovery: EIO and fsync failure" `Quick
+      test_recovery_from_io_error;
+    Alcotest.test_case "short snapshot write salvaged" `Quick
+      test_short_write_salvage;
     Alcotest.test_case "deadline stops gracefully, resume completes" `Quick
       test_deadline_stops_and_resumes;
   ]
