@@ -1,9 +1,18 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test check chaos bench bench-checker bench-quick \
-        bench-canon bench-shard bench-disk disk-smoke tables resume-smoke \
-        resilience-smoke chaos-soak-smoke fuzz-smoke fuzz clean-snapshots \
-        clean
+.PHONY: all build test test-list check chaos bench bench-checker \
+        bench-quick bench-canon bench-shard bench-disk disk-smoke tables \
+        resume-smoke resilience-smoke chaos-soak-smoke fuzz-smoke \
+        serve-smoke fuzz clean-snapshots clean
+
+# Every smoke-script timeout below is overridable (SMOKE=...): slow or
+# heavily shared machines can widen the walls without editing the gate.
+RESUME_SMOKE_TIMEOUT ?= 120
+RESILIENCE_SMOKE_TIMEOUT ?= 60
+CHAOS_SOAK_TIMEOUT ?= 60
+FUZZ_SMOKE_TIMEOUT ?= 60
+SERVE_SMOKE_TIMEOUT ?= 60
+DISK_SMOKE_TIMEOUT ?= 120
 
 all: build
 
@@ -18,6 +27,7 @@ test:
 # catch) fails the gate instead of hanging it.
 CHECK_TIMEOUT ?= 600
 check:
+	$(MAKE) test-list
 	timeout $(CHECK_TIMEOUT) sh -c 'dune build @all && dune runtest'
 	$(MAKE) bench-canon
 	$(MAKE) bench-shard
@@ -25,13 +35,19 @@ check:
 	$(MAKE) resilience-smoke
 	$(MAKE) chaos-soak-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) disk-smoke
+
+# Fails if any test/test_*.ml suite is not registered in test/main.ml —
+# a new suite cannot silently ride along unexecuted.
+test-list:
+	scripts/test_list.sh
 
 # End-to-end snapshot/resume smoke: truncate + resume vs oracle,
 # SIGTERM mid-exploration, and the `check` exit-code contract
 # (0 clean / 1 violation / 3 truncated / 4 rejected snapshot).
 resume-smoke: build
-	timeout 120 scripts/resume_smoke.sh _build/default/bin/coordctl.exe
+	timeout $(RESUME_SMOKE_TIMEOUT) scripts/resume_smoke.sh _build/default/bin/coordctl.exe
 
 # Seeded infrastructure-fault campaign: worker kills, stalls, torn and
 # bit-flipped snapshot writes, allocation failure, deadline stop — the
@@ -39,7 +55,7 @@ resume-smoke: build
 # counts and exit by the documented contract (0/1/3/4/6). The campaign
 # prints its fault-plan seed; replay with RESILIENCE_SEED=N.
 resilience-smoke: build
-	timeout 60 scripts/resilience_smoke.sh _build/default/bin/coordctl.exe
+	timeout $(RESILIENCE_SMOKE_TIMEOUT) scripts/resilience_smoke.sh _build/default/bin/coordctl.exe
 
 # Chaos soak: sweep the (engine x supervision x disk-visited x fault
 # plan) matrix through coordctl, requiring each cell to be bit-identical
@@ -48,14 +64,23 @@ resilience-smoke: build
 # Every cell runs under its own timeout; the campaign prints its seed
 # and replays with CHAOS_SEED=N.
 chaos-soak-smoke: build
-	timeout 60 scripts/chaos_soak.sh _build/default/bin/coordctl.exe
+	timeout $(CHAOS_SOAK_TIMEOUT) scripts/chaos_soak.sh _build/default/bin/coordctl.exe
 
 # Sub-30s fuzzing smoke: replay the committed regression corpus, run a
 # 1000-instance differential sweep (seq/par explorers, property checkers,
 # runtime probes, baseline twins must all agree), and require the broken
 # even-m mutex to be caught, shrunk and replayable end to end.
 fuzz-smoke: build
-	timeout 60 scripts/fuzz_smoke.sh _build/default/bin/coordctl.exe
+	timeout $(FUZZ_SMOKE_TIMEOUT) scripts/fuzz_smoke.sh _build/default/bin/coordctl.exe
+
+# Job-queue service smoke, part of `make check`: start `coordctl serve`
+# on a fresh spool, run a job mix including one preempted-and-resumed
+# check (small quantum), require verdicts to agree with direct CLI
+# invocations, require an identical re-submission to be answered from
+# the verdict cache with zero fresh states, shut down cleanly, then run
+# the gated example sweep.
+serve-smoke: build
+	timeout $(SERVE_SMOKE_TIMEOUT) scripts/serve_smoke.sh _build/default/bin/coordctl.exe
 
 # Long-running fuzz campaign: every protocol family, generous budgets,
 # shrunk witnesses dropped in _fuzz/ for triage. Deterministic by SEED.
@@ -139,7 +164,7 @@ bench-disk:
 # start in comfortably; spill-and-probe stats must match the unlimited
 # in-RAM run exactly, and snapshot/resume must compose with spilling.
 disk-smoke: build
-	timeout 120 scripts/disk_smoke.sh _build/default/bin/coordctl.exe
+	timeout $(DISK_SMOKE_TIMEOUT) scripts/disk_smoke.sh _build/default/bin/coordctl.exe
 
 tables:
 	dune exec -- coordctl tables

@@ -2133,6 +2133,146 @@ let tables_cmd =
   in
   Cmd.v (Cmd.info "tables" ~doc) Term.(term_result (const tables $ ids $ full))
 
+(* ------------------------------------------------------------------ *)
+(* serve / sweep: the job-queue verification service                   *)
+(* ------------------------------------------------------------------ *)
+
+let serve spool workers quantum poll once =
+  Ok
+    (Serve.Daemon.run
+       { Serve.Daemon.spool; workers; quantum; poll_s = poll; once })
+
+let serve_cmd =
+  let doc = "run the verification job-queue daemon over a spool directory" in
+  let spool =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPOOL"
+          ~doc:
+            "Spool directory (created if missing). Drop job specs as \
+             $(i,SPOOL)/NAME.job (key=value lines: kind, proto, n, m, \
+             reduction, engine, max_states, deadline, priority, attempts, \
+             seed, steps, strategy); results appear atomically as \
+             $(i,SPOOL)/done/NAME.result. Create $(i,SPOOL)/shutdown for a \
+             clean stop.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"Concurrent job slices per scheduling round.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 50_000
+      & info [ "quantum" ] ~docv:"Q"
+          ~doc:
+            "Fresh states a check job may explore per slice before it is \
+             preempted at a snapshot boundary and re-queued.")
+  in
+  let poll =
+    Arg.(
+      value & opt float 0.05
+      & info [ "poll" ] ~docv:"S" ~doc:"Idle sleep between spool scans.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Exit as soon as the spool is drained and every accepted job \
+             has a result (batch mode).")
+  in
+  let serve_exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "clean shutdown (shutdown file, SIGTERM/SIGINT, or $(b,--once) \
+         drain). Per-job verdicts live in the result files, not the exit \
+         code."
+    :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~exits:serve_exits)
+    Term.(
+      term_result (const serve $ spool $ workers $ quantum $ poll $ once))
+
+let utc_timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  str "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let sweep_run file quantum record =
+  match Serve.Sweep.load ~path:file with
+  | Error msg ->
+    Format.eprintf "coordctl: %s: %s@." file msg;
+    Ok 2
+  | Ok s ->
+    let report =
+      Serve.Sweep.run ~quantum
+        ~progress:(fun line -> Format.printf "%s@." line)
+        s
+    in
+    let table =
+      Report.Table.make ~id:"SWEEP"
+        ~title:(str "sweep %s" s.Serve.Sweep.name)
+        ~header:Serve.Sweep.kpi_header
+        ~notes:(Serve.Sweep.aggregate_lines report)
+        (Serve.Sweep.kpi_rows report)
+    in
+    Report.Table.render Format.std_formatter table;
+    Option.iter
+      (fun f ->
+        Serve.Sweep.append_bench ~file:f ~ts:(utc_timestamp ()) report;
+        Format.printf "KPI table recorded to %s@." f)
+      record;
+    Ok (Serve.Sweep.exit_code report)
+
+let sweep_cmd =
+  let doc = "expand a declarative matrix spec into jobs and gate the KPIs" in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Sweep spec: key = value lines (protocols, n, m, reductions, \
+             engines, faults, seeds, max_states, expect, \
+             expect.$(i,PREFIX), ...), list values comma-separated. See \
+             examples/tiny.sweep.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 50_000
+      & info [ "quantum" ] ~docv:"Q"
+          ~doc:"Preemption quantum for the underlying worker pool.")
+  in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None ~vopt:(Some "BENCH_checker.json")
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Append the KPI table to the JSON bench log (default \
+             BENCH_checker.json when given without a value).")
+  in
+  let sweep_exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "every regression gate held (or, with no gates configured, no cell \
+         found a violation)."
+    :: Cmd.Exit.info 1
+         ~doc:
+           "a regression gate failed — or, with no gates configured, some \
+            cell found a violation/disagreement or crashed."
+    :: Cmd.Exit.info 2 ~doc:"the sweep spec is malformed."
+    :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc ~exits:sweep_exits)
+    Term.(term_result (const sweep_run $ file $ quantum $ record))
+
 let () =
   let doc = "memory-anonymous coordination (Taubenfeld, PODC'17) reproduction" in
   let info = Cmd.info "coordctl" ~version:"1.0.0" ~doc in
@@ -2151,4 +2291,6 @@ let () =
             covering_cmd;
             graph_cmd;
             tables_cmd;
+            serve_cmd;
+            sweep_cmd;
           ]))

@@ -188,6 +188,29 @@ module Make (P : Protocol.PROTOCOL) = struct
     in
     (digest, descr)
 
+  let describe ~reduction cfg =
+    let buf = Buffer.create 128 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "protocol=%s ids=[" P.name;
+    Array.iteri
+      (fun i id -> Format.fprintf ppf "%s%d" (if i > 0 then ";" else "") id)
+      cfg.ids;
+    Format.fprintf ppf "] inputs=[";
+    Array.iteri
+      (fun i inp ->
+        if i > 0 then Format.fprintf ppf ";";
+        P.pp_input ppf inp)
+      cfg.inputs;
+    Format.fprintf ppf "] namings=[";
+    Array.iteri
+      (fun i nm ->
+        if i > 0 then Format.fprintf ppf ";";
+        Naming.pp ppf nm)
+      cfg.namings;
+    Format.fprintf ppf "] reduction=%s" (reduction_tag reduction);
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+
   (* A resume point, captured only at expansion boundaries where the run
      was still exact (no budget drop, no worker failure): states [0, n)
      are interned, states [0, k) are expanded with their transition lists

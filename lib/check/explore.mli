@@ -21,6 +21,9 @@ type reduction =
           graph-based property verdicts coincide with the full graph's
           (DESIGN.md §9; cross-checked by the test suite). *)
 
+val reduction_tag : reduction -> string
+(** ["full"] / ["canon"], as rendered by fingerprints and the CLI. *)
+
 (** Choreography of the wide (parallel-mode) generations of
     {!Make.explore_par}. Both engines produce bit-identical graphs and
     statistics; they differ only in how the work reaches the domains. *)
@@ -86,6 +89,16 @@ module Make (P : Protocol.PROTOCOL) : sig
       the fingerprint — they don't change the graph being explored, so a
       snapshot may be resumed with a bigger budget or different domain
       count. *)
+
+  val describe : reduction:reduction -> config -> string
+  (** Full textual identity of a configuration: protocol name, ids,
+      inputs (via [P.pp_input]), namings and reduction, rendered
+      injectively. Unlike the [descr] half of {!fingerprint} — which
+      only records [n] and [m] — two distinct configurations always get
+      distinct descriptions, so a result cache keyed by the (digest)
+      fingerprint can store this string alongside each entry and verify
+      it on lookup, turning a (vanishingly unlikely but possible) MD5
+      collision into a detected cache miss instead of a wrong verdict. *)
 
   val canon_degraded : n:int -> bool
   (** [true] when [~reduction:Canon] would degrade to the identity group

@@ -84,9 +84,22 @@ val e21_snapshot_overhead : speed -> Table.t list
     kill-at-half-budget resume whose final graph and statistics must be
     bit-identical to an uninterrupted run (DESIGN.md §10). *)
 
+val e22_chaos_matrix : speed -> Table.t list
+(** Seeded infrastructure-fault campaigns across the (engine x
+    supervision x storage) matrix: worker kills absorbed by supervision,
+    whole-attempt faults retried from the newest salvageable snapshot,
+    disk-visited byte quotas honoured as graceful stops (DESIGN.md §14). *)
+
+val e23_serve_sweep : speed -> Table.t list
+(** The job-queue service's declarative sweep engine: a mutex m-matrix
+    run under a small preemption quantum (verdicts bit-identical to
+    uninterrupted runs), gated against expected verdicts, then re-run
+    against the same verdict cache to show repeat queries cost zero
+    fresh states (DESIGN.md §15). *)
+
 val all : speed -> Table.t list
 (** Every experiment, in order. *)
 
 val by_id : string -> (speed -> Table.t list) option
-(** Look up an experiment by its identifier ("E1" .. "E21", case
+(** Look up an experiment by its identifier ("E1" .. "E23", case
     insensitive). *)

@@ -1,0 +1,86 @@
+type entry = {
+  ident : string;
+  verdict : string;
+  exit_code : int;
+  detail : string;
+  n_states : int;
+  stats : Check.Checker_stats.t option;
+}
+
+type t = {
+  tbl : (string, entry list) Hashtbl.t;  (* digest -> bucket *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    collisions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t ~key ~ident =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some bucket -> (
+        match List.find_opt (fun e -> e.ident = ident) bucket with
+        | Some e ->
+          t.hits <- t.hits + 1;
+          Some e
+        | None ->
+          (* same 16-byte digest, different configuration: a detected
+             collision — degrade to a miss *)
+          t.collisions <- t.collisions + 1;
+          t.misses <- t.misses + 1;
+          None))
+
+let add t ~key entry =
+  locked t (fun () ->
+      let bucket =
+        match Hashtbl.find_opt t.tbl key with None -> [] | Some b -> b
+      in
+      let bucket = List.filter (fun e -> e.ident <> entry.ident) bucket in
+      Hashtbl.replace t.tbl key (entry :: bucket))
+
+let length t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ b acc -> acc + List.length b) t.tbl 0)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let collisions t = locked t (fun () -> t.collisions)
+
+let save t ~path =
+  locked t (fun () ->
+      let entries =
+        Hashtbl.fold (fun k b acc -> (k, b) :: acc) t.tbl []
+      in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc (entries : (string * entry list) list) [];
+      close_out oc;
+      Sys.rename tmp path)
+
+let load ~path =
+  let t = create () in
+  (try
+     let ic = open_in_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         let entries : (string * entry list) list = Marshal.from_channel ic in
+         List.iter (fun (k, b) -> Hashtbl.replace t.tbl k b) entries)
+   with _ -> ());
+  t

@@ -1,0 +1,172 @@
+let str = Printf.sprintf
+
+type config = {
+  spool : string;
+  workers : int;
+  quantum : int;
+  poll_s : float;
+  once : bool;
+}
+
+let default ~spool =
+  { spool; workers = 2; quantum = 50_000; poll_s = 0.05; once = false }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Results must appear atomically: pollers watch [done/] for whole files. *)
+let write_file path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let result_lines name (j : Pool.job) =
+  let kv k v = str "%s = %s" k v in
+  let common =
+    [
+      kv "job" name;
+      kv "spec" (Spec.to_line j.Pool.spec);
+      kv "slices" (string_of_int j.Pool.slices);
+      kv "recoveries" (string_of_int j.Pool.recoveries);
+      kv "ran_s" (str "%.3f" j.Pool.ran_s);
+    ]
+  in
+  let rest =
+    match j.Pool.status with
+    | Pool.Finished o ->
+      [
+        kv "verdict" (Runner.verdict_tag o.Runner.verdict);
+        kv "exit" (string_of_int (Runner.verdict_exit o.Runner.verdict));
+        kv "configs" (string_of_int o.Runner.configs);
+        kv "cached_configs" (string_of_int o.Runner.cached_configs);
+        kv "states" (string_of_int o.Runner.states);
+        kv "explored" (string_of_int o.Runner.explored);
+        kv "cached"
+          (if o.Runner.cached_configs = o.Runner.configs && o.Runner.configs > 0
+           then "true"
+           else "false");
+        kv "detail" o.Runner.detail;
+      ]
+    | Pool.Crashed msg -> [ kv "verdict" "failed"; kv "exit" "7"; kv "detail" msg ]
+    | Pool.Cancelled -> [ kv "verdict" "cancelled"; kv "exit" "8" ]
+    | Pool.Queued | Pool.Yielded -> [ kv "verdict" "pending" ]
+  in
+  String.concat "\n" (common @ rest) ^ "\n"
+
+let run ?(log = print_endline) cfg =
+  let spool = cfg.spool in
+  let done_dir = Filename.concat spool "done" in
+  let state_dir = Filename.concat spool ".state" in
+  ensure_dir spool;
+  ensure_dir done_dir;
+  ensure_dir state_dir;
+  let cache_path = Filename.concat state_dir "cache.bin" in
+  let cache = Cache.load ~path:cache_path in
+  let pool =
+    Pool.create ~workers:cfg.workers ~quantum:cfg.quantum ~cache ~state_dir ()
+  in
+  let names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let reported : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let stop = ref false in
+  let old_term = ref Sys.Signal_default and old_int = ref Sys.Signal_default in
+  old_term :=
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  old_int := Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  let shutdown_file = Filename.concat spool "shutdown" in
+  let scan () =
+    let entries = try Sys.readdir spool with Sys_error _ -> [||] in
+    Array.sort compare entries;
+    let accepted = ref 0 in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".job" then begin
+          let path = Filename.concat spool f in
+          let name = Filename.chop_suffix f ".job" in
+          let claimed = Filename.concat state_dir (f ^ ".claimed") in
+          match Sys.rename path claimed with
+          | exception Sys_error _ -> ()  (* raced away; next scan *)
+          | () -> (
+            incr accepted;
+            match Spec.parse (read_file claimed) with
+            | Error msg ->
+              write_file
+                (Filename.concat done_dir (name ^ ".error"))
+                (str "job = %s\nerror = %s\n" name msg);
+              log (str "rejected %s: %s" name msg)
+            | Ok spec ->
+              let id = Pool.submit pool spec in
+              Hashtbl.replace names id name;
+              log (str "accepted %s as job %d: %s" name id (Spec.ident spec)))
+        end)
+      entries;
+    !accepted
+  in
+  let report_done () =
+    List.iter
+      (fun (j : Pool.job) ->
+        if not (Hashtbl.mem reported j.Pool.id) then
+          match j.Pool.status with
+          | Pool.Finished _ | Pool.Crashed _ | Pool.Cancelled ->
+            Hashtbl.replace reported j.Pool.id ();
+            let name =
+              match Hashtbl.find_opt names j.Pool.id with
+              | Some n -> n
+              | None -> str "job-%d" j.Pool.id
+            in
+            write_file
+              (Filename.concat done_dir (name ^ ".result"))
+              (result_lines name j);
+            log
+              (str "finished %s: %s" name
+                 (match j.Pool.status with
+                 | Pool.Finished o ->
+                   str "%s (states=%d explored=%d%s)"
+                     (Runner.verdict_tag o.Runner.verdict)
+                     o.Runner.states o.Runner.explored
+                     (if
+                        o.Runner.cached_configs = o.Runner.configs
+                        && o.Runner.configs > 0
+                      then ", cached"
+                      else "")
+                 | Pool.Crashed m -> "crashed: " ^ m
+                 | _ -> "cancelled"))
+          | Pool.Queued | Pool.Yielded -> ())
+      (Pool.jobs pool)
+  in
+  let rec loop () =
+    let accepted = scan () in
+    let progressed = Pool.step pool in
+    report_done ();
+    if Sys.file_exists shutdown_file then begin
+      (try Sys.remove shutdown_file with Sys_error _ -> ());
+      log "shutdown requested (file)"
+    end
+    else if !stop then log "shutdown requested (signal)"
+    else if cfg.once && accepted = 0 && (not progressed) && Pool.pending pool = 0
+    then log "spool drained"
+    else begin
+      if (not progressed) && accepted = 0 then Unix.sleepf cfg.poll_s;
+      loop ()
+    end
+  in
+  loop ();
+  Cache.save cache ~path:cache_path;
+  log
+    (str "daemon exit: %d job(s), %d state(s) explored, cache %d entries \
+          (%d hit(s), %d miss(es), %d collision(s))"
+       (List.length (Pool.jobs pool))
+       (Pool.explored pool) (Cache.length cache) (Cache.hits cache)
+       (Cache.misses cache)
+       (Cache.collisions cache));
+  Sys.set_signal Sys.sigterm !old_term;
+  Sys.set_signal Sys.sigint !old_int;
+  0

@@ -1,0 +1,32 @@
+(** Spool-directory daemon: the long-running face of the service.
+
+    Clients drop job specs ({!Spec.parse} format) into [spool/NAME.job]
+    (write-to-temp-then-rename for atomicity); the daemon claims each
+    file, runs it on its {!Pool}, and writes [spool/done/NAME.result]
+    (key=value: verdict, exit code, states, explored, cache stats) — or
+    [spool/done/NAME.error] if the spec didn't parse. Claimed specs,
+    per-job snapshots and the persisted verdict cache live under
+    [spool/.state/]; the cache survives restarts, so a bounced daemon
+    still answers repeat queries O(1).
+
+    Shutdown: create [spool/shutdown] (removed on exit), or SIGTERM /
+    SIGINT — both finish the current scheduling round, persist the
+    cache, and return 0. With [once] the daemon exits as soon as the
+    spool is empty and every accepted job has a result — the
+    batch-friendly mode the smoke test and the test suite drive. *)
+
+type config = {
+  spool : string;
+  workers : int;
+  quantum : int;
+  poll_s : float;  (** idle sleep between spool scans *)
+  once : bool;
+}
+
+val default : spool:string -> config
+(** workers 2, quantum 50k, poll 0.05s, once false. *)
+
+val run : ?log:(string -> unit) -> config -> int
+(** Run until shutdown; returns the process exit code (0 clean). [log]
+    (default stdout) receives one line per lifecycle event: accepted,
+    yielded, finished, crashed, shutdown summary. *)

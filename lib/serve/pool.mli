@@ -1,0 +1,81 @@
+(** Bounded worker pool: queued jobs, sliced execution, crash recovery.
+
+    Jobs are scheduled by descending priority, FIFO within a priority; a
+    job that yields (slice quantum exhausted) re-queues {e behind} its
+    priority class, so long explorations round-robin with fresh arrivals
+    instead of hogging a worker. With [workers > 1] each scheduling round
+    runs its slices on freshly spawned domains (safe: the codec interning
+    used by concurrent explorations is CAS-published, and all pool/cache
+    bookkeeping happens in the supervisor between rounds).
+
+    Transient infrastructure failures — armed {!Resilience} faults, OOM,
+    a corrupt checkpoint — cost the job one recovery: the cursor is
+    repaired with {!Runner.after_crash} (resume-with-salvage if the
+    snapshot survived, restart the current config otherwise) and the job
+    re-queues. After [max_retries] recoveries it is marked [Crashed].
+    Any other exception is a bug, not weather, and crashes the job
+    immediately. *)
+
+type status =
+  | Queued
+  | Yielded  (** preempted mid-job; snapshot on disk, cursor in memory *)
+  | Finished of Runner.outcome
+  | Crashed of string
+  | Cancelled
+
+type job = private {
+  id : int;
+  spec : Spec.t;
+  snapshot : string;
+  mutable status : status;
+  mutable progress : Runner.progress;
+  mutable slices : int;  (** scheduling rounds this job has run in *)
+  mutable recoveries : int;
+  mutable ticket : int;  (** FIFO rank within the priority class *)
+  mutable ran_s : float;  (** wall clock accumulated across slices *)
+}
+
+type t
+
+val create :
+  ?workers:int ->
+  ?quantum:int ->
+  ?max_retries:int ->
+  ?cache:Cache.t ->
+  state_dir:string ->
+  unit ->
+  t
+(** [workers] (default 1) bounds concurrent slices per round; [quantum]
+    (default 50k) bounds fresh states per check slice; [max_retries]
+    (default 6) bounds per-job crash recoveries. [state_dir] (created if
+    missing) holds per-job snapshot files. The [cache] (default fresh)
+    is shared by every job — and may be shared across pools. *)
+
+val submit : t -> Spec.t -> int
+(** Enqueue a job, returning its id. *)
+
+val cancel : t -> int -> bool
+(** Cancel a [Queued] or [Yielded] job (its snapshot is deleted). False
+    if the job is already terminal or unknown. *)
+
+val job : t -> int -> job option
+val jobs : t -> job list
+(** All jobs, in submission order. *)
+
+val runnable : t -> int list
+(** Ids in scheduling order — the next round runs a prefix of this. *)
+
+val pending : t -> int
+(** Jobs not yet terminal. *)
+
+val step : t -> bool
+(** Run one scheduling round (up to [workers] slices). False if nothing
+    was runnable. *)
+
+val drain : t -> unit
+(** Step until no job is runnable. *)
+
+val explored : t -> int
+(** Fresh states explored across all jobs (cache hits contribute 0). *)
+
+val cache : t -> Cache.t

@@ -36,6 +36,18 @@ scrub() {
   grep -v '^throughput' "$1"
 }
 
+# Wait until a background exploration has flushed its first checkpoint
+# (or already exited), instead of sleeping a fixed wall-clock amount and
+# hoping the run is mid-flight: on a loaded machine a fixed sleep can
+# land before the first write (no snapshot to kill over) or after the
+# run finished (nothing to signal).
+wait_for_snapshot() {
+  # $1 = snapshot path, $2 = pid
+  while [ ! -s "$1" ] && kill -0 "$2" 2>/dev/null; do
+    sleep 0.02
+  done
+}
+
 # --- leg A: truncate, resume, compare against the oracle ----------------
 
 "$COORD" explore mutex -m 4 >"$tmp/oracle.txt" 2>&1 \
@@ -60,7 +72,7 @@ diff -u "$tmp/oracle.flat" "$tmp/resumed.flat" >&2 \
 "$COORD" explore mutex -n 3 -m 5 --max-states 200000 \
   --snapshot "$tmp/sig.snap" --snapshot-every 1 >"$tmp/sig.txt" 2>&1 &
 pid=$!
-sleep 0.3
+wait_for_snapshot "$tmp/sig.snap" "$pid"
 kill -TERM "$pid" 2>/dev/null || true   # may already have finished
 rc=0
 wait "$pid" || rc=$?
@@ -78,7 +90,7 @@ wait "$pid" || rc=$?
 "$COORD" explore mutex -n 3 -m 5 --max-states 200000 \
   --snapshot "$tmp/k9.snap" --snapshot-every 1 >"$tmp/k9.txt" 2>&1 &
 pid=$!
-sleep 0.3
+wait_for_snapshot "$tmp/k9.snap" "$pid"
 kill -9 "$pid" 2>/dev/null || true      # may already have finished
 wait "$pid" 2>/dev/null || true
 if [ -f "$tmp/k9.snap" ]; then

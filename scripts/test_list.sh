@@ -1,0 +1,21 @@
+#!/bin/sh
+# Registration gate: every test/test_*.ml must be wired into the
+# alcotest runner (test/main.ml), so a new suite cannot silently ride
+# along unexecuted. Part of `make check` via `make test-list`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for f in test/test_*.ml; do
+  mod=$(basename "$f" .ml)
+  # Test_foo.suite in main.ml ("Test_" + capitalised module name)
+  cap=$(printf '%s' "$mod" | cut -c1 | tr '[:lower:]' '[:upper:]')$(printf '%s' "$mod" | cut -c2-)
+  if ! grep -q "${cap}\.suite" test/main.ml; then
+    echo "test_list: $f is not registered in test/main.ml (${cap}.suite)" >&2
+    missing=1
+  fi
+done
+
+[ "$missing" -eq 0 ] || exit 1
+echo "test_list: OK ($(ls test/test_*.ml | wc -l | tr -d ' ') suites registered)"

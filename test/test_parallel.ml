@@ -178,6 +178,12 @@ module PBoom = Parallel.Prun.Make (Boom_p)
    heartbeat watchdog, [run_decide] sat in [Domain.join] forever. *)
 let hang_release = Atomic.make false
 
+(* bumped by the hanging step the moment it leaves its blocking loop, so
+   tests can wait for the leaked domain on an event instead of a timed
+   sleep (the old [Unix.sleepf 0.05] raced the domain's exit on loaded
+   machines) *)
+let hang_exited = Atomic.make 0
+
 module Hang_p = struct
   module Value = Boom_p.Value
 
@@ -192,10 +198,12 @@ module Hang_p = struct
   let step ~n:_ ~m:_ ~id local : (local, Value.t) Protocol.step =
     match local with
     | Start ->
-      if id = 1 then
+      if id = 1 then begin
         while not (Atomic.get hang_release) do
           Domain.cpu_relax ()
         done;
+        Atomic.incr hang_exited
+      end;
       Internal Done
     | Done -> invalid_arg "hang: decided"
 
@@ -243,10 +251,14 @@ let test_watchdog_returns_partial_outcome () =
   in
   let o = PHang.run_decide ~watchdog_s:0.2 ~max_stall_retries:0 ~step_budget:1_000 cfg in
   (* run_decide returned at all: this call deadlocked in Domain.join
-     before the watchdog existed. Release the leaked domain so it
-     terminates before the test binary exits. *)
+     before the watchdog existed. Release the leaked domain and wait for
+     it to actually leave its blocking loop (event, not a timed sleep)
+     so it terminates before the test binary exits. *)
+  let exited = Atomic.get hang_exited in
   Atomic.set hang_release true;
-  Unix.sleepf 0.05;
+  while Atomic.get hang_exited = exited do
+    Domain.cpu_relax ()
+  done;
   Alcotest.(check bool) "watchdog fired" true o.watchdog_fired;
   Alcotest.(check bool) "stuck domain synthesised as timed_out" true
     o.results.(0).PHang.timed_out;
@@ -275,8 +287,14 @@ let test_stall_retry_recovers () =
       seed = 1;
     }
   in
-  (* patience 0.2s, default 2 retries: abandonment needs a >0.8s stall *)
-  let o = PHang.run_decide ~watchdog_s:0.2 ~step_budget:1_000 cfg in
+  (* patience 0.2s with an explicit 4-retry budget: abandonment needs a
+     multi-second stall, so even a heavily loaded machine that delays the
+     0.45s releaser cannot flip this into a spurious watchdog fire (the
+     old default-retry budget left only ~0.35s of slack) *)
+  let o =
+    PHang.run_decide ~watchdog_s:0.2 ~max_stall_retries:4 ~step_budget:1_000
+      cfg
+  in
   Domain.join releaser;
   Alcotest.(check bool) "watchdog did not fire" false o.watchdog_fired;
   Alcotest.(check bool) "no domain abandoned" true
@@ -305,8 +323,11 @@ let test_stall_retries_bounded () =
     PHang.run_decide ~watchdog_s:0.1 ~max_stall_retries:1 ~step_budget:1_000
       cfg
   in
+  let exited = Atomic.get hang_exited in
   Atomic.set hang_release true;
-  Unix.sleepf 0.05;
+  while Atomic.get hang_exited = exited do
+    Domain.cpu_relax ()
+  done;
   Alcotest.(check bool) "watchdog fired after bounded retries" true
     o.watchdog_fired;
   Alcotest.(check bool) "dead domain abandoned" true
